@@ -1,0 +1,43 @@
+//! E9 wall-clock: consensus decision under partial synchrony, push mode,
+//! Figure 1's f1, sweeping the view constant C.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gqs_consensus::{gqs_consensus_nodes, ProposalMode};
+use gqs_core::systems::figure1;
+use gqs_core::ProcessId;
+use gqs_simnet::{DelayModel, FailureSchedule, SimConfig, SimTime, Simulation, StopReason};
+
+fn round(c_const: u64, seed: u64) {
+    let fig = figure1();
+    let nodes = gqs_consensus_nodes::<u64>(&fig.gqs, c_const, ProposalMode::Push);
+    let cfg = SimConfig {
+        seed,
+        delay: DelayModel::PartialSynchrony { pre_min: 1, pre_max: 60, gst: 400, delta: 5 },
+        horizon: SimTime(3_000_000),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(cfg, nodes);
+    sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
+    sim.invoke_at(SimTime(10), ProcessId(0), 7u64);
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for c_const in [50u64, 150, 400] {
+        group.bench_function(format!("figure1-f1/push/C={c_const}"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                round(c_const, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_consensus);
+criterion_main!(benches);

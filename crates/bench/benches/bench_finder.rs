@@ -1,0 +1,42 @@
+//! E2/E11 wall-clock: the GQS decision procedure.
+//!
+//! Sweeps system size and compares the pruned backtracking search against
+//! the exhaustive oracle. Regenerates the "finder ms" column of E11.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gqs_core::finder::{find_gqs, gqs_exists, gqs_exists_brute_force, qs_plus_exists};
+use gqs_core::NetworkGraph;
+use gqs_simnet::SplitMix64;
+use gqs_workloads::generators::rotating_fail_prone;
+
+fn bench_finder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("finder");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [4usize, 6, 8, 12] {
+        let mut rng = SplitMix64::new(n as u64);
+        let g = NetworkGraph::complete(n);
+        let fp = rotating_fail_prone(&g, 0.25, &mut rng);
+        group.bench_with_input(BenchmarkId::new("gqs_exists/rotating", n), &n, |b, _| {
+            b.iter(|| gqs_exists(&g, &fp))
+        });
+        group.bench_with_input(BenchmarkId::new("find_gqs_witness/rotating", n), &n, |b, _| {
+            b.iter(|| find_gqs(&g, &fp).is_some())
+        });
+        group.bench_with_input(BenchmarkId::new("qs_plus_exists/rotating", n), &n, |b, _| {
+            b.iter(|| qs_plus_exists(&g, &fp))
+        });
+    }
+    // Brute force comparison on a small instance only.
+    let mut rng = SplitMix64::new(4);
+    let g = NetworkGraph::complete(4);
+    let fp = rotating_fail_prone(&g, 0.25, &mut rng);
+    group.bench_function("gqs_exists_brute_force/rotating/4", |b| {
+        b.iter(|| gqs_exists_brute_force(&g, &fp))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_finder);
+criterion_main!(benches);

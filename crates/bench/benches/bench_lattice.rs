@@ -1,0 +1,49 @@
+//! E8 wall-clock: lattice agreement convergence.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gqs_core::systems::figure1;
+use gqs_core::ProcessId;
+use gqs_lattice::{gqs_lattice_nodes, Propose, SetLattice};
+use gqs_simnet::{FailureSchedule, SimConfig, SimTime, Simulation, StopReason};
+
+fn round(proposers: usize, with_failures: bool, seed: u64) {
+    let fig = figure1();
+    let nodes = gqs_lattice_nodes::<SetLattice<u64>>(&fig.gqs, 20);
+    let cfg = SimConfig { seed, horizon: SimTime(1_500_000), ..SimConfig::default() };
+    let mut sim = Simulation::new(cfg, nodes);
+    if with_failures {
+        sim.apply_failures(&FailureSchedule::from_pattern_at(
+            fig.fail_prone.pattern(0),
+            SimTime(0),
+        ));
+    }
+    for p in 0..proposers {
+        sim.invoke_at(SimTime(10 + p as u64), ProcessId(p), Propose(SetLattice::singleton(p as u64)));
+    }
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+}
+
+fn bench_lattice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("figure1-f1/2-proposers", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            round(2, true, seed)
+        })
+    });
+    group.bench_function("figure1-healthy/4-proposers", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            round(4, false, seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lattice);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E4/E5 wall-clock: one write+read through each quorum access engine.
+//!
+//! "classical" is Figure 2 over a majority system on a healthy network;
+//! "generalized" is Figure 3 over Figure 1 under failure pattern f1.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gqs_core::systems::figure1;
+use gqs_core::{majority_system, ProcessId};
+use gqs_registers::{abd_register_nodes, gqs_register_nodes, RegOp};
+use gqs_simnet::{FailureSchedule, SimConfig, SimTime, Simulation, StopReason};
+
+fn classical_round(n: usize, seed: u64) {
+    let qs = majority_system(n).unwrap();
+    let nodes = abd_register_nodes::<u8, u64>(n, qs.reads().clone(), qs.writes().clone(), 0);
+    let mut sim = Simulation::new(SimConfig { seed, ..SimConfig::default() }, nodes);
+    sim.invoke_at(SimTime(1), ProcessId(0), RegOp::Write { reg: 0, value: 1 });
+    sim.invoke_at(SimTime(200), ProcessId(1), RegOp::Read { reg: 0 });
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+}
+
+fn generalized_round(tick: u64, seed: u64) {
+    let fig = figure1();
+    let nodes = gqs_register_nodes::<u8, u64>(&fig.gqs, 0, tick);
+    let cfg = SimConfig { seed, horizon: SimTime(100_000), ..SimConfig::default() };
+    let mut sim = Simulation::new(cfg, nodes);
+    sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
+    sim.invoke_at(SimTime(1), ProcessId(0), RegOp::Write { reg: 0, value: 1 });
+    sim.invoke_at(SimTime(3_000), ProcessId(1), RegOp::Read { reg: 0 });
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+}
+
+fn bench_qaf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qaf");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [3usize, 5, 7] {
+        group.bench_function(format!("classical/majority/n={n}"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                classical_round(n, seed)
+            })
+        });
+    }
+    for tick in [10u64, 20, 50] {
+        group.bench_function(format!("generalized/figure1-f1/tick={tick}"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                generalized_round(tick, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qaf);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E6 wall-clock: a six-operation concurrent register workload under
+//! Figure 1's f1, including the Wing–Gong linearizability check.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gqs_checker::spec::RegisterSpec;
+use gqs_checker::wg::check_linearizable;
+use gqs_core::systems::figure1;
+use gqs_core::ProcessId;
+use gqs_registers::{gqs_register_nodes, RegOp};
+use gqs_simnet::{FailureSchedule, SimConfig, SimTime, Simulation, SplitMix64};
+use gqs_workloads::convert;
+
+fn workload(seed: u64, check: bool) {
+    let fig = figure1();
+    let nodes = gqs_register_nodes::<u8, u64>(&fig.gqs, 0, 20);
+    let cfg = SimConfig { seed, horizon: SimTime(80_000), ..SimConfig::default() };
+    let mut sim = Simulation::new(cfg, nodes);
+    sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
+    let mut rng = SplitMix64::new(seed);
+    for k in 0..6u64 {
+        let who = ProcessId(rng.range(0, 1) as usize);
+        let t = SimTime(10 + rng.range(0, 6_000));
+        if rng.chance(0.5) {
+            sim.invoke_at(t, who, RegOp::Write { reg: 0, value: k });
+        } else {
+            sim.invoke_at(t, who, RegOp::Read { reg: 0 });
+        }
+    }
+    sim.run_until_ops_complete();
+    if check {
+        let entries = convert::register_entries(sim.history(), 0);
+        assert!(check_linearizable(&RegisterSpec::new(0u64), &entries).is_ok());
+    }
+}
+
+fn bench_register(c: &mut Criterion) {
+    let mut group = c.benchmark_group("register");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("figure1-f1/6ops/simulate", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            workload(seed, false)
+        })
+    });
+    group.bench_function("figure1-f1/6ops/simulate+wg-check", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            workload(seed, true)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_register);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E8 wall-clock: snapshot update+scan under Figure 1's f1.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gqs_core::systems::figure1;
+use gqs_core::ProcessId;
+use gqs_simnet::{FailureSchedule, SimConfig, SimTime, Simulation, StopReason};
+use gqs_snapshots::{gqs_snapshot_nodes, SnapOp};
+
+fn round(writers: usize, seed: u64) {
+    let fig = figure1();
+    let nodes = gqs_snapshot_nodes::<u64>(&fig.gqs, 0, 20);
+    let cfg = SimConfig { seed, horizon: SimTime(500_000), ..SimConfig::default() };
+    let mut sim = Simulation::new(cfg, nodes);
+    sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
+    for w in 0..writers {
+        sim.invoke_at(SimTime(10 + w as u64), ProcessId(w), SnapOp::Update(w as u64 + 1));
+    }
+    sim.invoke_at(SimTime(15), ProcessId(0), SnapOp::Scan);
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for writers in [1usize, 2] {
+        group.bench_function(format!("figure1-f1/scan-with-{writers}-writers"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                round(writers, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

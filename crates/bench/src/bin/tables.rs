@@ -1,0 +1,17 @@
+//! Regenerates every experiment table (E1–E12).
+//!
+//! Usage:
+//!   tables            # run all experiments
+//!   tables E5 E12     # run selected experiment ids
+
+use gqs_workloads::experiments::all_reports;
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).map(|s| s.to_uppercase()).collect();
+    for report in all_reports() {
+        if filter.is_empty() || filter.iter().any(|f| f == report.id) {
+            println!("{report}");
+            println!();
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! # Benchmark harness for the GQS reproduction
+//!
+//! * The [`tables`](../tables/index.html) binary (`cargo run -p gqs-bench
+//!   --bin tables --release`) regenerates every experiment table E1–E12 of
+//!   DESIGN.md / EXPERIMENTS.md by calling
+//!   [`gqs_workloads::experiments::all_reports`].
+//! * The Criterion benches (`cargo bench`) measure the wall-clock cost of
+//!   the decision procedures and of simulated protocol operations:
+//!   `bench_finder`, `bench_qaf`, `bench_register`, `bench_snapshot`,
+//!   `bench_lattice`, `bench_consensus`.
+
+pub use gqs_workloads::experiments;

@@ -1,0 +1,355 @@
+//! The paper's §B dependency-graph linearizability checker (white box).
+//!
+//! Appendix B proves the register protocol linearizable by exhibiting, for
+//! every execution, an **acyclic dependency graph** over its operations
+//! (Adya-style): `rt` (real-time order), `ww` (writes ordered by version),
+//! `wr` (a read observes the write with its version) and the derived `rw`
+//! anti-dependencies. Theorem 7 states a complete-operation history is
+//! linearizable **iff** such an acyclic graph exists, and the witnesses are
+//! definable directly from the protocol's version tags `τ`.
+//!
+//! This module implements that construction as an executable checker:
+//! feed it version-tagged operations (the register protocol exposes its
+//! `τ` function) and it verifies Proposition 3's side conditions plus
+//! acyclicity — a scalable, white-box complement to the exponential
+//! black-box checker in [`crate::wg`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use gqs_core::ProcessId;
+
+/// A version tag `τ(o) ∈ N × N` (counter, process id), ordered
+/// lexicographically; `(0, 0)` is the initial version.
+pub type Version = (u64, u64);
+
+/// The initial version.
+pub const VERSION_ZERO: Version = (0, 0);
+
+/// A version-tagged register operation of a complete execution.
+#[derive(Clone, Debug)]
+pub struct TaggedOp<V> {
+    /// Invoking process.
+    pub process: ProcessId,
+    /// Invocation time.
+    pub invoked_at: u64,
+    /// Completion time (§B considers executions where all operations
+    /// complete).
+    pub completed_at: u64,
+    /// Whether the operation is a write (and the value written) or a read
+    /// (and the value returned).
+    pub kind: TaggedKind<V>,
+    /// The protocol's version tag `τ` for this operation.
+    pub version: Version,
+}
+
+/// Whether a tagged operation wrote or read, with its value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TaggedKind<V> {
+    /// A `write(v)`; `τ` is the version the write installed.
+    Write(V),
+    /// A `read()` returning `v`; `τ` is the version of the state it chose.
+    Read(V),
+}
+
+/// A violation detected while building or checking the dependency graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DepGraphViolation<V> {
+    /// Two distinct writes carry the same version (contradicts
+    /// Proposition 3(1): versions embed the writer id and a fresh counter).
+    DuplicateWriteVersion {
+        /// The shared version.
+        version: Version,
+    },
+    /// A write tagged with the initial version (contradicts Prop 3(2)).
+    ZeroWriteVersion,
+    /// A read's version matches no write and is not the initial version
+    /// (contradicts Prop 3(3)).
+    UnmatchedReadVersion {
+        /// The dangling version.
+        version: Version,
+    },
+    /// A read returned a value different from the write with its version
+    /// (contradicts Prop 3(4)), or a zero-version read returned a
+    /// non-initial value.
+    ValueMismatch {
+        /// The version at which the mismatch occurred.
+        version: Version,
+        /// The value the read returned.
+        read: V,
+        /// The value the matching write (or the initial state) holds.
+        expected: V,
+    },
+    /// The dependency graph has a cycle: the history is not linearizable
+    /// (Theorem 7).
+    Cycle {
+        /// Indices (into the input slice) of operations on the cycle.
+        members: Vec<usize>,
+    },
+}
+
+impl<V: fmt::Debug> fmt::Display for DepGraphViolation<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepGraphViolation::DuplicateWriteVersion { version } => {
+                write!(f, "two writes share version {version:?}")
+            }
+            DepGraphViolation::ZeroWriteVersion => write!(f, "a write carries version (0,0)"),
+            DepGraphViolation::UnmatchedReadVersion { version } => {
+                write!(f, "read version {version:?} matches no write")
+            }
+            DepGraphViolation::ValueMismatch { version, read, expected } => {
+                write!(f, "read at version {version:?} returned {read:?}, expected {expected:?}")
+            }
+            DepGraphViolation::Cycle { members } => {
+                write!(f, "dependency graph cycle through operations {members:?}")
+            }
+        }
+    }
+}
+
+impl<V: fmt::Debug> std::error::Error for DepGraphViolation<V> {}
+
+/// Builds the §B dependency graph from version-tagged operations and
+/// checks Proposition 3's conditions plus acyclicity.
+///
+/// # Errors
+///
+/// Returns the first violation found. `Ok(())` certifies linearizability
+/// of the tagged history (Theorem 7, given truthful tags).
+pub fn check_dependency_graph<V: Clone + PartialEq + fmt::Debug>(
+    ops: &[TaggedOp<V>],
+    initial: &V,
+) -> Result<(), DepGraphViolation<V>> {
+    // --- Proposition 3 side conditions -----------------------------------
+    let mut write_by_version: HashMap<Version, usize> = HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        if let TaggedKind::Write(_) = op.kind {
+            if op.version == VERSION_ZERO {
+                return Err(DepGraphViolation::ZeroWriteVersion);
+            }
+            if write_by_version.insert(op.version, i).is_some() {
+                return Err(DepGraphViolation::DuplicateWriteVersion { version: op.version });
+            }
+        }
+    }
+    for op in ops {
+        if let TaggedKind::Read(v) = &op.kind {
+            if op.version == VERSION_ZERO {
+                if v != initial {
+                    return Err(DepGraphViolation::ValueMismatch {
+                        version: op.version,
+                        read: v.clone(),
+                        expected: initial.clone(),
+                    });
+                }
+            } else {
+                match write_by_version.get(&op.version) {
+                    None => {
+                        return Err(DepGraphViolation::UnmatchedReadVersion {
+                            version: op.version,
+                        })
+                    }
+                    Some(&w) => {
+                        let TaggedKind::Write(wv) = &ops[w].kind else { unreachable!() };
+                        if v != wv {
+                            return Err(DepGraphViolation::ValueMismatch {
+                                version: op.version,
+                                read: v.clone(),
+                                expected: wv.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Edges ------------------------------------------------------------
+    // rt: o1 -> o2 if o1 completes before o2 is invoked.
+    // ww: w1 -> w2 if τ(w1) < τ(w2).
+    // wr: w -> r if τ(w) = τ(r).
+    // rw: r -> w if τ(r) < τ(w) (covers both branches of the definition:
+    //     reads-from-initial have τ = (0,0) < every write version).
+    let n = ops.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indegree = vec![0usize; n];
+    let add_edge = |adj: &mut Vec<Vec<usize>>, indegree: &mut Vec<usize>, a: usize, b: usize| {
+        adj[a].push(b);
+        indegree[b] += 1;
+    };
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if ops[i].completed_at < ops[j].invoked_at {
+                add_edge(&mut adj, &mut indegree, i, j); // rt
+                continue; // other edge kinds are redundant if rt holds
+            }
+            match (&ops[i].kind, &ops[j].kind) {
+                (TaggedKind::Write(_), TaggedKind::Write(_)) => {
+                    if ops[i].version < ops[j].version {
+                        add_edge(&mut adj, &mut indegree, i, j); // ww
+                    }
+                }
+                (TaggedKind::Write(_), TaggedKind::Read(_)) => {
+                    if ops[i].version == ops[j].version {
+                        add_edge(&mut adj, &mut indegree, i, j); // wr
+                    }
+                }
+                (TaggedKind::Read(_), TaggedKind::Write(_)) => {
+                    if ops[i].version < ops[j].version {
+                        add_edge(&mut adj, &mut indegree, i, j); // rw
+                    }
+                }
+                (TaggedKind::Read(_), TaggedKind::Read(_)) => {}
+            }
+        }
+    }
+
+    // --- Acyclicity via Kahn ----------------------------------------------
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(i) = queue.pop() {
+        seen += 1;
+        for &j in &adj[i] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                queue.push(j);
+            }
+        }
+    }
+    if seen == n {
+        Ok(())
+    } else {
+        let members: Vec<usize> = (0..n).filter(|&i| indegree[i] > 0).collect();
+        Err(DepGraphViolation::Cycle { members })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wr(p: usize, inv: u64, done: u64, v: u64, ver: Version) -> TaggedOp<u64> {
+        TaggedOp {
+            process: ProcessId(p),
+            invoked_at: inv,
+            completed_at: done,
+            kind: TaggedKind::Write(v),
+            version: ver,
+        }
+    }
+    fn rd(p: usize, inv: u64, done: u64, v: u64, ver: Version) -> TaggedOp<u64> {
+        TaggedOp {
+            process: ProcessId(p),
+            invoked_at: inv,
+            completed_at: done,
+            kind: TaggedKind::Read(v),
+            version: ver,
+        }
+    }
+
+    #[test]
+    fn empty_and_reads_of_initial() {
+        assert!(check_dependency_graph::<u64>(&[], &0).is_ok());
+        let h = vec![rd(0, 0, 1, 0, VERSION_ZERO)];
+        assert!(check_dependency_graph(&h, &0).is_ok());
+    }
+
+    #[test]
+    fn simple_write_read_chain() {
+        let h = vec![wr(0, 0, 1, 5, (1, 0)), rd(1, 2, 3, 5, (1, 0))];
+        assert!(check_dependency_graph(&h, &0).is_ok());
+    }
+
+    #[test]
+    fn duplicate_write_version_detected() {
+        let h = vec![wr(0, 0, 1, 5, (1, 0)), wr(1, 2, 3, 6, (1, 0))];
+        assert_eq!(
+            check_dependency_graph(&h, &0),
+            Err(DepGraphViolation::DuplicateWriteVersion { version: (1, 0) })
+        );
+    }
+
+    #[test]
+    fn zero_write_version_detected() {
+        let h = vec![wr(0, 0, 1, 5, VERSION_ZERO)];
+        assert_eq!(check_dependency_graph(&h, &0), Err(DepGraphViolation::ZeroWriteVersion));
+    }
+
+    #[test]
+    fn unmatched_read_version_detected() {
+        let h = vec![rd(0, 0, 1, 5, (3, 1))];
+        assert_eq!(
+            check_dependency_graph(&h, &0),
+            Err(DepGraphViolation::UnmatchedReadVersion { version: (3, 1) })
+        );
+    }
+
+    #[test]
+    fn value_mismatch_detected() {
+        let h = vec![wr(0, 0, 1, 5, (1, 0)), rd(1, 2, 3, 6, (1, 0))];
+        assert!(matches!(
+            check_dependency_graph(&h, &0),
+            Err(DepGraphViolation::ValueMismatch { .. })
+        ));
+        let h2 = vec![rd(0, 0, 1, 9, VERSION_ZERO)];
+        assert!(matches!(
+            check_dependency_graph(&h2, &0),
+            Err(DepGraphViolation::ValueMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_read_creates_cycle() {
+        // Write (1,0) completes before the read is invoked, but the read
+        // returns the initial state: rt(w → r) and rw(r → w) form a cycle.
+        let h = vec![wr(0, 0, 1, 5, (1, 0)), rd(1, 2, 3, 0, VERSION_ZERO)];
+        assert!(matches!(
+            check_dependency_graph(&h, &0),
+            Err(DepGraphViolation::Cycle { .. })
+        ));
+    }
+
+    #[test]
+    fn new_old_inversion_creates_cycle() {
+        // Two sequential reads under one concurrent write: the second read
+        // regresses to an older version — cycle through wr/rt/rw.
+        let w1 = wr(0, 0, 100, 5, (1, 0));
+        let r_new = rd(1, 1, 2, 5, (1, 0));
+        let r_old = rd(1, 3, 4, 0, VERSION_ZERO);
+        assert!(matches!(
+            check_dependency_graph(&[w1, r_new, r_old], &0),
+            Err(DepGraphViolation::Cycle { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_reads_of_different_versions_fine() {
+        let h = vec![
+            wr(0, 0, 100, 5, (1, 0)),
+            rd(1, 1, 50, 5, (1, 0)),
+            rd(2, 1, 50, 0, VERSION_ZERO),
+        ];
+        assert!(check_dependency_graph(&h, &0).is_ok());
+    }
+
+    #[test]
+    fn version_order_must_respect_real_time() {
+        // w1 completes before w2 starts, but w2 got a SMALLER version:
+        // rt(w1→w2) and ww(w2→w1) — cycle.
+        let h = vec![wr(0, 0, 1, 5, (2, 0)), wr(1, 2, 3, 6, (1, 1))];
+        assert!(matches!(
+            check_dependency_graph(&h, &0),
+            Err(DepGraphViolation::Cycle { .. })
+        ));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v: DepGraphViolation<u64> = DepGraphViolation::UnmatchedReadVersion { version: (2, 1) };
+        assert!(v.to_string().contains("matches no write"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # Safety and liveness checkers for the GQS reproduction
+//!
+//! Every execution the simulator produces can be checked here:
+//!
+//! * [`wg`] — a black-box Wing–Gong **linearizability** checker, generic
+//!   over a [`SequentialSpec`] (register and snapshot specs provided);
+//! * [`depgraph`] — the paper's §B **dependency-graph** checker: a
+//!   white-box, polynomial certificate of linearizability built from the
+//!   register protocol's version tags (Theorems 7/8, Proposition 3);
+//! * [`objects`] — **lattice agreement** (Comparability, Downward/Upward
+//!   validity), **consensus** (Agreement, Validity) and **wait-freedom
+//!   within a termination set** `τ(f)` reports.
+//!
+//! ```
+//! use gqs_checker::spec::{complete, RegisterOp, RegisterResp, RegisterSpec};
+//! use gqs_checker::wg::check_linearizable;
+//!
+//! let spec = RegisterSpec::new(0u64);
+//! let history = vec![
+//!     complete(0, 0, 1, RegisterOp::Write(5), RegisterResp::Ack),
+//!     complete(1, 2, 3, RegisterOp::Read, RegisterResp::Value(5)),
+//! ];
+//! assert!(check_linearizable(&spec, &history).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod depgraph;
+pub mod objects;
+pub mod spec;
+pub mod wg;
+
+pub use depgraph::{check_dependency_graph, DepGraphViolation, TaggedKind, TaggedOp, Version};
+pub use objects::{
+    check_consensus, check_lattice_agreement, wait_freedom_report, ConsensusOutcome,
+    ConsensusViolation, LatticeOutcome, LatticeViolation, LivenessReport,
+};
+pub use spec::{
+    entries_from_history, Entry, RegisterOp, RegisterResp, RegisterSpec, SequentialSpec,
+    SnapshotOp, SnapshotResp, SnapshotSpec,
+};
+pub use wg::{check_linearizable, Verdict, MAX_OPS};

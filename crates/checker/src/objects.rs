@@ -1,0 +1,353 @@
+//! Safety checkers for lattice agreement and consensus, plus liveness
+//! (wait-freedom within a termination set) reports.
+
+use std::fmt;
+
+use gqs_core::{ProcessId, ProcessSet};
+use gqs_simnet::History;
+
+/// The outcome of one lattice-agreement `propose` invocation.
+#[derive(Clone, Debug)]
+pub struct LatticeOutcome<X> {
+    /// The proposing process.
+    pub process: ProcessId,
+    /// Its input value `x_i`.
+    pub input: X,
+    /// Its output value `y_i`, if the propose completed.
+    pub output: Option<X>,
+}
+
+/// A violation of the lattice agreement specification (§6).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LatticeViolation<X> {
+    /// Two outputs are incomparable (violates Comparability).
+    Incomparable {
+        /// First output.
+        a: X,
+        /// Second output.
+        b: X,
+    },
+    /// An output does not dominate its own input (violates Downward
+    /// validity).
+    Downward {
+        /// The input.
+        input: X,
+        /// The offending output.
+        output: X,
+    },
+    /// An output exceeds the join of all proposed inputs (violates Upward
+    /// validity).
+    Upward {
+        /// The offending output.
+        output: X,
+        /// The join of all inputs.
+        join_of_inputs: X,
+    },
+}
+
+impl<X: fmt::Debug> fmt::Display for LatticeViolation<X> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeViolation::Incomparable { a, b } => {
+                write!(f, "incomparable outputs {a:?} and {b:?}")
+            }
+            LatticeViolation::Downward { input, output } => {
+                write!(f, "output {output:?} does not include input {input:?}")
+            }
+            LatticeViolation::Upward { output, join_of_inputs } => {
+                write!(f, "output {output:?} exceeds the join of inputs {join_of_inputs:?}")
+            }
+        }
+    }
+}
+
+impl<X: fmt::Debug> std::error::Error for LatticeViolation<X> {}
+
+/// Checks the three lattice-agreement conditions over the outcomes of a
+/// run. `leq` is the lattice's partial order, `join` its join.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_lattice_agreement<X, Leq, Join>(
+    outcomes: &[LatticeOutcome<X>],
+    leq: Leq,
+    join: Join,
+) -> Result<(), LatticeViolation<X>>
+where
+    X: Clone,
+    Leq: Fn(&X, &X) -> bool,
+    Join: Fn(&X, &X) -> X,
+{
+    // Downward validity.
+    for o in outcomes {
+        if let Some(y) = &o.output {
+            if !leq(&o.input, y) {
+                return Err(LatticeViolation::Downward {
+                    input: o.input.clone(),
+                    output: y.clone(),
+                });
+            }
+        }
+    }
+    // Upward validity: against the join of ALL invoked inputs.
+    if let Some(first) = outcomes.first() {
+        let mut all = first.input.clone();
+        for o in &outcomes[1..] {
+            all = join(&all, &o.input);
+        }
+        for o in outcomes {
+            if let Some(y) = &o.output {
+                if !leq(y, &all) {
+                    return Err(LatticeViolation::Upward {
+                        output: y.clone(),
+                        join_of_inputs: all.clone(),
+                    });
+                }
+            }
+        }
+    }
+    // Comparability, pairwise.
+    for (i, a) in outcomes.iter().enumerate() {
+        for b in &outcomes[i + 1..] {
+            if let (Some(ya), Some(yb)) = (&a.output, &b.output) {
+                if !leq(ya, yb) && !leq(yb, ya) {
+                    return Err(LatticeViolation::Incomparable {
+                        a: ya.clone(),
+                        b: yb.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The outcome of one consensus `propose` invocation.
+#[derive(Clone, Debug)]
+pub struct ConsensusOutcome<V> {
+    /// The proposing process.
+    pub process: ProcessId,
+    /// The value it proposed.
+    pub proposed: V,
+    /// The value it decided, if the propose completed.
+    pub decided: Option<V>,
+}
+
+/// A violation of the consensus specification (§7).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConsensusViolation<V> {
+    /// Two processes decided different values.
+    Disagreement {
+        /// One decided value.
+        a: V,
+        /// A different decided value.
+        b: V,
+    },
+    /// A decided value was never proposed.
+    InvalidDecision {
+        /// The unproposed decision.
+        decided: V,
+    },
+}
+
+impl<V: fmt::Debug> fmt::Display for ConsensusViolation<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusViolation::Disagreement { a, b } => {
+                write!(f, "processes decided both {a:?} and {b:?}")
+            }
+            ConsensusViolation::InvalidDecision { decided } => {
+                write!(f, "decision {decided:?} was never proposed")
+            }
+        }
+    }
+}
+
+impl<V: fmt::Debug> std::error::Error for ConsensusViolation<V> {}
+
+/// Checks Agreement and Validity over the outcomes of a consensus run.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_consensus<V: Clone + PartialEq>(
+    outcomes: &[ConsensusOutcome<V>],
+) -> Result<(), ConsensusViolation<V>> {
+    let mut first_decision: Option<&V> = None;
+    for o in outcomes {
+        if let Some(d) = &o.decided {
+            if !outcomes.iter().any(|p| p.proposed == *d) {
+                return Err(ConsensusViolation::InvalidDecision { decided: d.clone() });
+            }
+            match first_decision {
+                None => first_decision = Some(d),
+                Some(f) if f == d => {}
+                Some(f) => {
+                    return Err(ConsensusViolation::Disagreement { a: f.clone(), b: d.clone() })
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// How a run fared against a termination set `τ(f)`: wait-freedom demands
+/// that every operation invoked at a member of `τ(f)` completes.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LivenessReport {
+    /// Operations invoked at members of the termination set.
+    pub required: usize,
+    /// ... of which completed.
+    pub required_completed: usize,
+    /// Operations invoked at other (possibly isolated) processes.
+    pub others: usize,
+    /// ... of which completed (no requirement either way).
+    pub others_completed: usize,
+}
+
+impl LivenessReport {
+    /// Whether wait-freedom held within the termination set.
+    pub fn is_wait_free(&self) -> bool {
+        self.required == self.required_completed
+    }
+}
+
+impl fmt::Display for LivenessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "τ-ops {}/{} complete; other ops {}/{} complete",
+            self.required_completed, self.required, self.others_completed, self.others
+        )
+    }
+}
+
+/// Builds a [`LivenessReport`] for a history against a termination set.
+pub fn wait_freedom_report<O, R>(history: &History<O, R>, tau: ProcessSet) -> LivenessReport {
+    let mut rep = LivenessReport::default();
+    for rec in history.ops() {
+        if tau.contains(rec.process) {
+            rep.required += 1;
+            if rec.is_complete() {
+                rep.required_completed += 1;
+            }
+        } else {
+            rep.others += 1;
+            if rec.is_complete() {
+                rep.others_completed += 1;
+            }
+        }
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqs_core::pset;
+    use gqs_simnet::{OpId, SimTime};
+    use std::collections::BTreeSet;
+
+    type Set = BTreeSet<u32>;
+    fn set(vals: &[u32]) -> Set {
+        vals.iter().copied().collect()
+    }
+    fn leq(a: &Set, b: &Set) -> bool {
+        a.is_subset(b)
+    }
+    fn join(a: &Set, b: &Set) -> Set {
+        a.union(b).copied().collect()
+    }
+
+    fn out(p: usize, input: &[u32], output: Option<&[u32]>) -> LatticeOutcome<Set> {
+        LatticeOutcome { process: ProcessId(p), input: set(input), output: output.map(set) }
+    }
+
+    #[test]
+    fn lattice_ok_cases() {
+        let outcomes = vec![
+            out(0, &[1], Some(&[1])),
+            out(1, &[2], Some(&[1, 2])),
+            out(2, &[3], None), // pending: unconstrained
+        ];
+        assert!(check_lattice_agreement(&outcomes, leq, join).is_ok());
+        assert!(check_lattice_agreement::<Set, _, _>(&[], leq, join).is_ok());
+    }
+
+    #[test]
+    fn lattice_incomparable_detected() {
+        let outcomes = vec![out(0, &[1], Some(&[1])), out(1, &[2], Some(&[2]))];
+        assert!(matches!(
+            check_lattice_agreement(&outcomes, leq, join),
+            Err(LatticeViolation::Incomparable { .. })
+        ));
+    }
+
+    #[test]
+    fn lattice_downward_detected() {
+        let outcomes = vec![out(0, &[1], Some(&[2]))];
+        assert!(matches!(
+            check_lattice_agreement(&outcomes, leq, join),
+            Err(LatticeViolation::Downward { .. })
+        ));
+    }
+
+    #[test]
+    fn lattice_upward_detected() {
+        let outcomes = vec![out(0, &[1], Some(&[1, 9]))];
+        assert!(matches!(
+            check_lattice_agreement(&outcomes, leq, join),
+            Err(LatticeViolation::Upward { .. })
+        ));
+    }
+
+    #[test]
+    fn consensus_agreement_and_validity() {
+        let ok = vec![
+            ConsensusOutcome { process: ProcessId(0), proposed: 1, decided: Some(2) },
+            ConsensusOutcome { process: ProcessId(1), proposed: 2, decided: Some(2) },
+            ConsensusOutcome { process: ProcessId(2), proposed: 3, decided: None },
+        ];
+        assert!(check_consensus(&ok).is_ok());
+
+        let disagree = vec![
+            ConsensusOutcome { process: ProcessId(0), proposed: 1, decided: Some(1) },
+            ConsensusOutcome { process: ProcessId(1), proposed: 2, decided: Some(2) },
+        ];
+        assert!(matches!(
+            check_consensus(&disagree),
+            Err(ConsensusViolation::Disagreement { .. })
+        ));
+
+        let invalid = vec![ConsensusOutcome {
+            process: ProcessId(0),
+            proposed: 1,
+            decided: Some(9),
+        }];
+        assert!(matches!(
+            check_consensus(&invalid),
+            Err(ConsensusViolation::InvalidDecision { .. })
+        ));
+    }
+
+    #[test]
+    fn liveness_report_counts() {
+        let mut h: History<&str, ()> = History::new();
+        h.record_invocation(OpId(0), ProcessId(0), "a", SimTime(0));
+        h.record_completion(OpId(0), SimTime(1), ());
+        h.record_invocation(OpId(1), ProcessId(0), "b", SimTime(2));
+        h.record_invocation(OpId(2), ProcessId(2), "c", SimTime(2));
+        let rep = wait_freedom_report(&h, pset![0, 1]);
+        assert_eq!(rep.required, 2);
+        assert_eq!(rep.required_completed, 1);
+        assert_eq!(rep.others, 1);
+        assert_eq!(rep.others_completed, 0);
+        assert!(!rep.is_wait_free());
+        assert!(rep.to_string().contains("1/2"));
+
+        let rep2 = wait_freedom_report(&h, pset![2]);
+        assert_eq!(rep2.required, 1);
+        assert!(!rep2.is_wait_free());
+    }
+}

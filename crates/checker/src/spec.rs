@@ -1,0 +1,251 @@
+//! Sequential specifications and history entries.
+//!
+//! Linearizability (§A of the paper, after Herlihy & Wing) is defined
+//! against a *sequential specification*: a deterministic state machine that
+//! says which response each operation returns from each state. The checker
+//! in [`crate::wg`] is generic over such specifications; ready-made specs
+//! for MWMR registers and SWMR snapshots live here.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use gqs_core::ProcessId;
+use gqs_simnet::History;
+
+/// A deterministic sequential object specification.
+pub trait SequentialSpec {
+    /// Operation type.
+    type Op: Clone + Debug;
+    /// Response type.
+    type Resp: Clone + PartialEq + Debug;
+    /// Object state; hashing enables the checker's memoization.
+    type State: Clone + Eq + Hash + Debug;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Applies `op` to `state`, returning the next state and the response
+    /// a sequential execution would produce.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Resp);
+}
+
+/// One operation interval of a concurrent history.
+#[derive(Clone, Debug)]
+pub struct Entry<O, R> {
+    /// The process that invoked the operation.
+    pub process: ProcessId,
+    /// Invocation time.
+    pub invoked_at: u64,
+    /// Completion time; `None` for pending operations.
+    pub completed_at: Option<u64>,
+    /// The operation.
+    pub op: O,
+    /// The observed response; `None` for pending operations.
+    pub resp: Option<R>,
+}
+
+impl<O, R> Entry<O, R> {
+    /// Whether this entry completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// Real-time precedence: `self` completed before `other` was invoked.
+    pub fn precedes(&self, other: &Entry<O, R>) -> bool {
+        match self.completed_at {
+            Some(t) => t < other.invoked_at,
+            None => false,
+        }
+    }
+}
+
+/// Converts a simulator [`History`] into checker entries.
+pub fn entries_from_history<O: Clone, R: Clone>(h: &History<O, R>) -> Vec<Entry<O, R>> {
+    h.ops()
+        .iter()
+        .map(|rec| Entry {
+            process: rec.process,
+            invoked_at: rec.invoked_at.ticks(),
+            completed_at: rec.response.as_ref().map(|(t, _)| t.ticks()),
+            op: rec.op.clone(),
+            resp: rec.response.as_ref().map(|(_, r)| r.clone()),
+        })
+        .collect()
+}
+
+/// Convenience constructor for tests: a complete operation.
+pub fn complete<O, R>(process: usize, inv: u64, done: u64, op: O, resp: R) -> Entry<O, R> {
+    Entry {
+        process: ProcessId(process),
+        invoked_at: inv,
+        completed_at: Some(done),
+        op,
+        resp: Some(resp),
+    }
+}
+
+/// Convenience constructor for tests: a pending operation.
+pub fn pending<O, R>(process: usize, inv: u64, op: O) -> Entry<O, R> {
+    Entry { process: ProcessId(process), invoked_at: inv, completed_at: None, op, resp: None }
+}
+
+/// Operations of a MWMR register over values `V`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RegisterOp<V> {
+    /// `write(x)`.
+    Write(V),
+    /// `read()`.
+    Read,
+}
+
+/// Responses of a MWMR register.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RegisterResp<V> {
+    /// Acknowledgement of a write.
+    Ack,
+    /// Value returned by a read.
+    Value(V),
+}
+
+/// Sequential specification of a MWMR atomic register (§A): each read
+/// returns the most recently written value, or the initial value.
+#[derive(Clone, Debug)]
+pub struct RegisterSpec<V> {
+    initial: V,
+}
+
+impl<V: Clone + Eq + Hash + Debug> RegisterSpec<V> {
+    /// A register initialized to `initial`.
+    pub fn new(initial: V) -> Self {
+        RegisterSpec { initial }
+    }
+}
+
+impl<V: Clone + Eq + Hash + Debug> SequentialSpec for RegisterSpec<V> {
+    type Op = RegisterOp<V>;
+    type Resp = RegisterResp<V>;
+    type State = V;
+
+    fn initial(&self) -> V {
+        self.initial.clone()
+    }
+
+    fn apply(&self, state: &V, op: &RegisterOp<V>) -> (V, RegisterResp<V>) {
+        match op {
+            RegisterOp::Write(v) => (v.clone(), RegisterResp::Ack),
+            RegisterOp::Read => (state.clone(), RegisterResp::Value(state.clone())),
+        }
+    }
+}
+
+/// Operations of a SWMR snapshot object with `n` segments.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SnapshotOp<V> {
+    /// `write(x)` into the invoker's segment (the segment index is the
+    /// writing process, recorded explicitly for checking).
+    Update {
+        /// Segment written (must equal the invoking process for SWMR).
+        segment: usize,
+        /// Value written.
+        value: V,
+    },
+    /// `scan()`.
+    Scan,
+}
+
+/// Responses of a snapshot object.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SnapshotResp<V> {
+    /// Acknowledgement of an update.
+    Ack,
+    /// The vector of all segments returned by a scan.
+    View(Vec<V>),
+}
+
+/// Sequential specification of a SWMR atomic snapshot (§A): a scan returns
+/// the vector of the most recent update per segment.
+#[derive(Clone, Debug)]
+pub struct SnapshotSpec<V> {
+    initial: Vec<V>,
+}
+
+impl<V: Clone + Eq + Hash + Debug> SnapshotSpec<V> {
+    /// A snapshot object whose segments start at `initial`.
+    pub fn new(initial: Vec<V>) -> Self {
+        SnapshotSpec { initial }
+    }
+}
+
+impl<V: Clone + Eq + Hash + Debug> SequentialSpec for SnapshotSpec<V> {
+    type Op = SnapshotOp<V>;
+    type Resp = SnapshotResp<V>;
+    type State = Vec<V>;
+
+    fn initial(&self) -> Vec<V> {
+        self.initial.clone()
+    }
+
+    fn apply(&self, state: &Vec<V>, op: &SnapshotOp<V>) -> (Vec<V>, SnapshotResp<V>) {
+        match op {
+            SnapshotOp::Update { segment, value } => {
+                let mut next = state.clone();
+                next[*segment] = value.clone();
+                (next, SnapshotResp::Ack)
+            }
+            SnapshotOp::Scan => (state.clone(), SnapshotResp::View(state.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_spec_semantics() {
+        let spec = RegisterSpec::new(0u64);
+        let s0 = spec.initial();
+        let (s1, r1) = spec.apply(&s0, &RegisterOp::Read);
+        assert_eq!(r1, RegisterResp::Value(0));
+        assert_eq!(s1, 0);
+        let (s2, r2) = spec.apply(&s1, &RegisterOp::Write(7));
+        assert_eq!(r2, RegisterResp::Ack);
+        let (_, r3) = spec.apply(&s2, &RegisterOp::Read);
+        assert_eq!(r3, RegisterResp::Value(7));
+    }
+
+    #[test]
+    fn snapshot_spec_semantics() {
+        let spec = SnapshotSpec::new(vec![0u64; 2]);
+        let s0 = spec.initial();
+        let (s1, _) = spec.apply(&s0, &SnapshotOp::Update { segment: 1, value: 5 });
+        let (_, r) = spec.apply(&s1, &SnapshotOp::Scan);
+        assert_eq!(r, SnapshotResp::View(vec![0, 5]));
+    }
+
+    #[test]
+    fn entry_precedence() {
+        let a: Entry<u8, u8> = complete(0, 0, 5, 1, 1);
+        let b: Entry<u8, u8> = complete(1, 6, 9, 2, 2);
+        let p: Entry<u8, u8> = pending(2, 1, 3);
+        assert!(a.precedes(&b));
+        assert!(!b.precedes(&a));
+        assert!(!p.precedes(&b));
+        assert!(!a.precedes(&p) || p.invoked_at > 5);
+    }
+
+    #[test]
+    fn history_conversion_round_trips() {
+        use gqs_simnet::{OpId, SimTime};
+        let mut h: History<u8, u8> = History::new();
+        h.record_invocation(OpId(0), ProcessId(1), 42, SimTime(3));
+        h.record_completion(OpId(0), SimTime(9), 7);
+        h.record_invocation(OpId(1), ProcessId(0), 43, SimTime(5));
+        let es = entries_from_history(&h);
+        assert_eq!(es.len(), 2);
+        assert_eq!(es[0].op, 42);
+        assert_eq!(es[0].resp, Some(7));
+        assert_eq!(es[0].completed_at, Some(9));
+        assert!(es[1].resp.is_none());
+    }
+}

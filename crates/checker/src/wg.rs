@@ -1,0 +1,258 @@
+//! A Wing–Gong linearizability checker.
+//!
+//! Black-box: given a concurrent history (operation intervals with observed
+//! responses) and a [`SequentialSpec`], decides whether some linearization
+//! exists — a total order of all complete operations (plus any subset of
+//! pending ones) that respects real-time precedence and the sequential
+//! semantics.
+//!
+//! The search is the classical backtracking of Wing & Gong with the
+//! memoization of Lowe's refinement: a set of `(linearized-set, state)`
+//! configurations already proven dead. Exponential in the worst case;
+//! intended for the moderate histories the simulator produces in tests
+//! (≤ [`MAX_OPS`] operations).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use crate::spec::{Entry, SequentialSpec};
+
+/// Maximum history size accepted by the checker (bitmask-based memo).
+pub const MAX_OPS: usize = 128;
+
+/// The verdict of a linearizability check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// A valid linearization exists.
+    Linearizable,
+    /// No linearization exists; the history violates atomicity.
+    NotLinearizable,
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Linearizable`].
+    pub fn is_ok(&self) -> bool {
+        *self == Verdict::Linearizable
+    }
+}
+
+/// Checks linearizability of `history` against `spec`.
+///
+/// Complete operations must all be linearized with their observed
+/// responses; pending operations may be linearized (taking effect with any
+/// response) or dropped — the standard completion-extension semantics.
+///
+/// # Panics
+///
+/// Panics if the history exceeds [`MAX_OPS`] operations or a complete
+/// entry lacks a response.
+pub fn check_linearizable<S: SequentialSpec>(spec: &S, history: &[Entry<S::Op, S::Resp>]) -> Verdict {
+    assert!(history.len() <= MAX_OPS, "history too large for the WG checker");
+    for e in history {
+        assert!(
+            e.completed_at.is_none() || e.resp.is_some(),
+            "complete entries must carry their observed response"
+        );
+    }
+    let n = history.len();
+    // precedes[i] = bitmask of ops that must be linearized before i may be.
+    let mut preceded_by: Vec<u128> = vec![0; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && history[j].precedes(&history[i]) {
+                preceded_by[i] |= 1u128 << j;
+            }
+        }
+    }
+    let complete_mask: u128 = history
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.is_complete())
+        .fold(0, |m, (i, _)| m | (1u128 << i));
+
+    let mut failed: HashSet<(u128, S::State)> = HashSet::new();
+    let initial = spec.initial();
+    if search(spec, history, &preceded_by, complete_mask, 0, &initial, &mut failed) {
+        Verdict::Linearizable
+    } else {
+        Verdict::NotLinearizable
+    }
+}
+
+fn search<S: SequentialSpec>(
+    spec: &S,
+    history: &[Entry<S::Op, S::Resp>],
+    preceded_by: &[u128],
+    complete_mask: u128,
+    done: u128,
+    state: &S::State,
+    failed: &mut HashSet<(u128, S::State)>,
+) -> bool
+where
+    S::State: Clone + Eq + Hash,
+{
+    if done & complete_mask == complete_mask {
+        return true;
+    }
+    if failed.contains(&(done, state.clone())) {
+        return false;
+    }
+    for i in 0..history.len() {
+        let bit = 1u128 << i;
+        if done & bit != 0 {
+            continue;
+        }
+        // All complete predecessors must already be linearized.
+        if preceded_by[i] & complete_mask & !done != 0 {
+            continue;
+        }
+        let entry = &history[i];
+        let (next_state, resp) = spec.apply(state, &entry.op);
+        if entry.is_complete() {
+            let observed = entry.resp.as_ref().expect("checked in check_linearizable");
+            if resp != *observed {
+                continue;
+            }
+        }
+        // Pending ops may take effect with any response.
+        if search(spec, history, preceded_by, complete_mask, done | bit, &next_state, failed) {
+            return true;
+        }
+    }
+    failed.insert((done, state.clone()));
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{complete, pending, RegisterOp, RegisterResp, RegisterSpec, SnapshotOp, SnapshotResp, SnapshotSpec};
+
+    type E = Entry<RegisterOp<u64>, RegisterResp<u64>>;
+
+    fn w(p: usize, inv: u64, done: u64, v: u64) -> E {
+        complete(p, inv, done, RegisterOp::Write(v), RegisterResp::Ack)
+    }
+    fn r(p: usize, inv: u64, done: u64, v: u64) -> E {
+        complete(p, inv, done, RegisterOp::Read, RegisterResp::Value(v))
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let spec = RegisterSpec::new(0u64);
+        assert!(check_linearizable(&spec, &[]).is_ok());
+    }
+
+    #[test]
+    fn sequential_history_checks() {
+        let spec = RegisterSpec::new(0u64);
+        let h = vec![w(0, 0, 1, 5), r(1, 2, 3, 5), w(0, 4, 5, 6), r(1, 6, 7, 6)];
+        assert!(check_linearizable(&spec, &h).is_ok());
+    }
+
+    #[test]
+    fn stale_read_rejected() {
+        let spec = RegisterSpec::new(0u64);
+        // Write completes, then a later read returns the initial value.
+        let h = vec![w(0, 0, 1, 5), r(1, 2, 3, 0)];
+        assert!(!check_linearizable(&spec, &h).is_ok());
+    }
+
+    #[test]
+    fn concurrent_read_may_see_old_or_new() {
+        let spec = RegisterSpec::new(0u64);
+        // Read overlaps the write: both outcomes linearize.
+        let h_old = vec![w(0, 0, 10, 5), r(1, 1, 2, 0)];
+        let h_new = vec![w(0, 0, 10, 5), r(1, 1, 2, 5)];
+        assert!(check_linearizable(&spec, &h_old).is_ok());
+        assert!(check_linearizable(&spec, &h_new).is_ok());
+    }
+
+    #[test]
+    fn new_old_inversion_rejected() {
+        let spec = RegisterSpec::new(0u64);
+        // Classic atomicity violation: sequential reads see new then old.
+        let h = vec![
+            w(0, 0, 100, 5), // concurrent with both reads
+            r(1, 1, 2, 5),   // sees new
+            r(1, 3, 4, 0),   // then sees old — not atomic
+        ];
+        assert!(!check_linearizable(&spec, &h).is_ok());
+    }
+
+    #[test]
+    fn pending_write_may_take_effect() {
+        let spec = RegisterSpec::new(0u64);
+        let h = vec![pending(0, 0, RegisterOp::Write(5)), r(1, 1, 2, 5)];
+        assert!(check_linearizable(&spec, &h).is_ok());
+    }
+
+    #[test]
+    fn pending_write_may_be_dropped() {
+        let spec = RegisterSpec::new(0u64);
+        let h = vec![pending(0, 0, RegisterOp::Write(5)), r(1, 1, 2, 0)];
+        assert!(check_linearizable(&spec, &h).is_ok());
+    }
+
+    #[test]
+    fn read_of_never_written_value_rejected() {
+        let spec = RegisterSpec::new(0u64);
+        let h = vec![w(0, 0, 1, 5), r(1, 2, 3, 99)];
+        assert!(!check_linearizable(&spec, &h).is_ok());
+    }
+
+    #[test]
+    fn real_time_order_between_writes_respected() {
+        let spec = RegisterSpec::new(0u64);
+        // w(5) then w(6) sequentially; read after both must not see 5 ...
+        // unless it could be ordered between them — it can't, it starts
+        // after w(6) completes.
+        let h = vec![w(0, 0, 1, 5), w(0, 2, 3, 6), r(1, 4, 5, 5)];
+        assert!(!check_linearizable(&spec, &h).is_ok());
+    }
+
+    #[test]
+    fn interleaved_writers_readers_linearizable() {
+        let spec = RegisterSpec::new(0u64);
+        let h = vec![
+            w(0, 0, 10, 1),
+            w(1, 5, 15, 2),
+            r(2, 8, 12, 1),
+            r(3, 11, 20, 2),
+            r(2, 16, 22, 2),
+        ];
+        assert!(check_linearizable(&spec, &h).is_ok());
+    }
+
+    #[test]
+    fn snapshot_scan_consistency() {
+        let spec = SnapshotSpec::new(vec![0u64; 2]);
+        let u = |p: usize, inv, done, seg, v| {
+            complete(p, inv, done, SnapshotOp::Update { segment: seg, value: v }, SnapshotResp::Ack)
+        };
+        let s = |p: usize, inv, done, view: Vec<u64>| {
+            complete(p, inv, done, SnapshotOp::Scan, SnapshotResp::View(view))
+        };
+        let ok = vec![u(0, 0, 1, 0, 7), s(1, 2, 3, vec![7, 0])];
+        assert!(check_linearizable(&spec, &ok).is_ok());
+        let stale = vec![u(0, 0, 1, 0, 7), s(1, 2, 3, vec![0, 0])];
+        assert!(!check_linearizable(&spec, &stale).is_ok());
+        // Torn scan: sees segment 1's later write but misses segment 0's
+        // earlier one — no linearization point exists.
+        let torn = vec![
+            u(0, 0, 1, 0, 7),
+            u(1, 2, 3, 1, 8),
+            s(2, 4, 5, vec![0, 8]),
+        ];
+        assert!(!check_linearizable(&spec, &torn).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "observed response")]
+    fn complete_entry_without_response_panics() {
+        let spec = RegisterSpec::new(0u64);
+        let mut e = w(0, 0, 1, 5);
+        e.resp = None;
+        let _ = check_linearizable(&spec, &[e]);
+    }
+}

@@ -1,0 +1,175 @@
+//! The view synchronizer of §7.
+//!
+//! The consensus protocol works in views with round-robin leaders.
+//! Processes never exchange messages to synchronize views; instead each
+//! process spends time `v · C` in view `v`, for an arbitrary constant `C`.
+//! Because the per-view duration grows without bound while clock skews
+//! stay bounded after GST, all correct processes eventually overlap in
+//! every view for an arbitrarily long time (Proposition 2) — long enough
+//! for a correct, well-connected leader to drive a decision.
+
+use gqs_core::ProcessId;
+use gqs_simnet::{Context, SimTime, TimerId};
+
+/// Timer id used by the synchronizer.
+pub const VIEW_TIMER: TimerId = TimerId(1);
+
+/// The round-robin leader of view `v` among `n` processes:
+/// `leader(v) = p_{((v−1) mod n)+1}` in the paper's 1-based numbering.
+pub fn leader_of(view: u64, n: usize) -> ProcessId {
+    ProcessId(((view - 1) % n as u64) as usize)
+}
+
+/// Tracks the current view and its timer; records entry times so that
+/// Proposition 2 (growing overlaps) can be measured.
+#[derive(Clone, Debug)]
+pub struct ViewSynchronizer {
+    view: u64,
+    c: u64,
+    entries: Vec<(u64, SimTime)>,
+}
+
+impl ViewSynchronizer {
+    /// Creates a synchronizer with per-view duration constant `C`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == 0` (views must take time).
+    pub fn new(c: u64) -> Self {
+        assert!(c > 0, "the view duration constant must be positive");
+        ViewSynchronizer { view: 0, c, entries: Vec::new() }
+    }
+
+    /// The current view (0 before startup).
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// The leader of the current view.
+    ///
+    /// # Panics
+    ///
+    /// Panics before the first view is entered.
+    pub fn leader(&self, n: usize) -> ProcessId {
+        assert!(self.view > 0, "no view entered yet");
+        leader_of(self.view, n)
+    }
+
+    /// Enters the next view and arms its timer (the paper's lines 27–29).
+    /// Returns the new view number.
+    pub fn advance<M, R>(&mut self, ctx: &mut Context<M, R>) -> u64 {
+        self.view += 1;
+        self.entries.push((self.view, ctx.now()));
+        ctx.set_timer(VIEW_TIMER, self.view * self.c);
+        self.view
+    }
+
+    /// Handles a timer: returns the new view if it was the view timer.
+    pub fn on_timer<M, R>(&mut self, id: TimerId, ctx: &mut Context<M, R>) -> Option<u64> {
+        (id == VIEW_TIMER).then(|| self.advance(ctx))
+    }
+
+    /// `(view, entry time)` pairs recorded so far — the raw data of the
+    /// Proposition 2 experiment.
+    pub fn entries(&self) -> &[(u64, SimTime)] {
+        &self.entries
+    }
+}
+
+/// Computes, from per-process view-entry logs, the overlap length of each
+/// view: the span between the latest entry and the earliest exit among
+/// the given processes (0 if they never all meet in the view).
+///
+/// This is the measurement backing Proposition 2: for every duration `d`
+/// there is a view `V` after which every view's overlap exceeds `d`.
+pub fn view_overlaps(logs: &[&[(u64, SimTime)]], c: u64) -> Vec<(u64, u64)> {
+    let max_view = logs.iter().filter_map(|l| l.last().map(|(v, _)| *v)).min().unwrap_or(0);
+    let mut out = Vec::new();
+    for v in 1..=max_view {
+        let mut latest_entry = SimTime::ZERO;
+        let mut earliest_exit = SimTime::MAX;
+        let mut present = true;
+        for log in logs {
+            match log.iter().find(|(lv, _)| *lv == v) {
+                Some((_, t)) => {
+                    latest_entry = latest_entry.max(*t);
+                    // Exit = entry of the next view if recorded, else the
+                    // nominal duration.
+                    let exit = log
+                        .iter()
+                        .find(|(lv, _)| *lv == v + 1)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(*t + v * c);
+                    earliest_exit = earliest_exit.min(exit);
+                }
+                None => present = false,
+            }
+        }
+        let overlap =
+            if present && earliest_exit > latest_entry { earliest_exit - latest_entry } else { 0 };
+        out.push((v, overlap));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotation() {
+        assert_eq!(leader_of(1, 4), ProcessId(0));
+        assert_eq!(leader_of(2, 4), ProcessId(1));
+        assert_eq!(leader_of(4, 4), ProcessId(3));
+        assert_eq!(leader_of(5, 4), ProcessId(0)); // wraps
+    }
+
+    #[test]
+    fn advance_grows_views_and_arms_growing_timers() {
+        let mut s = ViewSynchronizer::new(10);
+        let mut ctx: Context<(), ()> = Context::new(ProcessId(0), 3, SimTime(0));
+        assert_eq!(s.advance(&mut ctx), 1);
+        assert_eq!(s.advance(&mut ctx), 2);
+        assert_eq!(s.view(), 2);
+        assert_eq!(s.leader(3), ProcessId(1));
+        let effects = ctx.take_effects();
+        // Timer durations 10, 20.
+        match (&effects[0], &effects[1]) {
+            (
+                gqs_simnet::Effect::SetTimer { after: a1, .. },
+                gqs_simnet::Effect::SetTimer { after: a2, .. },
+            ) => {
+                assert_eq!((*a1, *a2), (10, 20));
+            }
+            other => panic!("expected two timers, got {other:?}"),
+        }
+        assert_eq!(s.entries().len(), 2);
+    }
+
+    #[test]
+    fn on_timer_ignores_foreign_timers() {
+        let mut s = ViewSynchronizer::new(5);
+        let mut ctx: Context<(), ()> = Context::new(ProcessId(0), 3, SimTime(0));
+        assert_eq!(s.on_timer(TimerId(9), &mut ctx), None);
+        assert_eq!(s.on_timer(VIEW_TIMER, &mut ctx), Some(1));
+    }
+
+    #[test]
+    fn overlap_math() {
+        // Two processes, C = 10. P0 enters v1 at 0, v2 at 10; P1 enters v1
+        // at 4, v2 at 14: overlap of v1 = 10 - 4 = 6.
+        let l0 = [(1u64, SimTime(0)), (2, SimTime(10))];
+        let l1 = [(1u64, SimTime(4)), (2, SimTime(14))];
+        let o = view_overlaps(&[&l0, &l1], 10);
+        assert_eq!(o[0], (1, 6));
+        // v2 exits are extrapolated: entries 10 and 14, duration 20:
+        // overlap = (10+20) - 14 = 16.
+        assert_eq!(o[1], (2, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_c_rejected() {
+        let _ = ViewSynchronizer::new(0);
+    }
+}

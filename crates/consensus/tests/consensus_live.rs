@@ -1,0 +1,257 @@
+//! End-to-end consensus tests over Figure 1: Agreement and Validity
+//! always; termination within `U_f` after GST (Theorem 5); the pull-Paxos
+//! baseline stalling under `f1` (the E12 separation); Proposition 2's
+//! growing view overlaps.
+
+use gqs_checker::{check_consensus, ConsensusOutcome};
+use gqs_consensus::{gqs_consensus_nodes, view_overlaps, ConsensusNode, ProposalMode};
+use gqs_core::systems::figure1;
+use gqs_core::ProcessId;
+use gqs_simnet::{
+    DelayModel, FailureSchedule, Flood, SimConfig, SimTime, Simulation, StopReason,
+};
+
+fn ps_config(seed: u64, gst: u64, delta: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        delay: DelayModel::PartialSynchrony { pre_min: 1, pre_max: 60, gst, delta },
+        horizon: SimTime(3_000_000),
+        ..SimConfig::default()
+    }
+}
+
+fn outcomes(sim: &Simulation<Flood<ConsensusNode<u64>>>) -> Vec<ConsensusOutcome<u64>> {
+    sim.history()
+        .ops()
+        .iter()
+        .map(|r| ConsensusOutcome {
+            process: r.process,
+            proposed: r.op,
+            decided: r.resp().copied(),
+        })
+        .collect()
+}
+
+#[test]
+fn decides_within_u_f_under_every_pattern() {
+    let fig = figure1();
+    for i in 0..4 {
+        let u_f = fig.gqs.u_f(i);
+        let nodes = gqs_consensus_nodes::<u64>(&fig.gqs, 150, ProposalMode::Push);
+        let mut sim = Simulation::new(ps_config(40 + i as u64, 400, 5), nodes);
+        sim.apply_failures(&FailureSchedule::from_pattern_at(
+            fig.fail_prone.pattern(i),
+            SimTime(0),
+        ));
+        let members: Vec<ProcessId> = u_f.iter().collect();
+        sim.invoke_at(SimTime(10), members[0], 100 + i as u64);
+        sim.invoke_at(SimTime(20), members[1], 200 + i as u64);
+        let reason = sim.run_until_ops_complete();
+        assert_eq!(reason, StopReason::OpsComplete, "pattern f{} did not decide", i + 1);
+        let outs = outcomes(&sim);
+        check_consensus(&outs).expect("agreement/validity violated");
+        // Both proposers decided the same value.
+        let d0 = outs[0].decided.unwrap();
+        let d1 = outs[1].decided.unwrap();
+        assert_eq!(d0, d1);
+    }
+}
+
+#[test]
+fn isolated_proposer_never_decides_but_safety_holds() {
+    let fig = figure1();
+    let nodes = gqs_consensus_nodes::<u64>(&fig.gqs, 150, ProposalMode::Push);
+    let cfg = SimConfig { horizon: SimTime(400_000), ..ps_config(5, 400, 5) };
+    let mut sim = Simulation::new(cfg, nodes);
+    sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
+    sim.invoke_at(SimTime(10), ProcessId(0), 1); // a ∈ U_f1
+    sim.invoke_at(SimTime(10), ProcessId(2), 9); // c isolated
+    sim.run();
+    let outs = outcomes(&sim);
+    assert!(outs[0].decided.is_some(), "a must decide");
+    assert!(outs[1].decided.is_none(), "c can never learn a decision");
+    check_consensus(&outs).expect("safety");
+}
+
+/// E12: the pull-based baseline (classical 1A prepare round) cannot
+/// assemble a read quorum under f1 — c never receives the 1A and d is
+/// crashed, so neither {a,c} nor {b,d} ever responds in full.
+#[test]
+fn pull_paxos_stalls_where_push_decides() {
+    let fig = figure1();
+    // Push decides (sanity, smaller horizon).
+    let nodes = gqs_consensus_nodes::<u64>(&fig.gqs, 150, ProposalMode::Push);
+    let mut sim = Simulation::new(ps_config(6, 400, 5), nodes);
+    sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
+    sim.invoke_at(SimTime(10), ProcessId(0), 7);
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+
+    // Pull stalls on the same workload.
+    let nodes = gqs_consensus_nodes::<u64>(&fig.gqs, 150, ProposalMode::Pull);
+    let cfg = SimConfig { horizon: SimTime(500_000), ..ps_config(6, 400, 5) };
+    let mut sim = Simulation::new(cfg, nodes);
+    sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
+    sim.invoke_at(SimTime(10), ProcessId(0), 7);
+    sim.run();
+    assert!(
+        sim.history().ops()[0].resp().is_none(),
+        "pull-Paxos must stall under f1's connectivity"
+    );
+    let outs = outcomes(&sim);
+    check_consensus(&outs).expect("stalling must still be safe");
+}
+
+/// Failure-free pull-Paxos works (the baseline is correct where its
+/// connectivity assumptions hold).
+#[test]
+fn pull_paxos_decides_without_failures() {
+    let fig = figure1();
+    let nodes = gqs_consensus_nodes::<u64>(&fig.gqs, 150, ProposalMode::Pull);
+    let mut sim = Simulation::new(ps_config(8, 300, 5), nodes);
+    sim.invoke_at(SimTime(10), ProcessId(0), 7);
+    sim.invoke_at(SimTime(15), ProcessId(3), 8);
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+    check_consensus(&outcomes(&sim)).expect("safety");
+}
+
+/// Proposals arriving before GST must still decide once the network
+/// stabilizes, and never disagree across seeds.
+#[test]
+fn decisions_survive_chaotic_pre_gst_period() {
+    let fig = figure1();
+    for seed in 0..5u64 {
+        let nodes = gqs_consensus_nodes::<u64>(&fig.gqs, 120, ProposalMode::Push);
+        let mut sim = Simulation::new(ps_config(seed, 2_000, 6), nodes);
+        sim.apply_failures(&FailureSchedule::from_pattern_at(
+            fig.fail_prone.pattern(0),
+            SimTime(0),
+        ));
+        sim.invoke_at(SimTime(5), ProcessId(0), seed * 10 + 1);
+        sim.invoke_at(SimTime(7), ProcessId(1), seed * 10 + 2);
+        let reason = sim.run_until_ops_complete();
+        assert_eq!(reason, StopReason::OpsComplete, "seed {seed}");
+        check_consensus(&outcomes(&sim)).expect("safety");
+    }
+}
+
+/// Proposition 2 measured: with drifting pre-GST clocks, view overlaps
+/// grow without bound, and every sufficiently late view overlaps for
+/// longer than any fixed d.
+#[test]
+fn view_overlaps_grow() {
+    let fig = figure1();
+    let nodes = gqs_consensus_nodes::<u64>(&fig.gqs, 50, ProposalMode::Push);
+    let cfg = SimConfig {
+        timer_drift_max: 3.0,
+        horizon: SimTime(60_000),
+        ..ps_config(3, 5_000, 5)
+    };
+    let mut sim = Simulation::new(cfg, nodes);
+    sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
+    sim.run();
+    // Correct processes under f1: a, b, c.
+    let logs: Vec<&[(u64, SimTime)]> = [0usize, 1, 2]
+        .iter()
+        .map(|p| sim.node(ProcessId(*p)).inner().view_entries())
+        .collect();
+    let overlaps = view_overlaps(&logs, 50);
+    assert!(overlaps.len() >= 10, "expected many views, got {}", overlaps.len());
+    // Proposition 2: for any d there is a view V such that EVERY view
+    // v >= V overlaps for at least d. Pre-GST views may regress (clock
+    // drift accumulates), so only a suffix is promised.
+    let d = 120; // exceed 2 view-lengths of drift noise
+    let last_bad = overlaps.iter().rposition(|(_, o)| *o < d);
+    let suffix_start = last_bad.map(|i| i + 1).unwrap_or(0);
+    assert!(
+        overlaps.len() - suffix_start >= 5,
+        "expected a suffix of >= 5 views overlapping by {d}; overlaps: {overlaps:?}"
+    );
+    // And overlaps in the suffix grow with the view number overall.
+    let (_, first_o) = overlaps[suffix_start];
+    let (_, last_o) = *overlaps.last().unwrap();
+    assert!(last_o > first_o, "overlap should grow with the view length");
+}
+
+/// Decisions propagate to every U_f member, not just the proposer: 2Bs
+/// are broadcast, so anyone strongly connected to the write quorum learns
+/// the decision and can answer late proposals instantly.
+#[test]
+fn all_u_f_members_learn_the_decision() {
+    let fig = figure1();
+    let nodes = gqs_consensus_nodes::<u64>(&fig.gqs, 150, ProposalMode::Push);
+    let mut sim = Simulation::new(ps_config(21, 400, 5), nodes);
+    sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
+    sim.invoke_at(SimTime(10), ProcessId(0), 42); // only a proposes
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+    // Let the 2Bs settle at b as well.
+    let target = sim.now() + 5_000;
+    sim.run_until(target);
+    let da = sim.node(ProcessId(0)).inner().decision().map(|(v, _, _)| *v);
+    let db = sim.node(ProcessId(1)).inner().decision().map(|(v, _, _)| *v);
+    assert_eq!(da, Some(42));
+    assert_eq!(db, Some(42), "b ∈ U_f1 must learn the decision");
+    // A late proposal at b completes immediately from the latched decision.
+    sim.invoke_at(sim.now() + 1, ProcessId(1), 99);
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+    let late = sim.history().ops().last().unwrap();
+    assert_eq!(late.resp(), Some(&42));
+}
+
+/// A proposal from the isolated process c never wins: c's value can only
+/// enter through a view led by c, and c can never assemble a read quorum.
+/// Validity still holds — the decision is a's or b's value.
+#[test]
+fn isolated_proposals_never_win() {
+    let fig = figure1();
+    for seed in [31u64, 32, 33] {
+        let nodes = gqs_consensus_nodes::<u64>(&fig.gqs, 150, ProposalMode::Push);
+        let mut sim = Simulation::new(ps_config(seed, 400, 5), nodes);
+        sim.apply_failures(&FailureSchedule::from_pattern_at(
+            fig.fail_prone.pattern(0),
+            SimTime(0),
+        ));
+        sim.invoke_at(SimTime(10), ProcessId(0), 1);
+        sim.invoke_at(SimTime(11), ProcessId(1), 2);
+        sim.invoke_at(SimTime(12), ProcessId(2), 666); // c, isolated
+        sim.run();
+        let outs = outcomes(&sim);
+        check_consensus(&outs).expect("safety");
+        for o in &outs {
+            if let Some(d) = o.decided {
+                assert_ne!(d, 666, "the isolated proposal must not be decided (seed {seed})");
+            }
+        }
+        assert!(outs[0].decided.is_some() && outs[1].decided.is_some());
+        assert!(outs[2].decided.is_none());
+    }
+}
+
+/// Randomized sweep: staggered mid-run failures, two proposers, many
+/// seeds. Agreement and Validity must hold in every run; termination is
+/// not asserted (failures may race proposals).
+#[test]
+fn randomized_agreement_sweep() {
+    use gqs_simnet::SplitMix64;
+    let fig = figure1();
+    for seed in 0..10u64 {
+        let nodes = gqs_consensus_nodes::<u64>(&fig.gqs, 120, ProposalMode::Push);
+        let cfg = SimConfig { horizon: SimTime(500_000), ..ps_config(100 + seed, 600, 8) };
+        let mut sim = Simulation::new(cfg, nodes);
+        let mut rng = SplitMix64::new(seed);
+        let pattern = (seed % 4) as usize;
+        sim.apply_failures(&FailureSchedule::staggered(
+            fig.fail_prone.pattern(pattern),
+            &mut rng,
+            0,
+            2_000,
+        ));
+        sim.invoke_at(SimTime(rng.range(1, 500)), ProcessId((seed % 4) as usize), seed * 2 + 1);
+        sim.invoke_at(
+            SimTime(rng.range(1, 500)),
+            ProcessId(((seed + 1) % 4) as usize),
+            seed * 2 + 2,
+        );
+        sim.run();
+        check_consensus(&outcomes(&sim)).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}

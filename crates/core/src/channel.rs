@@ -1,0 +1,111 @@
+//! Unidirectional communication channels.
+//!
+//! The model (§2 of the paper) provides, for every ordered pair of distinct
+//! processes `(p, q)`, a unidirectional channel carrying messages from `p`
+//! to `q`. A channel is *correct* (reliable) or *faulty* (from some point on
+//! it drops every message sent through it — a *disconnection*).
+
+use std::fmt;
+
+use crate::process::ProcessId;
+
+/// A unidirectional channel from one process to another.
+///
+/// # Examples
+///
+/// ```
+/// use gqs_core::{Channel, ProcessId};
+/// let ch = Channel::new(ProcessId(2), ProcessId(0));
+/// assert_eq!(ch.to_string(), "(c,a)");
+/// assert_eq!(ch.reverse(), Channel::new(ProcessId(0), ProcessId(2)));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Channel {
+    /// Sending endpoint.
+    pub from: ProcessId,
+    /// Receiving endpoint.
+    pub to: ProcessId,
+}
+
+impl Channel {
+    /// Creates the channel `(from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to`: the model has no self-channels (a process
+    /// can always talk to itself).
+    pub fn new(from: ProcessId, to: ProcessId) -> Self {
+        assert!(from != to, "self-channels do not exist in the model");
+        Channel { from, to }
+    }
+
+    /// The channel in the opposite direction.
+    #[must_use]
+    pub fn reverse(self) -> Self {
+        Channel { from: self.to, to: self.from }
+    }
+
+    /// Whether either endpoint is in `set`.
+    pub fn touches(self, set: crate::ProcessSet) -> bool {
+        set.contains(self.from) || set.contains(self.to)
+    }
+}
+
+impl From<(usize, usize)> for Channel {
+    fn from((from, to): (usize, usize)) -> Self {
+        Channel::new(ProcessId(from), ProcessId(to))
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.from, self.to)
+    }
+}
+
+/// Convenience constructor: `chan!(0, 1)` is the channel from process 0 to 1.
+#[macro_export]
+macro_rules! chan {
+    ($from:expr, $to:expr) => {
+        $crate::Channel::new($crate::ProcessId($from), $crate::ProcessId($to))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pset;
+
+    #[test]
+    fn construction_and_display() {
+        let ch = chan!(0, 1);
+        assert_eq!(ch.from, ProcessId(0));
+        assert_eq!(ch.to, ProcessId(1));
+        assert_eq!(ch.to_string(), "(a,b)");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-channels")]
+    fn self_channel_rejected() {
+        let _ = chan!(3, 3);
+    }
+
+    #[test]
+    fn reverse_swaps_endpoints() {
+        assert_eq!(chan!(0, 1).reverse(), chan!(1, 0));
+    }
+
+    #[test]
+    fn touches_checks_both_endpoints() {
+        let ch = chan!(0, 1);
+        assert!(ch.touches(pset![0]));
+        assert!(ch.touches(pset![1, 5]));
+        assert!(!ch.touches(pset![2, 3]));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let ch: Channel = (2, 4).into();
+        assert_eq!(ch, chan!(2, 4));
+    }
+}

@@ -1,0 +1,576 @@
+//! Decision procedures: does a fail-prone system admit a generalized
+//! quorum system (Theorem 2's condition), a `QS+`, or a classical quorum
+//! system?
+//!
+//! # Completeness of the search
+//!
+//! For each failure pattern `f`, any write quorum validating Availability
+//! is an `f`-available set, hence contained in some strongly connected
+//! component `S_f` of `G \ f`; and any read quorum from which it is
+//! reachable is contained in `reach(S_f) = { q : q reaches S_f }`. Replacing
+//! the original quorums by these *maximal* candidates only inflates every
+//! pairwise intersection, so:
+//!
+//! > A GQS exists **iff** one can choose, for every pattern `f`, one SCC
+//! > `S_f` of `G \ f` such that `reach(S_f) ∩ S_g ≠ ∅` for all patterns
+//! > `f, g`.
+//!
+//! This reduces existence to a finite constraint-satisfaction problem over
+//! one SCC choice per pattern, solved below by backtracking with pairwise
+//! pruning. The same argument with `R_f = W_f = S_f` settles `QS+`
+//! existence, and with `R_f = W_f = correct(f)` the classical case.
+
+use crate::failure::FailProneSystem;
+use crate::graph::NetworkGraph;
+use crate::process::ProcessSet;
+use crate::quorum::{GeneralizedQuorumSystem, QsPlus, QuorumFamily};
+
+/// One candidate per failure pattern: a strongly connected component used
+/// as write quorum, and the maximal read quorum that reaches it.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+struct Candidate {
+    /// The SCC, used as the write quorum.
+    write: ProcessSet,
+    /// All correct processes that reach every member of the SCC
+    /// (superset of the SCC itself).
+    read: ProcessSet,
+}
+
+/// The result of a successful GQS search: the chosen quorums, pattern by
+/// pattern, and the assembled (validated) quorum system.
+#[derive(Clone, Debug)]
+pub struct GqsWitness {
+    /// For each pattern index, the chosen `(R_f, W_f)`.
+    pub per_pattern: Vec<(ProcessSet, ProcessSet)>,
+    /// The validated generalized quorum system built from the choices.
+    pub system: GeneralizedQuorumSystem,
+}
+
+/// Decides whether `(graph, fail_prone)` admits a generalized quorum
+/// system, returning a witness if so.
+///
+/// The search is exact (sound and complete — see the module docs), so a
+/// `None` answer certifies, by Theorem 2, that **no** obstruction-free
+/// implementation of registers, snapshots or lattice agreement exists for
+/// this fail-prone system, anywhere.
+///
+/// # Examples
+///
+/// ```
+/// use gqs_core::systems::figure1;
+/// use gqs_core::finder::find_gqs;
+/// let fig = figure1();
+/// assert!(find_gqs(&fig.graph, &fig.fail_prone).is_some());
+/// ```
+pub fn find_gqs(graph: &NetworkGraph, fail_prone: &FailProneSystem) -> Option<GqsWitness> {
+    let candidates = candidates_per_pattern(graph, fail_prone);
+    let choice = solve(&candidates)?;
+    let per_pattern: Vec<(ProcessSet, ProcessSet)> = choice
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (candidates[i][c].read, candidates[i][c].write))
+        .collect();
+    let mut reads: Vec<ProcessSet> = per_pattern.iter().map(|(r, _)| *r).collect();
+    let mut writes: Vec<ProcessSet> = per_pattern.iter().map(|(_, w)| *w).collect();
+    reads.sort_unstable();
+    reads.dedup();
+    writes.sort_unstable();
+    writes.dedup();
+    let system = GeneralizedQuorumSystem::new(
+        graph.clone(),
+        fail_prone.clone(),
+        QuorumFamily::explicit(reads).expect("nonempty by construction"),
+        QuorumFamily::explicit(writes).expect("nonempty by construction"),
+    )
+    .expect("the solver's pairwise checks imply validity");
+    Some(GqsWitness { per_pattern, system })
+}
+
+/// Decides GQS existence without building the witness (slightly cheaper;
+/// used in sweeps).
+pub fn gqs_exists(graph: &NetworkGraph, fail_prone: &FailProneSystem) -> bool {
+    let candidates = candidates_per_pattern(graph, fail_prone);
+    solve(&candidates).is_some()
+}
+
+/// Decides whether `(graph, fail_prone)` admits a `QS+` (the §1 strawman:
+/// available read and write quorums strongly connected together), returning
+/// the per-pattern SCC choices if so.
+///
+/// Since any `QS+` witness has `R_f ∪ W_f` inside one SCC `S_f`, and
+/// enlarging both to `S_f` preserves Consistency and Availability, `QS+`
+/// exists iff one SCC per pattern can be chosen with pairwise
+/// intersections.
+pub fn find_qs_plus(graph: &NetworkGraph, fail_prone: &FailProneSystem) -> Option<QsPlus> {
+    let candidates: Vec<Vec<Candidate>> = fail_prone
+        .patterns()
+        .map(|f| {
+            graph
+                .residual(f)
+                .sccs()
+                .into_iter()
+                .map(|scc| Candidate { write: scc, read: scc })
+                .collect()
+        })
+        .collect();
+    let choice = solve(&candidates)?;
+    let mut quorums: Vec<ProcessSet> = choice
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| candidates[i][c].write)
+        .collect();
+    quorums.sort_unstable();
+    quorums.dedup();
+    let family = QuorumFamily::explicit(quorums).expect("nonempty");
+    Some(
+        QsPlus::new(graph.clone(), fail_prone.clone(), family.clone(), family)
+            .expect("solver guarantees validity"),
+    )
+}
+
+/// Decides `QS+` existence without building the witness.
+pub fn qs_plus_exists(graph: &NetworkGraph, fail_prone: &FailProneSystem) -> bool {
+    find_qs_plus(graph, fail_prone).is_some()
+}
+
+/// Decides whether a **crash-only** fail-prone system admits a classical
+/// quorum system (Definition 1): taking maximal correct sets as quorums,
+/// this holds iff no two patterns jointly cover all processes.
+///
+/// Returns `None` if the system allows channel failures (Definition 1 does
+/// not apply), `Some(bool)` otherwise.
+pub fn classical_qs_exists(fail_prone: &FailProneSystem) -> Option<bool> {
+    if !fail_prone.is_crash_only() {
+        return None;
+    }
+    let n = fail_prone.universe();
+    let correct: Vec<ProcessSet> = fail_prone.patterns().map(|f| f.correct()).collect();
+    for r in &correct {
+        for w in &correct {
+            if r.is_disjoint(*w) {
+                return Some(false);
+            }
+        }
+        if r.is_empty() {
+            return Some(false);
+        }
+    }
+    // An empty fail-prone system imposes no constraints; quorums must still
+    // be nonempty, which full(n) satisfies.
+    let _ = n;
+    Some(true)
+}
+
+/// Searches for a **threshold** generalized quorum system: reads = all
+/// sets of at least `r` processes, writes = all sets of at least `w`,
+/// with `r + w > n` for Consistency. Returns the first valid pair in
+/// order of growing `w` then `r` (small write quorums preferred, as in
+/// Example 6's trade-off).
+///
+/// Threshold families are attractive operationally (no explicit quorum
+/// lists), but strictly weaker than free-form families: some systems
+/// admit only irregular quorums. Figure 1, interestingly, admits the
+/// threshold pair `(r, w) = (3, 2)`.
+pub fn find_threshold_gqs(
+    graph: &NetworkGraph,
+    fail_prone: &FailProneSystem,
+) -> Option<GeneralizedQuorumSystem> {
+    let n = graph.len();
+    for w in 1..=n {
+        for r in (n + 1 - w).max(1)..=n {
+            let reads = QuorumFamily::threshold(n, r).expect("in range");
+            let writes = QuorumFamily::threshold(n, w).expect("in range");
+            if let Ok(sys) =
+                GeneralizedQuorumSystem::new(graph.clone(), fail_prone.clone(), reads, writes)
+            {
+                return Some(sys);
+            }
+        }
+    }
+    None
+}
+
+/// Why a fail-prone system admits no generalized quorum system.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Unsolvability {
+    /// A pattern leaves no correct process at all: no write quorum can
+    /// ever be available under it.
+    DeadPattern {
+        /// Index of the pattern.
+        pattern: usize,
+    },
+    /// Two patterns admit no pairwise-compatible quorum choice: under
+    /// `a`'s connectivity nothing can both reach `b`'s candidates and be
+    /// reached by them (a 2-pattern unsolvability core).
+    ConflictingPair {
+        /// Index of the first pattern.
+        a: usize,
+        /// Index of the second pattern.
+        b: usize,
+    },
+    /// Every pair is locally compatible but no global choice exists —
+    /// the conflict involves three or more patterns (Example 9's `F'` is
+    /// of this kind).
+    Global,
+}
+
+impl std::fmt::Display for Unsolvability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Unsolvability::DeadPattern { pattern } => {
+                write!(f, "pattern #{pattern} leaves no correct processes")
+            }
+            Unsolvability::ConflictingPair { a, b } => {
+                write!(f, "patterns #{a} and #{b} admit no compatible quorum choice")
+            }
+            Unsolvability::Global => {
+                write!(f, "no two patterns conflict alone; the obstruction involves ≥3 patterns")
+            }
+        }
+    }
+}
+
+/// Diagnoses why no GQS exists; returns `None` if one does.
+///
+/// The diagnosis is a coarse core: first a pattern with no candidates,
+/// then the first locally-inconsistent pair, otherwise a global verdict.
+pub fn explain_unsolvable(
+    graph: &NetworkGraph,
+    fail_prone: &FailProneSystem,
+) -> Option<Unsolvability> {
+    let candidates = candidates_per_pattern(graph, fail_prone);
+    if solve(&candidates).is_some() {
+        return None;
+    }
+    if let Some(i) = candidates.iter().position(|c| c.is_empty()) {
+        return Some(Unsolvability::DeadPattern { pattern: i });
+    }
+    let m = candidates.len();
+    for a in 0..m {
+        for b in a + 1..m {
+            let compatible = candidates[a].iter().any(|ca| {
+                candidates[b]
+                    .iter()
+                    .any(|cb| ca.read.intersects(cb.write) && cb.read.intersects(ca.write))
+            });
+            if !compatible {
+                return Some(Unsolvability::ConflictingPair { a, b });
+            }
+        }
+    }
+    Some(Unsolvability::Global)
+}
+
+fn candidates_per_pattern(
+    graph: &NetworkGraph,
+    fail_prone: &FailProneSystem,
+) -> Vec<Vec<Candidate>> {
+    fail_prone
+        .patterns()
+        .map(|f| {
+            let res = graph.residual(f);
+            res.sccs()
+                .into_iter()
+                .map(|scc| Candidate { write: scc, read: res.reach_to_all(scc) })
+                .collect()
+        })
+        .collect()
+}
+
+/// Backtracking CSP solver: pick one candidate per pattern such that for
+/// every ordered pair `(i, j)` of chosen candidates, `read_i ∩ write_j ≠ ∅`.
+/// Patterns are processed in order of fewest candidates (fail-first).
+fn solve(candidates: &[Vec<Candidate>]) -> Option<Vec<usize>> {
+    let m = candidates.len();
+    if m == 0 {
+        return Some(Vec::new());
+    }
+    if candidates.iter().any(|c| c.is_empty()) {
+        // A pattern with no correct processes at all: no availability.
+        return None;
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by_key(|&i| candidates[i].len());
+
+    let mut chosen: Vec<Option<usize>> = vec![None; m];
+    fn compatible(a: &Candidate, b: &Candidate) -> bool {
+        a.read.intersects(b.write) && b.read.intersects(a.write)
+    }
+    fn backtrack(
+        pos: usize,
+        order: &[usize],
+        candidates: &[Vec<Candidate>],
+        chosen: &mut Vec<Option<usize>>,
+    ) -> bool {
+        if pos == order.len() {
+            return true;
+        }
+        let i = order[pos];
+        for c in 0..candidates[i].len() {
+            let cand = &candidates[i][c];
+            // Self-consistency holds by construction: read ⊇ write, so
+            // read ∩ write = write ≠ ∅. Check against earlier choices.
+            let ok = order[..pos].iter().all(|&j| {
+                let cj = chosen[j].expect("assigned earlier");
+                compatible(cand, &candidates[j][cj])
+            });
+            if ok {
+                chosen[i] = Some(c);
+                if backtrack(pos + 1, order, candidates, chosen) {
+                    return true;
+                }
+                chosen[i] = None;
+            }
+        }
+        false
+    }
+    if backtrack(0, &order, candidates, &mut chosen) {
+        Some(chosen.into_iter().map(|c| c.expect("all assigned")).collect())
+    } else {
+        None
+    }
+}
+
+/// Exhaustive oracle for tests: tries **every** combination of SCC choices
+/// (no pruning, no ordering) and reports whether any satisfies the pairwise
+/// condition. Exponential; only for small systems.
+pub fn gqs_exists_brute_force(graph: &NetworkGraph, fail_prone: &FailProneSystem) -> bool {
+    let candidates = candidates_per_pattern(graph, fail_prone);
+    if candidates.iter().any(|c| c.is_empty()) {
+        return false;
+    }
+    let m = candidates.len();
+    let mut idx = vec![0usize; m];
+    loop {
+        let ok = (0..m).all(|i| {
+            (0..m).all(|j| {
+                candidates[i][idx[i]].read.intersects(candidates[j][idx[j]].write)
+            })
+        });
+        if ok {
+            return true;
+        }
+        // Next combination.
+        let mut carry = true;
+        for i in 0..m {
+            if carry {
+                idx[i] += 1;
+                if idx[i] == candidates[i].len() {
+                    idx[i] = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        if carry {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::FailurePattern;
+    use crate::{chan, pset};
+
+    #[test]
+    fn complete_graph_minority_admits_gqs() {
+        for n in [3usize, 4, 5] {
+            let k = (n - 1) / 2;
+            let g = NetworkGraph::complete(n);
+            let fp = FailProneSystem::threshold(n, k).unwrap();
+            let w = find_gqs(&g, &fp).expect("classical setting must admit a GQS");
+            // The witness validates (checked by construction) and U_f is all
+            // correct processes.
+            for i in 0..fp.len() {
+                assert_eq!(w.system.u_f(i), fp.pattern(i).correct());
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_half_failures_admit_no_gqs() {
+        // n = 2k: two disjoint patterns of k crashes have disjoint correct
+        // sets — no quorum system of any kind.
+        let g = NetworkGraph::complete(4);
+        let fp = FailProneSystem::threshold(4, 2).unwrap();
+        assert!(find_gqs(&g, &fp).is_none());
+        assert!(!gqs_exists(&g, &fp));
+        assert!(!gqs_exists_brute_force(&g, &fp));
+    }
+
+    #[test]
+    fn unidirectional_ring_single_pattern() {
+        // Ring 0 -> 1 -> 2 -> 0 is one SCC: failure-free pattern admits a GQS.
+        let g = NetworkGraph::with_channels(3, [chan!(0, 1), chan!(1, 2), chan!(2, 0)]);
+        let fp = FailProneSystem::new(3, [FailurePattern::failure_free(3)]).unwrap();
+        let w = find_gqs(&g, &fp).unwrap();
+        assert_eq!(w.per_pattern[0].1, pset![0, 1, 2]);
+    }
+
+    #[test]
+    fn disconnected_halves_fail() {
+        // Two 1-cycles with no channels between them, one pattern each
+        // crashing the other half: reads of one pattern cannot reach writes
+        // of the other.
+        let g = NetworkGraph::with_channels(4, [chan!(0, 1), chan!(1, 0), chan!(2, 3), chan!(3, 2)]);
+        let f1 = FailurePattern::crash_only(4, pset![2, 3]).unwrap();
+        let f2 = FailurePattern::crash_only(4, pset![0, 1]).unwrap();
+        let fp = FailProneSystem::new(4, [f1, f2]).unwrap();
+        assert!(!gqs_exists(&g, &fp));
+    }
+
+    #[test]
+    fn brute_force_agrees_with_solver_on_line_graphs() {
+        for n in 2..=4usize {
+            let mut channels = Vec::new();
+            for i in 0..n - 1 {
+                channels.push(chan!(i, i + 1));
+            }
+            let g = NetworkGraph::with_channels(n, channels);
+            for k in 0..n {
+                let fp = FailProneSystem::threshold(n, k).unwrap();
+                assert_eq!(
+                    gqs_exists(&g, &fp),
+                    gqs_exists_brute_force(&g, &fp),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qs_plus_strictly_stronger_than_gqs() {
+        // The canonical separation: 0 <-> 1 plus a one-way feed 2 -> 0,
+        // with a pattern where nothing else fails.
+        let g = NetworkGraph::with_channels(3, [chan!(0, 1), chan!(1, 0), chan!(2, 0)]);
+        // Pattern: process 2's *incoming* channels do not exist anyway; no
+        // failures. GQS exists; QS+ also exists here (take R = W = {0,1}).
+        let fp = FailProneSystem::new(3, [FailurePattern::failure_free(3)]).unwrap();
+        assert!(gqs_exists(&g, &fp));
+        assert!(qs_plus_exists(&g, &fp));
+        // But force the read quorum to include 2 by crashing 1 in a second
+        // pattern: now any W for pattern 2 is {0} or {2}; consistency with
+        // pattern 1 pushes towards {0}; reads for pattern 1 must contain 0.
+        let f2 = FailurePattern::crash_only(3, pset![1]).unwrap();
+        let fp2 = FailProneSystem::new(3, [FailurePattern::failure_free(3), f2]).unwrap();
+        assert!(gqs_exists(&g, &fp2));
+        assert!(qs_plus_exists(&g, &fp2)); // {0} itself is an SCC: still fine
+    }
+
+    #[test]
+    fn classical_existence_is_pairwise_cover_check() {
+        let fp = FailProneSystem::threshold(5, 2).unwrap();
+        assert_eq!(classical_qs_exists(&fp), Some(true));
+        let fp_bad = FailProneSystem::threshold(4, 2).unwrap();
+        assert_eq!(classical_qs_exists(&fp_bad), Some(false));
+        let with_channels = FailProneSystem::new(
+            3,
+            [FailurePattern::new(3, pset![], [chan!(0, 1)]).unwrap()],
+        )
+        .unwrap();
+        assert_eq!(classical_qs_exists(&with_channels), None);
+    }
+
+    #[test]
+    fn empty_fail_prone_system_is_trivially_solvable() {
+        let g = NetworkGraph::complete(3);
+        let fp = FailProneSystem::new(3, []).unwrap();
+        // No availability obligations; the solver returns an empty choice,
+        // but building an explicit family needs at least one quorum, so the
+        // witness construction would fail — `gqs_exists` is the right query.
+        assert!(gqs_exists(&g, &fp) || find_gqs(&g, &fp).is_none());
+    }
+
+    #[test]
+    fn threshold_gqs_exists_for_figure1() {
+        // The non-obvious fact computed in E11's analysis: Figure 1 is
+        // solvable even with threshold quorums (reads >= 3, writes >= 2).
+        let fig = crate::systems::figure1();
+        let sys = find_threshold_gqs(&fig.graph, &fig.fail_prone)
+            .expect("Figure 1 admits a threshold GQS");
+        match (sys.reads(), sys.writes()) {
+            (
+                crate::QuorumFamily::Threshold { min_size: r, .. },
+                crate::QuorumFamily::Threshold { min_size: w, .. },
+            ) => {
+                assert_eq!((*w, *r), (2, 3));
+            }
+            other => panic!("expected threshold families, got {other:?}"),
+        }
+        // And the U_f sets coincide with the free-form ones.
+        for i in 0..4 {
+            assert_eq!(sys.u_f(i), fig.gqs.u_f(i));
+        }
+    }
+
+    #[test]
+    fn threshold_gqs_absent_for_example9() {
+        let (g, fp) = crate::systems::example9_f_prime();
+        assert!(find_threshold_gqs(&g, &fp).is_none());
+    }
+
+    #[test]
+    fn explain_returns_none_on_solvable_systems() {
+        let fig = crate::systems::figure1();
+        assert_eq!(explain_unsolvable(&fig.graph, &fig.fail_prone), None);
+    }
+
+    #[test]
+    fn explain_dead_pattern() {
+        let g = NetworkGraph::complete(2);
+        let f = FailurePattern::crash_only(2, pset![0, 1]).unwrap();
+        let fp = FailProneSystem::new(2, [FailurePattern::failure_free(2), f]).unwrap();
+        assert_eq!(
+            explain_unsolvable(&g, &fp),
+            Some(Unsolvability::DeadPattern { pattern: 1 })
+        );
+    }
+
+    #[test]
+    fn explain_conflicting_pair() {
+        // Two patterns crashing complementary halves: their candidates can
+        // never intersect.
+        let g = NetworkGraph::complete(4);
+        let f1 = FailurePattern::crash_only(4, pset![2, 3]).unwrap();
+        let f2 = FailurePattern::crash_only(4, pset![0, 1]).unwrap();
+        let fp = FailProneSystem::new(4, [f1, f2]).unwrap();
+        assert_eq!(
+            explain_unsolvable(&g, &fp),
+            Some(Unsolvability::ConflictingPair { a: 0, b: 1 })
+        );
+    }
+
+    #[test]
+    fn explain_example9_is_a_global_conflict() {
+        // Every pair of Example 9's patterns is locally compatible; the
+        // obstruction needs at least three patterns — a nice illustration
+        // of why the lower-bound proof must build a cross-pattern
+        // indistinguishability argument.
+        let (g, fp) = crate::systems::example9_f_prime();
+        assert_eq!(explain_unsolvable(&g, &fp), Some(Unsolvability::Global));
+    }
+
+    #[test]
+    fn normalization_preserves_solvability() {
+        let fig = crate::systems::figure1();
+        // Add covered (redundant) patterns; solvability must not change.
+        let mut fp = fig.fail_prone.clone();
+        fp.push(FailurePattern::failure_free(4)).unwrap();
+        fp.push(FailurePattern::crash_only(4, pset![3]).unwrap()).unwrap();
+        assert!(gqs_exists(&fig.graph, &fp));
+        let norm = fp.normalize();
+        assert_eq!(norm.len(), 4, "covered patterns removed");
+        assert_eq!(gqs_exists(&fig.graph, &norm), gqs_exists(&fig.graph, &fp));
+    }
+
+    #[test]
+    fn all_processes_may_crash_in_some_pattern() {
+        let g = NetworkGraph::complete(2);
+        let f = FailurePattern::crash_only(2, pset![0, 1]).unwrap();
+        let fp = FailProneSystem::new(2, [f]).unwrap();
+        assert!(!gqs_exists(&g, &fp));
+        assert!(find_gqs(&g, &fp).is_none());
+    }
+}

@@ -1,0 +1,492 @@
+//! Network graphs, residual graphs and the graph algorithms the paper's
+//! definitions rest on (§3).
+//!
+//! * The *network graph* `G = (P, C)` has all processes as vertices and all
+//!   channels as directed edges.
+//! * The *residual graph* `G \ f` of a failure pattern `f = (P, C)` removes
+//!   the faulty processes, their incident channels, and the failing
+//!   channels.
+//! * A set `Q` is *`f`-available* if it contains only correct processes and
+//!   is strongly connected in `G \ f` (paths may pass through vertices
+//!   outside `Q`).
+//! * A set `W` is *`f`-reachable from `R`* if both contain only correct
+//!   processes and every member of `W` is reachable from every member of
+//!   `R` in `G \ f`.
+
+use std::fmt;
+
+use crate::channel::Channel;
+use crate::failure::FailurePattern;
+use crate::process::{ProcessId, ProcessSet, MAX_PROCESSES};
+
+/// The static network topology `G = (P, C)`.
+///
+/// Stored as per-vertex successor bitsets, which makes residual-graph
+/// construction and reachability computations cheap bit operations.
+///
+/// # Examples
+///
+/// ```
+/// use gqs_core::NetworkGraph;
+/// let g = NetworkGraph::complete(4);
+/// assert_eq!(g.len(), 4);
+/// assert_eq!(g.channels().count(), 12); // n(n-1) directed channels
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NetworkGraph {
+    n: usize,
+    adj: Vec<ProcessSet>,
+}
+
+impl NetworkGraph {
+    /// A graph on `n` processes with no channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_PROCESSES`.
+    pub fn empty(n: usize) -> Self {
+        assert!(n > 0, "a system has at least one process");
+        assert!(n <= MAX_PROCESSES, "at most {MAX_PROCESSES} processes are supported");
+        NetworkGraph { n, adj: vec![ProcessSet::new(); n] }
+    }
+
+    /// The complete directed graph on `n` processes — the paper's standard
+    /// model, where every ordered pair of distinct processes has a channel.
+    pub fn complete(n: usize) -> Self {
+        let mut g = Self::empty(n);
+        for p in 0..n {
+            g.adj[p] = ProcessSet::full(n).without(ProcessId(p));
+        }
+        g
+    }
+
+    /// Builds a graph from an explicit channel list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn with_channels<I>(n: usize, channels: I) -> Self
+    where
+        I: IntoIterator<Item = Channel>,
+    {
+        let mut g = Self::empty(n);
+        for ch in channels {
+            g.add_channel(ch);
+        }
+        g
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff the graph has no processes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The set of all processes.
+    pub fn processes(&self) -> ProcessSet {
+        ProcessSet::full(self.n)
+    }
+
+    /// Adds a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is `>= len()`.
+    pub fn add_channel(&mut self, ch: Channel) {
+        assert!(ch.from.index() < self.n && ch.to.index() < self.n, "channel endpoint out of range");
+        self.adj[ch.from.index()].insert(ch.to);
+    }
+
+    /// Removes a channel; returns `true` if it was present.
+    pub fn remove_channel(&mut self, ch: Channel) -> bool {
+        if ch.from.index() >= self.n {
+            return false;
+        }
+        self.adj[ch.from.index()].remove(ch.to)
+    }
+
+    /// Whether the channel is present.
+    pub fn has_channel(&self, ch: Channel) -> bool {
+        ch.from.index() < self.n && self.adj[ch.from.index()].contains(ch.to)
+    }
+
+    /// Successors of `p` in the graph.
+    pub fn successors(&self, p: ProcessId) -> ProcessSet {
+        self.adj[p.index()]
+    }
+
+    /// Iterates over all channels.
+    pub fn channels(&self) -> impl Iterator<Item = Channel> + '_ {
+        (0..self.n).flat_map(move |p| {
+            self.adj[p].iter().map(move |q| Channel::new(ProcessId(p), q))
+        })
+    }
+
+    /// The residual graph `G \ f`: faulty processes, their incident
+    /// channels, and the channels in `f` are removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` talks about processes outside this graph.
+    pub fn residual(&self, f: &FailurePattern) -> ResidualGraph {
+        assert!(
+            f.universe() == self.n,
+            "failure pattern is over {} processes but the graph has {}",
+            f.universe(),
+            self.n
+        );
+        let alive = f.correct();
+        let mut adj = self.adj.clone();
+        for p in 0..self.n {
+            if !alive.contains(ProcessId(p)) {
+                adj[p] = ProcessSet::new();
+            } else {
+                adj[p] &= alive;
+            }
+        }
+        for ch in f.channels() {
+            adj[ch.from.index()].remove(ch.to);
+        }
+        ResidualGraph { n: self.n, adj, alive }
+    }
+
+    /// The residual graph of the failure-free pattern (nothing removed).
+    pub fn residual_failure_free(&self) -> ResidualGraph {
+        ResidualGraph { n: self.n, adj: self.adj.clone(), alive: self.processes() }
+    }
+}
+
+impl fmt::Display for NetworkGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G(n={}; ", self.n)?;
+        let mut first = true;
+        for ch in self.channels() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{ch}")?;
+            first = false;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The residual graph `G \ f` of a network graph under a failure pattern.
+///
+/// Vertices outside [`ResidualGraph::alive`] are isolated and never appear
+/// in reachability sets or strongly connected components.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResidualGraph {
+    n: usize,
+    adj: Vec<ProcessSet>,
+    alive: ProcessSet,
+}
+
+impl ResidualGraph {
+    /// Number of processes in the underlying system (including removed ones).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff the underlying system has no processes (never).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The set of correct (non-removed) processes.
+    pub fn alive(&self) -> ProcessSet {
+        self.alive
+    }
+
+    /// Successors of `p` among alive processes.
+    pub fn successors(&self, p: ProcessId) -> ProcessSet {
+        if self.alive.contains(p) {
+            self.adj[p.index()]
+        } else {
+            ProcessSet::new()
+        }
+    }
+
+    /// Whether the channel survives in the residual graph.
+    pub fn has_channel(&self, ch: Channel) -> bool {
+        self.successors(ch.from).contains(ch.to)
+    }
+
+    /// The set of vertices reachable from `p` (including `p` itself, if
+    /// alive; a vertex always reaches itself via the empty path).
+    pub fn reach_from(&self, p: ProcessId) -> ProcessSet {
+        if !self.alive.contains(p) {
+            return ProcessSet::new();
+        }
+        let mut reach = ProcessSet::singleton(p);
+        let mut frontier = reach;
+        while !frontier.is_empty() {
+            let mut next = ProcessSet::new();
+            for q in frontier {
+                next |= self.adj[q.index()];
+            }
+            frontier = next - reach;
+            reach |= next;
+        }
+        reach
+    }
+
+    /// The set of vertices that can reach `p` (including `p` itself).
+    pub fn reach_to(&self, p: ProcessId) -> ProcessSet {
+        if !self.alive.contains(p) {
+            return ProcessSet::new();
+        }
+        let mut reach = ProcessSet::singleton(p);
+        loop {
+            let mut grew = false;
+            for q in self.alive - reach {
+                if self.adj[q.index()].intersects(reach) {
+                    reach.insert(q);
+                    grew = true;
+                }
+            }
+            if !grew {
+                return reach;
+            }
+        }
+    }
+
+    /// The set of vertices that can reach **every** member of `set`.
+    ///
+    /// Returns the empty set if `set` is empty (vacuous universal
+    /// quantification is deliberately rejected: a read quorum must be
+    /// nonempty) or contains dead vertices.
+    pub fn reach_to_all(&self, set: ProcessSet) -> ProcessSet {
+        if set.is_empty() || !set.is_subset(self.alive) {
+            return ProcessSet::new();
+        }
+        let mut acc = self.alive;
+        for p in set {
+            acc &= self.reach_to(p);
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Whether every member of `to` is reachable from every member of
+    /// `from` (the core of the paper's `f`-reachability).
+    pub fn all_reach_all(&self, from: ProcessSet, to: ProcessSet) -> bool {
+        if from.is_empty() || to.is_empty() {
+            return false;
+        }
+        if !from.is_subset(self.alive) || !to.is_subset(self.alive) {
+            return false;
+        }
+        from.iter().all(|p| to.is_subset(self.reach_from(p)))
+    }
+
+    /// Whether `set` is strongly connected in the residual graph: every
+    /// pair of members is mutually reachable (paths may pass through
+    /// vertices outside `set`). Singletons are strongly connected; the
+    /// empty set is not (quorums are nonempty).
+    pub fn is_strongly_connected(&self, set: ProcessSet) -> bool {
+        if set.is_empty() || !set.is_subset(self.alive) {
+            return false;
+        }
+        set.iter().all(|p| set.is_subset(self.reach_from(p)))
+    }
+
+    /// The strongly connected components of the alive part of the graph,
+    /// each as a [`ProcessSet`]. Singletons are included. The order is
+    /// by smallest member.
+    pub fn sccs(&self) -> Vec<ProcessSet> {
+        let mut assigned = ProcessSet::new();
+        let mut out = Vec::new();
+        // Cache forward reach sets.
+        let mut fwd: Vec<Option<ProcessSet>> = vec![None; self.n];
+        for p in self.alive {
+            if assigned.contains(p) {
+                continue;
+            }
+            let rf = *fwd[p.index()].get_or_insert_with(|| self.reach_from(p));
+            let mut scc = ProcessSet::singleton(p);
+            for q in rf.without(p) {
+                let rq = *fwd[q.index()].get_or_insert_with(|| self.reach_from(q));
+                if rq.contains(p) {
+                    scc.insert(q);
+                }
+            }
+            assigned |= scc;
+            out.push(scc);
+        }
+        out
+    }
+
+    /// The strongly connected component containing `p`, or the empty set if
+    /// `p` is not alive.
+    pub fn scc_of(&self, p: ProcessId) -> ProcessSet {
+        if !self.alive.contains(p) {
+            return ProcessSet::new();
+        }
+        self.reach_from(p) & self.reach_to(p)
+    }
+
+    /// The smallest strongly connected component containing the whole of
+    /// `set`, if one exists (Proposition 1 uses this to define `U_f`).
+    pub fn scc_containing(&self, set: ProcessSet) -> Option<ProcessSet> {
+        let p = set.first()?;
+        let scc = self.scc_of(p);
+        if set.is_subset(scc) {
+            Some(scc)
+        } else {
+            None
+        }
+    }
+
+    /// Transitive closure: `closure[p]` is the forward reach set of `p`.
+    pub fn transitive_closure(&self) -> Vec<ProcessSet> {
+        (0..self.n).map(|p| self.reach_from(ProcessId(p))).collect()
+    }
+
+    /// Whether `w` is `f`-available: only correct processes, strongly
+    /// connected in this residual graph (§3).
+    pub fn f_available(&self, w: ProcessSet) -> bool {
+        self.is_strongly_connected(w)
+    }
+
+    /// Whether `w` is `f`-reachable from `r` (§3): both contain only
+    /// correct processes and every member of `w` is reachable from every
+    /// member of `r`.
+    pub fn f_reachable(&self, w: ProcessSet, r: ProcessSet) -> bool {
+        self.all_reach_all(r, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{chan, pset};
+
+    fn line_graph(n: usize) -> NetworkGraph {
+        // 0 -> 1 -> 2 -> ... -> n-1
+        NetworkGraph::with_channels(n, (0..n - 1).map(|i| chan!(i, i + 1)))
+    }
+
+    #[test]
+    fn complete_graph_channel_count() {
+        let g = NetworkGraph::complete(5);
+        assert_eq!(g.channels().count(), 20);
+        assert!(g.has_channel(chan!(0, 4)));
+        assert!(g.has_channel(chan!(4, 0)));
+    }
+
+    #[test]
+    fn add_remove_channel() {
+        let mut g = NetworkGraph::empty(3);
+        g.add_channel(chan!(0, 1));
+        assert!(g.has_channel(chan!(0, 1)));
+        assert!(!g.has_channel(chan!(1, 0)));
+        assert!(g.remove_channel(chan!(0, 1)));
+        assert!(!g.remove_channel(chan!(0, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint out of range")]
+    fn add_channel_out_of_range_panics() {
+        let mut g = NetworkGraph::empty(2);
+        g.add_channel(chan!(0, 5));
+    }
+
+    #[test]
+    fn reachability_on_a_line() {
+        let g = line_graph(4).residual_failure_free();
+        assert_eq!(g.reach_from(ProcessId(0)), pset![0, 1, 2, 3]);
+        assert_eq!(g.reach_from(ProcessId(2)), pset![2, 3]);
+        assert_eq!(g.reach_to(ProcessId(3)), pset![0, 1, 2, 3]);
+        assert_eq!(g.reach_to(ProcessId(0)), pset![0]);
+        assert!(g.all_reach_all(pset![0, 1], pset![2, 3]));
+        assert!(!g.all_reach_all(pset![1], pset![0]));
+    }
+
+    #[test]
+    fn reach_to_all_intersects_members() {
+        let g = line_graph(4).residual_failure_free();
+        assert_eq!(g.reach_to_all(pset![2]), pset![0, 1, 2]);
+        assert_eq!(g.reach_to_all(pset![1, 3]), pset![0, 1]);
+        assert_eq!(g.reach_to_all(ProcessSet::new()), ProcessSet::new());
+    }
+
+    #[test]
+    fn strong_connectivity_via_outside_vertices() {
+        // 0 <-> 1 through 2: 0->2->1 and 1->0.
+        let g = NetworkGraph::with_channels(3, [chan!(0, 2), chan!(2, 1), chan!(1, 0)])
+            .residual_failure_free();
+        assert!(g.is_strongly_connected(pset![0, 1]));
+        assert!(g.is_strongly_connected(pset![0, 1, 2]));
+        assert!(g.is_strongly_connected(pset![2]));
+        assert!(!g.is_strongly_connected(ProcessSet::new()));
+    }
+
+    #[test]
+    fn sccs_of_line_are_singletons() {
+        let g = line_graph(3).residual_failure_free();
+        let sccs = g.sccs();
+        assert_eq!(sccs, vec![pset![0], pset![1], pset![2]]);
+    }
+
+    #[test]
+    fn sccs_of_cycle_is_one_component() {
+        let g = NetworkGraph::with_channels(3, [chan!(0, 1), chan!(1, 2), chan!(2, 0)])
+            .residual_failure_free();
+        assert_eq!(g.sccs(), vec![pset![0, 1, 2]]);
+        assert_eq!(g.scc_of(ProcessId(1)), pset![0, 1, 2]);
+        assert_eq!(g.scc_containing(pset![0, 2]), Some(pset![0, 1, 2]));
+    }
+
+    #[test]
+    fn scc_containing_rejects_split_sets() {
+        let g = line_graph(3).residual_failure_free();
+        assert_eq!(g.scc_containing(pset![0, 1]), None);
+        assert_eq!(g.scc_containing(pset![1]), Some(pset![1]));
+    }
+
+    #[test]
+    fn residual_removes_faulty_and_disconnected() {
+        let g = NetworkGraph::complete(3);
+        let f = FailurePattern::new(3, pset![2], [chan!(0, 1)]).unwrap();
+        let r = g.residual(&f);
+        assert_eq!(r.alive(), pset![0, 1]);
+        assert!(!r.has_channel(chan!(0, 1))); // disconnected
+        assert!(r.has_channel(chan!(1, 0))); // still correct
+        assert!(!r.has_channel(chan!(0, 2))); // incident to faulty process
+        assert_eq!(r.reach_from(ProcessId(2)), ProcessSet::new());
+        assert_eq!(r.sccs(), vec![pset![0], pset![1]]);
+    }
+
+    #[test]
+    fn f_availability_and_reachability_follow_definitions() {
+        // Figure-1-style: W = {0,1} strongly connected; 2 can only send.
+        let g = NetworkGraph::with_channels(3, [chan!(0, 1), chan!(1, 0), chan!(2, 0)])
+            .residual_failure_free();
+        assert!(g.f_available(pset![0, 1]));
+        assert!(!g.f_available(pset![0, 2]));
+        assert!(g.f_reachable(pset![0, 1], pset![0, 2]));
+        assert!(!g.f_reachable(pset![0, 2], pset![0, 1]));
+    }
+
+    #[test]
+    fn transitive_closure_matches_reach_from() {
+        let g = line_graph(4).residual_failure_free();
+        let tc = g.transitive_closure();
+        for p in 0..4 {
+            assert_eq!(tc[p], g.reach_from(ProcessId(p)));
+        }
+    }
+
+    #[test]
+    fn display_lists_channels() {
+        let g = NetworkGraph::with_channels(2, [chan!(0, 1)]);
+        assert_eq!(g.to_string(), "G(n=2; (a,b))");
+    }
+}

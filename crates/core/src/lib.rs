@@ -1,0 +1,57 @@
+//! # Generalized quorum systems
+//!
+//! Core framework of the reproduction of *"Tight Bounds on Channel
+//! Reliability via Generalized Quorum Systems"* (PODC 2025): fail-prone
+//! systems mixing **process crashes** with **channel disconnections**,
+//! network/residual graphs, classical and generalized quorum systems, and
+//! exact decision procedures for their existence.
+//!
+//! The paper's central object is the *generalized quorum system* (GQS): a
+//! pair of read/write quorum families where every read quorum intersects
+//! every write quorum, and under every failure pattern some strongly
+//! connected write quorum is **unidirectionally reachable** from some read
+//! quorum. The existence of a GQS is *exactly* the condition under which
+//! atomic registers, atomic snapshots, lattice agreement and partially
+//! synchronous consensus are implementable (Theorems 1, 2, 5, 6).
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use gqs_core::finder::{find_gqs, qs_plus_exists};
+//! use gqs_core::systems::{example9_f_prime, figure1};
+//!
+//! // Figure 1 of the paper: weak, unidirectional connectivity ...
+//! let fig = figure1();
+//! // ... admits a GQS (so registers & consensus are implementable) ...
+//! let witness = find_gqs(&fig.graph, &fig.fail_prone).unwrap();
+//! assert_eq!(witness.system.u_f(0), fig.gqs.u_f(0));
+//! // ... but no strongly connected QS+ — the headline separation.
+//! assert!(!qs_plus_exists(&fig.graph, &fig.fail_prone));
+//!
+//! // Example 9: failing one more channel destroys every GQS, so by the
+//! // lower bound *nothing* is implementable anywhere.
+//! let (graph, f_prime) = example9_f_prime();
+//! assert!(find_gqs(&graph, &f_prime).is_none());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod failure;
+pub mod finder;
+pub mod graph;
+pub mod process;
+pub mod quorum;
+pub mod systems;
+
+pub use channel::Channel;
+pub use failure::{BuildPatternError, FailProneSystem, FailurePattern};
+pub use graph::{NetworkGraph, ResidualGraph};
+pub use process::{ProcessId, ProcessSet, MAX_PROCESSES};
+pub use finder::{explain_unsolvable, find_gqs, find_qs_plus, find_threshold_gqs, gqs_exists, qs_plus_exists, GqsWitness, Unsolvability};
+pub use systems::grid_system;
+pub use quorum::{
+    majority_system, AvailabilityWitness, ClassicalQuorumSystem, FamilyMetrics,
+    GeneralizedQuorumSystem, QsPlus, QuorumFamily, QuorumSystemError,
+};

@@ -1,0 +1,441 @@
+//! Process identifiers and compact process sets.
+//!
+//! The paper's system model (§2) has a finite set `P` of `n` processes.
+//! Processes here are numbered `0..n`; [`ProcessSet`] is a bitset over those
+//! numbers, supporting the set algebra that quorum systems need (union,
+//! intersection, complement, subset tests) in a handful of machine
+//! instructions.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Sub, SubAssign};
+
+/// Maximum number of processes supported by [`ProcessSet`].
+///
+/// The bitset is backed by a `u128`; systems in the paper (and in every
+/// experiment here) are far smaller.
+pub const MAX_PROCESSES: usize = 128;
+
+/// Identifier of a process in the system.
+///
+/// Processes are numbered `0..n`. The paper names processes `a, b, c, ...`;
+/// [`ProcessId`]'s `Display` renders small ids that way (`a`..`z`), falling
+/// back to `p27`, `p28`, ... beyond that.
+///
+/// # Examples
+///
+/// ```
+/// use gqs_core::ProcessId;
+/// let a = ProcessId(0);
+/// assert_eq!(a.to_string(), "a");
+/// assert_eq!(ProcessId(30).to_string(), "p30");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// Returns the numeric index of this process.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 26 {
+            write!(f, "{}", (b'a' + self.0 as u8) as char)
+        } else {
+            write!(f, "p{}", self.0)
+        }
+    }
+}
+
+/// A set of processes, stored as a 128-bit bitset.
+///
+/// This is the workhorse type of the whole workspace: quorums, failure
+/// patterns, reachability sets and strongly connected components are all
+/// `ProcessSet`s.
+///
+/// # Examples
+///
+/// ```
+/// use gqs_core::{ProcessId, ProcessSet};
+/// let r: ProcessSet = [0, 2].into_iter().collect();
+/// let w: ProcessSet = [0, 1].into_iter().collect();
+/// assert!(!(r & w).is_empty()); // quorum intersection
+/// assert_eq!((r | w).len(), 3);
+/// assert!(r.contains(ProcessId(2)));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessSet {
+    bits: u128,
+}
+
+impl ProcessSet {
+    /// The empty set.
+    #[inline]
+    pub const fn new() -> Self {
+        ProcessSet { bits: 0 }
+    }
+
+    /// The empty set (alias of [`ProcessSet::new`]).
+    #[inline]
+    pub const fn empty() -> Self {
+        Self::new()
+    }
+
+    /// The set `{0, 1, ..., n-1}` of all `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_PROCESSES`.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= MAX_PROCESSES, "at most {MAX_PROCESSES} processes are supported");
+        if n == MAX_PROCESSES {
+            ProcessSet { bits: u128::MAX }
+        } else {
+            ProcessSet { bits: (1u128 << n) - 1 }
+        }
+    }
+
+    /// The singleton set `{p}`.
+    #[inline]
+    pub fn singleton(p: ProcessId) -> Self {
+        let mut s = Self::new();
+        s.insert(p);
+        s
+    }
+
+    /// Inserts a process; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.index() >= MAX_PROCESSES`.
+    #[inline]
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        assert!(p.index() < MAX_PROCESSES, "process id out of range");
+        let mask = 1u128 << p.index();
+        let fresh = self.bits & mask == 0;
+        self.bits |= mask;
+        fresh
+    }
+
+    /// Removes a process; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        if p.index() >= MAX_PROCESSES {
+            return false;
+        }
+        let mask = 1u128 << p.index();
+        let present = self.bits & mask != 0;
+        self.bits &= !mask;
+        present
+    }
+
+    /// Tests membership.
+    #[inline]
+    pub fn contains(self, p: ProcessId) -> bool {
+        p.index() < MAX_PROCESSES && self.bits & (1u128 << p.index()) != 0
+    }
+
+    /// Returns a copy with `p` inserted.
+    #[inline]
+    #[must_use]
+    pub fn with(mut self, p: ProcessId) -> Self {
+        self.insert(p);
+        self
+    }
+
+    /// Returns a copy with `p` removed.
+    #[inline]
+    #[must_use]
+    pub fn without(mut self, p: ProcessId) -> Self {
+        self.remove(p);
+        self
+    }
+
+    /// Number of processes in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(self, other: ProcessSet) -> bool {
+        self.bits & !other.bits == 0
+    }
+
+    /// Whether `self ∩ other ≠ ∅`.
+    #[inline]
+    pub fn intersects(self, other: ProcessSet) -> bool {
+        self.bits & other.bits != 0
+    }
+
+    /// Whether `self ∩ other = ∅`.
+    #[inline]
+    pub fn is_disjoint(self, other: ProcessSet) -> bool {
+        !self.intersects(other)
+    }
+
+    /// Complement relative to the universe `{0..n}`.
+    #[inline]
+    #[must_use]
+    pub fn complement(self, n: usize) -> Self {
+        ProcessSet { bits: !self.bits & Self::full(n).bits }
+    }
+
+    /// The smallest process in the set, if any.
+    #[inline]
+    pub fn first(self) -> Option<ProcessId> {
+        if self.bits == 0 {
+            None
+        } else {
+            Some(ProcessId(self.bits.trailing_zeros() as usize))
+        }
+    }
+
+    /// Iterates over members in increasing order.
+    pub fn iter(self) -> Iter {
+        Iter { bits: self.bits }
+    }
+}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl BitOr for ProcessSet {
+    type Output = ProcessSet;
+    #[inline]
+    fn bitor(self, rhs: Self) -> Self {
+        ProcessSet { bits: self.bits | rhs.bits }
+    }
+}
+
+impl BitOrAssign for ProcessSet {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Self) {
+        self.bits |= rhs.bits;
+    }
+}
+
+impl BitAnd for ProcessSet {
+    type Output = ProcessSet;
+    #[inline]
+    fn bitand(self, rhs: Self) -> Self {
+        ProcessSet { bits: self.bits & rhs.bits }
+    }
+}
+
+impl BitAndAssign for ProcessSet {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: Self) {
+        self.bits &= rhs.bits;
+    }
+}
+
+impl Sub for ProcessSet {
+    type Output = ProcessSet;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        ProcessSet { bits: self.bits & !rhs.bits }
+    }
+}
+
+impl SubAssign for ProcessSet {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.bits &= !rhs.bits;
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut s = ProcessSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl FromIterator<usize> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        iter.into_iter().map(ProcessId).collect()
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl IntoIterator for ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`ProcessSet`], in increasing order.
+#[derive(Clone, Debug)]
+pub struct Iter {
+    bits: u128,
+}
+
+impl Iterator for Iter {
+    type Item = ProcessId;
+
+    #[inline]
+    fn next(&mut self) -> Option<ProcessId> {
+        if self.bits == 0 {
+            None
+        } else {
+            let i = self.bits.trailing_zeros() as usize;
+            self.bits &= self.bits - 1;
+            Some(ProcessId(i))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+/// Convenience constructor: `pset![0, 2, 3]`.
+#[macro_export]
+macro_rules! pset {
+    ($($p:expr),* $(,)?) => {
+        {
+            #[allow(unused_mut)]
+            let mut s = $crate::ProcessSet::new();
+            $(s.insert($crate::ProcessId($p));)*
+            s
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = ProcessSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.first(), None);
+        assert_eq!(s.to_string(), "{}");
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcessSet::new();
+        assert!(s.insert(ProcessId(3)));
+        assert!(!s.insert(ProcessId(3)));
+        assert!(s.contains(ProcessId(3)));
+        assert!(!s.contains(ProcessId(2)));
+        assert!(s.remove(ProcessId(3)));
+        assert!(!s.remove(ProcessId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_covers_exactly_n() {
+        let s = ProcessSet::full(5);
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(ProcessId(4)));
+        assert!(!s.contains(ProcessId(5)));
+        let all = ProcessSet::full(MAX_PROCESSES);
+        assert_eq!(all.len(), MAX_PROCESSES);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn full_rejects_oversized_universe() {
+        let _ = ProcessSet::full(MAX_PROCESSES + 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = pset![0, 1, 2];
+        let b = pset![2, 3];
+        assert_eq!(a | b, pset![0, 1, 2, 3]);
+        assert_eq!(a & b, pset![2]);
+        assert_eq!(a - b, pset![0, 1]);
+        assert!(a.intersects(b));
+        assert!(pset![0].is_disjoint(pset![1]));
+        assert!(pset![1, 2].is_subset(a));
+        assert!(!a.is_subset(b));
+        assert_eq!(a.complement(5), pset![3, 4]);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s = pset![7, 1, 4];
+        let v: Vec<usize> = s.iter().map(|p| p.index()).collect();
+        assert_eq!(v, vec![1, 4, 7]);
+        assert_eq!(s.iter().len(), 3);
+        assert_eq!(s.first(), Some(ProcessId(1)));
+    }
+
+    #[test]
+    fn display_uses_letters_for_small_ids() {
+        assert_eq!(pset![0, 1, 3].to_string(), "{a,b,d}");
+        assert_eq!(ProcessId(25).to_string(), "z");
+        assert_eq!(ProcessId(26).to_string(), "p26");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: ProcessSet = vec![ProcessId(2), ProcessId(0)].into_iter().collect();
+        assert_eq!(s, pset![0, 2]);
+        let t: ProcessSet = (0..4).collect();
+        assert_eq!(t, ProcessSet::full(4));
+    }
+
+    #[test]
+    fn with_and_without_do_not_mutate_original() {
+        let s = pset![1];
+        assert_eq!(s.with(ProcessId(2)), pset![1, 2]);
+        assert_eq!(s.without(ProcessId(1)), pset![]);
+        assert_eq!(s, pset![1]);
+    }
+}

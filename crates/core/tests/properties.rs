@@ -1,0 +1,302 @@
+//! Property-based tests for the core framework: graph algorithms against
+//! naive oracles, finder soundness/completeness, and Proposition 1.
+
+use proptest::prelude::*;
+
+use gqs_core::finder::{find_gqs, gqs_exists, gqs_exists_brute_force};
+use gqs_core::{
+    Channel, FailProneSystem, FailurePattern, NetworkGraph, ProcessId, ProcessSet,
+};
+
+/// A raw graph description: `n` and a list of directed edges.
+#[derive(Clone, Debug)]
+struct RawGraph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+fn raw_graph(max_n: usize) -> impl Strategy<Value = RawGraph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|a| (0..n).filter(move |b| a != *b).map(move |b| (a, b)))
+            .collect();
+        proptest::sample::subsequence(pairs.clone(), 0..=pairs.len())
+            .prop_map(move |edges| RawGraph { n, edges })
+    })
+}
+
+fn build(raw: &RawGraph) -> NetworkGraph {
+    NetworkGraph::with_channels(
+        raw.n,
+        raw.edges.iter().map(|&(a, b)| Channel::new(ProcessId(a), ProcessId(b))),
+    )
+}
+
+/// Independent reachability oracle: plain DFS over an adjacency list.
+fn oracle_reach(raw: &RawGraph, from: usize) -> Vec<bool> {
+    let mut adj = vec![Vec::new(); raw.n];
+    for &(a, b) in &raw.edges {
+        adj[a].push(b);
+    }
+    let mut seen = vec![false; raw.n];
+    let mut stack = vec![from];
+    seen[from] = true;
+    while let Some(v) = stack.pop() {
+        for &w in &adj[v] {
+            if !seen[w] {
+                seen[w] = true;
+                stack.push(w);
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `reach_from` agrees with a naive DFS oracle.
+    #[test]
+    fn reachability_matches_oracle(raw in raw_graph(7)) {
+        let g = build(&raw).residual_failure_free();
+        for p in 0..raw.n {
+            let reach = g.reach_from(ProcessId(p));
+            let oracle = oracle_reach(&raw, p);
+            for q in 0..raw.n {
+                prop_assert_eq!(
+                    reach.contains(ProcessId(q)),
+                    oracle[q],
+                    "reach({}) vs oracle at {}", p, q
+                );
+            }
+        }
+    }
+
+    /// `reach_to` is the converse of `reach_from`.
+    #[test]
+    fn reach_to_is_converse(raw in raw_graph(6)) {
+        let g = build(&raw).residual_failure_free();
+        for p in 0..raw.n {
+            for q in 0..raw.n {
+                prop_assert_eq!(
+                    g.reach_from(ProcessId(p)).contains(ProcessId(q)),
+                    g.reach_to(ProcessId(q)).contains(ProcessId(p))
+                );
+            }
+        }
+    }
+
+    /// SCCs partition the alive vertices, each is strongly connected, and
+    /// no union of two distinct SCCs is.
+    #[test]
+    fn sccs_partition_and_maximal(raw in raw_graph(6)) {
+        let g = build(&raw).residual_failure_free();
+        let sccs = g.sccs();
+        let mut union = ProcessSet::new();
+        for scc in &sccs {
+            prop_assert!(!scc.is_empty());
+            prop_assert!(scc.is_disjoint(union));
+            prop_assert!(g.is_strongly_connected(*scc));
+            union |= *scc;
+        }
+        prop_assert_eq!(union, ProcessSet::full(raw.n));
+        for (i, a) in sccs.iter().enumerate() {
+            for b in &sccs[i + 1..] {
+                prop_assert!(!g.is_strongly_connected(*a | *b), "SCCs must be maximal");
+            }
+        }
+    }
+
+    /// Residual graphs: faulty processes are isolated, failing channels
+    /// removed, everything else preserved.
+    #[test]
+    fn residual_semantics(raw in raw_graph(6), faulty_bits in 0u32..64, chan_sel in proptest::collection::vec(any::<bool>(), 0..64)) {
+        let g = build(&raw);
+        let faulty: ProcessSet = (0..raw.n).filter(|i| faulty_bits & (1 << i) != 0).collect();
+        if faulty == ProcessSet::full(raw.n) {
+            return Ok(()); // at least one correct process required below
+        }
+        let failing: Vec<Channel> = raw
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(i, (a, b))| {
+                chan_sel.get(*i).copied().unwrap_or(false)
+                    && !faulty.contains(ProcessId(*a))
+                    && !faulty.contains(ProcessId(*b))
+            })
+            .map(|(_, &(a, b))| Channel::new(ProcessId(a), ProcessId(b)))
+            .collect();
+        let f = FailurePattern::new(raw.n, faulty, failing.clone()).unwrap();
+        let res = g.residual(&f);
+        prop_assert_eq!(res.alive(), f.correct());
+        for &(a, b) in &raw.edges {
+            let ch = Channel::new(ProcessId(a), ProcessId(b));
+            let should_exist = !ch.touches(faulty) && !failing.contains(&ch);
+            prop_assert_eq!(res.has_channel(ch), should_exist, "channel {}", ch);
+        }
+    }
+
+    /// The backtracking finder and the exhaustive search agree.
+    #[test]
+    fn finder_agrees_with_brute_force(
+        raw in raw_graph(5),
+        seeds in proptest::collection::vec((0u32..32, 0u32..1024), 1..4),
+    ) {
+        let g = build(&raw);
+        let n = raw.n;
+        let mut patterns = Vec::new();
+        for (fbits, cbits) in seeds {
+            let faulty: ProcessSet = (0..n).filter(|i| fbits & (1 << i) != 0).collect();
+            let channels: Vec<Channel> = raw
+                .edges
+                .iter()
+                .enumerate()
+                .filter(|(i, (a, b))| {
+                    cbits & (1 << (i % 10)) != 0
+                        && !faulty.contains(ProcessId(*a))
+                        && !faulty.contains(ProcessId(*b))
+                })
+                .map(|(_, &(a, b))| Channel::new(ProcessId(a), ProcessId(b)))
+                .collect();
+            if let Ok(p) = FailurePattern::new(n, faulty, channels) {
+                patterns.push(p);
+            }
+        }
+        let fp = FailProneSystem::new(n, patterns).unwrap();
+        prop_assert_eq!(gqs_exists(&g, &fp), gqs_exists_brute_force(&g, &fp));
+    }
+
+    /// Soundness + Proposition 1: every witness validates and all its U_f
+    /// sets are strongly connected.
+    #[test]
+    fn finder_witnesses_are_valid(
+        raw in raw_graph(5),
+        fbits in proptest::collection::vec(0u32..32, 1..4),
+    ) {
+        let g = build(&raw);
+        let patterns: Vec<FailurePattern> = fbits
+            .iter()
+            .filter_map(|bits| {
+                let faulty: ProcessSet = (0..raw.n).filter(|i| bits & (1 << i) != 0).collect();
+                FailurePattern::crash_only(raw.n, faulty).ok()
+            })
+            .collect();
+        let fp = FailProneSystem::new(raw.n, patterns).unwrap();
+        if let Some(w) = find_gqs(&g, &fp) {
+            // The construction of GeneralizedQuorumSystem::new validated
+            // Consistency + Availability; check Proposition 1 on top.
+            for i in 0..fp.len() {
+                let u = w.system.u_f(i);
+                prop_assert!(!u.is_empty());
+                prop_assert!(g.residual(fp.pattern(i)).is_strongly_connected(u));
+                prop_assert!(u.is_subset(fp.pattern(i).correct()));
+            }
+        }
+    }
+
+    /// Failure monotonicity: enlarging a failure pattern can only destroy
+    /// solvability, never create it.
+    #[test]
+    fn adding_failures_is_monotone(
+        raw in raw_graph(5),
+        fbits in 0u32..32,
+        extra in 0usize..16,
+    ) {
+        let g = build(&raw);
+        let n = raw.n;
+        let faulty: ProcessSet = (0..n).filter(|i| fbits & (1 << i) != 0).collect();
+        let Ok(base) = FailurePattern::crash_only(n, faulty) else { return Ok(()) };
+        let fp = FailProneSystem::new(n, [base.clone()]).unwrap();
+        let solvable_before = gqs_exists(&g, &fp);
+
+        // Enlarge: crash one more process (if any remain).
+        let remaining: Vec<ProcessId> = base.correct().iter().collect();
+        if remaining.is_empty() {
+            return Ok(());
+        }
+        let extra_p = remaining[extra % remaining.len()];
+        let bigger = FailurePattern::crash_only(n, base.faulty().with(extra_p)).unwrap();
+        let fp2 = FailProneSystem::new(n, [bigger]).unwrap();
+        let solvable_after = gqs_exists(&g, &fp2);
+        prop_assert!(
+            solvable_before || !solvable_after,
+            "a strictly larger pattern became solvable"
+        );
+    }
+
+    /// ProcessSet algebra laws.
+    #[test]
+    fn process_set_laws(a_bits in any::<u64>(), b_bits in any::<u64>(), n in 1usize..64) {
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let a: ProcessSet = (0..n).filter(|i| a_bits & mask & (1 << i) != 0).collect();
+        let b: ProcessSet = (0..n).filter(|i| b_bits & mask & (1 << i) != 0).collect();
+        prop_assert_eq!(a | b, b | a);
+        prop_assert_eq!(a & b, b & a);
+        prop_assert_eq!(a - b, a & b.complement(n));
+        prop_assert_eq!((a | b).complement(n), a.complement(n) & b.complement(n)); // De Morgan
+        prop_assert_eq!(a.is_subset(b), (a - b).is_empty());
+        prop_assert_eq!(a.intersects(b), !(a & b).is_empty());
+        prop_assert_eq!((a | b).len() + (a & b).len(), a.len() + b.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Threshold-vs-threshold Consistency arithmetic agrees with explicit
+    /// enumeration of all quorums (small n).
+    #[test]
+    fn threshold_consistency_matches_enumeration(n in 2usize..7, r in 1usize..7, w in 1usize..7) {
+        prop_assume!(r <= n && w <= n);
+        use gqs_core::QuorumFamily;
+        let rt = QuorumFamily::threshold(n, r).unwrap();
+        let wt = QuorumFamily::threshold(n, w).unwrap();
+        let fast = rt.consistent_with(&wt).is_ok();
+        // Oracle: enumerate every pair of subsets of sizes >= r and >= w.
+        let mut oracle = true;
+        'outer: for rbits in 0u32..(1 << n) {
+            let rset: ProcessSet = (0..n).filter(|i| rbits & (1 << i) != 0).collect();
+            if rset.len() < r {
+                continue;
+            }
+            for wbits in 0u32..(1 << n) {
+                let wset: ProcessSet = (0..n).filter(|i| wbits & (1 << i) != 0).collect();
+                if wset.len() < w {
+                    continue;
+                }
+                if rset.is_disjoint(wset) {
+                    oracle = false;
+                    break 'outer;
+                }
+            }
+        }
+        prop_assert_eq!(fast, oracle, "n={} r={} w={}", n, r, w);
+    }
+
+    /// For threshold write families, `available_writes` (SCC-based) agrees
+    /// with brute-force enumeration of available quorums.
+    #[test]
+    fn threshold_available_writes_matches_enumeration(raw in raw_graph(5), w in 1usize..5) {
+        prop_assume!(w <= raw.n);
+        use gqs_core::QuorumFamily;
+        let g = build(&raw);
+        let res = g.residual_failure_free();
+        let fam = QuorumFamily::threshold(raw.n, w).unwrap();
+        let sccs = fam.available_writes(&res);
+        // Oracle: some w-subset is f-available iff some SCC has >= w members.
+        let mut any_available = false;
+        for bits in 0u32..(1 << raw.n) {
+            let set: ProcessSet = (0..raw.n).filter(|i| bits & (1 << i) != 0).collect();
+            if set.len() >= w && res.is_strongly_connected(set) {
+                any_available = true;
+                break;
+            }
+        }
+        prop_assert_eq!(!sccs.is_empty(), any_available);
+        for s in &sccs {
+            prop_assert!(s.len() >= w);
+            prop_assert!(res.is_strongly_connected(*s));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Join-semilattices.
+//!
+//! Lattice agreement (§6) is parameterized by a semi-lattice `(L, ≤, ⊔)`.
+//! This module defines the trait and the stock lattices used by the
+//! examples, tests and the lower-bound scenario (which needs two
+//! incomparable elements).
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+/// A join-semilattice: a partial order with least upper bounds.
+///
+/// Laws (checked by property tests): `join` is associative, commutative
+/// and idempotent; `leq(a, b)` iff `join(a, b) == b`.
+pub trait JoinSemilattice: Clone + PartialEq + Debug {
+    /// The least upper bound of `self` and `other`.
+    #[must_use]
+    fn join(&self, other: &Self) -> Self;
+
+    /// The partial order: `self ≤ other`.
+    fn leq(&self, other: &Self) -> bool {
+        &self.join(other) == other
+    }
+
+    /// Whether the two elements are comparable.
+    fn comparable(&self, other: &Self) -> bool {
+        self.leq(other) || other.leq(self)
+    }
+}
+
+/// The power-set lattice over `T`: order is inclusion, join is union.
+/// Distinct singletons are incomparable — the lattice of the paper's
+/// lower-bound proofs.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SetLattice<T: Ord + Clone + Debug>(pub BTreeSet<T>);
+
+impl<T: Ord + Clone + Debug> SetLattice<T> {
+    /// The empty set (bottom).
+    pub fn bottom() -> Self {
+        SetLattice(BTreeSet::new())
+    }
+
+    /// A singleton `{x}`.
+    pub fn singleton(x: T) -> Self {
+        SetLattice(std::iter::once(x).collect())
+    }
+
+    /// Builds from any collection.
+    pub fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        SetLattice(iter.into_iter().collect())
+    }
+}
+
+impl<T: Ord + Clone + Debug> JoinSemilattice for SetLattice<T> {
+    fn join(&self, other: &Self) -> Self {
+        SetLattice(self.0.union(&other.0).cloned().collect())
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0.is_subset(&other.0)
+    }
+}
+
+/// The total order on `u64` with join = max (every pair comparable; the
+/// degenerate case where lattice agreement is trivial).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct MaxLattice(pub u64);
+
+impl JoinSemilattice for MaxLattice {
+    fn join(&self, other: &Self) -> Self {
+        MaxLattice(self.0.max(other.0))
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+}
+
+/// Pointwise-ordered fixed-width vectors of counters (a vector-clock
+/// lattice): join is the pointwise max.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct VectorLattice(pub Vec<u64>);
+
+impl VectorLattice {
+    /// The all-zero vector of width `n` (bottom).
+    pub fn bottom(n: usize) -> Self {
+        VectorLattice(vec![0; n])
+    }
+}
+
+impl JoinSemilattice for VectorLattice {
+    fn join(&self, other: &Self) -> Self {
+        assert_eq!(self.0.len(), other.0.len(), "vector lattices must share a width");
+        VectorLattice(self.0.iter().zip(&other.0).map(|(a, b)| *a.max(b)).collect())
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_lattice_order_is_inclusion() {
+        let a = SetLattice::singleton(1);
+        let b = SetLattice::singleton(2);
+        let ab = a.join(&b);
+        assert!(a.leq(&ab) && b.leq(&ab));
+        assert!(!a.leq(&b) && !b.leq(&a));
+        assert!(!a.comparable(&b));
+        assert!(a.comparable(&ab));
+        assert!(SetLattice::<u8>::bottom().leq(&a));
+    }
+
+    #[test]
+    fn max_lattice_is_total() {
+        let a = MaxLattice(3);
+        let b = MaxLattice(7);
+        assert_eq!(a.join(&b), MaxLattice(7));
+        assert!(a.leq(&b));
+        assert!(a.comparable(&b));
+    }
+
+    #[test]
+    fn vector_lattice_pointwise() {
+        let a = VectorLattice(vec![1, 0]);
+        let b = VectorLattice(vec![0, 2]);
+        assert!(!a.comparable(&b));
+        assert_eq!(a.join(&b), VectorLattice(vec![1, 2]));
+        assert!(VectorLattice::bottom(2).leq(&a));
+    }
+
+    #[test]
+    fn join_laws_on_samples() {
+        let xs = [
+            SetLattice::from_iter([1, 2]),
+            SetLattice::singleton(3),
+            SetLattice::bottom(),
+            SetLattice::from_iter([2, 3, 4]),
+        ];
+        for a in &xs {
+            assert_eq!(a.join(a), *a, "idempotent");
+            for b in &xs {
+                assert_eq!(a.join(b), b.join(a), "commutative");
+                for c in &xs {
+                    assert_eq!(a.join(b).join(c), a.join(&b.join(c)), "associative");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share a width")]
+    fn vector_width_mismatch_panics() {
+        let _ = VectorLattice(vec![1]).join(&VectorLattice(vec![1, 2]));
+    }
+}

@@ -1,0 +1,56 @@
+//! Lattice agreement is generic in the semilattice: exercise the MaxLattice
+//! (total order — trivially comparable) and VectorLattice (pointwise
+//! counters) instances end to end.
+
+use gqs_core::systems::figure1;
+use gqs_core::ProcessId;
+use gqs_lattice::{gqs_lattice_nodes, JoinSemilattice, Learned, MaxLattice, Propose, VectorLattice};
+use gqs_simnet::{FailureSchedule, SimConfig, SimTime, Simulation, StopReason};
+
+#[test]
+fn max_lattice_agrees_on_maximum() {
+    let fig = figure1();
+    let nodes = gqs_lattice_nodes::<MaxLattice>(&fig.gqs, 20);
+    let cfg = SimConfig { seed: 3, horizon: SimTime(600_000), ..SimConfig::default() };
+    let mut sim = Simulation::new(cfg, nodes);
+    sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
+    sim.invoke_at(SimTime(10), ProcessId(0), Propose(MaxLattice(3)));
+    sim.invoke_at(SimTime(12), ProcessId(1), Propose(MaxLattice(8)));
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+    let outs: Vec<u64> = sim
+        .history()
+        .ops()
+        .iter()
+        .map(|r| r.resp().map(|Learned(MaxLattice(v))| *v).unwrap())
+        .collect();
+    // Every output dominates its input; outputs are comparable (total
+    // order); the later-linearized output includes both proposals.
+    assert!(outs[0] == 3 || outs[0] == 8);
+    assert!(outs[1] == 8, "b proposed the max; its output must be it");
+    assert!(outs.iter().max() == Some(&8));
+}
+
+#[test]
+fn vector_lattice_merges_pointwise() {
+    let fig = figure1();
+    let nodes = gqs_lattice_nodes::<VectorLattice>(&fig.gqs, 20);
+    let cfg = SimConfig { seed: 5, horizon: SimTime(600_000), ..SimConfig::default() };
+    let mut sim = Simulation::new(cfg, nodes);
+    sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
+    sim.invoke_at(SimTime(10), ProcessId(0), Propose(VectorLattice(vec![5, 0, 0, 0])));
+    sim.invoke_at(SimTime(12), ProcessId(1), Propose(VectorLattice(vec![0, 7, 0, 0])));
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+    let outs: Vec<VectorLattice> = sim
+        .history()
+        .ops()
+        .iter()
+        .map(|r| r.resp().map(|Learned(v)| v.clone()).unwrap())
+        .collect();
+    // Comparable outputs, each dominating its input.
+    assert!(outs[0].comparable(&outs[1]));
+    assert!(VectorLattice(vec![5, 0, 0, 0]).leq(&outs[0]));
+    assert!(VectorLattice(vec![0, 7, 0, 0]).leq(&outs[1]));
+    // The join of the two outputs is the pointwise max of both inputs.
+    let top = outs[0].join(&outs[1]);
+    assert!(VectorLattice(vec![5, 7, 0, 0]).leq(&top));
+}

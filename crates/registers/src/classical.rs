@@ -1,0 +1,264 @@
+//! Classical quorum access functions (Figure 2).
+//!
+//! The textbook request/response pattern: `quorum_get()` broadcasts
+//! `GET_REQ` and awaits `GET_RESP`s from a read quorum; `quorum_set(u)`
+//! broadcasts `SET_REQ(u)` and awaits `SET_RESP`s from a write quorum.
+//! Correct whenever the fail-prone system disallows channel failures
+//! (Definition 1); used here as the ABD baseline that **stalls** under the
+//! weak connectivity of Figure 1 — the behaviour the generalized engine of
+//! Figure 3 exists to fix.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use gqs_core::{ProcessId, ProcessSet, QuorumFamily};
+use gqs_simnet::{Context, TimerId};
+
+use crate::qaf::{QafEvent, QuorumAccess};
+use crate::update::Update;
+
+/// Wire messages of the classical engine (Figure 2).
+#[derive(Clone, Debug)]
+pub enum ClassicalMsg<S, U> {
+    /// `GET_REQ(seq)` — request the current state.
+    GetReq {
+        /// Requester-local invocation id.
+        seq: u64,
+    },
+    /// `GET_RESP(seq, state)` — the responder's current state.
+    GetResp {
+        /// Echoed invocation id.
+        seq: u64,
+        /// The responder's state.
+        state: S,
+    },
+    /// `SET_REQ(seq, u)` — apply the update `u`.
+    SetReq {
+        /// Requester-local invocation id.
+        seq: u64,
+        /// The update function.
+        update: U,
+    },
+    /// `SET_RESP(seq)` — acknowledgement.
+    SetResp {
+        /// Echoed invocation id.
+        seq: u64,
+    },
+}
+
+#[derive(Debug)]
+struct PendingGet<S> {
+    seq: u64,
+    token: u64,
+    responses: BTreeMap<ProcessId, S>,
+}
+
+#[derive(Debug)]
+struct PendingSet {
+    seq: u64,
+    token: u64,
+    responded: ProcessSet,
+}
+
+/// The Figure 2 engine at one process.
+#[derive(Debug)]
+pub struct ClassicalQaf<S, U> {
+    state: S,
+    seq: u64,
+    reads: QuorumFamily,
+    writes: QuorumFamily,
+    gets: Vec<PendingGet<S>>,
+    sets: Vec<PendingSet>,
+    _update: PhantomData<U>,
+}
+
+impl<S: Clone + Debug, U: Update<S>> ClassicalQaf<S, U> {
+    /// Creates the engine with the given quorum families and initial state.
+    pub fn new(reads: QuorumFamily, writes: QuorumFamily, initial: S) -> Self {
+        ClassicalQaf {
+            state: initial,
+            seq: 0,
+            reads,
+            writes,
+            gets: Vec::new(),
+            sets: Vec::new(),
+            _update: PhantomData,
+        }
+    }
+
+    /// Number of invocations still awaiting a quorum.
+    pub fn pending(&self) -> usize {
+        self.gets.len() + self.sets.len()
+    }
+}
+
+impl<S: Clone + Debug, U: Update<S>> QuorumAccess<S, U> for ClassicalQaf<S, U> {
+    type Msg = ClassicalMsg<S, U>;
+
+    fn on_start<R>(&mut self, _ctx: &mut Context<Self::Msg, R>) {}
+
+    fn on_timer<R>(&mut self, _id: TimerId, _ctx: &mut Context<Self::Msg, R>) {}
+
+    fn start_get<R>(&mut self, token: u64, ctx: &mut Context<Self::Msg, R>) {
+        self.seq += 1;
+        self.gets.push(PendingGet { seq: self.seq, token, responses: BTreeMap::new() });
+        ctx.broadcast(ClassicalMsg::GetReq { seq: self.seq });
+    }
+
+    fn start_set<R>(&mut self, token: u64, update: U, ctx: &mut Context<Self::Msg, R>) {
+        self.seq += 1;
+        self.sets.push(PendingSet { seq: self.seq, token, responded: ProcessSet::new() });
+        ctx.broadcast(ClassicalMsg::SetReq { seq: self.seq, update });
+    }
+
+    fn on_message<R>(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<Self::Msg, R>,
+    ) -> Vec<QafEvent<S>> {
+        let mut events = Vec::new();
+        match msg {
+            ClassicalMsg::GetReq { seq } => {
+                ctx.send(from, ClassicalMsg::GetResp { seq, state: self.state.clone() });
+            }
+            ClassicalMsg::GetResp { seq, state } => {
+                if let Some(i) = self.gets.iter().position(|g| g.seq == seq) {
+                    self.gets[i].responses.insert(from, state);
+                    let have: ProcessSet = self.gets[i].responses.keys().copied().collect();
+                    if let Some(quorum) = self.reads.satisfying_quorum(have) {
+                        let g = self.gets.swap_remove(i);
+                        let states = g
+                            .responses
+                            .into_iter()
+                            .filter(|(p, _)| quorum.contains(*p))
+                            .collect();
+                        events.push(QafEvent::GetDone { token: g.token, states });
+                    }
+                }
+            }
+            ClassicalMsg::SetReq { seq, update } => {
+                self.state = update.apply(&self.state);
+                ctx.send(from, ClassicalMsg::SetResp { seq });
+            }
+            ClassicalMsg::SetResp { seq } => {
+                if let Some(i) = self.sets.iter().position(|s| s.seq == seq) {
+                    self.sets[i].responded.insert(from);
+                    if self.writes.is_satisfied(self.sets[i].responded) {
+                        let s = self.sets.swap_remove(i);
+                        events.push(QafEvent::SetDone { token: s.token });
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    fn state(&self) -> &S {
+        &self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::{RegMap, VersionedWrite};
+    use gqs_core::pset;
+    use gqs_simnet::SimTime;
+
+    type S = RegMap<u8, u64>;
+    type U = VersionedWrite<u8, u64>;
+    type Engine = ClassicalQaf<S, U>;
+
+    fn majority_engine() -> Engine {
+        let fam = QuorumFamily::threshold(3, 2).unwrap();
+        ClassicalQaf::new(fam.clone(), fam, RegMap::new(0))
+    }
+
+    fn ctx(p: usize) -> Context<ClassicalMsg<S, U>, ()> {
+        Context::new(ProcessId(p), 3, SimTime::ZERO)
+    }
+
+    #[test]
+    fn get_completes_on_read_quorum() {
+        let mut e = majority_engine();
+        let mut c = ctx(0);
+        e.start_get(7, &mut c);
+        assert_eq!(c.effect_count(), 3); // broadcast to all incl. self
+        assert_eq!(e.pending(), 1);
+        let s = RegMap::new(0);
+        let ev = e.on_message(ProcessId(1), ClassicalMsg::GetResp { seq: 1, state: s.clone() }, &mut c);
+        assert!(ev.is_empty());
+        let ev = e.on_message(ProcessId(2), ClassicalMsg::GetResp { seq: 1, state: s }, &mut c);
+        assert_eq!(ev.len(), 1);
+        match &ev[0] {
+            QafEvent::GetDone { token, states } => {
+                assert_eq!(*token, 7);
+                assert_eq!(states.len(), 2);
+            }
+            _ => panic!("expected GetDone"),
+        }
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn stale_seq_responses_ignored() {
+        let mut e = majority_engine();
+        let mut c = ctx(0);
+        e.start_get(7, &mut c);
+        let ev = e.on_message(
+            ProcessId(1),
+            ClassicalMsg::GetResp { seq: 99, state: RegMap::new(0) },
+            &mut c,
+        );
+        assert!(ev.is_empty());
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn set_applies_update_and_acks() {
+        let mut e = majority_engine();
+        let mut c = ctx(1);
+        let u = VersionedWrite { reg: 0, value: 9, version: (1, 0) };
+        let ev = e.on_message(ProcessId(0), ClassicalMsg::SetReq { seq: 4, update: u }, &mut c);
+        assert!(ev.is_empty());
+        assert_eq!(e.state().get(&0), (9, (1, 0)));
+        assert_eq!(c.effect_count(), 1); // the SET_RESP
+    }
+
+    #[test]
+    fn set_completes_on_write_quorum() {
+        let mut e = majority_engine();
+        let mut c = ctx(0);
+        let u = VersionedWrite { reg: 0, value: 9, version: (1, 0) };
+        e.start_set(3, u, &mut c);
+        let _ = e.on_message(ProcessId(0), ClassicalMsg::SetResp { seq: 1 }, &mut c);
+        let ev = e.on_message(ProcessId(2), ClassicalMsg::SetResp { seq: 1 }, &mut c);
+        assert!(matches!(ev[0], QafEvent::SetDone { token: 3 }));
+    }
+
+    #[test]
+    fn duplicate_responses_do_not_double_complete() {
+        let mut e = majority_engine();
+        let mut c = ctx(0);
+        e.start_set(3, VersionedWrite { reg: 0, value: 1, version: (1, 0) }, &mut c);
+        let _ = e.on_message(ProcessId(1), ClassicalMsg::SetResp { seq: 1 }, &mut c);
+        let _ = e.on_message(ProcessId(1), ClassicalMsg::SetResp { seq: 1 }, &mut c);
+        assert_eq!(e.pending(), 1, "one distinct responder is not a quorum");
+    }
+
+    #[test]
+    fn explicit_families_work_too() {
+        let reads = QuorumFamily::explicit([pset![0, 1]]).unwrap();
+        let writes = QuorumFamily::explicit([pset![1, 2]]).unwrap();
+        let mut e: Engine = ClassicalQaf::new(reads, writes, RegMap::new(0));
+        let mut c = ctx(0);
+        e.start_get(1, &mut c);
+        let _ = e.on_message(ProcessId(2), ClassicalMsg::GetResp { seq: 1, state: RegMap::new(0) }, &mut c);
+        assert_eq!(e.pending(), 1, "process 2 is not in the read quorum");
+        let _ = e.on_message(ProcessId(0), ClassicalMsg::GetResp { seq: 1, state: RegMap::new(0) }, &mut c);
+        let ev = e.on_message(ProcessId(1), ClassicalMsg::GetResp { seq: 1, state: RegMap::new(0) }, &mut c);
+        assert_eq!(ev.len(), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! The quorum access function interface (§5).
+//!
+//! The paper encapsulates "talk to a read quorum / write quorum" into two
+//! functions with three obligations:
+//!
+//! * **Validity** — states returned by `quorum_get()` are reachable by
+//!   applying some subset of previously issued updates;
+//! * **Real-time ordering** — a completed `quorum_set(u)` is visible to
+//!   every later `quorum_get()`;
+//! * **Liveness** — both functions are `(F, τ)`-wait-free for `τ(f) = U_f`.
+//!
+//! Two engines implement the interface: [`crate::classical::ClassicalQaf`]
+//! (Figure 2, request/response, needs classical quorum systems) and
+//! [`crate::generalized::GeneralizedQaf`] (Figure 3, logical clocks +
+//! periodic push, works with any generalized quorum system). The register
+//! of Figure 4 ([`crate::register::QuorumRegister`]) is generic over the
+//! engine, exactly as in the paper.
+
+use std::fmt::Debug;
+
+use gqs_core::ProcessId;
+use gqs_simnet::{Context, TimerId};
+
+/// A completion event produced by a quorum access engine.
+#[derive(Clone, Debug)]
+pub enum QafEvent<S> {
+    /// A `quorum_get()` finished: the states of all members of some read
+    /// quorum (tagged with the member that reported each state).
+    GetDone {
+        /// The caller-chosen token identifying the invocation.
+        token: u64,
+        /// One state per member of the satisfied read quorum.
+        states: Vec<(ProcessId, S)>,
+    },
+    /// A `quorum_set(u)` finished: the update is now visible to every
+    /// subsequent `quorum_get()` anywhere.
+    SetDone {
+        /// The caller-chosen token identifying the invocation.
+        token: u64,
+    },
+}
+
+impl<S> QafEvent<S> {
+    /// The token of the completed invocation.
+    pub fn token(&self) -> u64 {
+        match self {
+            QafEvent::GetDone { token, .. } | QafEvent::SetDone { token } => *token,
+        }
+    }
+}
+
+/// A quorum access engine: the embedding protocol forwards its own
+/// lifecycle events and receives [`QafEvent`]s in return.
+///
+/// The response type `R` of the embedding protocol is irrelevant to the
+/// engine (it never completes client operations), hence the per-method
+/// generic.
+pub trait QuorumAccess<S, U> {
+    /// The wire messages of the engine.
+    type Msg: Clone + Debug;
+
+    /// Forward of [`gqs_simnet::Protocol::on_start`].
+    fn on_start<R>(&mut self, ctx: &mut Context<Self::Msg, R>);
+
+    /// Forward of [`gqs_simnet::Protocol::on_timer`] for engine timers.
+    fn on_timer<R>(&mut self, id: TimerId, ctx: &mut Context<Self::Msg, R>);
+
+    /// Begins a `quorum_get()`; completion arrives as
+    /// [`QafEvent::GetDone`] with the same token.
+    fn start_get<R>(&mut self, token: u64, ctx: &mut Context<Self::Msg, R>);
+
+    /// Begins a `quorum_set(update)`; completion arrives as
+    /// [`QafEvent::SetDone`] with the same token.
+    fn start_set<R>(&mut self, token: u64, update: U, ctx: &mut Context<Self::Msg, R>);
+
+    /// Handles an engine message, returning any completions it triggered.
+    fn on_message<R>(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<Self::Msg, R>,
+    ) -> Vec<QafEvent<S>>;
+
+    /// The engine's current replica state (for assertions and debugging).
+    fn state(&self) -> &S;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_token_accessor() {
+        let g: QafEvent<u8> = QafEvent::GetDone { token: 7, states: vec![] };
+        let s: QafEvent<u8> = QafEvent::SetDone { token: 9 };
+        assert_eq!(g.token(), 7);
+        assert_eq!(s.token(), 9);
+    }
+}

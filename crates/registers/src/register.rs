@@ -1,0 +1,360 @@
+//! The MWMR atomic register protocol (Figure 4), generic over the quorum
+//! access engine.
+//!
+//! Both operations run the same two phases:
+//!
+//! * **Get phase** — `quorum_get()` collects the states of a read quorum.
+//!   A write computes a fresh version `t = (k+1, i)` above everything seen;
+//!   a read picks the state `s'` with the largest version.
+//! * **Set phase** — `quorum_set(u)` installs `(x, t)` (write) or writes
+//!   `s'` back (read) at a write quorum, so later operations observe it.
+//!
+//! Instantiated with [`crate::generalized::GeneralizedQaf`] this is the
+//! paper's `(F, τ)`-wait-free register over a generalized quorum system;
+//! with [`crate::classical::ClassicalQaf`] it is the multi-writer ABD
+//! baseline.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+use gqs_core::{GeneralizedQuorumSystem, ProcessId, QuorumFamily};
+use gqs_simnet::{Context, Flood, OpId, Protocol, TimerId};
+
+use crate::classical::ClassicalQaf;
+use crate::generalized::GeneralizedQaf;
+use crate::qaf::{QafEvent, QuorumAccess};
+use crate::update::{RegMap, Version, VersionedWrite};
+
+/// Client operations on the register namespace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RegOp<K, V> {
+    /// `write(value)` to register `reg`.
+    Write {
+        /// Target register.
+        reg: K,
+        /// Value to write.
+        value: V,
+    },
+    /// `read()` of register `reg`.
+    Read {
+        /// Target register.
+        reg: K,
+    },
+}
+
+/// Responses, tagged with the protocol's version `τ` so that executions
+/// can be certified by the §B dependency-graph checker without peeking
+/// into replica state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RegResp<V> {
+    /// Write acknowledgement; `version` is the `t` the write installed.
+    Ack {
+        /// The version the write installed.
+        version: Version,
+    },
+    /// Read result; `version` is the version of the state returned.
+    Value {
+        /// The value read.
+        value: V,
+        /// Version of the state the read chose.
+        version: Version,
+    },
+}
+
+impl<V> RegResp<V> {
+    /// The version tag `τ` of the operation.
+    pub fn version(&self) -> Version {
+        match self {
+            RegResp::Ack { version } | RegResp::Value { version, .. } => *version,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Phase<K, V> {
+    WriteGet { op: OpId, reg: K, value: V },
+    WriteSet { op: OpId, version: Version },
+    ReadGet { op: OpId, reg: K },
+    ReadSet { op: OpId, value: V, version: Version },
+}
+
+/// The Figure 4 register protocol at one process, generic over the quorum
+/// access engine `E`.
+#[derive(Debug)]
+pub struct QuorumRegister<K, V, E>
+where
+    K: Ord,
+{
+    me: ProcessId,
+    engine: E,
+    pending: BTreeMap<u64, Phase<K, V>>,
+    next_token: u64,
+}
+
+impl<K, V, E> QuorumRegister<K, V, E>
+where
+    K: Ord + Clone + Debug,
+    V: Clone + Debug,
+    E: QuorumAccess<RegMap<K, V>, VersionedWrite<K, V>>,
+{
+    /// Wraps an engine into a register protocol for process `me`.
+    pub fn new(me: ProcessId, engine: E) -> Self {
+        QuorumRegister { me, engine, pending: BTreeMap::new(), next_token: 0 }
+    }
+
+    /// The underlying engine (for assertions on clocks/state).
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Number of client operations currently in flight at this process.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn fresh_token(&mut self) -> u64 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    fn handle_events(
+        &mut self,
+        events: Vec<QafEvent<RegMap<K, V>>>,
+        ctx: &mut Context<E::Msg, RegResp<V>>,
+    ) {
+        for ev in events {
+            match ev {
+                QafEvent::GetDone { token, states } => self.finish_get(token, states, ctx),
+                QafEvent::SetDone { token } => self.finish_set(token, ctx),
+            }
+        }
+    }
+
+    fn finish_get(
+        &mut self,
+        token: u64,
+        states: Vec<(ProcessId, RegMap<K, V>)>,
+        ctx: &mut Context<E::Msg, RegResp<V>>,
+    ) {
+        let Some(phase) = self.pending.remove(&token) else { return };
+        match phase {
+            Phase::WriteGet { op, reg, value } => {
+                // Lines 3-7: version t = (k+1, i) above everything seen.
+                let k = states
+                    .iter()
+                    .map(|(_, s)| s.version_of(&reg).0)
+                    .max()
+                    .expect("read quorums are nonempty");
+                let version = (k + 1, self.me.index() as u64);
+                let update = VersionedWrite { reg, value, version };
+                self.pending.insert(token, Phase::WriteSet { op, version });
+                self.engine.start_set(token, update, ctx);
+            }
+            Phase::ReadGet { op, reg } => {
+                // Lines 9-12: pick the max-version state and write it back.
+                let (value, version) = states
+                    .iter()
+                    .map(|(_, s)| s.get(&reg))
+                    .max_by_key(|(_, ver)| *ver)
+                    .expect("read quorums are nonempty");
+                let update =
+                    VersionedWrite { reg, value: value.clone(), version };
+                self.pending.insert(token, Phase::ReadSet { op, value, version });
+                self.engine.start_set(token, update, ctx);
+            }
+            other => {
+                unreachable!("get completion in a set phase: {other:?}");
+            }
+        }
+    }
+
+    fn finish_set(&mut self, token: u64, ctx: &mut Context<E::Msg, RegResp<V>>) {
+        let Some(phase) = self.pending.remove(&token) else { return };
+        match phase {
+            Phase::WriteSet { op, version } => ctx.complete(op, RegResp::Ack { version }),
+            Phase::ReadSet { op, value, version } => {
+                ctx.complete(op, RegResp::Value { value, version });
+            }
+            other => unreachable!("set completion in a get phase: {other:?}"),
+        }
+    }
+}
+
+impl<K, V, E> Protocol for QuorumRegister<K, V, E>
+where
+    K: Ord + Clone + Debug,
+    V: Clone + Debug,
+    E: QuorumAccess<RegMap<K, V>, VersionedWrite<K, V>>,
+{
+    type Msg = E::Msg;
+    type Op = RegOp<K, V>;
+    type Resp = RegResp<V>;
+
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg, Self::Resp>) {
+        self.engine.on_start(ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<Self::Msg, Self::Resp>) {
+        let events = self.engine.on_message(from, msg, ctx);
+        self.handle_events(events, ctx);
+    }
+
+    fn on_timer(&mut self, id: TimerId, ctx: &mut Context<Self::Msg, Self::Resp>) {
+        self.engine.on_timer(id, ctx);
+    }
+
+    fn on_invoke(&mut self, op: OpId, body: Self::Op, ctx: &mut Context<Self::Msg, Self::Resp>) {
+        let token = self.fresh_token();
+        let phase = match body {
+            RegOp::Write { reg, value } => Phase::WriteGet { op, reg, value },
+            RegOp::Read { reg } => Phase::ReadGet { op, reg },
+        };
+        self.pending.insert(token, phase);
+        self.engine.start_get(token, ctx);
+    }
+}
+
+/// The paper's register: Figure 4 over the generalized engine of Figure 3.
+pub type GqsRegister<K, V> =
+    QuorumRegister<K, V, GeneralizedQaf<RegMap<K, V>, VersionedWrite<K, V>>>;
+
+/// The ABD baseline: Figure 4 over the classical engine of Figure 2.
+pub type AbdRegister<K, V> =
+    QuorumRegister<K, V, ClassicalQaf<RegMap<K, V>, VersionedWrite<K, V>>>;
+
+/// Builds one flooding-wrapped [`GqsRegister`] node per process of a
+/// generalized quorum system.
+///
+/// Flooding realizes the §5 transitivity assumption, so this is the
+/// deployable form of the paper's register.
+pub fn gqs_register_nodes<K, V>(
+    gqs: &GeneralizedQuorumSystem,
+    initial: V,
+    tick_interval: u64,
+) -> Vec<Flood<GqsRegister<K, V>>>
+where
+    K: Ord + Clone + Debug,
+    V: Clone + Debug,
+{
+    (0..gqs.graph().len())
+        .map(|p| {
+            let engine = GeneralizedQaf::new(
+                gqs.reads().clone(),
+                gqs.writes().clone(),
+                RegMap::new(initial.clone()),
+                tick_interval,
+            );
+            Flood::new(QuorumRegister::new(ProcessId(p), engine))
+        })
+        .collect()
+}
+
+/// Builds one [`AbdRegister`] node per process for a classical setting
+/// (complete graph, no flooding needed).
+pub fn abd_register_nodes<K, V>(
+    n: usize,
+    reads: QuorumFamily,
+    writes: QuorumFamily,
+    initial: V,
+) -> Vec<AbdRegister<K, V>>
+where
+    K: Ord + Clone + Debug,
+    V: Clone + Debug,
+{
+    (0..n)
+        .map(|p| {
+            let engine =
+                ClassicalQaf::new(reads.clone(), writes.clone(), RegMap::new(initial.clone()));
+            QuorumRegister::new(ProcessId(p), engine)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqs_core::majority_system;
+    use gqs_simnet::{SimConfig, SimTime, Simulation, StopReason};
+
+    type Reg = AbdRegister<u8, u64>;
+
+    fn abd_sim(n: usize, seed: u64) -> Simulation<Reg> {
+        let qs = majority_system(n).unwrap();
+        let nodes = abd_register_nodes(n, qs.reads().clone(), qs.writes().clone(), 0);
+        let cfg = SimConfig { seed, ..SimConfig::default() };
+        Simulation::new(cfg, nodes)
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut sim = abd_sim(3, 1);
+        sim.invoke_at(SimTime(1), ProcessId(0), RegOp::Write { reg: 0, value: 42 });
+        sim.invoke_at(SimTime(500), ProcessId(1), RegOp::Read { reg: 0 });
+        assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+        let ops = sim.history().ops();
+        assert!(matches!(ops[0].resp(), Some(RegResp::Ack { version: (1, 0) })));
+        assert!(matches!(ops[1].resp(), Some(RegResp::Value { value: 42, version: (1, 0) })));
+    }
+
+    #[test]
+    fn read_of_fresh_register_returns_initial() {
+        let mut sim = abd_sim(3, 2);
+        sim.invoke_at(SimTime(1), ProcessId(2), RegOp::Read { reg: 5 });
+        assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+        assert!(matches!(
+            sim.history().ops()[0].resp(),
+            Some(RegResp::Value { value: 0, version: (0, 0) })
+        ));
+    }
+
+    #[test]
+    fn sequential_writes_get_increasing_versions() {
+        let mut sim = abd_sim(3, 3);
+        sim.invoke_at(SimTime(1), ProcessId(0), RegOp::Write { reg: 0, value: 1 });
+        sim.invoke_at(SimTime(500), ProcessId(1), RegOp::Write { reg: 0, value: 2 });
+        sim.invoke_at(SimTime(1000), ProcessId(2), RegOp::Read { reg: 0 });
+        assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+        let ops = sim.history().ops();
+        let v0 = ops[0].resp().unwrap().version();
+        let v1 = ops[1].resp().unwrap().version();
+        assert!(v1 > v0, "later write must install a later version");
+        assert!(matches!(ops[2].resp(), Some(RegResp::Value { value: 2, .. })));
+    }
+
+    #[test]
+    fn concurrent_writers_never_share_a_version() {
+        let mut sim = abd_sim(5, 4);
+        for p in 0..5u64 {
+            sim.invoke_at(
+                SimTime(1),
+                ProcessId(p as usize),
+                RegOp::Write { reg: 0, value: 100 + p },
+            );
+        }
+        assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+        let mut versions: Vec<Version> =
+            sim.history().ops().iter().map(|o| o.resp().unwrap().version()).collect();
+        versions.sort_unstable();
+        versions.dedup();
+        assert_eq!(versions.len(), 5, "versions embed the writer id: all distinct");
+    }
+
+    #[test]
+    fn independent_registers_do_not_interfere() {
+        let mut sim = abd_sim(3, 5);
+        sim.invoke_at(SimTime(1), ProcessId(0), RegOp::Write { reg: 0, value: 10 });
+        sim.invoke_at(SimTime(1), ProcessId(1), RegOp::Write { reg: 1, value: 20 });
+        sim.invoke_at(SimTime(600), ProcessId(2), RegOp::Read { reg: 0 });
+        sim.invoke_at(SimTime(600), ProcessId(2), RegOp::Read { reg: 1 });
+        assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+        let ops = sim.history().ops();
+        assert!(matches!(ops[2].resp(), Some(RegResp::Value { value: 10, .. })));
+        assert!(matches!(ops[3].resp(), Some(RegResp::Value { value: 20, .. })));
+    }
+
+    #[test]
+    fn resp_version_accessor() {
+        assert_eq!(RegResp::<u64>::Ack { version: (3, 1) }.version(), (3, 1));
+        assert_eq!(RegResp::Value { value: 5u64, version: (2, 0) }.version(), (2, 0));
+    }
+}

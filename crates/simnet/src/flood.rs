@@ -1,0 +1,277 @@
+//! Flooding middleware: transitive connectivity by forwarding.
+//!
+//! The paper assumes WLOG that the connectivity relation of `G \ f` is
+//! transitive: "if not, transitivity can be easily simulated by having all
+//! processes forward every received message" (§5). [`Flood`] is exactly
+//! that construction: it wraps any [`Protocol`], envelopes each logical
+//! message with a unique id, and has every process re-broadcast each
+//! first-seen envelope to all. A message from `p` to `q` is then delivered
+//! whenever a directed path of correct channels from `p` to `q` exists —
+//! at an `O(n²)` message cost per logical message, which the experiment
+//! tables report explicitly.
+
+use std::collections::HashSet;
+
+use gqs_core::ProcessId;
+
+use crate::protocol::{Context, Effect, OpId, Protocol, TimerId};
+
+/// The envelope carried by the flooding layer.
+#[derive(Clone, Debug)]
+pub struct FloodMsg<M> {
+    /// The process that originated the logical message.
+    pub origin: ProcessId,
+    /// Origin-local sequence number; `(origin, seq)` is globally unique.
+    pub seq: u64,
+    /// The logical destination (`None` = logical broadcast to all).
+    pub dest: Option<ProcessId>,
+    /// The wrapped protocol message.
+    pub payload: M,
+}
+
+/// Wraps a protocol so that logical messages travel along directed *paths*
+/// of correct channels rather than single channels.
+///
+/// # Examples
+///
+/// ```
+/// use gqs_simnet::{Flood, SimConfig, Simulation};
+/// # use gqs_simnet::{Context, OpId, Protocol, TimerId};
+/// # use gqs_core::ProcessId;
+/// # #[derive(Default, Debug)] struct P;
+/// # impl Protocol for P {
+/// #     type Msg = u8; type Op = (); type Resp = ();
+/// #     fn on_start(&mut self, _: &mut Context<u8, ()>) {}
+/// #     fn on_message(&mut self, _: ProcessId, _: u8, _: &mut Context<u8, ()>) {}
+/// #     fn on_timer(&mut self, _: TimerId, _: &mut Context<u8, ()>) {}
+/// #     fn on_invoke(&mut self, op: OpId, _: (), ctx: &mut Context<u8, ()>) { ctx.complete(op, ()) }
+/// # }
+/// let nodes: Vec<Flood<P>> = (0..3).map(|_| Flood::new(P)).collect();
+/// let sim = Simulation::new(SimConfig::default(), nodes);
+/// ```
+#[derive(Debug)]
+pub struct Flood<P: Protocol> {
+    inner: P,
+    next_seq: u64,
+    seen: HashSet<(ProcessId, u64)>,
+    relayed: u64,
+}
+
+impl<P: Protocol> Flood<P> {
+    /// Wraps `inner` in a flooding layer.
+    pub fn new(inner: P) -> Self {
+        Flood { inner, next_seq: 0, seen: HashSet::new(), relayed: 0 }
+    }
+
+    /// The wrapped protocol (for assertions on its state).
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped protocol.
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+
+    /// Number of envelopes this process has relayed (forwarding cost).
+    pub fn relayed(&self) -> u64 {
+        self.relayed
+    }
+
+    /// Translates the inner protocol's effects: each logical send becomes
+    /// a flooded envelope; timers and completions pass through.
+    fn translate(
+        &mut self,
+        inner_ctx: &mut Context<P::Msg, P::Resp>,
+        ctx: &mut Context<FloodMsg<P::Msg>, P::Resp>,
+    ) {
+        for eff in inner_ctx.take_effects() {
+            match eff {
+                Effect::Send { to, msg } => {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    let env = FloodMsg { origin: ctx.me(), seq, dest: Some(to), payload: msg };
+                    // Broadcast includes self, so the origin's own copy is
+                    // delivered through the regular path as well.
+                    ctx.broadcast(env);
+                }
+                Effect::SetTimer { id, after } => ctx.set_timer(id, after),
+                Effect::Complete { op, resp } => ctx.complete(op, resp),
+            }
+        }
+    }
+
+    fn inner_ctx(ctx: &Context<FloodMsg<P::Msg>, P::Resp>) -> Context<P::Msg, P::Resp> {
+        Context::new(ctx.me(), ctx.n(), ctx.now())
+    }
+}
+
+impl<P: Protocol> Protocol for Flood<P> {
+    type Msg = FloodMsg<P::Msg>;
+    type Op = P::Op;
+    type Resp = P::Resp;
+
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg, Self::Resp>) {
+        let mut inner_ctx = Self::inner_ctx(ctx);
+        self.inner.on_start(&mut inner_ctx);
+        self.translate(&mut inner_ctx, ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        env: Self::Msg,
+        ctx: &mut Context<Self::Msg, Self::Resp>,
+    ) {
+        if !self.seen.insert((env.origin, env.seq)) {
+            return; // already relayed and (if addressed to us) delivered
+        }
+        // Relay to everyone else first so forwarding continues even if the
+        // local handler panics in tests.
+        self.relayed += 1;
+        for p in 0..ctx.n() {
+            let p = ProcessId(p);
+            if p != ctx.me() {
+                ctx.send(p, env.clone());
+            }
+        }
+        let for_me = env.dest.is_none_or(|d| d == ctx.me());
+        if for_me {
+            let mut inner_ctx = Self::inner_ctx(ctx);
+            self.inner.on_message(env.origin, env.payload, &mut inner_ctx);
+            self.translate(&mut inner_ctx, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, ctx: &mut Context<Self::Msg, Self::Resp>) {
+        let mut inner_ctx = Self::inner_ctx(ctx);
+        self.inner.on_timer(id, &mut inner_ctx);
+        self.translate(&mut inner_ctx, ctx);
+    }
+
+    fn on_invoke(&mut self, op: OpId, body: Self::Op, ctx: &mut Context<Self::Msg, Self::Resp>) {
+        let mut inner_ctx = Self::inner_ctx(ctx);
+        self.inner.on_invoke(op, body, &mut inner_ctx);
+        self.translate(&mut inner_ctx, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{FailureSchedule, SimConfig, Simulation, StopReason};
+    use crate::time::SimTime;
+    use gqs_core::Channel;
+
+    /// Sends one message to a target; the target completes an op when it
+    /// arrives.
+    #[derive(Default, Debug)]
+    struct OneShot {
+        pending: Option<OpId>,
+        received_from: Vec<ProcessId>,
+    }
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Hello,
+        Ack,
+    }
+
+    impl Protocol for OneShot {
+        type Msg = Msg;
+        type Op = ProcessId;
+        type Resp = ();
+
+        fn on_start(&mut self, _ctx: &mut Context<Msg, ()>) {}
+
+        fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<Msg, ()>) {
+            match msg {
+                Msg::Hello => {
+                    self.received_from.push(from);
+                    ctx.send(from, Msg::Ack);
+                }
+                Msg::Ack => {
+                    if let Some(op) = self.pending.take() {
+                        ctx.complete(op, ());
+                    }
+                }
+            }
+        }
+
+        fn on_timer(&mut self, _id: TimerId, _ctx: &mut Context<Msg, ()>) {}
+
+        fn on_invoke(&mut self, op: OpId, target: ProcessId, ctx: &mut Context<Msg, ()>) {
+            self.pending = Some(op);
+            ctx.send(target, Msg::Hello);
+        }
+    }
+
+    fn flooded(n: usize) -> Simulation<Flood<OneShot>> {
+        let nodes = (0..n).map(|_| Flood::new(OneShot::default())).collect();
+        Simulation::new(SimConfig::default(), nodes)
+    }
+
+    /// Disconnect both direct channels between 0 and 2 but keep the relay
+    /// through 1: flooding must still deliver, request AND reply.
+    #[test]
+    fn flooding_routes_around_disconnected_channels() {
+        let mut sim = flooded(3);
+        let mut sched = FailureSchedule::none();
+        sched.disconnect(Channel::new(ProcessId(0), ProcessId(2)), SimTime::ZERO);
+        sched.disconnect(Channel::new(ProcessId(2), ProcessId(0)), SimTime::ZERO);
+        sim.apply_failures(&sched);
+        sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(2));
+        let reason = sim.run_until_ops_complete();
+        assert_eq!(reason, StopReason::OpsComplete);
+        // The logical sender seen by the target is the origin, not the relay.
+        assert_eq!(sim.node(ProcessId(2)).inner().received_from, vec![ProcessId(0)]);
+    }
+
+    /// With no path (all channels into 2 cut), delivery must NOT happen.
+    #[test]
+    fn flooding_cannot_cross_a_full_cut() {
+        let mut sim = flooded(3);
+        let mut sched = FailureSchedule::none();
+        sched.disconnect(Channel::new(ProcessId(0), ProcessId(2)), SimTime::ZERO);
+        sched.disconnect(Channel::new(ProcessId(1), ProcessId(2)), SimTime::ZERO);
+        sim.apply_failures(&sched);
+        sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(2));
+        sim.run();
+        assert!(!sim.history().ops()[0].is_complete());
+        assert!(sim.node(ProcessId(2)).inner().received_from.is_empty());
+    }
+
+    /// Messages are delivered exactly once despite O(n²) copies.
+    #[test]
+    fn dedup_delivers_exactly_once() {
+        let mut sim = flooded(4);
+        sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(3));
+        sim.run_until_ops_complete();
+        assert_eq!(sim.node(ProcessId(3)).inner().received_from.len(), 1);
+    }
+
+    /// The reply path may differ from the request path (asymmetric cuts).
+    #[test]
+    fn asymmetric_paths_work() {
+        // 0 -> 2 direct is cut; 2 -> 0 direct is cut; 0 -> 1 -> 2 for the
+        // request and 2 -> 3 -> 0 for the reply.
+        let mut sim = flooded(4);
+        let mut sched = FailureSchedule::none();
+        for (a, b) in [(0, 2), (2, 0), (3, 2), (2, 1), (1, 0), (0, 3)] {
+            sched.disconnect(Channel::new(ProcessId(a), ProcessId(b)), SimTime::ZERO);
+        }
+        sim.apply_failures(&sched);
+        sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(2));
+        let reason = sim.run_until_ops_complete();
+        assert_eq!(reason, StopReason::OpsComplete);
+    }
+
+    #[test]
+    fn relay_counters_track_forwarding_cost() {
+        let mut sim = flooded(3);
+        sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(1));
+        sim.run_until_ops_complete();
+        let total: u64 = (0..3).map(|p| sim.node(ProcessId(p)).relayed()).sum();
+        assert!(total >= 2, "every process should relay each envelope once");
+    }
+}

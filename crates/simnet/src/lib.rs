@@ -1,0 +1,67 @@
+//! # Deterministic network simulator for the GQS reproduction
+//!
+//! A discrete-event simulator implementing the system model of *"Tight
+//! Bounds on Channel Reliability via Generalized Quorum Systems"* (§2, §7):
+//! asynchronous message passing over unidirectional channels, with
+//!
+//! * **process crashes** (a crashed process takes no further steps),
+//! * **channel disconnections** (from some point on, a faulty channel drops
+//!   every message sent through it),
+//! * an optional **partial synchrony** mode (GST + δ) for consensus,
+//! * a **flooding middleware** ([`Flood`]) realizing the paper's
+//!   "forward every received message" transitivity assumption.
+//!
+//! Protocols implement [`Protocol`] and are driven by [`Simulation`], which
+//! records an operation [`History`] suitable for the `gqs-checker` crate.
+//! Runs are bit-for-bit reproducible from the seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use gqs_core::ProcessId;
+//! use gqs_simnet::{Context, OpId, Protocol, SimConfig, SimTime, Simulation, StopReason, TimerId};
+//!
+//! /// Echo: completes each operation when its round trip returns.
+//! #[derive(Default, Debug)]
+//! struct Echo { pending: Vec<OpId> }
+//!
+//! impl Protocol for Echo {
+//!     type Msg = bool; // true = request, false = reply
+//!     type Op = ProcessId;
+//!     type Resp = ();
+//!     fn on_start(&mut self, _: &mut Context<bool, ()>) {}
+//!     fn on_message(&mut self, from: ProcessId, req: bool, ctx: &mut Context<bool, ()>) {
+//!         if req {
+//!             ctx.send(from, false);
+//!         } else if let Some(op) = self.pending.pop() {
+//!             ctx.complete(op, ());
+//!         }
+//!     }
+//!     fn on_timer(&mut self, _: TimerId, _: &mut Context<bool, ()>) {}
+//!     fn on_invoke(&mut self, op: OpId, target: ProcessId, ctx: &mut Context<bool, ()>) {
+//!         self.pending.push(op);
+//!         ctx.send(target, true);
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(SimConfig::default(), vec![Echo::default(), Echo::default()]);
+//! sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(1));
+//! assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod flood;
+pub mod history;
+pub mod protocol;
+pub mod rng;
+pub mod sim;
+pub mod time;
+
+pub use flood::{Flood, FloodMsg};
+pub use history::{History, NetStats, OpRecord};
+pub use protocol::{Context, Effect, OpId, Protocol, TimerId};
+pub use rng::SplitMix64;
+pub use sim::{DelayModel, FailureSchedule, SimConfig, Simulation, StopReason};
+pub use time::SimTime;

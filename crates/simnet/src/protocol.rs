@@ -1,0 +1,213 @@
+//! The protocol interface: how distributed algorithms plug into the
+//! simulator.
+//!
+//! A protocol is a deterministic state machine replicated at every process.
+//! It reacts to four kinds of stimuli — startup, message delivery, timer
+//! expiry and operation invocation — and emits *effects* (sends, timers,
+//! operation completions) through a [`Context`]. The simulator (or a
+//! middleware layer such as [`crate::flood::Flood`]) collects the effects
+//! and turns them into future events.
+
+use std::fmt;
+
+use gqs_core::ProcessId;
+
+use crate::time::SimTime;
+
+/// Identifier of a client operation invocation, unique within a run.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OpId(pub u64);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Identifier of a protocol timer, chosen by the protocol itself.
+///
+/// Timers are one-shot; periodic behaviour is obtained by re-arming in
+/// `on_timer` (exactly how the paper's `periodically` blocks are realized).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u64);
+
+impl fmt::Display for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer{}", self.0)
+    }
+}
+
+/// An effect emitted by a protocol handler.
+#[derive(Clone, Debug)]
+pub enum Effect<M, R> {
+    /// Send `msg` to `to` over the (unidirectional) channel.
+    Send {
+        /// Destination process (may equal the sender; self-messages are
+        /// always delivered).
+        to: ProcessId,
+        /// The message.
+        msg: M,
+    },
+    /// Arm a one-shot timer that fires `after` time units from now.
+    SetTimer {
+        /// Protocol-chosen identifier, passed back to `on_timer`.
+        id: TimerId,
+        /// Delay in time units (0 fires at the current instant, after the
+        /// current event).
+        after: u64,
+    },
+    /// Complete a pending client operation with a response.
+    Complete {
+        /// The operation being completed.
+        op: OpId,
+        /// Its response value.
+        resp: R,
+    },
+}
+
+/// Handler context: identifies the process and collects effects.
+///
+/// Middleware that wraps a protocol (e.g. flooding) creates inner contexts
+/// with [`Context::new`] and drains them with [`Context::take_effects`].
+#[derive(Debug)]
+pub struct Context<M, R> {
+    me: ProcessId,
+    n: usize,
+    now: SimTime,
+    effects: Vec<Effect<M, R>>,
+}
+
+impl<M, R> Context<M, R> {
+    /// Creates a fresh context for a handler invocation at `me` in a
+    /// system of `n` processes at time `now`.
+    pub fn new(me: ProcessId, n: usize, now: SimTime) -> Self {
+        Context { me, n, now, effects: Vec::new() }
+    }
+
+    /// The process executing the handler.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends `msg` to `to`.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Sends `msg` to every process, **including the sender** — the
+    /// paper's `send ... to all`. (A process is always connected to
+    /// itself; the self-copy is delivered reliably.)
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for p in 0..self.n {
+            self.send(ProcessId(p), msg.clone());
+        }
+    }
+
+    /// Arms a one-shot timer.
+    pub fn set_timer(&mut self, id: TimerId, after: u64) {
+        self.effects.push(Effect::SetTimer { id, after });
+    }
+
+    /// Completes a pending operation.
+    pub fn complete(&mut self, op: OpId, resp: R) {
+        self.effects.push(Effect::Complete { op, resp });
+    }
+
+    /// Drains the collected effects (middleware entry point).
+    pub fn take_effects(&mut self) -> Vec<Effect<M, R>> {
+        std::mem::take(&mut self.effects)
+    }
+
+    /// Number of effects collected so far.
+    pub fn effect_count(&self) -> usize {
+        self.effects.len()
+    }
+}
+
+/// A distributed protocol: one instance runs at every process.
+///
+/// All handlers must be deterministic; randomness, if needed, belongs in
+/// protocol state seeded at construction. This is what makes simulator
+/// runs reproducible.
+pub trait Protocol {
+    /// Messages exchanged between processes.
+    type Msg: Clone + fmt::Debug;
+    /// Client operations (e.g. `Read`, `Write(v)`, `Propose(x)`).
+    type Op: Clone + fmt::Debug;
+    /// Operation responses.
+    type Resp: Clone + fmt::Debug;
+
+    /// Called once at time zero, before any other event.
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg, Self::Resp>);
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<Self::Msg, Self::Resp>,
+    );
+
+    /// Called when a timer armed by this process fires.
+    fn on_timer(&mut self, id: TimerId, ctx: &mut Context<Self::Msg, Self::Resp>);
+
+    /// Called when a client invokes an operation at this process. The
+    /// protocol completes it later via [`Context::complete`].
+    fn on_invoke(&mut self, op: OpId, body: Self::Op, ctx: &mut Context<Self::Msg, Self::Resp>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_collects_effects_in_order() {
+        let mut ctx: Context<&'static str, ()> = Context::new(ProcessId(1), 3, SimTime(5));
+        assert_eq!(ctx.me(), ProcessId(1));
+        assert_eq!(ctx.n(), 3);
+        assert_eq!(ctx.now(), SimTime(5));
+        ctx.send(ProcessId(0), "x");
+        ctx.set_timer(TimerId(7), 10);
+        ctx.complete(OpId(1), ());
+        assert_eq!(ctx.effect_count(), 3);
+        let effects = ctx.take_effects();
+        assert!(matches!(effects[0], Effect::Send { to: ProcessId(0), msg: "x" }));
+        assert!(matches!(effects[1], Effect::SetTimer { id: TimerId(7), after: 10 }));
+        assert!(matches!(effects[2], Effect::Complete { op: OpId(1), .. }));
+        assert_eq!(ctx.effect_count(), 0);
+    }
+
+    #[test]
+    fn broadcast_includes_self() {
+        let mut ctx: Context<u8, ()> = Context::new(ProcessId(1), 3, SimTime::ZERO);
+        ctx.broadcast(9);
+        let effects = ctx.take_effects();
+        let targets: Vec<usize> = effects
+            .iter()
+            .map(|e| match e {
+                Effect::Send { to, .. } => to.index(),
+                _ => panic!("only sends expected"),
+            })
+            .collect();
+        assert_eq!(targets, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(OpId(3).to_string(), "op3");
+        assert_eq!(TimerId(4).to_string(), "timer4");
+    }
+}

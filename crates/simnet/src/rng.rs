@@ -1,0 +1,155 @@
+//! A tiny deterministic random number generator.
+//!
+//! The simulator's determinism guarantee ("same seed, same trace") must not
+//! depend on the stability of a third-party crate across versions, so the
+//! event scheduler uses this self-contained [SplitMix64] generator.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+/// A SplitMix64 pseudo-random number generator.
+///
+/// Fast, 64 bits of state, passes BigCrush when used as a stream; entirely
+/// sufficient for drawing message delays and failure times.
+///
+/// # Examples
+///
+/// ```
+/// use gqs_simnet::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value uniform in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Rejection-free is unnecessary here: modulo bias is irrelevant for
+        // delay scheduling, but we use Lemire's trick anyway for quality.
+        let span = span + 1;
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (span as u128);
+        let mut l = m as u64;
+        if l < span {
+            let t = span.wrapping_neg() % span;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (span as u128);
+                l = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
+    }
+
+    /// A value uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Forks an independent generator (for sub-streams that must not
+    /// perturb the parent's sequence).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn range_is_inclusive_and_in_bounds() {
+        let mut r = SplitMix64::new(3);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let x = r.range(2, 5);
+            assert!((2..=5).contains(&x));
+            seen_lo |= x == 2;
+            seen_hi |= x == 5;
+        }
+        assert!(seen_lo && seen_hi, "range should cover endpoints");
+        assert_eq!(r.range(9, 9), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn range_rejects_inverted_bounds() {
+        SplitMix64::new(0).range(5, 4);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(11);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(13);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.1));
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let mut a = SplitMix64::new(5);
+        let mut fork = a.fork();
+        let after_fork = a.next_u64();
+        // Replay: forking consumed exactly one draw.
+        let mut b = SplitMix64::new(5);
+        let _ = b.next_u64();
+        assert_eq!(b.next_u64(), after_fork);
+        let _ = fork.next_u64(); // usable
+    }
+}

@@ -1,0 +1,89 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual (simulated) time, in abstract time units.
+///
+/// The simulator is a discrete-event system: time jumps from event to
+/// event; nothing happens "between" events.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero, where every execution starts.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable time (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// The raw tick count.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(t: u64) -> Self {
+        SimTime(t)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(10);
+        assert_eq!(t + 5, SimTime(15));
+        assert_eq!(SimTime(15) - t, 5);
+        assert_eq!(t - SimTime(15), 0); // saturating
+        assert_eq!(SimTime::MAX + 1, SimTime::MAX);
+        assert_eq!(SimTime(7).since(SimTime(3)), 4);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::ZERO < SimTime(1));
+        assert_eq!(SimTime(3).to_string(), "t=3");
+        let t: SimTime = 9u64.into();
+        assert_eq!(t.ticks(), 9);
+    }
+}

@@ -1,0 +1,126 @@
+//! Simulator-level properties: time monotonicity, conservation of
+//! messages, determinism across seeds, and fairness (every correct-channel
+//! message is eventually delivered at quiescence).
+
+use proptest::prelude::*;
+
+use gqs_core::ProcessId;
+use gqs_simnet::{
+    Context, FailureSchedule, OpId, Protocol, SimConfig, SimTime, Simulation, TimerId,
+};
+
+/// A gossiping protocol: every process relays each first-seen token to a
+/// pseudo-random subset of peers and records handler times.
+#[derive(Default, Debug)]
+struct Gossip {
+    seen: Vec<u64>,
+    times: Vec<u64>,
+    relays: u64,
+}
+
+impl Protocol for Gossip {
+    type Msg = u64;
+    type Op = u64;
+    type Resp = ();
+
+    fn on_start(&mut self, ctx: &mut Context<u64, ()>) {
+        self.times.push(ctx.now().ticks());
+    }
+
+    fn on_message(&mut self, _from: ProcessId, token: u64, ctx: &mut Context<u64, ()>) {
+        self.times.push(ctx.now().ticks());
+        if !self.seen.contains(&token) {
+            self.seen.push(token);
+            self.relays += 1;
+            // Deterministic pseudo-random fanout derived from the token.
+            for p in 0..ctx.n() {
+                if (token.wrapping_mul(31).wrapping_add(p as u64)) % 3 != 0 {
+                    ctx.send(ProcessId(p), token);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _id: TimerId, ctx: &mut Context<u64, ()>) {
+        self.times.push(ctx.now().ticks());
+    }
+
+    fn on_invoke(&mut self, op: OpId, token: u64, ctx: &mut Context<u64, ()>) {
+        self.times.push(ctx.now().ticks());
+        ctx.broadcast(token);
+        ctx.complete(op, ());
+    }
+}
+
+fn run(seed: u64, n: usize, tokens: &[u64]) -> Simulation<Gossip> {
+    let cfg = SimConfig { seed, ..SimConfig::default() };
+    let mut sim = Simulation::new(cfg, (0..n).map(|_| Gossip::default()).collect());
+    for (i, &t) in tokens.iter().enumerate() {
+        sim.invoke_at(SimTime(1 + i as u64 * 3), ProcessId(i % n), t);
+    }
+    sim.run();
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Virtual time never runs backwards at any process.
+    #[test]
+    fn handler_times_are_monotone(seed in any::<u64>(), n in 2usize..6) {
+        let sim = run(seed, n, &[7, 8, 9]);
+        for p in 0..n {
+            let times = &sim.node(ProcessId(p)).times;
+            for w in times.windows(2) {
+                prop_assert!(w[0] <= w[1], "time went backwards at {p}");
+            }
+        }
+    }
+
+    /// Message conservation: sent = delivered + dropped when quiescent.
+    #[test]
+    fn message_conservation(seed in any::<u64>(), n in 2usize..6) {
+        let sim = run(seed, n, &[1, 2]);
+        let s = sim.stats();
+        prop_assert_eq!(s.sent, s.delivered + s.dropped_disconnected + s.dropped_crashed);
+    }
+
+    /// Full determinism: identical seeds yield identical stats and final
+    /// protocol states.
+    #[test]
+    fn determinism(seed in any::<u64>()) {
+        let a = run(seed, 4, &[5, 6, 7]);
+        let b = run(seed, 4, &[5, 6, 7]);
+        prop_assert_eq!(a.stats(), b.stats());
+        for p in 0..4 {
+            prop_assert_eq!(&a.node(ProcessId(p)).times, &b.node(ProcessId(p)).times);
+            prop_assert_eq!(&a.node(ProcessId(p)).seen, &b.node(ProcessId(p)).seen);
+        }
+    }
+
+    /// Without failures, every broadcast token reaches every process
+    /// (reliable channels deliver everything by quiescence).
+    #[test]
+    fn reliable_channels_deliver_broadcasts(seed in any::<u64>(), n in 2usize..6) {
+        let sim = run(seed, n, &[42]);
+        for p in 0..n {
+            prop_assert!(sim.node(ProcessId(p)).seen.contains(&42), "process {p} missed the token");
+        }
+    }
+
+    /// Crashing every process but the invoker leaves the token confined.
+    #[test]
+    fn crashes_confine_information(seed in any::<u64>()) {
+        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let mut sim = Simulation::new(cfg, (0..3).map(|_| Gossip::default()).collect());
+        let mut sched = FailureSchedule::none();
+        sched.crash(ProcessId(1), SimTime(0));
+        sched.crash(ProcessId(2), SimTime(0));
+        sim.apply_failures(&sched);
+        sim.invoke_at(SimTime(5), ProcessId(0), 9);
+        sim.run();
+        prop_assert!(sim.node(ProcessId(0)).seen.contains(&9));
+        prop_assert!(sim.node(ProcessId(1)).seen.is_empty());
+        prop_assert!(sim.node(ProcessId(2)).seen.is_empty());
+    }
+}

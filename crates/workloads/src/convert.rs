@@ -1,0 +1,116 @@
+//! Conversions from simulator histories to checker inputs.
+
+use gqs_checker::spec::{Entry, RegisterOp, RegisterResp, SnapshotOp, SnapshotResp};
+use gqs_checker::{ConsensusOutcome, LatticeOutcome, TaggedKind, TaggedOp};
+use gqs_lattice::{JoinSemilattice, Learned, Propose};
+use gqs_registers::{RegOp, RegResp};
+use gqs_simnet::History;
+use gqs_snapshots::{SnapOp, SnapResp};
+
+/// A register history as recorded by the simulator.
+pub type RegisterHistory = History<RegOp<u8, u64>, RegResp<u64>>;
+/// A snapshot history as recorded by the simulator.
+pub type SnapshotHistory = History<SnapOp<u64>, SnapResp<u64>>;
+
+/// Projects the history of register `reg` onto the black-box checker's
+/// alphabet (versions stripped).
+pub fn register_entries(
+    h: &RegisterHistory,
+    reg: u8,
+) -> Vec<Entry<RegisterOp<u64>, RegisterResp<u64>>> {
+    h.ops()
+        .iter()
+        .filter(
+            |r| matches!(&r.op, RegOp::Write { reg: k, .. } | RegOp::Read { reg: k } if *k == reg),
+        )
+        .map(|r| Entry {
+            process: r.process,
+            invoked_at: r.invoked_at.ticks(),
+            completed_at: r.completed_at().map(|t| t.ticks()),
+            op: match &r.op {
+                RegOp::Write { value, .. } => RegisterOp::Write(*value),
+                RegOp::Read { .. } => RegisterOp::Read,
+            },
+            resp: r.resp().map(|resp| match resp {
+                RegResp::Ack { .. } => RegisterResp::Ack,
+                RegResp::Value { value, .. } => RegisterResp::Value(*value),
+            }),
+        })
+        .collect()
+}
+
+/// Converts a fully complete register history into §B version-tagged
+/// operations for the dependency-graph checker.
+///
+/// # Panics
+///
+/// Panics if any operation on `reg` is still pending (§B considers
+/// complete executions).
+pub fn register_tagged(h: &RegisterHistory, reg: u8) -> Vec<TaggedOp<u64>> {
+    h.ops()
+        .iter()
+        .filter(
+            |r| matches!(&r.op, RegOp::Write { reg: k, .. } | RegOp::Read { reg: k } if *k == reg),
+        )
+        .map(|r| {
+            let (done, resp) = r.response.clone().expect("§B requires complete executions");
+            TaggedOp {
+                process: r.process,
+                invoked_at: r.invoked_at.ticks(),
+                completed_at: done.ticks(),
+                kind: match (&r.op, &resp) {
+                    (RegOp::Write { value, .. }, _) => TaggedKind::Write(*value),
+                    (RegOp::Read { .. }, RegResp::Value { value, .. }) => TaggedKind::Read(*value),
+                    _ => unreachable!("reads return values"),
+                },
+                version: resp.version(),
+            }
+        })
+        .collect()
+}
+
+/// Converts a snapshot history to the black-box checker's alphabet.
+pub fn snapshot_entries(h: &SnapshotHistory) -> Vec<Entry<SnapshotOp<u64>, SnapshotResp<u64>>> {
+    h.ops()
+        .iter()
+        .map(|r| Entry {
+            process: r.process,
+            invoked_at: r.invoked_at.ticks(),
+            completed_at: r.completed_at().map(|t| t.ticks()),
+            op: match &r.op {
+                SnapOp::Update(v) => SnapshotOp::Update { segment: r.process.index(), value: *v },
+                SnapOp::Scan => SnapshotOp::Scan,
+            },
+            resp: r.resp().map(|resp| match resp {
+                SnapResp::Ack => SnapshotResp::Ack,
+                SnapResp::View(v) => SnapshotResp::View(v.clone()),
+            }),
+        })
+        .collect()
+}
+
+/// Extracts lattice-agreement outcomes from a run.
+pub fn lattice_outcomes<L: JoinSemilattice>(
+    h: &History<Propose<L>, Learned<L>>,
+) -> Vec<LatticeOutcome<L>> {
+    h.ops()
+        .iter()
+        .map(|r| LatticeOutcome {
+            process: r.process,
+            input: r.op.0.clone(),
+            output: r.resp().map(|Learned(y)| y.clone()),
+        })
+        .collect()
+}
+
+/// Extracts consensus outcomes from a run.
+pub fn consensus_outcomes<V: Clone>(h: &History<V, V>) -> Vec<ConsensusOutcome<V>> {
+    h.ops()
+        .iter()
+        .map(|r| ConsensusOutcome {
+            process: r.process,
+            proposed: r.op.clone(),
+            decided: r.resp().cloned(),
+        })
+        .collect()
+}

@@ -1,0 +1,156 @@
+//! Random topology and fail-prone-system generators for sweeps and
+//! property tests.
+//!
+//! Everything is seeded through [`SplitMix64`], so sweeps are exactly
+//! reproducible.
+
+use gqs_core::{
+    Channel, FailProneSystem, FailurePattern, NetworkGraph, ProcessId, ProcessSet,
+};
+use gqs_simnet::SplitMix64;
+
+/// A directed Erdős–Rényi graph on `n` vertices: each ordered pair gets a
+/// channel independently with probability `p`.
+pub fn random_digraph(n: usize, p: f64, rng: &mut SplitMix64) -> NetworkGraph {
+    let mut g = NetworkGraph::empty(n);
+    for from in 0..n {
+        for to in 0..n {
+            if from != to && rng.chance(p) {
+                g.add_channel(Channel::new(ProcessId(from), ProcessId(to)));
+            }
+        }
+    }
+    g
+}
+
+/// A bidirectional ring (each process connected both ways to its
+/// neighbours) — a sparse topology where single channel failures matter.
+pub fn ring(n: usize) -> NetworkGraph {
+    let mut g = NetworkGraph::empty(n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        if i != j {
+            g.add_channel(Channel::new(ProcessId(i), ProcessId(j)));
+            g.add_channel(Channel::new(ProcessId(j), ProcessId(i)));
+        }
+    }
+    g
+}
+
+/// A unidirectional ring `0 → 1 → ... → n-1 → 0`.
+pub fn oriented_ring(n: usize) -> NetworkGraph {
+    let mut g = NetworkGraph::empty(n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        if i != j {
+            g.add_channel(Channel::new(ProcessId(i), ProcessId(j)));
+        }
+    }
+    g
+}
+
+/// A random failure pattern over `n` processes: up to `max_crashes`
+/// crashes, then each channel between correct processes of `graph` fails
+/// independently with probability `p_chan`.
+pub fn random_pattern(
+    graph: &NetworkGraph,
+    max_crashes: usize,
+    p_chan: f64,
+    rng: &mut SplitMix64,
+) -> FailurePattern {
+    let n = graph.len();
+    let crash_count = rng.range(0, max_crashes as u64) as usize;
+    let mut faulty = ProcessSet::new();
+    while faulty.len() < crash_count {
+        faulty.insert(ProcessId(rng.range(0, n as u64 - 1) as usize));
+    }
+    let channels: Vec<Channel> = graph
+        .channels()
+        .filter(|ch| !ch.touches(faulty) && rng.chance(p_chan))
+        .collect();
+    FailurePattern::new(n, faulty, channels).expect("construction preserves well-formedness")
+}
+
+/// A "rotating" fail-prone system in the style of Figure 1: one pattern
+/// per process, pattern `i` crashing process `i`, plus independent channel
+/// failures with probability `p_chan` among the correct processes.
+///
+/// Because every process is faulty in some pattern, no singleton quorum
+/// system exists — this is the regime where the GQS/QS+ distinction is
+/// visible (in a system with a process correct under every pattern, the
+/// trivial `R = W = {x}` is simultaneously a GQS and a QS+).
+pub fn rotating_fail_prone(
+    graph: &NetworkGraph,
+    p_chan: f64,
+    rng: &mut SplitMix64,
+) -> FailProneSystem {
+    let n = graph.len();
+    let patterns: Vec<FailurePattern> = (0..n)
+        .map(|i| {
+            let faulty = ProcessSet::singleton(ProcessId(i));
+            let channels: Vec<Channel> = graph
+                .channels()
+                .filter(|ch| !ch.touches(faulty) && rng.chance(p_chan))
+                .collect();
+            FailurePattern::new(n, faulty, channels).expect("well-formed by construction")
+        })
+        .collect();
+    FailProneSystem::new(n, patterns).expect("uniform universe")
+}
+
+/// A random fail-prone system of `patterns` patterns over `graph`.
+pub fn random_fail_prone(
+    graph: &NetworkGraph,
+    patterns: usize,
+    max_crashes: usize,
+    p_chan: f64,
+    rng: &mut SplitMix64,
+) -> FailProneSystem {
+    let pats = (0..patterns).map(|_| random_pattern(graph, max_crashes, p_chan, rng));
+    FailProneSystem::new(graph.len(), pats.collect::<Vec<_>>()).expect("uniform universe")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_digraph_density_extremes() {
+        let mut rng = SplitMix64::new(1);
+        let empty = random_digraph(5, 0.0, &mut rng);
+        assert_eq!(empty.channels().count(), 0);
+        let full = random_digraph(5, 1.0, &mut rng);
+        assert_eq!(full.channels().count(), 20);
+    }
+
+    #[test]
+    fn rings_have_expected_degree() {
+        let g = ring(4);
+        assert_eq!(g.channels().count(), 8);
+        let og = oriented_ring(4);
+        assert_eq!(og.channels().count(), 4);
+        assert!(og.residual_failure_free().is_strongly_connected(ProcessSet::full(4)));
+    }
+
+    #[test]
+    fn random_patterns_are_well_formed() {
+        let mut rng = SplitMix64::new(2);
+        let g = random_digraph(6, 0.5, &mut rng);
+        for _ in 0..50 {
+            let f = random_pattern(&g, 3, 0.3, &mut rng);
+            assert!(f.faulty().len() <= 3);
+            for ch in f.channels() {
+                assert!(!ch.touches(f.faulty()));
+                assert!(g.has_channel(ch), "patterns only fail existing channels");
+            }
+        }
+    }
+
+    #[test]
+    fn random_fail_prone_reproducible() {
+        let g = NetworkGraph::complete(5);
+        let a = random_fail_prone(&g, 4, 2, 0.2, &mut SplitMix64::new(9));
+        let b = random_fail_prone(&g, 4, 2, 0.2, &mut SplitMix64::new(9));
+        assert_eq!(a, b);
+    }
+}

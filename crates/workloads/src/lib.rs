@@ -1,0 +1,24 @@
+//! # Workloads, generators and experiment drivers
+//!
+//! The glue between the protocol crates and the evaluation artifacts:
+//!
+//! * [`generators`] — seeded random topologies and fail-prone systems for
+//!   sweeps and property tests;
+//! * [`convert`] — simulator histories → checker inputs;
+//! * [`experiments`] — one driver per experiment of DESIGN.md's index
+//!   (E1–E12), each returning a printable [`ExperimentReport`];
+//! * [`table`] — the plain-text tables EXPERIMENTS.md records.
+//!
+//! The `gqs-bench` crate's `tables` binary simply runs
+//! [`experiments::all_reports`] and prints them.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod convert;
+pub mod experiments;
+pub mod generators;
+pub mod table;
+
+pub use experiments::{all_reports, ExperimentReport};
+pub use table::Table;

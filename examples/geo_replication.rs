@@ -1,0 +1,115 @@
+//! Geo-replication with asymmetric connectivity.
+//!
+//! A register replicated across two datacenters plus an edge sensor site:
+//!
+//! * `a, b` — datacenter EAST; `c, d` — datacenter WEST; `e` — an edge
+//!   site behind a satellite uplink that can *transmit* reliably but whose
+//!   *receive* path may drop.
+//! * Pattern `east-to-west loss`: the EAST→WEST direction of the
+//!   inter-DC link degrades (plus `d` may crash). WEST can still push its
+//!   state to EAST — a one-way situation classical quorum systems cannot
+//!   exploit but a GQS can.
+//! * Pattern `west-to-east loss`: the mirror image (plus `b` may crash).
+//! * Pattern `edge cut off downstream`: every channel into `e` drops; the
+//!   sensor can still upload readings but hears nothing back.
+//!
+//! The example lets the decision procedure *derive* the quorum systems,
+//! prints where termination is guaranteed (`U_f`), and demonstrates both
+//! the guaranteed operations and the predicted hang at the edge site.
+//!
+//! ```sh
+//! cargo run --example geo_replication
+//! ```
+
+use gqs::core::finder::{find_gqs, qs_plus_exists};
+use gqs::core::{chan, pset, FailProneSystem, FailurePattern, NetworkGraph, ProcessId};
+use gqs::registers::{gqs_register_nodes, RegOp, RegResp};
+use gqs::simnet::{FailureSchedule, SimConfig, SimTime, Simulation};
+
+const EAST_A: usize = 0;
+const EAST_B: usize = 1;
+const WEST_C: usize = 2;
+const WEST_D: usize = 3;
+const EDGE_E: usize = 4;
+
+fn scenario() -> (NetworkGraph, FailProneSystem) {
+    let graph = NetworkGraph::complete(5);
+    // EAST -> WEST direction lost; d may crash.
+    let east_to_west_loss = FailurePattern::new(
+        5,
+        pset![WEST_D],
+        [chan!(EAST_A, WEST_C), chan!(EAST_B, WEST_C), chan!(EAST_A, EDGE_E), chan!(EAST_B, EDGE_E)],
+    )
+    .expect("well-formed");
+    // WEST -> EAST direction lost; b may crash.
+    let west_to_east_loss = FailurePattern::new(
+        5,
+        pset![EAST_B],
+        [chan!(WEST_C, EAST_A), chan!(WEST_D, EAST_A), chan!(WEST_C, EDGE_E), chan!(WEST_D, EDGE_E)],
+    )
+    .expect("well-formed");
+    // Edge site can upload but not receive.
+    let edge_cut = FailurePattern::new(
+        5,
+        pset![],
+        [chan!(EAST_A, EDGE_E), chan!(EAST_B, EDGE_E), chan!(WEST_C, EDGE_E), chan!(WEST_D, EDGE_E)],
+    )
+    .expect("well-formed");
+    let fp = FailProneSystem::new(5, [east_to_west_loss, west_to_east_loss, edge_cut])
+        .expect("uniform universe");
+    (graph, fp)
+}
+
+fn name(p: ProcessId) -> &'static str {
+    ["east-a", "east-b", "west-c", "west-d", "edge-e"][p.index()]
+}
+
+fn main() {
+    let (graph, fp) = scenario();
+    println!("deployment: EAST {{a,b}}, WEST {{c,d}}, EDGE {{e}} over a full mesh");
+    for (i, f) in fp.patterns().enumerate() {
+        println!("  pattern {}: {}", i + 1, f);
+    }
+    println!();
+
+    // ---- Solvability --------------------------------------------------
+    let witness = find_gqs(&graph, &fp).expect("the scenario is solvable");
+    println!("a generalized quorum system exists: {}", witness.system);
+    println!("a strongly connected QS+ exists: {}", qs_plus_exists(&graph, &fp));
+    for i in 0..fp.len() {
+        let u = witness.system.u_f(i);
+        let names: Vec<&str> = u.iter().map(name).collect();
+        println!("  pattern {}: termination guaranteed at {}", i + 1, names.join(", "));
+    }
+    println!();
+
+    // ---- Run the register under the edge-cut pattern ------------------
+    let nodes = gqs_register_nodes::<u8, u64>(&witness.system, 0, 20);
+    let cfg = SimConfig { seed: 7, horizon: SimTime(80_000), ..SimConfig::default() };
+    let mut sim = Simulation::new(cfg, nodes);
+    sim.apply_failures(&FailureSchedule::from_pattern_at(fp.pattern(2), SimTime(0)));
+
+    // The datacenters replicate a configuration value; the edge sensor
+    // tries to read it back (and cannot — it hears nothing).
+    sim.invoke_at(SimTime(10), ProcessId(EAST_A), RegOp::Write { reg: 0, value: 2024 });
+    sim.invoke_at(SimTime(10_000), ProcessId(WEST_C), RegOp::Read { reg: 0 });
+    sim.invoke_at(SimTime(10_000), ProcessId(EDGE_E), RegOp::Read { reg: 0 });
+    sim.run();
+
+    println!("run under 'edge cut off downstream':");
+    for rec in sim.history().ops() {
+        let resp = match rec.resp() {
+            Some(RegResp::Ack { .. }) => "ack".to_string(),
+            Some(RegResp::Value { value, .. }) => format!("read {value}"),
+            None => "STUCK (as predicted: e ∉ U_f)".to_string(),
+        };
+        println!("  {:>7}: {:?} -> {}", name(rec.process), rec.op, resp);
+    }
+    let stuck = sim.history().ops().iter().filter(|r| !r.is_complete()).count();
+    println!();
+    println!(
+        "{} of {} operations completed; the edge sensor's read hangs exactly as Theorem 2 predicts",
+        sim.history().ops().len() - stuck,
+        sim.history().ops().len()
+    );
+}

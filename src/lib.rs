@@ -1,0 +1,55 @@
+//! # gqs — generalized quorum systems
+//!
+//! A complete, executable reproduction of *"Tight Bounds on Channel
+//! Reliability via Generalized Quorum Systems"* (PODC 2025): the theory
+//! (fail-prone systems with process **and** channel failures, generalized
+//! quorum systems, exact solvability decision procedures), the protocols
+//! (quorum access functions with logical clocks, MWMR atomic registers,
+//! SWMR snapshots, lattice agreement, partially synchronous consensus),
+//! the substrate (a deterministic discrete-event network simulator with
+//! crash/disconnection injection and partial synchrony), and the checkers
+//! (linearizability, object safety, wait-freedom within `τ(f) = U_f`).
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here under a stable module name.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `gqs-core` | processes, channels, graphs, failure patterns, quorum systems, the GQS finder |
+//! | [`simnet`] | `gqs-simnet` | the simulator, failure schedules, flooding middleware, histories |
+//! | [`registers`] | `gqs-registers` | Figures 2–4: quorum access functions and atomic registers |
+//! | [`snapshots`] | `gqs-snapshots` | Afek et al. snapshots over the registers |
+//! | [`lattice`] | `gqs-lattice` | single-shot lattice agreement over the snapshots |
+//! | [`consensus`] | `gqs-consensus` | Figure 6 consensus + view synchronizer + pull-Paxos baseline |
+//! | [`checker`] | `gqs-checker` | Wing–Gong and §B dependency-graph linearizability, object safety |
+//! | [`workloads`] | `gqs-workloads` | generators, experiment drivers E1–E12, tables |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gqs::core::systems::figure1;
+//! use gqs::core::finder::{find_gqs, qs_plus_exists};
+//!
+//! let fig = figure1();
+//! // Figure 1 admits a generalized quorum system ...
+//! assert!(find_gqs(&fig.graph, &fig.fail_prone).is_some());
+//! // ... but no strongly connected QS+ — the paper's headline separation.
+//! assert!(!qs_plus_exists(&fig.graph, &fig.fail_prone));
+//! // Wait-freedom is guaranteed exactly inside U_f (Theorems 1 and 2).
+//! assert_eq!(fig.gqs.u_f(0).to_string(), "{a,b}");
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and the `gqs-bench`
+//! crate for the experiment harness regenerating every table of
+//! EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+
+pub use gqs_checker as checker;
+pub use gqs_consensus as consensus;
+pub use gqs_core as core;
+pub use gqs_lattice as lattice;
+pub use gqs_registers as registers;
+pub use gqs_simnet as simnet;
+pub use gqs_snapshots as snapshots;
+pub use gqs_workloads as workloads;

