@@ -20,7 +20,11 @@ fn round(proposers: usize, with_failures: bool, seed: u64) {
         ));
     }
     for p in 0..proposers {
-        sim.invoke_at(SimTime(10 + p as u64), ProcessId(p), Propose(SetLattice::singleton(p as u64)));
+        sim.invoke_at(
+            SimTime(10 + p as u64),
+            ProcessId(p),
+            Propose(SetLattice::singleton(p as u64)),
+        );
     }
     assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
 }

@@ -1,0 +1,171 @@
+//! Machine-readable perf snapshot of the decision-procedure hot paths.
+//!
+//! Times `find_gqs`, `gqs_exists` and `sccs` on a fixed scenario ladder
+//! (n = 5…64 processes with growing pattern counts, seeded generation, so
+//! every run measures the same instances), plus the naive pre-optimization
+//! pipeline ([`gqs_core::reference`]) on the 32-process / 16-pattern rung
+//! as the speedup baseline.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p gqs-bench --bin perf_snapshot [-- OUTPUT.json]
+//! ```
+//!
+//! Writes `BENCH.json` (or the given path): one entry per ladder rung with
+//! mean ns/op for each procedure, and a `baseline` block recording the
+//! naive-vs-optimized `gqs_exists` ratio. Future PRs append nothing —
+//! they overwrite and diff in review, so the file is the perf trajectory.
+
+use std::time::Instant;
+
+use gqs_core::finder::{find_gqs, gqs_exists};
+use gqs_core::reference::gqs_exists_naive;
+use gqs_core::{FailProneSystem, NetworkGraph};
+use gqs_workloads::generators::random_scenarios;
+
+/// The fixed ladder: (processes, patterns). Edge probability and failure
+/// rates are fixed inside `scenarios`.
+const LADDER: &[(usize, usize)] =
+    &[(5, 4), (8, 6), (12, 8), (16, 10), (24, 12), (32, 16), (48, 24), (64, 32)];
+
+/// Scenarios per rung; results are averaged across them so a single
+/// degenerate instance cannot dominate a rung.
+const SCENARIOS_PER_RUNG: usize = 4;
+
+const SEED: u64 = 0xBE7C_4A11;
+
+fn scenarios(n: usize, patterns: usize) -> Vec<(NetworkGraph, FailProneSystem)> {
+    // Moderately sparse graphs with mixed crash + channel failures: dense
+    // enough that big SCCs survive, sparse enough that reachability is
+    // nontrivial.
+    random_scenarios(SCENARIOS_PER_RUNG, n, 0.3, patterns, n / 4, 0.15, SEED ^ n as u64)
+}
+
+/// Mean ns per call of `f`, adaptively batched to ≥ ~80ms of measurement,
+/// best of 3 batches.
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    // Calibrate the batch size.
+    let mut batch = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let dt = t0.elapsed();
+        if dt.as_millis() >= 20 || batch > 1 << 22 {
+            break;
+        }
+        batch *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let per = t0.elapsed().as_nanos() as f64 / batch as f64;
+        if per < best {
+            best = per;
+        }
+    }
+    best
+}
+
+struct Rung {
+    n: usize,
+    patterns: usize,
+    find_gqs_ns: f64,
+    gqs_exists_ns: f64,
+    sccs_ns: f64,
+    solvable: usize,
+}
+
+fn measure_rung(n: usize, patterns: usize) -> Rung {
+    let cases = scenarios(n, patterns);
+    let solvable = cases.iter().filter(|(g, fp)| gqs_exists(g, fp)).count();
+    let find_gqs_ns = time_ns(|| {
+        for (g, fp) in &cases {
+            std::hint::black_box(find_gqs(g, fp).is_some());
+        }
+    }) / cases.len() as f64;
+    let gqs_exists_ns = time_ns(|| {
+        for (g, fp) in &cases {
+            std::hint::black_box(gqs_exists(g, fp));
+        }
+    }) / cases.len() as f64;
+    let sccs_ns = time_ns(|| {
+        for (g, fp) in &cases {
+            for f in fp.patterns() {
+                std::hint::black_box(g.residual(f).sccs().len());
+            }
+        }
+    }) / cases.len() as f64;
+    Rung { n, patterns, find_gqs_ns, gqs_exists_ns, sccs_ns, solvable }
+}
+
+fn json_escape_free(v: f64) -> String {
+    // Stable, JSON-safe number formatting (no NaN/inf can occur here).
+    format!("{v:.1}")
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH.json".to_string());
+
+    let mut rungs = Vec::new();
+    for &(n, patterns) in LADDER {
+        eprintln!("measuring n={n} patterns={patterns} ...");
+        rungs.push(measure_rung(n, patterns));
+    }
+
+    // Baseline: naive pipeline on the 32/16 rung.
+    let (base_n, base_m) = (32usize, 16usize);
+    let cases = scenarios(base_n, base_m);
+    eprintln!("measuring naive baseline n={base_n} patterns={base_m} ...");
+    let naive_ns = time_ns(|| {
+        for (g, fp) in &cases {
+            std::hint::black_box(gqs_exists_naive(g, fp));
+        }
+    }) / cases.len() as f64;
+    let fast_ns = rungs
+        .iter()
+        .find(|r| r.n == base_n && r.patterns == base_m)
+        .expect("32/16 is on the ladder")
+        .gqs_exists_ns;
+    let speedup = naive_ns / fast_ns;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": 1,\n");
+    json.push_str(
+        "  \"description\": \"mean ns per call; seeded scenario ladder (see perf_snapshot.rs)\",\n",
+    );
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"scenarios_per_rung\": {SCENARIOS_PER_RUNG},\n"));
+    json.push_str("  \"ladder\": [\n");
+    for (i, r) in rungs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"patterns\": {}, \"solvable\": {}, \"find_gqs_ns\": {}, \"gqs_exists_ns\": {}, \"sccs_ns\": {}}}{}\n",
+            r.n,
+            r.patterns,
+            r.solvable,
+            json_escape_free(r.find_gqs_ns),
+            json_escape_free(r.gqs_exists_ns),
+            json_escape_free(r.sccs_ns),
+            if i + 1 < rungs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"baseline\": {\n");
+    json.push_str(&format!("    \"n\": {base_n},\n"));
+    json.push_str(&format!("    \"patterns\": {base_m},\n"));
+    json.push_str(&format!("    \"gqs_exists_ns\": {},\n", json_escape_free(fast_ns)));
+    json.push_str(&format!("    \"gqs_exists_naive_ns\": {},\n", json_escape_free(naive_ns)));
+    json.push_str(&format!("    \"speedup\": {:.2}\n", speedup));
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("{json}");
+    eprintln!("wrote {out_path}; gqs_exists speedup vs naive at n=32/16: {speedup:.2}x");
+}

@@ -146,9 +146,7 @@ pub fn check_dependency_graph<V: Clone + PartialEq + fmt::Debug>(
             } else {
                 match write_by_version.get(&op.version) {
                     None => {
-                        return Err(DepGraphViolation::UnmatchedReadVersion {
-                            version: op.version,
-                        })
+                        return Err(DepGraphViolation::UnmatchedReadVersion { version: op.version })
                     }
                     Some(&w) => {
                         let TaggedKind::Write(wv) = &ops[w].kind else { unreachable!() };
@@ -307,10 +305,7 @@ mod tests {
         // Write (1,0) completes before the read is invoked, but the read
         // returns the initial state: rt(w → r) and rw(r → w) form a cycle.
         let h = vec![wr(0, 0, 1, 5, (1, 0)), rd(1, 2, 3, 0, VERSION_ZERO)];
-        assert!(matches!(
-            check_dependency_graph(&h, &0),
-            Err(DepGraphViolation::Cycle { .. })
-        ));
+        assert!(matches!(check_dependency_graph(&h, &0), Err(DepGraphViolation::Cycle { .. })));
     }
 
     #[test]
@@ -328,11 +323,8 @@ mod tests {
 
     #[test]
     fn concurrent_reads_of_different_versions_fine() {
-        let h = vec![
-            wr(0, 0, 100, 5, (1, 0)),
-            rd(1, 1, 50, 5, (1, 0)),
-            rd(2, 1, 50, 0, VERSION_ZERO),
-        ];
+        let h =
+            vec![wr(0, 0, 100, 5, (1, 0)), rd(1, 1, 50, 5, (1, 0)), rd(2, 1, 50, 0, VERSION_ZERO)];
         assert!(check_dependency_graph(&h, &0).is_ok());
     }
 
@@ -341,10 +333,7 @@ mod tests {
         // w1 completes before w2 starts, but w2 got a SMALLER version:
         // rt(w1→w2) and ww(w2→w1) — cycle.
         let h = vec![wr(0, 0, 1, 5, (2, 0)), wr(1, 2, 3, 6, (1, 1))];
-        assert!(matches!(
-            check_dependency_graph(&h, &0),
-            Err(DepGraphViolation::Cycle { .. })
-        ));
+        assert!(matches!(check_dependency_graph(&h, &0), Err(DepGraphViolation::Cycle { .. })));
     }
 
     #[test]

@@ -112,10 +112,7 @@ where
         for b in &outcomes[i + 1..] {
             if let (Some(ya), Some(yb)) = (&a.output, &b.output) {
                 if !leq(ya, yb) && !leq(yb, ya) {
-                    return Err(LatticeViolation::Incomparable {
-                        a: ya.clone(),
-                        b: yb.clone(),
-                    });
+                    return Err(LatticeViolation::Incomparable { a: ya.clone(), b: yb.clone() });
                 }
             }
         }
@@ -315,16 +312,10 @@ mod tests {
             ConsensusOutcome { process: ProcessId(0), proposed: 1, decided: Some(1) },
             ConsensusOutcome { process: ProcessId(1), proposed: 2, decided: Some(2) },
         ];
-        assert!(matches!(
-            check_consensus(&disagree),
-            Err(ConsensusViolation::Disagreement { .. })
-        ));
+        assert!(matches!(check_consensus(&disagree), Err(ConsensusViolation::Disagreement { .. })));
 
-        let invalid = vec![ConsensusOutcome {
-            process: ProcessId(0),
-            proposed: 1,
-            decided: Some(9),
-        }];
+        let invalid =
+            vec![ConsensusOutcome { process: ProcessId(0), proposed: 1, decided: Some(9) }];
         assert!(matches!(
             check_consensus(&invalid),
             Err(ConsensusViolation::InvalidDecision { .. })

@@ -46,7 +46,10 @@ impl Verdict {
 ///
 /// Panics if the history exceeds [`MAX_OPS`] operations or a complete
 /// entry lacks a response.
-pub fn check_linearizable<S: SequentialSpec>(spec: &S, history: &[Entry<S::Op, S::Resp>]) -> Verdict {
+pub fn check_linearizable<S: SequentialSpec>(
+    spec: &S,
+    history: &[Entry<S::Op, S::Resp>],
+) -> Verdict {
     assert!(history.len() <= MAX_OPS, "history too large for the WG checker");
     for e in history {
         assert!(
@@ -126,7 +129,10 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{complete, pending, RegisterOp, RegisterResp, RegisterSpec, SnapshotOp, SnapshotResp, SnapshotSpec};
+    use crate::spec::{
+        complete, pending, RegisterOp, RegisterResp, RegisterSpec, SnapshotOp, SnapshotResp,
+        SnapshotSpec,
+    };
 
     type E = Entry<RegisterOp<u64>, RegisterResp<u64>>;
 
@@ -214,13 +220,8 @@ mod tests {
     #[test]
     fn interleaved_writers_readers_linearizable() {
         let spec = RegisterSpec::new(0u64);
-        let h = vec![
-            w(0, 0, 10, 1),
-            w(1, 5, 15, 2),
-            r(2, 8, 12, 1),
-            r(3, 11, 20, 2),
-            r(2, 16, 22, 2),
-        ];
+        let h =
+            vec![w(0, 0, 10, 1), w(1, 5, 15, 2), r(2, 8, 12, 1), r(3, 11, 20, 2), r(2, 16, 22, 2)];
         assert!(check_linearizable(&spec, &h).is_ok());
     }
 
@@ -239,11 +240,7 @@ mod tests {
         assert!(!check_linearizable(&spec, &stale).is_ok());
         // Torn scan: sees segment 1's later write but misses segment 0's
         // earlier one — no linearization point exists.
-        let torn = vec![
-            u(0, 0, 1, 0, 7),
-            u(1, 2, 3, 1, 8),
-            s(2, 4, 5, vec![0, 8]),
-        ];
+        let torn = vec![u(0, 0, 1, 0, 7), u(1, 2, 3, 1, 8), s(2, 4, 5, vec![0, 8])];
         assert!(!check_linearizable(&spec, &torn).is_ok());
     }
 

@@ -2,13 +2,16 @@
 //! around a known linearization must be accepted by both the black-box
 //! Wing–Gong search and the §B dependency-graph certificate; targeted
 //! stale-read corruptions must be rejected by both.
-
-use proptest::prelude::*;
+//!
+//! Randomization is driven by a seeded [`SplitMix64`] (the build has no
+//! network access, so `proptest` is unavailable); every run replays the
+//! exact same cases.
 
 use gqs_checker::spec::{Entry, RegisterOp, RegisterResp, RegisterSpec};
 use gqs_checker::wg::check_linearizable;
 use gqs_checker::{check_dependency_graph, TaggedKind, TaggedOp};
 use gqs_core::ProcessId;
+use gqs_simnet::SplitMix64;
 
 #[derive(Clone, Debug)]
 struct GenOp {
@@ -18,24 +21,24 @@ struct GenOp {
     jitter_after: u64,
 }
 
-fn gen_ops(max: usize) -> impl Strategy<Value = Vec<GenOp>> {
-    proptest::collection::vec(
-        (0usize..4, any::<bool>(), 0u64..8, 0u64..8).prop_map(
-            |(process, is_write, jitter_before, jitter_after)| GenOp {
-                process,
-                is_write,
-                jitter_before,
-                jitter_after,
-            },
-        ),
-        1..max,
-    )
+fn gen_ops(max: usize, rng: &mut SplitMix64) -> Vec<GenOp> {
+    let len = 1 + rng.range(0, max as u64 - 1) as usize;
+    (0..len)
+        .map(|_| GenOp {
+            process: rng.range(0, 3) as usize,
+            is_write: rng.chance(0.5),
+            jitter_before: rng.range(0, 7),
+            jitter_after: rng.range(0, 7),
+        })
+        .collect()
 }
+
+type RegisterEntries = Vec<Entry<RegisterOp<u64>, RegisterResp<u64>>>;
 
 /// Materializes a history around the sequential order of `ops`: operation
 /// `i` linearizes at time `10*i + 10`, with its interval jittered around
 /// the point (intervals may overlap; the order stays a valid witness).
-fn materialize(ops: &[GenOp]) -> (Vec<Entry<RegisterOp<u64>, RegisterResp<u64>>>, Vec<TaggedOp<u64>>) {
+fn materialize(ops: &[GenOp]) -> (RegisterEntries, Vec<TaggedOp<u64>>) {
     let mut entries = Vec::new();
     let mut tagged = Vec::new();
     let mut value = 0u64;
@@ -83,21 +86,33 @@ fn materialize(ops: &[GenOp]) -> (Vec<Entry<RegisterOp<u64>, RegisterResp<u64>>>
     (entries, tagged)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const CASES: u64 = 96;
 
-    /// Valid histories pass both checkers.
-    #[test]
-    fn both_checkers_accept_valid_histories(ops in gen_ops(12)) {
+/// Valid histories pass both checkers.
+#[test]
+fn both_checkers_accept_valid_histories() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(1_000 + seed);
+        let ops = gen_ops(12, &mut rng);
         let (entries, tagged) = materialize(&ops);
-        prop_assert!(check_linearizable(&RegisterSpec::new(0u64), &entries).is_ok());
-        prop_assert!(check_dependency_graph(&tagged, &0u64).is_ok());
+        assert!(
+            check_linearizable(&RegisterSpec::new(0u64), &entries).is_ok(),
+            "WG rejected a valid history (seed {seed}): {ops:?}"
+        );
+        assert!(
+            check_dependency_graph(&tagged, &0u64).is_ok(),
+            "dep-graph rejected a valid history (seed {seed}): {ops:?}"
+        );
     }
+}
 
-    /// A read that follows a completed write in real time but returns the
-    /// initial state is rejected by both checkers.
-    #[test]
-    fn both_checkers_reject_stale_reads(ops in gen_ops(10)) {
+/// A read that follows a completed write in real time but returns the
+/// initial state is rejected by both checkers.
+#[test]
+fn both_checkers_reject_stale_reads() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(2_000 + seed);
+        let ops = gen_ops(10, &mut rng);
         let (mut entries, mut tagged) = materialize(&ops);
         // Append a write and then a strictly-later stale read.
         let t0 = 10 * (ops.len() as u64) + 50;
@@ -129,19 +144,32 @@ proptest! {
             kind: TaggedKind::Read(0),
             version: (0, 0),
         });
-        prop_assert!(!check_linearizable(&RegisterSpec::new(0u64), &entries).is_ok());
-        prop_assert!(check_dependency_graph(&tagged, &0u64).is_err());
+        assert!(
+            !check_linearizable(&RegisterSpec::new(0u64), &entries).is_ok(),
+            "WG accepted a stale read (seed {seed})"
+        );
+        assert!(
+            check_dependency_graph(&tagged, &0u64).is_err(),
+            "dep-graph accepted a stale read (seed {seed})"
+        );
     }
+}
 
-    /// Dropping the completion of the final operation (making it pending)
-    /// keeps the history linearizable for the black-box checker.
-    #[test]
-    fn pending_suffix_still_accepted(ops in gen_ops(10)) {
+/// Dropping the completion of the final operation (making it pending)
+/// keeps the history linearizable for the black-box checker.
+#[test]
+fn pending_suffix_still_accepted() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(3_000 + seed);
+        let ops = gen_ops(10, &mut rng);
         let (mut entries, _) = materialize(&ops);
         if let Some(last) = entries.last_mut() {
             last.completed_at = None;
             last.resp = None;
         }
-        prop_assert!(check_linearizable(&RegisterSpec::new(0u64), &entries).is_ok());
+        assert!(
+            check_linearizable(&RegisterSpec::new(0u64), &entries).is_ok(),
+            "pending suffix rejected (seed {seed}): {ops:?}"
+        );
     }
 }

@@ -268,7 +268,12 @@ impl<V: Clone + Debug + PartialEq> Protocol for ConsensusNode<V> {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<Self::Msg, Self::Resp>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<Self::Msg, Self::Resp>,
+    ) {
         match msg {
             ConsensusMsg::OneA { view } => {
                 if self.mode == ProposalMode::Pull && view >= self.sync.view() {
@@ -276,11 +281,7 @@ impl<V: Clone + Debug + PartialEq> Protocol for ConsensusNode<V> {
                     if view == self.sync.view() {
                         ctx.send(
                             leader_of(view, self.n),
-                            ConsensusMsg::OneB {
-                                view,
-                                aview: self.aview,
-                                val: self.val.clone(),
-                            },
+                            ConsensusMsg::OneB { view, aview: self.aview, val: self.val.clone() },
                         );
                     }
                 }
@@ -373,11 +374,7 @@ mod tests {
         let mut inv = ctx(0);
         n.on_invoke(OpId(1), 42, &mut inv);
         for p in 0..3 {
-            n.on_message(
-                ProcessId(p),
-                ConsensusMsg::OneB { view: 1, aview: 0, val: None },
-                &mut c,
-            );
+            n.on_message(ProcessId(p), ConsensusMsg::OneB { view: 1, aview: 0, val: None }, &mut c);
         }
         let effects = c.take_effects();
         assert!(effects.iter().any(|e| matches!(
@@ -454,10 +451,9 @@ mod tests {
         let _ = c.take_effects();
         n.on_invoke(OpId(9), 777, &mut c);
         let effects = c.take_effects();
-        assert!(effects.iter().any(|e| matches!(
-            e,
-            gqs_simnet::Effect::Complete { op: OpId(9), resp: 5 }
-        )));
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, gqs_simnet::Effect::Complete { op: OpId(9), resp: 5 })));
     }
 
     #[test]

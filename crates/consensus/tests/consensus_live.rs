@@ -7,9 +7,7 @@ use gqs_checker::{check_consensus, ConsensusOutcome};
 use gqs_consensus::{gqs_consensus_nodes, view_overlaps, ConsensusNode, ProposalMode};
 use gqs_core::systems::figure1;
 use gqs_core::ProcessId;
-use gqs_simnet::{
-    DelayModel, FailureSchedule, Flood, SimConfig, SimTime, Simulation, StopReason,
-};
+use gqs_simnet::{DelayModel, FailureSchedule, Flood, SimConfig, SimTime, Simulation, StopReason};
 
 fn ps_config(seed: u64, gst: u64, delta: u64) -> SimConfig {
     SimConfig {
@@ -141,19 +139,14 @@ fn decisions_survive_chaotic_pre_gst_period() {
 fn view_overlaps_grow() {
     let fig = figure1();
     let nodes = gqs_consensus_nodes::<u64>(&fig.gqs, 50, ProposalMode::Push);
-    let cfg = SimConfig {
-        timer_drift_max: 3.0,
-        horizon: SimTime(60_000),
-        ..ps_config(3, 5_000, 5)
-    };
+    let cfg =
+        SimConfig { timer_drift_max: 3.0, horizon: SimTime(60_000), ..ps_config(3, 5_000, 5) };
     let mut sim = Simulation::new(cfg, nodes);
     sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
     sim.run();
     // Correct processes under f1: a, b, c.
-    let logs: Vec<&[(u64, SimTime)]> = [0usize, 1, 2]
-        .iter()
-        .map(|p| sim.node(ProcessId(*p)).inner().view_entries())
-        .collect();
+    let logs: Vec<&[(u64, SimTime)]> =
+        [0usize, 1, 2].iter().map(|p| sim.node(ProcessId(*p)).inner().view_entries()).collect();
     let overlaps = view_overlaps(&logs, 50);
     assert!(overlaps.len() >= 10, "expected many views, got {}", overlaps.len());
     // Proposition 2: for any d there is a view V such that EVERY view

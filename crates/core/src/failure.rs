@@ -72,7 +72,10 @@ impl fmt::Display for BuildPatternError {
                 )
             }
             BuildPatternError::MixedUniverses { expected, found } => {
-                write!(f, "failure pattern over {found} processes added to a system over {expected}")
+                write!(
+                    f,
+                    "failure pattern over {found} processes added to a system over {expected}"
+                )
             }
         }
     }

@@ -16,9 +16,38 @@
 //! > `f, g`.
 //!
 //! This reduces existence to a finite constraint-satisfaction problem over
-//! one SCC choice per pattern, solved below by backtracking with pairwise
-//! pruning. The same argument with `R_f = W_f = S_f` settles `QS+`
-//! existence, and with `R_f = W_f = correct(f)` the classical case.
+//! one SCC choice per pattern. The same argument with `R_f = W_f = S_f`
+//! settles `QS+` existence, and with `R_f = W_f = correct(f)` the classical
+//! case.
+//!
+//! # How the CSP is solved
+//!
+//! The solver compiles the per-pattern candidate lists once, then searches:
+//!
+//! 1. **Dedup** — patterns with *identical* candidate lists are collapsed
+//!    into one CSP variable. This is complete: if a solution assigns
+//!    candidates `a ≠ b` to two patterns with the same list, assigning `a`
+//!    to both is also a solution (`a` was already checked against every
+//!    other chosen candidate, and `read ⊇ write` makes self-pairs
+//!    consistent). Randomized sweeps produce many coincident patterns, so
+//!    this routinely shrinks the search space.
+//! 2. **Compatibility bitmatrix** — pairwise compatibility
+//!    (`read_a ∩ write_b ≠ ∅ ∧ read_b ∩ write_a ≠ ∅`) is evaluated once
+//!    per candidate pair and stored as one bitmask per (candidate,
+//!    variable): bit `k` says "compatible with variable `v`'s `k`-th
+//!    candidate". Candidate lists have at most
+//!    [`MAX_PROCESSES`](crate::process::MAX_PROCESSES) entries (one per
+//!    SCC), so a mask is a single `u128`.
+//! 3. **Forward checking** — the search keeps a live domain mask per
+//!    variable. Assigning a candidate intersects every open domain with
+//!    the candidate's precomputed mask (one `AND` per variable — no
+//!    intersection tests inside the tree), backtracking as soon as a
+//!    domain empties, and always branching on the smallest open domain
+//!    (dynamic fail-first).
+//!
+//! Total work is `O(G²)` bit-ops for compilation (`G` = total candidates)
+//! plus the (heavily pruned) search; the naive pre-optimization solver is
+//! kept in [`crate::reference`] as an oracle and perf baseline.
 
 use crate::failure::FailProneSystem;
 use crate::graph::NetworkGraph;
@@ -114,11 +143,8 @@ pub fn find_qs_plus(graph: &NetworkGraph, fail_prone: &FailProneSystem) -> Optio
         })
         .collect();
     let choice = solve(&candidates)?;
-    let mut quorums: Vec<ProcessSet> = choice
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| candidates[i][c].write)
-        .collect();
+    let mut quorums: Vec<ProcessSet> =
+        choice.iter().enumerate().map(|(i, &c)| candidates[i][c].write).collect();
     quorums.sort_unstable();
     quorums.dedup();
     let family = QuorumFamily::explicit(quorums).expect("nonempty");
@@ -239,21 +265,27 @@ pub fn explain_unsolvable(
     fail_prone: &FailProneSystem,
 ) -> Option<Unsolvability> {
     let candidates = candidates_per_pattern(graph, fail_prone);
-    if solve(&candidates).is_some() {
+    if candidates.is_empty() {
         return None;
     }
     if let Some(i) = candidates.iter().position(|c| c.is_empty()) {
         return Some(Unsolvability::DeadPattern { pattern: i });
     }
+    let csp = Csp::compile(&candidates);
+    if csp.search().is_some() {
+        return None;
+    }
     let m = candidates.len();
-    for a in 0..m {
+    for (a, list_a) in candidates.iter().enumerate() {
         for b in a + 1..m {
-            let compatible = candidates[a].iter().any(|ca| {
-                candidates[b]
-                    .iter()
-                    .any(|cb| ca.read.intersects(cb.write) && cb.read.intersects(ca.write))
-            });
-            if !compatible {
+            let (va, vb) = (csp.var_of_pattern[a], csp.var_of_pattern[b]);
+            if va == vb {
+                // Identical candidate lists: assigning the same candidate
+                // to both is always pairwise-consistent (read ⊇ write).
+                continue;
+            }
+            let pair_ok = (0..list_a.len()).any(|ca| csp.mask(va, ca, vb) != 0);
+            if !pair_ok {
                 return Some(Unsolvability::ConflictingPair { a, b });
             }
         }
@@ -277,58 +309,167 @@ fn candidates_per_pattern(
         .collect()
 }
 
-/// Backtracking CSP solver: pick one candidate per pattern such that for
-/// every ordered pair `(i, j)` of chosen candidates, `read_i ∩ write_j ≠ ∅`.
-/// Patterns are processed in order of fewest candidates (fail-first).
+/// Pairwise compatibility: both chosen candidates' reads must intersect
+/// the other's write (`read ⊇ write` makes self-pairs consistent).
+fn compatible(a: &Candidate, b: &Candidate) -> bool {
+    a.read.intersects(b.write) && b.read.intersects(a.write)
+}
+
+/// The compiled CSP: deduped variables, a flattened candidate numbering,
+/// and the precomputed compatibility bitmatrix (see the module docs).
+struct Csp<'a> {
+    /// One candidate list per deduped variable (borrowed from the caller).
+    vars: Vec<&'a [Candidate]>,
+    /// Pattern index → variable index.
+    var_of_pattern: Vec<usize>,
+    /// Variable index → offset into the global candidate numbering.
+    offsets: Vec<usize>,
+    /// `compat[g * vars.len() + v]` = bitmask over variable `v`'s
+    /// candidates compatible with global candidate `g`.
+    compat: Vec<u128>,
+}
+
+/// Bitmask with the low `len` bits set (`len <= 128`, one bit per
+/// candidate of a variable).
+#[inline]
+fn full_mask(len: usize) -> u128 {
+    debug_assert!(len <= 128, "at most one SCC candidate per process");
+    if len == 128 {
+        u128::MAX
+    } else {
+        (1u128 << len) - 1
+    }
+}
+
+impl<'a> Csp<'a> {
+    /// Compiles the per-pattern candidate lists: dedup, flatten, and fill
+    /// the compatibility matrix.
+    fn compile(candidates: &'a [Vec<Candidate>]) -> Csp<'a> {
+        let mut vars: Vec<&'a [Candidate]> = Vec::new();
+        let mut var_of_pattern = Vec::with_capacity(candidates.len());
+        for list in candidates {
+            let v = match vars.iter().position(|seen| *seen == list.as_slice()) {
+                Some(v) => v,
+                None => {
+                    vars.push(list.as_slice());
+                    vars.len() - 1
+                }
+            };
+            var_of_pattern.push(v);
+        }
+        let mut offsets = Vec::with_capacity(vars.len());
+        let mut total = 0usize;
+        for v in &vars {
+            offsets.push(total);
+            total += v.len();
+        }
+        let nvars = vars.len();
+        let mut compat = vec![0u128; total * nvars];
+        for (a, va) in vars.iter().enumerate() {
+            for (ca, cand_a) in va.iter().enumerate() {
+                let g = offsets[a] + ca;
+                for (b, vb) in vars.iter().enumerate() {
+                    let mut mask = 0u128;
+                    for (cb, cand_b) in vb.iter().enumerate() {
+                        if compatible(cand_a, cand_b) {
+                            mask |= 1u128 << cb;
+                        }
+                    }
+                    compat[g * nvars + b] = mask;
+                }
+            }
+        }
+        Csp { vars, var_of_pattern, offsets, compat }
+    }
+
+    /// The compatibility mask of variable `v`'s candidate `c` against
+    /// variable `u`'s candidates.
+    #[inline]
+    fn mask(&self, v: usize, c: usize, u: usize) -> u128 {
+        self.compat[(self.offsets[v] + c) * self.vars.len() + u]
+    }
+
+    /// Forward-checking search over domain bitmasks; returns one candidate
+    /// choice per variable.
+    fn search(&self) -> Option<Vec<usize>> {
+        let nvars = self.vars.len();
+        let mut domains: Vec<u128> = self.vars.iter().map(|v| full_mask(v.len())).collect();
+        if domains.contains(&0) {
+            return None;
+        }
+        let mut chosen = vec![usize::MAX; nvars];
+        let mut open: Vec<usize> = (0..nvars).collect();
+        let mut trail: Vec<(usize, u128)> = Vec::with_capacity(nvars);
+        if self.assign_next(&mut domains, &mut chosen, &mut open, &mut trail) {
+            Some(chosen)
+        } else {
+            None
+        }
+    }
+
+    fn assign_next(
+        &self,
+        domains: &mut [u128],
+        chosen: &mut [usize],
+        open: &mut Vec<usize>,
+        trail: &mut Vec<(usize, u128)>,
+    ) -> bool {
+        // Dynamic fail-first: branch on the smallest open domain.
+        let Some(pos) = (0..open.len()).min_by_key(|&i| domains[open[i]].count_ones()) else {
+            return true; // all variables assigned
+        };
+        let v = open.swap_remove(pos);
+        let mut dom = domains[v];
+        while dom != 0 {
+            let c = dom.trailing_zeros() as usize;
+            dom &= dom - 1;
+            // Prune every open domain through the precomputed masks,
+            // recording changed entries on the shared trail for undo.
+            let mark = trail.len();
+            let mut wiped = false;
+            for &u in open.iter() {
+                let old = domains[u];
+                let pruned = old & self.mask(v, c, u);
+                if pruned != old {
+                    trail.push((u, old));
+                    domains[u] = pruned;
+                }
+                if pruned == 0 {
+                    wiped = true;
+                    break;
+                }
+            }
+            if !wiped {
+                chosen[v] = c;
+                if self.assign_next(domains, chosen, open, trail) {
+                    return true;
+                }
+            }
+            while trail.len() > mark {
+                let (u, old) = trail.pop().expect("trail entries above mark");
+                domains[u] = old;
+            }
+        }
+        open.push(v);
+        false
+    }
+}
+
+/// CSP solver: pick one candidate per pattern such that for every ordered
+/// pair `(i, j)` of chosen candidates, `read_i ∩ write_j ≠ ∅`. Compiles
+/// the instance (dedup + compatibility bitmatrix), then runs forward
+/// checking over domain masks — see the module docs for the design.
 fn solve(candidates: &[Vec<Candidate>]) -> Option<Vec<usize>> {
-    let m = candidates.len();
-    if m == 0 {
+    if candidates.is_empty() {
         return Some(Vec::new());
     }
     if candidates.iter().any(|c| c.is_empty()) {
         // A pattern with no correct processes at all: no availability.
         return None;
     }
-    let mut order: Vec<usize> = (0..m).collect();
-    order.sort_by_key(|&i| candidates[i].len());
-
-    let mut chosen: Vec<Option<usize>> = vec![None; m];
-    fn compatible(a: &Candidate, b: &Candidate) -> bool {
-        a.read.intersects(b.write) && b.read.intersects(a.write)
-    }
-    fn backtrack(
-        pos: usize,
-        order: &[usize],
-        candidates: &[Vec<Candidate>],
-        chosen: &mut Vec<Option<usize>>,
-    ) -> bool {
-        if pos == order.len() {
-            return true;
-        }
-        let i = order[pos];
-        for c in 0..candidates[i].len() {
-            let cand = &candidates[i][c];
-            // Self-consistency holds by construction: read ⊇ write, so
-            // read ∩ write = write ≠ ∅. Check against earlier choices.
-            let ok = order[..pos].iter().all(|&j| {
-                let cj = chosen[j].expect("assigned earlier");
-                compatible(cand, &candidates[j][cj])
-            });
-            if ok {
-                chosen[i] = Some(c);
-                if backtrack(pos + 1, order, candidates, chosen) {
-                    return true;
-                }
-                chosen[i] = None;
-            }
-        }
-        false
-    }
-    if backtrack(0, &order, candidates, &mut chosen) {
-        Some(chosen.into_iter().map(|c| c.expect("all assigned")).collect())
-    } else {
-        None
-    }
+    let csp = Csp::compile(candidates);
+    let per_var = csp.search()?;
+    Some(csp.var_of_pattern.iter().map(|&v| per_var[v]).collect())
 }
 
 /// Exhaustive oracle for tests: tries **every** combination of SCC choices
@@ -343,9 +484,7 @@ pub fn gqs_exists_brute_force(graph: &NetworkGraph, fail_prone: &FailProneSystem
     let mut idx = vec![0usize; m];
     loop {
         let ok = (0..m).all(|i| {
-            (0..m).all(|j| {
-                candidates[i][idx[i]].read.intersects(candidates[j][idx[j]].write)
-            })
+            (0..m).all(|j| candidates[i][idx[i]].read.intersects(candidates[j][idx[j]].write))
         });
         if ok {
             return true;
@@ -414,7 +553,8 @@ mod tests {
         // Two 1-cycles with no channels between them, one pattern each
         // crashing the other half: reads of one pattern cannot reach writes
         // of the other.
-        let g = NetworkGraph::with_channels(4, [chan!(0, 1), chan!(1, 0), chan!(2, 3), chan!(3, 2)]);
+        let g =
+            NetworkGraph::with_channels(4, [chan!(0, 1), chan!(1, 0), chan!(2, 3), chan!(3, 2)]);
         let f1 = FailurePattern::crash_only(4, pset![2, 3]).unwrap();
         let f2 = FailurePattern::crash_only(4, pset![0, 1]).unwrap();
         let fp = FailProneSystem::new(4, [f1, f2]).unwrap();
@@ -431,11 +571,7 @@ mod tests {
             let g = NetworkGraph::with_channels(n, channels);
             for k in 0..n {
                 let fp = FailProneSystem::threshold(n, k).unwrap();
-                assert_eq!(
-                    gqs_exists(&g, &fp),
-                    gqs_exists_brute_force(&g, &fp),
-                    "n={n} k={k}"
-                );
+                assert_eq!(gqs_exists(&g, &fp), gqs_exists_brute_force(&g, &fp), "n={n} k={k}");
             }
         }
     }
@@ -465,11 +601,9 @@ mod tests {
         assert_eq!(classical_qs_exists(&fp), Some(true));
         let fp_bad = FailProneSystem::threshold(4, 2).unwrap();
         assert_eq!(classical_qs_exists(&fp_bad), Some(false));
-        let with_channels = FailProneSystem::new(
-            3,
-            [FailurePattern::new(3, pset![], [chan!(0, 1)]).unwrap()],
-        )
-        .unwrap();
+        let with_channels =
+            FailProneSystem::new(3, [FailurePattern::new(3, pset![], [chan!(0, 1)]).unwrap()])
+                .unwrap();
         assert_eq!(classical_qs_exists(&with_channels), None);
     }
 
@@ -522,10 +656,7 @@ mod tests {
         let g = NetworkGraph::complete(2);
         let f = FailurePattern::crash_only(2, pset![0, 1]).unwrap();
         let fp = FailProneSystem::new(2, [FailurePattern::failure_free(2), f]).unwrap();
-        assert_eq!(
-            explain_unsolvable(&g, &fp),
-            Some(Unsolvability::DeadPattern { pattern: 1 })
-        );
+        assert_eq!(explain_unsolvable(&g, &fp), Some(Unsolvability::DeadPattern { pattern: 1 }));
     }
 
     #[test]

@@ -12,17 +12,64 @@
 //! * A set `W` is *`f`-reachable from `R`* if both contain only correct
 //!   processes and every member of `W` is reachable from every member of
 //!   `R` in `G \ f`.
+//!
+//! # Performance model
+//!
+//! This module is the hot core of every decision procedure, so its layout
+//! is chosen for sweep workloads (many residual graphs per topology, many
+//! reachability queries per residual graph):
+//!
+//! * [`NetworkGraph`] stores **both** the successor bitset rows `adj` and
+//!   the transpose (predecessor) rows `radj`, shared behind an [`Arc`].
+//!   [`NetworkGraph::residual`] therefore never clones the adjacency
+//!   vectors — a residual graph is the shared base plus an alive-mask;
+//!   construction copies and edits only the rows touched by the pattern's
+//!   failing channels, and every other row is masked lazily on first use.
+//! * Forward and backward reachability are frontier BFS over bitset rows:
+//!   `O(V + E/w)` words touched per query (`w` = machine-word bits), and
+//!   in particular [`ResidualGraph::reach_to`] walks the transpose rows
+//!   instead of the old `O(n²)`-per-round fixpoint that rescanned
+//!   `alive - reach`.
+//! * Every [`ResidualGraph`] memoizes `reach_from(p)` and `reach_to(p)`
+//!   per vertex ([`Cell`]-based, so queries take `&self`). All
+//!   higher-level queries — [`ResidualGraph::reach_to_all`],
+//!   [`ResidualGraph::all_reach_all`],
+//!   [`ResidualGraph::is_strongly_connected`], [`ResidualGraph::sccs`],
+//!   [`ResidualGraph::scc_of`] — route through the same caches, so a
+//!   residual graph computes at most one forward and one backward BFS per
+//!   vertex over its entire lifetime, no matter how many queries are made.
+//!
+//! **Caching contract:** a `ResidualGraph` is immutable after
+//! construction; the caches are pure memoization and never observable in
+//! results. Mutating the underlying [`NetworkGraph`] after taking a
+//! residual is impossible by construction (the base is copy-on-write:
+//! mutators call `Arc::make_mut`, which un-shares the topology instead of
+//! editing it under live residuals).
 
+use std::cell::Cell;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::channel::Channel;
 use crate::failure::FailurePattern;
 use crate::process::{ProcessId, ProcessSet, MAX_PROCESSES};
 
+/// The shared, immutable payload of a [`NetworkGraph`]: forward and
+/// transpose adjacency rows.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Topology {
+    n: usize,
+    /// `adj[p]` = successors of `p`.
+    adj: Vec<ProcessSet>,
+    /// `radj[p]` = predecessors of `p` (the transpose rows).
+    radj: Vec<ProcessSet>,
+}
+
 /// The static network topology `G = (P, C)`.
 ///
-/// Stored as per-vertex successor bitsets, which makes residual-graph
-/// construction and reachability computations cheap bit operations.
+/// Stored as per-vertex successor **and** predecessor bitsets behind a
+/// shared [`Arc`], which makes residual-graph construction allocation-free
+/// and both directions of reachability cheap bit operations.
 ///
 /// # Examples
 ///
@@ -34,8 +81,7 @@ use crate::process::{ProcessId, ProcessSet, MAX_PROCESSES};
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct NetworkGraph {
-    n: usize,
-    adj: Vec<ProcessSet>,
+    core: Arc<Topology>,
 }
 
 impl NetworkGraph {
@@ -47,15 +93,24 @@ impl NetworkGraph {
     pub fn empty(n: usize) -> Self {
         assert!(n > 0, "a system has at least one process");
         assert!(n <= MAX_PROCESSES, "at most {MAX_PROCESSES} processes are supported");
-        NetworkGraph { n, adj: vec![ProcessSet::new(); n] }
+        NetworkGraph {
+            core: Arc::new(Topology {
+                n,
+                adj: vec![ProcessSet::new(); n],
+                radj: vec![ProcessSet::new(); n],
+            }),
+        }
     }
 
     /// The complete directed graph on `n` processes — the paper's standard
     /// model, where every ordered pair of distinct processes has a channel.
     pub fn complete(n: usize) -> Self {
         let mut g = Self::empty(n);
+        let core = Arc::make_mut(&mut g.core);
         for p in 0..n {
-            g.adj[p] = ProcessSet::full(n).without(ProcessId(p));
+            let row = ProcessSet::full(n).without(ProcessId(p));
+            core.adj[p] = row;
+            core.radj[p] = row;
         }
         g
     }
@@ -78,17 +133,17 @@ impl NetworkGraph {
 
     /// Number of processes.
     pub fn len(&self) -> usize {
-        self.n
+        self.core.n
     }
 
     /// `true` iff the graph has no processes (never, by construction).
     pub fn is_empty(&self) -> bool {
-        self.n == 0
+        self.core.n == 0
     }
 
     /// The set of all processes.
     pub fn processes(&self) -> ProcessSet {
-        ProcessSet::full(self.n)
+        ProcessSet::full(self.core.n)
     }
 
     /// Adds a channel.
@@ -97,72 +152,79 @@ impl NetworkGraph {
     ///
     /// Panics if either endpoint is `>= len()`.
     pub fn add_channel(&mut self, ch: Channel) {
-        assert!(ch.from.index() < self.n && ch.to.index() < self.n, "channel endpoint out of range");
-        self.adj[ch.from.index()].insert(ch.to);
+        let n = self.core.n;
+        assert!(ch.from.index() < n && ch.to.index() < n, "channel endpoint out of range");
+        let core = Arc::make_mut(&mut self.core);
+        core.adj[ch.from.index()].insert(ch.to);
+        core.radj[ch.to.index()].insert(ch.from);
     }
 
     /// Removes a channel; returns `true` if it was present.
     pub fn remove_channel(&mut self, ch: Channel) -> bool {
-        if ch.from.index() >= self.n {
+        if !self.has_channel(ch) {
+            // Also keeps absent/out-of-range channels from un-sharing the
+            // copy-on-write topology.
             return false;
         }
-        self.adj[ch.from.index()].remove(ch.to)
+        let core = Arc::make_mut(&mut self.core);
+        core.radj[ch.to.index()].remove(ch.from);
+        core.adj[ch.from.index()].remove(ch.to)
     }
 
     /// Whether the channel is present.
     pub fn has_channel(&self, ch: Channel) -> bool {
-        ch.from.index() < self.n && self.adj[ch.from.index()].contains(ch.to)
+        ch.from.index() < self.core.n && self.core.adj[ch.from.index()].contains(ch.to)
     }
 
     /// Successors of `p` in the graph.
     pub fn successors(&self, p: ProcessId) -> ProcessSet {
-        self.adj[p.index()]
+        self.core.adj[p.index()]
+    }
+
+    /// Predecessors of `p` in the graph (the transpose row).
+    pub fn predecessors(&self, p: ProcessId) -> ProcessSet {
+        self.core.radj[p.index()]
     }
 
     /// Iterates over all channels.
     pub fn channels(&self) -> impl Iterator<Item = Channel> + '_ {
-        (0..self.n).flat_map(move |p| {
-            self.adj[p].iter().map(move |q| Channel::new(ProcessId(p), q))
-        })
+        (0..self.core.n)
+            .flat_map(move |p| self.core.adj[p].iter().map(move |q| Channel::new(ProcessId(p), q)))
     }
 
     /// The residual graph `G \ f`: faulty processes, their incident
     /// channels, and the channels in `f` are removed.
+    ///
+    /// The base adjacency is shared, not cloned: the residual graph holds
+    /// an `Arc` to this graph's topology, an alive-mask, and edited copies
+    /// of only the (few) rows the pattern's channel failures touch.
     ///
     /// # Panics
     ///
     /// Panics if `f` talks about processes outside this graph.
     pub fn residual(&self, f: &FailurePattern) -> ResidualGraph {
         assert!(
-            f.universe() == self.n,
+            f.universe() == self.core.n,
             "failure pattern is over {} processes but the graph has {}",
             f.universe(),
-            self.n
+            self.core.n
         );
-        let alive = f.correct();
-        let mut adj = self.adj.clone();
-        for p in 0..self.n {
-            if !alive.contains(ProcessId(p)) {
-                adj[p] = ProcessSet::new();
-            } else {
-                adj[p] &= alive;
-            }
-        }
+        let res = ResidualGraph::new(Arc::clone(&self.core), f.correct());
         for ch in f.channels() {
-            adj[ch.from.index()].remove(ch.to);
+            res.drop_channel_at_build(ch);
         }
-        ResidualGraph { n: self.n, adj, alive }
+        res
     }
 
     /// The residual graph of the failure-free pattern (nothing removed).
     pub fn residual_failure_free(&self) -> ResidualGraph {
-        ResidualGraph { n: self.n, adj: self.adj.clone(), alive: self.processes() }
+        ResidualGraph::new(Arc::clone(&self.core), self.processes())
     }
 }
 
 impl fmt::Display for NetworkGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "G(n={}; ", self.n)?;
+        write!(f, "G(n={}; ", self.core.n)?;
         let mut first = true;
         for ch in self.channels() {
             if !first {
@@ -175,26 +237,105 @@ impl fmt::Display for NetworkGraph {
     }
 }
 
+/// The four per-vertex cache segments packed into one allocation: the
+/// effective successor/predecessor rows and the forward/backward reach
+/// sets. A segment entry is valid iff its bit is set in the matching
+/// validity mask (`n <= MAX_PROCESSES = 128`, so a `u128` mask suffices).
+const SEG_ROW: usize = 0;
+const SEG_RROW: usize = 1;
+const SEG_FWD: usize = 2;
+const SEG_BWD: usize = 3;
+
 /// The residual graph `G \ f` of a network graph under a failure pattern.
 ///
 /// Vertices outside [`ResidualGraph::alive`] are isolated and never appear
 /// in reachability sets or strongly connected components.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Internally this is a **view**: the base topology is shared with the
+/// originating [`NetworkGraph`] (no adjacency clone). Construction copies
+/// and edits only the rows the pattern's channel failures touch; all other
+/// rows, and all per-vertex forward/backward reach sets, are derived
+/// lazily and memoized (see the module docs for the caching contract).
+#[derive(Debug)]
 pub struct ResidualGraph {
-    n: usize,
-    adj: Vec<ProcessSet>,
+    base: Arc<Topology>,
     alive: ProcessSet,
+    /// One allocation of `4n` entries: segment `s` of vertex `p` lives at
+    /// `cache[s * n + p]`.
+    cache: Vec<Cell<ProcessSet>>,
+    /// Per-segment validity bitmasks over vertices.
+    valid: [Cell<u128>; 4],
 }
 
+impl Clone for ResidualGraph {
+    fn clone(&self) -> Self {
+        ResidualGraph {
+            base: Arc::clone(&self.base),
+            alive: self.alive,
+            cache: self.cache.clone(),
+            valid: self.valid.clone(),
+        }
+    }
+}
+
+impl PartialEq for ResidualGraph {
+    /// Semantic equality: same universe, same alive set, same effective
+    /// edges. Memoization state is ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.base.n == other.base.n
+            && self.alive == other.alive
+            && (0..self.base.n)
+                .all(|p| self.successors(ProcessId(p)) == other.successors(ProcessId(p)))
+    }
+}
+
+impl Eq for ResidualGraph {}
+
 impl ResidualGraph {
+    fn new(base: Arc<Topology>, alive: ProcessSet) -> Self {
+        let n = base.n;
+        ResidualGraph {
+            base,
+            alive,
+            cache: vec![Cell::new(ProcessSet::new()); 4 * n],
+            valid: [Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0)],
+        }
+    }
+
+    #[inline]
+    fn seg_get(&self, seg: usize, p: usize) -> Option<ProcessSet> {
+        if self.valid[seg].get() & (1u128 << p) != 0 {
+            Some(self.cache[seg * self.base.n + p].get())
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn seg_set(&self, seg: usize, p: usize, value: ProcessSet) {
+        self.cache[seg * self.base.n + p].set(value);
+        self.valid[seg].set(self.valid[seg].get() | (1u128 << p));
+    }
+
+    /// Removes one failing channel while the residual is being built: the
+    /// affected rows are materialized (base ∧ alive) and edited in place,
+    /// so queries never consult the failure pattern again.
+    fn drop_channel_at_build(&self, ch: Channel) {
+        let (from, to) = (ch.from.index(), ch.to.index());
+        let row = self.seg_get(SEG_ROW, from).unwrap_or(self.base.adj[from] & self.alive);
+        self.seg_set(SEG_ROW, from, row.without(ch.to));
+        let rrow = self.seg_get(SEG_RROW, to).unwrap_or(self.base.radj[to] & self.alive);
+        self.seg_set(SEG_RROW, to, rrow.without(ch.from));
+    }
+
     /// Number of processes in the underlying system (including removed ones).
     pub fn len(&self) -> usize {
-        self.n
+        self.base.n
     }
 
     /// `true` iff the underlying system has no processes (never).
     pub fn is_empty(&self) -> bool {
-        self.n == 0
+        self.base.n == 0
     }
 
     /// The set of correct (non-removed) processes.
@@ -203,12 +344,31 @@ impl ResidualGraph {
     }
 
     /// Successors of `p` among alive processes.
+    #[inline]
     pub fn successors(&self, p: ProcessId) -> ProcessSet {
-        if self.alive.contains(p) {
-            self.adj[p.index()]
-        } else {
-            ProcessSet::new()
+        if !self.alive.contains(p) {
+            return ProcessSet::new();
         }
+        if let Some(row) = self.seg_get(SEG_ROW, p.index()) {
+            return row;
+        }
+        let row = self.base.adj[p.index()] & self.alive;
+        self.seg_set(SEG_ROW, p.index(), row);
+        row
+    }
+
+    /// Predecessors of `p` among alive processes (transpose row).
+    #[inline]
+    pub fn predecessors(&self, p: ProcessId) -> ProcessSet {
+        if !self.alive.contains(p) {
+            return ProcessSet::new();
+        }
+        if let Some(row) = self.seg_get(SEG_RROW, p.index()) {
+            return row;
+        }
+        let row = self.base.radj[p.index()] & self.alive;
+        self.seg_set(SEG_RROW, p.index(), row);
+        row
     }
 
     /// Whether the channel survives in the residual graph.
@@ -218,41 +378,53 @@ impl ResidualGraph {
 
     /// The set of vertices reachable from `p` (including `p` itself, if
     /// alive; a vertex always reaches itself via the empty path).
+    ///
+    /// Memoized: the BFS runs at most once per vertex per residual graph.
     pub fn reach_from(&self, p: ProcessId) -> ProcessSet {
         if !self.alive.contains(p) {
             return ProcessSet::new();
+        }
+        if let Some(cached) = self.seg_get(SEG_FWD, p.index()) {
+            return cached;
         }
         let mut reach = ProcessSet::singleton(p);
         let mut frontier = reach;
         while !frontier.is_empty() {
             let mut next = ProcessSet::new();
             for q in frontier {
-                next |= self.adj[q.index()];
+                next |= self.successors(q);
             }
             frontier = next - reach;
             reach |= next;
         }
+        self.seg_set(SEG_FWD, p.index(), reach);
         reach
     }
 
     /// The set of vertices that can reach `p` (including `p` itself).
+    ///
+    /// A frontier BFS over the transpose rows — `O(V + E/w)` words, not
+    /// the quadratic fixpoint of earlier revisions — and memoized like
+    /// [`ResidualGraph::reach_from`].
     pub fn reach_to(&self, p: ProcessId) -> ProcessSet {
         if !self.alive.contains(p) {
             return ProcessSet::new();
         }
-        let mut reach = ProcessSet::singleton(p);
-        loop {
-            let mut grew = false;
-            for q in self.alive - reach {
-                if self.adj[q.index()].intersects(reach) {
-                    reach.insert(q);
-                    grew = true;
-                }
-            }
-            if !grew {
-                return reach;
-            }
+        if let Some(cached) = self.seg_get(SEG_BWD, p.index()) {
+            return cached;
         }
+        let mut reach = ProcessSet::singleton(p);
+        let mut frontier = reach;
+        while !frontier.is_empty() {
+            let mut next = ProcessSet::new();
+            for q in frontier {
+                next |= self.predecessors(q);
+            }
+            frontier = next - reach;
+            reach |= next;
+        }
+        self.seg_set(SEG_BWD, p.index(), reach);
+        reach
     }
 
     /// The set of vertices that can reach **every** member of `set`.
@@ -300,23 +472,18 @@ impl ResidualGraph {
     /// The strongly connected components of the alive part of the graph,
     /// each as a [`ProcessSet`]. Singletons are included. The order is
     /// by smallest member.
+    ///
+    /// Components are intersections of the memoized forward and backward
+    /// reach sets, so repeated calls (and interleaved reachability
+    /// queries) share all BFS work.
     pub fn sccs(&self) -> Vec<ProcessSet> {
         let mut assigned = ProcessSet::new();
         let mut out = Vec::new();
-        // Cache forward reach sets.
-        let mut fwd: Vec<Option<ProcessSet>> = vec![None; self.n];
         for p in self.alive {
             if assigned.contains(p) {
                 continue;
             }
-            let rf = *fwd[p.index()].get_or_insert_with(|| self.reach_from(p));
-            let mut scc = ProcessSet::singleton(p);
-            for q in rf.without(p) {
-                let rq = *fwd[q.index()].get_or_insert_with(|| self.reach_from(q));
-                if rq.contains(p) {
-                    scc.insert(q);
-                }
-            }
+            let scc = self.scc_of(p);
             assigned |= scc;
             out.push(scc);
         }
@@ -329,7 +496,17 @@ impl ResidualGraph {
         if !self.alive.contains(p) {
             return ProcessSet::new();
         }
-        self.reach_from(p) & self.reach_to(p)
+        let rf = self.reach_from(p);
+        let rt = self.reach_to(p);
+        let scc = rf & rt;
+        // Every member of one SCC has the same forward and backward reach
+        // sets; seed their caches so the component costs two BFS total, not
+        // two per member.
+        for q in scc.without(p) {
+            self.seg_set(SEG_FWD, q.index(), rf);
+            self.seg_set(SEG_BWD, q.index(), rt);
+        }
+        scc
     }
 
     /// The smallest strongly connected component containing the whole of
@@ -346,7 +523,7 @@ impl ResidualGraph {
 
     /// Transitive closure: `closure[p]` is the forward reach set of `p`.
     pub fn transitive_closure(&self) -> Vec<ProcessSet> {
-        (0..self.n).map(|p| self.reach_from(ProcessId(p))).collect()
+        (0..self.base.n).map(|p| self.reach_from(ProcessId(p))).collect()
     }
 
     /// Whether `w` is `f`-available: only correct processes, strongly
@@ -392,6 +569,36 @@ mod tests {
     }
 
     #[test]
+    fn remove_out_of_range_channel_is_a_no_op() {
+        let mut g = NetworkGraph::empty(3);
+        assert!(!g.remove_channel(chan!(5, 0)));
+        assert!(!g.remove_channel(chan!(0, 5)));
+    }
+
+    #[test]
+    fn transpose_tracks_mutations() {
+        let mut g = NetworkGraph::empty(3);
+        g.add_channel(chan!(0, 1));
+        g.add_channel(chan!(2, 1));
+        assert_eq!(g.predecessors(ProcessId(1)), pset![0, 2]);
+        assert!(g.remove_channel(chan!(0, 1)));
+        assert_eq!(g.predecessors(ProcessId(1)), pset![2]);
+        assert_eq!(g.successors(ProcessId(2)), pset![1]);
+    }
+
+    #[test]
+    fn mutating_a_graph_does_not_disturb_live_residuals() {
+        // Copy-on-write: the residual keeps the topology it was taken from.
+        let mut g = NetworkGraph::with_channels(3, [chan!(0, 1), chan!(1, 2)]);
+        let res = g.residual_failure_free();
+        g.remove_channel(chan!(0, 1));
+        g.add_channel(chan!(2, 0));
+        assert!(res.has_channel(chan!(0, 1)));
+        assert!(!res.has_channel(chan!(2, 0)));
+        assert_eq!(res.reach_from(ProcessId(0)), pset![0, 1, 2]);
+    }
+
+    #[test]
     #[should_panic(expected = "endpoint out of range")]
     fn add_channel_out_of_range_panics() {
         let mut g = NetworkGraph::empty(2);
@@ -407,6 +614,17 @@ mod tests {
         assert_eq!(g.reach_to(ProcessId(0)), pset![0]);
         assert!(g.all_reach_all(pset![0, 1], pset![2, 3]));
         assert!(!g.all_reach_all(pset![1], pset![0]));
+    }
+
+    #[test]
+    fn memoized_queries_are_stable() {
+        let g = line_graph(5).residual_failure_free();
+        // First call populates the cache; the second must agree exactly.
+        for p in 0..5 {
+            assert_eq!(g.reach_from(ProcessId(p)), g.reach_from(ProcessId(p)));
+            assert_eq!(g.reach_to(ProcessId(p)), g.reach_to(ProcessId(p)));
+        }
+        assert_eq!(g.sccs(), g.sccs());
     }
 
     #[test]
@@ -465,6 +683,20 @@ mod tests {
     }
 
     #[test]
+    fn residual_equality_is_semantic() {
+        let g = NetworkGraph::complete(3);
+        let f = FailurePattern::new(3, pset![2], [chan!(0, 1)]).unwrap();
+        let a = g.residual(&f);
+        let b = g.residual(&f);
+        // Warm one side's caches; equality must not care.
+        let _ = a.reach_from(ProcessId(0));
+        let _ = a.sccs();
+        assert_eq!(a, b);
+        let free = g.residual_failure_free();
+        assert_ne!(a, free);
+    }
+
+    #[test]
     fn f_availability_and_reachability_follow_definitions() {
         // Figure-1-style: W = {0,1} strongly connected; 2 can only send.
         let g = NetworkGraph::with_channels(3, [chan!(0, 1), chan!(1, 0), chan!(2, 0)])
@@ -479,8 +711,8 @@ mod tests {
     fn transitive_closure_matches_reach_from() {
         let g = line_graph(4).residual_failure_free();
         let tc = g.transitive_closure();
-        for p in 0..4 {
-            assert_eq!(tc[p], g.reach_from(ProcessId(p)));
+        for (p, row) in tc.iter().enumerate() {
+            assert_eq!(*row, g.reach_from(ProcessId(p)));
         }
     }
 

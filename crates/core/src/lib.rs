@@ -43,15 +43,19 @@ pub mod finder;
 pub mod graph;
 pub mod process;
 pub mod quorum;
+pub mod reference;
 pub mod systems;
 
 pub use channel::Channel;
 pub use failure::{BuildPatternError, FailProneSystem, FailurePattern};
+pub use finder::{
+    explain_unsolvable, find_gqs, find_qs_plus, find_threshold_gqs, gqs_exists, qs_plus_exists,
+    GqsWitness, Unsolvability,
+};
 pub use graph::{NetworkGraph, ResidualGraph};
 pub use process::{ProcessId, ProcessSet, MAX_PROCESSES};
-pub use finder::{explain_unsolvable, find_gqs, find_qs_plus, find_threshold_gqs, gqs_exists, qs_plus_exists, GqsWitness, Unsolvability};
-pub use systems::grid_system;
 pub use quorum::{
     majority_system, AvailabilityWitness, ClassicalQuorumSystem, FamilyMetrics,
     GeneralizedQuorumSystem, QsPlus, QuorumFamily, QuorumSystemError,
 };
+pub use systems::grid_system;

@@ -50,6 +50,11 @@ pub enum QuorumFamily {
 impl QuorumFamily {
     /// Builds an explicit family.
     ///
+    /// The quorums are stored sorted and deduplicated: duplicate entries
+    /// carry no information (a family is a *set* of quorums), and the
+    /// canonical order lets validation and Consistency checks early-exit
+    /// deterministically.
+    ///
     /// # Errors
     ///
     /// Rejects empty families and empty quorums (a quorum must contain at
@@ -58,13 +63,15 @@ impl QuorumFamily {
     where
         I: IntoIterator<Item = ProcessSet>,
     {
-        let quorums: Vec<ProcessSet> = quorums.into_iter().collect();
+        let mut quorums: Vec<ProcessSet> = quorums.into_iter().collect();
         if quorums.is_empty() {
             return Err(QuorumSystemError::EmptyFamily);
         }
         if let Some(_empty) = quorums.iter().find(|q| q.is_empty()) {
             return Err(QuorumSystemError::EmptyQuorum);
         }
+        quorums.sort_unstable();
+        quorums.dedup();
         Ok(QuorumFamily::Explicit(quorums))
     }
 
@@ -124,9 +131,7 @@ impl QuorumFamily {
     /// All processes mentioned by the family.
     pub fn support(&self) -> ProcessSet {
         match self {
-            QuorumFamily::Explicit(qs) => {
-                qs.iter().fold(ProcessSet::new(), |acc, q| acc | *q)
-            }
+            QuorumFamily::Explicit(qs) => qs.iter().fold(ProcessSet::new(), |acc, q| acc | *q),
             QuorumFamily::Threshold { n, .. } => ProcessSet::full(*n),
         }
     }
@@ -137,13 +142,18 @@ impl QuorumFamily {
     /// # Errors
     ///
     /// Returns a counterexample pair on violation.
-    pub fn consistent_with(
-        &self,
-        other: &QuorumFamily,
-    ) -> Result<(), (ProcessSet, ProcessSet)> {
+    pub fn consistent_with(&self, other: &QuorumFamily) -> Result<(), (ProcessSet, ProcessSet)> {
         match (self, other) {
             (QuorumFamily::Explicit(rs), QuorumFamily::Explicit(ws)) => {
+                // Fast path: a process common to every write quorum makes
+                // any read containing it intersect all of them, skipping
+                // the inner loop.
+                let universe = ProcessSet::full(crate::process::MAX_PROCESSES);
+                let common_w = ws.iter().fold(universe, |acc, w| acc & *w);
                 for r in rs {
+                    if r.intersects(common_w) {
+                        continue;
+                    }
                     for w in ws {
                         if r.is_disjoint(*w) {
                             return Err((*r, *w));
@@ -152,7 +162,10 @@ impl QuorumFamily {
                 }
                 Ok(())
             }
-            (QuorumFamily::Threshold { n, min_size: mr }, QuorumFamily::Threshold { n: n2, min_size: mw }) => {
+            (
+                QuorumFamily::Threshold { n, min_size: mr },
+                QuorumFamily::Threshold { n: n2, min_size: mw },
+            ) => {
                 let n = (*n).max(*n2);
                 if mr + mw > n {
                     Ok(())
@@ -208,9 +221,7 @@ impl QuorumFamily {
     /// all alive processes that reach every member of `w`.
     pub fn reaching_read(&self, res: &ResidualGraph, w: ProcessSet) -> Option<ProcessSet> {
         match self {
-            QuorumFamily::Explicit(qs) => {
-                qs.iter().copied().find(|r| res.f_reachable(w, *r))
-            }
+            QuorumFamily::Explicit(qs) => qs.iter().copied().find(|r| res.f_reachable(w, *r)),
             QuorumFamily::Threshold { min_size, .. } => {
                 let candidates = res.reach_to_all(w);
                 if candidates.len() >= *min_size {
@@ -348,10 +359,21 @@ pub struct GeneralizedQuorumSystem {
     fail_prone: FailProneSystem,
     reads: QuorumFamily,
     writes: QuorumFamily,
+    /// One availability witness per pattern, computed during validation
+    /// (each over a single shared-cache residual graph) and served by
+    /// `availability_witness`/`u_f` without recomputation.
+    witnesses: Vec<AvailabilityWitness>,
 }
 
 impl GeneralizedQuorumSystem {
     /// Validates and constructs a generalized quorum system.
+    ///
+    /// Validation builds **one** residual graph per failure pattern and
+    /// answers every availability/`U_f` query for that pattern from its
+    /// memoized reachability caches; the witnesses are stored, so
+    /// [`GeneralizedQuorumSystem::u_f`] and
+    /// [`GeneralizedQuorumSystem::availability_witness`] are O(1)
+    /// afterwards.
     ///
     /// # Errors
     ///
@@ -375,13 +397,15 @@ impl GeneralizedQuorumSystem {
         if let Err((read, write)) = reads.consistent_with(&writes) {
             return Err(QuorumSystemError::Consistency { read, write });
         }
-        let sys = GeneralizedQuorumSystem { graph, fail_prone, reads, writes };
-        for i in 0..sys.fail_prone.len() {
-            if sys.availability_witness(i).is_none() {
-                return Err(QuorumSystemError::Availability { pattern: i });
+        let mut witnesses = Vec::with_capacity(fail_prone.len());
+        for (i, f) in fail_prone.patterns().enumerate() {
+            let res = graph.residual(f);
+            match witness_for(&res, &reads, &writes) {
+                Some(w) => witnesses.push(w),
+                None => return Err(QuorumSystemError::Availability { pattern: i }),
             }
         }
-        Ok(sys)
+        Ok(GeneralizedQuorumSystem { graph, fail_prone, reads, writes, witnesses })
     }
 
     /// The network graph.
@@ -404,29 +428,16 @@ impl GeneralizedQuorumSystem {
         &self.writes
     }
 
-    /// Finds an availability witness for pattern `i`, or `None` if
-    /// availability fails for it.
+    /// The availability witness for pattern `i`, computed at construction
+    /// (always `Some` for a validated system; the `Option` is kept for API
+    /// stability).
     ///
     /// # Panics
     ///
     /// Panics if `i` is not a valid pattern index.
     pub fn availability_witness(&self, i: usize) -> Option<AvailabilityWitness> {
-        let res = self.graph.residual(self.fail_prone.pattern(i));
-        let mut u = ProcessSet::new();
-        let mut first: Option<(ProcessSet, ProcessSet)> = None;
-        for w in self.writes.available_writes(&res) {
-            if let Some(r) = self.reads.reaching_read(&res, w) {
-                u |= w;
-                if first.is_none() {
-                    first = Some((r, w));
-                }
-            }
-        }
-        let (read, write) = first?;
-        let u_f = res
-            .scc_containing(u)
-            .expect("Proposition 1: validating write quorums share one SCC");
-        Some(AvailabilityWitness { read, write, u_f })
+        assert!(i < self.fail_prone.len(), "pattern index {i} out of range");
+        Some(self.witnesses[i])
     }
 
     /// The set `U_f` for pattern `i` (Proposition 1): the strongly
@@ -439,9 +450,7 @@ impl GeneralizedQuorumSystem {
     /// Panics if `i` is out of range. Cannot return an empty set: the
     /// system was validated at construction.
     pub fn u_f(&self, i: usize) -> ProcessSet {
-        self.availability_witness(i)
-            .expect("validated at construction")
-            .u_f
+        self.witnesses[i].u_f
     }
 
     /// The canonical termination mapping `τ(f) = U_f` of Theorem 1, as a
@@ -620,20 +629,12 @@ impl QsPlus {
         // SCC is complete.
         for scc in res.sccs() {
             let w = match &self.writes {
-                QuorumFamily::Explicit(qs) => {
-                    qs.iter().copied().find(|w| w.is_subset(scc))
-                }
-                QuorumFamily::Threshold { min_size, .. } => {
-                    (scc.len() >= *min_size).then_some(scc)
-                }
+                QuorumFamily::Explicit(qs) => qs.iter().copied().find(|w| w.is_subset(scc)),
+                QuorumFamily::Threshold { min_size, .. } => (scc.len() >= *min_size).then_some(scc),
             };
             let r = match &self.reads {
-                QuorumFamily::Explicit(qs) => {
-                    qs.iter().copied().find(|r| r.is_subset(scc))
-                }
-                QuorumFamily::Threshold { min_size, .. } => {
-                    (scc.len() >= *min_size).then_some(scc)
-                }
+                QuorumFamily::Explicit(qs) => qs.iter().copied().find(|r| r.is_subset(scc)),
+                QuorumFamily::Threshold { min_size, .. } => (scc.len() >= *min_size).then_some(scc),
             };
             if let (Some(r), Some(w)) = (r, w) {
                 return Some((r, w));
@@ -647,6 +648,31 @@ impl fmt::Display for QsPlus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "QS+(R = {}, W = {})", self.reads, self.writes)
     }
+}
+
+/// Finds an availability witness for one pattern over an already-built
+/// residual graph: the first validating `(R, W)` pair plus `U_f`, the SCC
+/// containing every validating write quorum (Proposition 1). All
+/// reachability goes through `res`'s memoized caches, so validation costs
+/// at most one forward + one backward BFS per vertex per pattern.
+fn witness_for(
+    res: &ResidualGraph,
+    reads: &QuorumFamily,
+    writes: &QuorumFamily,
+) -> Option<AvailabilityWitness> {
+    let mut u = ProcessSet::new();
+    let mut first: Option<(ProcessSet, ProcessSet)> = None;
+    for w in writes.available_writes(res) {
+        if let Some(r) = reads.reaching_read(res, w) {
+            u |= w;
+            if first.is_none() {
+                first = Some((r, w));
+            }
+        }
+    }
+    let (read, write) = first?;
+    let u_f = res.scc_containing(u).expect("Proposition 1: validating write quorums share one SCC");
+    Some(AvailabilityWitness { read, write, u_f })
 }
 
 fn check_in_range(family: &QuorumFamily, n: usize) -> Result<(), QuorumSystemError> {
@@ -907,8 +933,9 @@ mod tests {
         let fp = FailProneSystem::new(3, [FailurePattern::failure_free(3)]).unwrap();
         let reads = QuorumFamily::explicit([pset![0, 2]]).unwrap();
         let writes = QuorumFamily::explicit([pset![0, 1]]).unwrap();
-        let gqs = GeneralizedQuorumSystem::new(g.clone(), fp.clone(), reads.clone(), writes.clone())
-            .unwrap();
+        let gqs =
+            GeneralizedQuorumSystem::new(g.clone(), fp.clone(), reads.clone(), writes.clone())
+                .unwrap();
         assert_eq!(gqs.u_f(0), pset![0, 1]);
         // But QS+ fails: {0,2} is not inside any SCC.
         assert!(matches!(
@@ -942,13 +969,8 @@ mod tests {
     fn metrics_of_explicit_families() {
         // Figure 1's write quorums: four 2-sets covering all processes,
         // each process in exactly 2 of 4 quorums.
-        let fam = QuorumFamily::explicit([
-            pset![0, 1],
-            pset![1, 2],
-            pset![2, 3],
-            pset![3, 0],
-        ])
-        .unwrap();
+        let fam =
+            QuorumFamily::explicit([pset![0, 1], pset![1, 2], pset![2, 3], pset![3, 0]]).unwrap();
         let m = fam.metrics(4);
         assert_eq!(m.quorums, 4);
         assert_eq!((m.min_size, m.max_size), (2, 2));

@@ -65,11 +65,8 @@ pub fn figure1() -> Figure1 {
     for k in 0..4 {
         // f1 rotated k times.
         let faulty = ProcessSet::singleton(rot(D, k));
-        let failing = [
-            ch(rot(A, k), rot(C, k)),
-            ch(rot(B, k), rot(C, k)),
-            ch(rot(C, k), rot(B, k)),
-        ];
+        let failing =
+            [ch(rot(A, k), rot(C, k)), ch(rot(B, k), rot(C, k)), ch(rot(C, k), rot(B, k))];
         patterns.push(
             FailurePattern::new(4, faulty, failing).expect("figure 1 patterns are well-formed"),
         );
@@ -95,9 +92,8 @@ pub fn figure1() -> Figure1 {
 pub fn example9_f_prime() -> (NetworkGraph, FailProneSystem) {
     let fig = figure1();
     let mut patterns: Vec<FailurePattern> = fig.fail_prone.patterns().cloned().collect();
-    patterns[0] = patterns[0]
-        .with_channel(ch(A, B))
-        .expect("(a,b) is between correct processes of f1");
+    patterns[0] =
+        patterns[0].with_channel(ch(A, B)).expect("(a,b) is between correct processes of f1");
     let fp = FailProneSystem::new(4, patterns).expect("uniform universe");
     (fig.graph, fp)
 }
@@ -144,10 +140,7 @@ pub fn grid_system(
 /// reliable), paired with a complete network graph.
 pub fn example4_minority(n: usize) -> (NetworkGraph, FailProneSystem) {
     let k = (n.saturating_sub(1)) / 2;
-    (
-        NetworkGraph::complete(n),
-        FailProneSystem::threshold(n, k).expect("k < n by construction"),
-    )
+    (NetworkGraph::complete(n), FailProneSystem::threshold(n, k).expect("k < n by construction"))
 }
 
 #[cfg(test)]

@@ -1,0 +1,105 @@
+//! Shared helpers for the core integration tests: a small seeded RNG and
+//! random graph/failure generators.
+//!
+//! The RNG is a local SplitMix64 (same algorithm as `gqs_simnet::SplitMix64`)
+//! rather than a dev-dependency on `gqs-simnet`, to keep `gqs-core`'s test
+//! build free of the dev-dependency cycle core → simnet → core.
+
+#![allow(dead_code)] // each integration-test binary uses a different subset
+
+use gqs_core::{Channel, FailProneSystem, FailurePattern, NetworkGraph, ProcessId, ProcessSet};
+
+/// SplitMix64 (Steele, Lea, Flood 2014): tiny, seedable, and plenty random
+/// for test-case generation.
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `lo..=hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi);
+        let span = hi - lo + 1;
+        lo + self.next_u64() % span
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 <= p
+    }
+}
+
+/// A raw graph description: `n` and a list of directed edges.
+#[derive(Clone, Debug)]
+pub struct RawGraph {
+    pub n: usize,
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// A random digraph on `2..=max_n` vertices with a random edge density.
+pub fn random_raw(max_n: usize, rng: &mut SplitMix64) -> RawGraph {
+    let n = rng.range(2, max_n as u64) as usize;
+    let p = rng.range(0, 100) as f64 / 100.0;
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a != b && rng.chance(p) {
+                edges.push((a, b));
+            }
+        }
+    }
+    RawGraph { n, edges }
+}
+
+pub fn build(raw: &RawGraph) -> NetworkGraph {
+    NetworkGraph::with_channels(
+        raw.n,
+        raw.edges.iter().map(|&(a, b)| Channel::new(ProcessId(a), ProcessId(b))),
+    )
+}
+
+/// A random well-formed failure pattern over `raw`: random crashes, then
+/// each surviving edge fails with probability `p_chan`.
+pub fn random_pattern(
+    raw: &RawGraph,
+    p_crash: f64,
+    p_chan: f64,
+    rng: &mut SplitMix64,
+) -> FailurePattern {
+    let faulty: ProcessSet = (0..raw.n).filter(|_| rng.chance(p_crash)).collect();
+    let channels: Vec<Channel> = raw
+        .edges
+        .iter()
+        .filter(|&&(a, b)| {
+            !faulty.contains(ProcessId(a)) && !faulty.contains(ProcessId(b)) && rng.chance(p_chan)
+        })
+        .map(|&(a, b)| Channel::new(ProcessId(a), ProcessId(b)))
+        .collect();
+    FailurePattern::new(raw.n, faulty, channels).expect("well-formed by construction")
+}
+
+/// A random fail-prone system of up to `max_patterns` patterns.
+pub fn random_fail_prone(
+    raw: &RawGraph,
+    max_patterns: usize,
+    p_crash: f64,
+    p_chan: f64,
+    rng: &mut SplitMix64,
+) -> FailProneSystem {
+    let m = rng.range(1, max_patterns as u64) as usize;
+    let patterns: Vec<FailurePattern> =
+        (0..m).map(|_| random_pattern(raw, p_crash, p_chan, rng)).collect();
+    FailProneSystem::new(raw.n, patterns).expect("uniform universe")
+}

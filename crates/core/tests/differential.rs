@@ -1,0 +1,163 @@
+//! Differential tests: the transpose-cached reachability engine and the
+//! memoized CSP finder against the naive reference implementations kept in
+//! [`gqs_core::reference`].
+//!
+//! Random digraphs and failure patterns come from a seeded SplitMix64 (see
+//! `common`), so every run replays the same cases. These tests are the
+//! safety net for the perf work: any divergence between the optimized and
+//! the reference pipeline fails here before it can skew an experiment.
+
+mod common;
+
+use common::{build, random_fail_prone, random_pattern, random_raw, SplitMix64};
+use gqs_core::finder::{find_gqs, gqs_exists, gqs_exists_brute_force};
+use gqs_core::reference::{gqs_exists_naive, NaiveResidual};
+use gqs_core::{ProcessId, ProcessSet};
+
+/// `reach_from` agrees with the naive engine on random residual graphs,
+/// in any query order (cache-independence).
+#[test]
+fn reach_from_matches_reference() {
+    for case in 0..160 {
+        let mut rng = SplitMix64::new(5_000 + case);
+        let raw = random_raw(16, &mut rng);
+        let g = build(&raw);
+        let f = random_pattern(&raw, 0.2, 0.3, &mut rng);
+        let fast = g.residual(&f);
+        let slow = NaiveResidual::build(&g, &f);
+        // Query in a scrambled order so cache-fill order varies by case.
+        let mut order: Vec<usize> = (0..raw.n).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.range(0, i as u64) as usize);
+        }
+        for &p in &order {
+            assert_eq!(
+                fast.reach_from(ProcessId(p)),
+                slow.reach_from(ProcessId(p)),
+                "reach_from({p}) diverged (case {case})"
+            );
+        }
+        // Second pass hits the cache; answers must not change.
+        for &p in &order {
+            assert_eq!(fast.reach_from(ProcessId(p)), slow.reach_from(ProcessId(p)));
+        }
+    }
+}
+
+/// The transpose-BFS `reach_to` agrees with the quadratic fixpoint.
+#[test]
+fn reach_to_matches_reference() {
+    for case in 0..160 {
+        let mut rng = SplitMix64::new(6_000 + case);
+        let raw = random_raw(16, &mut rng);
+        let g = build(&raw);
+        let f = random_pattern(&raw, 0.2, 0.3, &mut rng);
+        let fast = g.residual(&f);
+        let slow = NaiveResidual::build(&g, &f);
+        for p in 0..raw.n {
+            assert_eq!(
+                fast.reach_to(ProcessId(p)),
+                slow.reach_to(ProcessId(p)),
+                "reach_to({p}) diverged (case {case})"
+            );
+        }
+    }
+}
+
+/// `reach_to_all` agrees with the reference on random target sets.
+#[test]
+fn reach_to_all_matches_reference() {
+    for case in 0..160 {
+        let mut rng = SplitMix64::new(7_000 + case);
+        let raw = random_raw(12, &mut rng);
+        let g = build(&raw);
+        let f = random_pattern(&raw, 0.2, 0.3, &mut rng);
+        let fast = g.residual(&f);
+        let slow = NaiveResidual::build(&g, &f);
+        for _ in 0..8 {
+            let set: ProcessSet = (0..raw.n).filter(|_| rng.chance(0.35)).collect();
+            assert_eq!(
+                fast.reach_to_all(set),
+                slow.reach_to_all(set),
+                "reach_to_all({set}) diverged (case {case})"
+            );
+        }
+        // The alive set itself and the empty set are the edge cases.
+        assert_eq!(fast.reach_to_all(fast.alive()), slow.reach_to_all(slow.alive()));
+        assert_eq!(fast.reach_to_all(ProcessSet::new()), ProcessSet::new());
+    }
+}
+
+/// SCC decomposition agrees with the reference (same components, same
+/// smallest-member order).
+#[test]
+fn sccs_match_reference() {
+    for case in 0..160 {
+        let mut rng = SplitMix64::new(8_000 + case);
+        let raw = random_raw(16, &mut rng);
+        let g = build(&raw);
+        let f = random_pattern(&raw, 0.2, 0.3, &mut rng);
+        let fast = g.residual(&f);
+        let slow = NaiveResidual::build(&g, &f);
+        assert_eq!(fast.sccs(), slow.sccs(), "sccs diverged (case {case})");
+        // And interleaving reachability queries must not disturb them.
+        for p in 0..raw.n {
+            let _ = fast.reach_from(ProcessId(p));
+        }
+        assert_eq!(fast.sccs(), slow.sccs(), "sccs diverged after cache warm-up (case {case})");
+    }
+}
+
+/// The memoized CSP finder, the naive pipeline, and the exhaustive oracle
+/// agree on GQS existence for small random fail-prone systems.
+#[test]
+fn finder_matches_naive_and_brute_force() {
+    for case in 0..200 {
+        let mut rng = SplitMix64::new(9_000 + case);
+        let raw = random_raw(6, &mut rng);
+        let g = build(&raw);
+        let fp = random_fail_prone(&raw, 4, 0.25, 0.3, &mut rng);
+        let fast = gqs_exists(&g, &fp);
+        assert_eq!(fast, gqs_exists_naive(&g, &fp), "optimized vs naive finder (case {case})");
+        assert_eq!(
+            fast,
+            gqs_exists_brute_force(&g, &fp),
+            "optimized finder vs exhaustive oracle (case {case})"
+        );
+        // find_gqs must agree with gqs_exists and return a valid witness.
+        match find_gqs(&g, &fp) {
+            Some(w) => {
+                assert!(fast, "witness produced for an unsolvable system (case {case})");
+                assert_eq!(w.per_pattern.len(), fp.len());
+            }
+            None => {
+                assert!(!fast || fp.is_empty(), "no witness for a solvable system (case {case})")
+            }
+        }
+    }
+}
+
+/// Duplicate patterns (which the solver collapses into one CSP variable)
+/// never change the verdict.
+#[test]
+fn duplicated_patterns_do_not_change_the_verdict() {
+    for case in 0..120 {
+        let mut rng = SplitMix64::new(11_000 + case);
+        let raw = random_raw(6, &mut rng);
+        let g = build(&raw);
+        let fp = random_fail_prone(&raw, 3, 0.25, 0.3, &mut rng);
+        let baseline = gqs_exists(&g, &fp);
+        // Repeat every pattern 2-3 times in shuffled positions.
+        let mut patterns: Vec<_> = fp.patterns().cloned().collect();
+        let extra: Vec<_> = fp.patterns().filter(|_| rng.chance(0.7)).cloned().collect();
+        patterns.extend(extra);
+        patterns.extend(fp.patterns().cloned());
+        let dup = gqs_core::FailProneSystem::new(raw.n, patterns).unwrap();
+        assert_eq!(
+            gqs_exists(&g, &dup),
+            baseline,
+            "duplicating patterns changed the verdict (case {case})"
+        );
+        assert_eq!(gqs_exists(&g, &dup), gqs_exists_brute_force(&g, &dup));
+    }
+}

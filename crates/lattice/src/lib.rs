@@ -131,8 +131,7 @@ impl<L: JoinSemilattice> LatticeNode<L> {
                 Effect::Send { to, msg } => ctx.send(to, msg),
                 Effect::SetTimer { id, after } => ctx.set_timer(id, after),
                 Effect::Complete { op, resp } => {
-                    let machine =
-                        self.routes.remove(&op.0).expect("unknown internal snapshot op");
+                    let machine = self.routes.remove(&op.0).expect("unknown internal snapshot op");
                     self.advance(machine, resp, ctx);
                 }
             }
@@ -147,8 +146,7 @@ impl<L: JoinSemilattice> LatticeNode<L> {
                 self.issue(machine, SnapOp::Scan, ctx);
             }
             (Step::Scanning { op, v }, SnapResp::View(view)) => {
-                let joined =
-                    view.into_iter().flatten().fold(v.clone(), |acc, x| acc.join(&x));
+                let joined = view.into_iter().flatten().fold(v.clone(), |acc, x| acc.join(&x));
                 if joined == v {
                     ctx.complete(op, Learned(v));
                 } else {
@@ -173,7 +171,12 @@ impl<L: JoinSemilattice> Protocol for LatticeNode<L> {
         self.pump(inner.take_effects(), ctx);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<Self::Msg, Self::Resp>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<Self::Msg, Self::Resp>,
+    ) {
         let mut inner = Self::inner_ctx(ctx);
         self.snap.on_message(from, msg, &mut inner);
         self.pump(inner.take_effects(), ctx);
@@ -185,7 +188,12 @@ impl<L: JoinSemilattice> Protocol for LatticeNode<L> {
         self.pump(inner.take_effects(), ctx);
     }
 
-    fn on_invoke(&mut self, op: OpId, Propose(x): Self::Op, ctx: &mut Context<Self::Msg, Self::Resp>) {
+    fn on_invoke(
+        &mut self,
+        op: OpId,
+        Propose(x): Self::Op,
+        ctx: &mut Context<Self::Msg, Self::Resp>,
+    ) {
         let machine = self.next_machine;
         self.next_machine += 1;
         self.rounds += 1;

@@ -44,9 +44,11 @@ impl<T: Ord + Clone + Debug> SetLattice<T> {
     pub fn singleton(x: T) -> Self {
         SetLattice(std::iter::once(x).collect())
     }
+}
 
+impl<T: Ord + Clone + Debug> FromIterator<T> for SetLattice<T> {
     /// Builds from any collection.
-    pub fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
         SetLattice(iter.into_iter().collect())
     }
 }

@@ -51,10 +51,7 @@ fn two_proposers_under_f1_agree_comparably() {
         assert!(wait_freedom_report(sim.history(), fig.gqs.u_f(0)).is_wait_free());
         // Round bound: each proposal uses at most n rounds.
         for p in [0usize, 1] {
-            assert!(
-                sim.node(ProcessId(p)).inner().rounds() <= 4,
-                "round bound exceeded at {p}"
-            );
+            assert!(sim.node(ProcessId(p)).inner().rounds() <= 4, "round bound exceeded at {p}");
         }
     }
 }
@@ -104,14 +101,18 @@ fn failure_free_four_way_contention() {
     let cfg = SimConfig { seed: 13, horizon: SimTime(1_200_000), ..SimConfig::default() };
     let mut sim = Simulation::new(cfg, nodes);
     for p in 0..4usize {
-        sim.invoke_at(SimTime(10 + p as u64), ProcessId(p), Propose(SetLattice::singleton(p as u64)));
+        sim.invoke_at(
+            SimTime(10 + p as u64),
+            ProcessId(p),
+            Propose(SetLattice::singleton(p as u64)),
+        );
     }
     assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
     let outs = outcomes(&sim);
     assert_safety(&outs);
     // All outputs form a chain; the largest includes every input it saw.
     let mut ys: Vec<L> = outs.iter().map(|o| o.output.clone().unwrap()).collect();
-    ys.sort_by(|a, b| a.0.len().cmp(&b.0.len()));
+    ys.sort_by_key(|a| a.0.len());
     for w in ys.windows(2) {
         assert!(w[0].leq(&w[1]), "outputs must form a chain");
     }

@@ -4,7 +4,9 @@
 
 use gqs_core::systems::figure1;
 use gqs_core::ProcessId;
-use gqs_lattice::{gqs_lattice_nodes, JoinSemilattice, Learned, MaxLattice, Propose, VectorLattice};
+use gqs_lattice::{
+    gqs_lattice_nodes, JoinSemilattice, Learned, MaxLattice, Propose, VectorLattice,
+};
 use gqs_simnet::{FailureSchedule, SimConfig, SimTime, Simulation, StopReason};
 
 #[test]
@@ -40,12 +42,8 @@ fn vector_lattice_merges_pointwise() {
     sim.invoke_at(SimTime(10), ProcessId(0), Propose(VectorLattice(vec![5, 0, 0, 0])));
     sim.invoke_at(SimTime(12), ProcessId(1), Propose(VectorLattice(vec![0, 7, 0, 0])));
     assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
-    let outs: Vec<VectorLattice> = sim
-        .history()
-        .ops()
-        .iter()
-        .map(|r| r.resp().map(|Learned(v)| v.clone()).unwrap())
-        .collect();
+    let outs: Vec<VectorLattice> =
+        sim.history().ops().iter().map(|r| r.resp().map(|Learned(v)| v.clone()).unwrap()).collect();
     // Comparable outputs, each dominating its input.
     assert!(outs[0].comparable(&outs[1]));
     assert!(VectorLattice(vec![5, 0, 0, 0]).leq(&outs[0]));

@@ -129,11 +129,8 @@ impl<S: Clone + Debug, U: Update<S>> QuorumAccess<S, U> for ClassicalQaf<S, U> {
                     let have: ProcessSet = self.gets[i].responses.keys().copied().collect();
                     if let Some(quorum) = self.reads.satisfying_quorum(have) {
                         let g = self.gets.swap_remove(i);
-                        let states = g
-                            .responses
-                            .into_iter()
-                            .filter(|(p, _)| quorum.contains(*p))
-                            .collect();
+                        let states =
+                            g.responses.into_iter().filter(|(p, _)| quorum.contains(*p)).collect();
                         events.push(QafEvent::GetDone { token: g.token, states });
                     }
                 }
@@ -188,7 +185,8 @@ mod tests {
         assert_eq!(c.effect_count(), 3); // broadcast to all incl. self
         assert_eq!(e.pending(), 1);
         let s = RegMap::new(0);
-        let ev = e.on_message(ProcessId(1), ClassicalMsg::GetResp { seq: 1, state: s.clone() }, &mut c);
+        let ev =
+            e.on_message(ProcessId(1), ClassicalMsg::GetResp { seq: 1, state: s.clone() }, &mut c);
         assert!(ev.is_empty());
         let ev = e.on_message(ProcessId(2), ClassicalMsg::GetResp { seq: 1, state: s }, &mut c);
         assert_eq!(ev.len(), 1);
@@ -255,10 +253,22 @@ mod tests {
         let mut e: Engine = ClassicalQaf::new(reads, writes, RegMap::new(0));
         let mut c = ctx(0);
         e.start_get(1, &mut c);
-        let _ = e.on_message(ProcessId(2), ClassicalMsg::GetResp { seq: 1, state: RegMap::new(0) }, &mut c);
+        let _ = e.on_message(
+            ProcessId(2),
+            ClassicalMsg::GetResp { seq: 1, state: RegMap::new(0) },
+            &mut c,
+        );
         assert_eq!(e.pending(), 1, "process 2 is not in the read quorum");
-        let _ = e.on_message(ProcessId(0), ClassicalMsg::GetResp { seq: 1, state: RegMap::new(0) }, &mut c);
-        let ev = e.on_message(ProcessId(1), ClassicalMsg::GetResp { seq: 1, state: RegMap::new(0) }, &mut c);
+        let _ = e.on_message(
+            ProcessId(0),
+            ClassicalMsg::GetResp { seq: 1, state: RegMap::new(0) },
+            &mut c,
+        );
+        let ev = e.on_message(
+            ProcessId(1),
+            ClassicalMsg::GetResp { seq: 1, state: RegMap::new(0) },
+            &mut c,
+        );
         assert_eq!(ev.len(), 1);
     }
 }

@@ -133,12 +133,7 @@ impl<S: Clone + Debug, U: Update<S>> GeneralizedQaf<S, U> {
     /// # Panics
     ///
     /// Panics if `tick_interval == 0`.
-    pub fn new(
-        reads: QuorumFamily,
-        writes: QuorumFamily,
-        initial: S,
-        tick_interval: u64,
-    ) -> Self {
+    pub fn new(reads: QuorumFamily, writes: QuorumFamily, initial: S, tick_interval: u64) -> Self {
         assert!(tick_interval > 0, "the periodic push needs a positive period");
         GeneralizedQaf {
             state: initial,
@@ -172,11 +167,7 @@ impl<S: Clone + Debug, U: Update<S>> GeneralizedQaf<S, U> {
 
     /// Processes with a cached push of clock at least `cutoff`.
     fn processes_at_clock(&self, cutoff: u64) -> ProcessSet {
-        self.latest
-            .iter()
-            .filter(|(_, (_, c))| *c >= cutoff)
-            .map(|(p, _)| *p)
-            .collect()
+        self.latest.iter().filter(|(_, (_, c))| *c >= cutoff).map(|(p, _)| *p).collect()
     }
 
     /// Tries to finish pending stage-2 waits against the push cache;
@@ -195,10 +186,7 @@ impl<S: Clone + Debug, U: Update<S>> GeneralizedQaf<S, U> {
             };
             if let Some(quorum) = advance {
                 let g = self.gets.swap_remove(i);
-                let states = quorum
-                    .iter()
-                    .map(|p| (p, self.latest[&p].0.clone()))
-                    .collect();
+                let states = quorum.iter().map(|p| (p, self.latest[&p].0.clone())).collect();
                 events.push(QafEvent::GetDone { token: g.token, states });
             } else {
                 i += 1;
@@ -290,11 +278,8 @@ impl<S: Clone + Debug, U: Update<S>> QuorumAccess<S, U> for GeneralizedQaf<S, U>
                         clocks.insert(from, clock);
                         let have: ProcessSet = clocks.keys().copied().collect();
                         if let Some(q) = self.writes.satisfying_quorum(have) {
-                            let cutoff = q
-                                .iter()
-                                .map(|p| clocks[&p])
-                                .max()
-                                .expect("quorums are nonempty");
+                            let cutoff =
+                                q.iter().map(|p| clocks[&p]).max().expect("quorums are nonempty");
                             g.stage = GetStage::AwaitStates { cutoff };
                         }
                     }
@@ -303,8 +288,7 @@ impl<S: Clone + Debug, U: Update<S>> QuorumAccess<S, U> for GeneralizedQaf<S, U>
             }
             GeneralizedMsg::GetResp { state, clock } => {
                 // Cache the freshest push per sender.
-                let stale =
-                    matches!(self.latest.get(&from), Some((_, c)) if *c >= clock);
+                let stale = matches!(self.latest.get(&from), Some((_, c)) if *c >= clock);
                 if !stale {
                     self.latest.insert(from, (state, clock));
                 }
@@ -325,11 +309,8 @@ impl<S: Clone + Debug, U: Update<S>> QuorumAccess<S, U> for GeneralizedQaf<S, U>
                         clocks.insert(from, clock);
                         let have: ProcessSet = clocks.keys().copied().collect();
                         if let Some(q) = self.writes.satisfying_quorum(have) {
-                            let c_set = q
-                                .iter()
-                                .map(|p| clocks[&p])
-                                .max()
-                                .expect("quorums are nonempty");
+                            let c_set =
+                                q.iter().map(|p| clocks[&p]).max().expect("quorums are nonempty");
                             s.stage = SetStage::AwaitReadClocks { c_set };
                         }
                     }
@@ -369,11 +350,7 @@ mod tests {
     }
 
     fn push(e: &mut Engine, from: usize, clock: u64, c: &mut Context<Msg, ()>) -> Vec<QafEvent<S>> {
-        e.on_message(
-            ProcessId(from),
-            Msg::GetResp { state: RegMap::new(0), clock },
-            c,
-        )
+        e.on_message(ProcessId(from), Msg::GetResp { state: RegMap::new(0), clock }, c)
     }
 
     #[test]

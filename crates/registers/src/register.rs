@@ -157,8 +157,7 @@ where
                     .map(|(_, s)| s.get(&reg))
                     .max_by_key(|(_, ver)| *ver)
                     .expect("read quorums are nonempty");
-                let update =
-                    VersionedWrite { reg, value: value.clone(), version };
+                let update = VersionedWrite { reg, value: value.clone(), version };
                 self.pending.insert(token, Phase::ReadSet { op, value, version });
                 self.engine.start_set(token, update, ctx);
             }
@@ -194,7 +193,12 @@ where
         self.engine.on_start(ctx);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<Self::Msg, Self::Resp>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<Self::Msg, Self::Resp>,
+    ) {
         let events = self.engine.on_message(from, msg, ctx);
         self.handle_events(events, ctx);
     }
@@ -219,8 +223,7 @@ pub type GqsRegister<K, V> =
     QuorumRegister<K, V, GeneralizedQaf<RegMap<K, V>, VersionedWrite<K, V>>>;
 
 /// The ABD baseline: Figure 4 over the classical engine of Figure 2.
-pub type AbdRegister<K, V> =
-    QuorumRegister<K, V, ClassicalQaf<RegMap<K, V>, VersionedWrite<K, V>>>;
+pub type AbdRegister<K, V> = QuorumRegister<K, V, ClassicalQaf<RegMap<K, V>, VersionedWrite<K, V>>>;
 
 /// Builds one flooding-wrapped [`GqsRegister`] node per process of a
 /// generalized quorum system.

@@ -23,10 +23,7 @@ fn fig1_sim(seed: u64, pattern: usize, fail_at: SimTime) -> Simulation<Reg> {
     let nodes = gqs_register_nodes::<u8, u64>(&fig.gqs, 0, TICK);
     let cfg = SimConfig { seed, horizon: SimTime(60_000), ..SimConfig::default() };
     let mut sim = Simulation::new(cfg, nodes);
-    sim.apply_failures(&FailureSchedule::from_pattern_at(
-        fig.fail_prone.pattern(pattern),
-        fail_at,
-    ));
+    sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(pattern), fail_at));
     sim
 }
 
@@ -35,7 +32,9 @@ fn fig1_sim(seed: u64, pattern: usize, fail_at: SimTime) -> Simulation<Reg> {
 fn wg_entries(h: &RegHistory, reg: u8) -> Vec<Entry<RegisterOp<u64>, RegisterResp<u64>>> {
     h.ops()
         .iter()
-        .filter(|r| matches!(&r.op, RegOp::Write { reg: k, .. } | RegOp::Read { reg: k } if *k == reg))
+        .filter(
+            |r| matches!(&r.op, RegOp::Write { reg: k, .. } | RegOp::Read { reg: k } if *k == reg),
+        )
         .map(|r| Entry {
             process: r.process,
             invoked_at: r.invoked_at.ticks(),
@@ -56,7 +55,9 @@ fn wg_entries(h: &RegHistory, reg: u8) -> Vec<Entry<RegisterOp<u64>, RegisterRes
 fn tagged_ops(h: &RegHistory, reg: u8) -> Vec<TaggedOp<u64>> {
     h.ops()
         .iter()
-        .filter(|r| matches!(&r.op, RegOp::Write { reg: k, .. } | RegOp::Read { reg: k } if *k == reg))
+        .filter(
+            |r| matches!(&r.op, RegOp::Write { reg: k, .. } | RegOp::Read { reg: k } if *k == reg),
+        )
         .map(|r| {
             let (done, resp) = r.response.clone().expect("tagged checker needs complete runs");
             TaggedOp {
@@ -197,15 +198,11 @@ fn staggered_failures_preserve_safety() {
 #[test]
 fn abd_stalls_under_figure1_f1() {
     let fig = figure1();
-    let nodes: Vec<Flood<_>> = abd_register_nodes::<u8, u64>(
-        4,
-        fig.gqs.reads().clone(),
-        fig.gqs.writes().clone(),
-        0,
-    )
-    .into_iter()
-    .map(Flood::new)
-    .collect();
+    let nodes: Vec<Flood<_>> =
+        abd_register_nodes::<u8, u64>(4, fig.gqs.reads().clone(), fig.gqs.writes().clone(), 0)
+            .into_iter()
+            .map(Flood::new)
+            .collect();
     let cfg = SimConfig { seed: 5, horizon: SimTime(30_000), ..SimConfig::default() };
     let mut sim = Simulation::new(cfg, nodes);
     sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
@@ -227,10 +224,11 @@ fn failure_free_run_completes_everywhere() {
     let cfg = SimConfig { seed: 3, horizon: SimTime(60_000), ..SimConfig::default() };
     let mut sim = Simulation::new(cfg, nodes);
     for p in 0..4 {
-        sim.invoke_at(SimTime(10 + p as u64 * 777), ProcessId(p), RegOp::Write {
-            reg: 0,
-            value: p as u64 + 1,
-        });
+        sim.invoke_at(
+            SimTime(10 + p as u64 * 777),
+            ProcessId(p),
+            RegOp::Write { reg: 0, value: p as u64 + 1 },
+        );
         sim.invoke_at(SimTime(4000 + p as u64 * 777), ProcessId(p), RegOp::Read { reg: 0 });
     }
     assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
@@ -273,10 +271,7 @@ fn threshold_quorums_work_over_figure1() {
     sim.invoke_at(SimTime(10), ProcessId(0), RegOp::Write { reg: 0, value: 5 });
     sim.invoke_at(SimTime(8_000), ProcessId(1), RegOp::Read { reg: 0 });
     assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
-    assert!(matches!(
-        sim.history().ops()[1].resp(),
-        Some(RegResp::Value { value: 5, .. })
-    ));
+    assert!(matches!(sim.history().ops()[1].resp(), Some(RegResp::Value { value: 5, .. })));
     assert_linearizable(sim.history());
 }
 
@@ -328,13 +323,15 @@ fn four_writer_contention_failure_free() {
     let fig = figure1();
     for seed in [1u64, 2] {
         let nodes = gqs_register_nodes::<u8, u64>(&fig.gqs, 0, TICK);
-        let cfg = SimConfig { seed: 4_000 + seed, horizon: SimTime(150_000), ..SimConfig::default() };
+        let cfg =
+            SimConfig { seed: 4_000 + seed, horizon: SimTime(150_000), ..SimConfig::default() };
         let mut sim = Simulation::new(cfg, nodes);
         for p in 0..4u64 {
-            sim.invoke_at(SimTime(10 + p), ProcessId(p as usize), RegOp::Write {
-                reg: 0,
-                value: 100 + p,
-            });
+            sim.invoke_at(
+                SimTime(10 + p),
+                ProcessId(p as usize),
+                RegOp::Write { reg: 0, value: 100 + p },
+            );
             sim.invoke_at(SimTime(20_000 + p), ProcessId(p as usize), RegOp::Read { reg: 0 });
         }
         assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete, "seed {seed}");

@@ -414,9 +414,8 @@ impl<P: Protocol> Simulation<P> {
                 }
             }
             EventKind::Deliver { from, to, msg } => {
-                let sender_gone = self.config.drop_inflight_of_crashed
-                    && from != to
-                    && self.is_crashed(from);
+                let sender_gone =
+                    self.config.drop_inflight_of_crashed && from != to && self.is_crashed(from);
                 if self.is_crashed(to) || sender_gone {
                     self.stats.dropped_crashed += 1;
                 } else {
@@ -597,8 +596,7 @@ mod tests {
         let mut lats = Vec::new();
         for seed in [1u64, 99] {
             cfg.seed = seed;
-            let mut sim =
-                Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
+            let mut sim = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
             sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(1));
             sim.run();
             lats.push(sim.history().ops()[0].latency());
@@ -649,8 +647,8 @@ mod tests {
 
     #[test]
     fn messages_sent_before_disconnection_are_delivered() {
-        let mut cfg = SimConfig::default();
-        cfg.delay = DelayModel::Uniform { min: 10, max: 10 };
+        let cfg =
+            SimConfig { delay: DelayModel::Uniform { min: 10, max: 10 }, ..SimConfig::default() };
         let mut sim = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
         let mut sched = FailureSchedule::none();
         // Disconnect the reverse channel AFTER the pong is sent:
@@ -680,9 +678,11 @@ mod tests {
 
     #[test]
     fn horizon_stops_the_run() {
-        let mut cfg = SimConfig::default();
-        cfg.horizon = SimTime(3);
-        cfg.delay = DelayModel::Uniform { min: 10, max: 10 };
+        let cfg = SimConfig {
+            horizon: SimTime(3),
+            delay: DelayModel::Uniform { min: 10, max: 10 },
+            ..SimConfig::default()
+        };
         let mut sim = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
         sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(1));
         let reason = sim.run();
@@ -692,8 +692,8 @@ mod tests {
 
     #[test]
     fn inflight_messages_survive_sender_crash_by_default() {
-        let mut cfg = SimConfig::default();
-        cfg.delay = DelayModel::Uniform { min: 10, max: 10 };
+        let cfg =
+            SimConfig { delay: DelayModel::Uniform { min: 10, max: 10 }, ..SimConfig::default() };
         let mut sim = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
         let mut sched = FailureSchedule::none();
         // Ping sent at t=1 (arrives t=11); sender crashes at t=5.
@@ -709,9 +709,11 @@ mod tests {
 
     #[test]
     fn adversary_may_drop_inflight_of_crashed_sender() {
-        let mut cfg = SimConfig::default();
-        cfg.delay = DelayModel::Uniform { min: 10, max: 10 };
-        cfg.drop_inflight_of_crashed = true;
+        let cfg = SimConfig {
+            delay: DelayModel::Uniform { min: 10, max: 10 },
+            drop_inflight_of_crashed: true,
+            ..SimConfig::default()
+        };
         let mut sim = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
         let mut sched = FailureSchedule::none();
         sched.crash(ProcessId(0), SimTime(5));
@@ -726,8 +728,7 @@ mod tests {
     fn self_messages_survive_own_crash_flag_irrelevant() {
         // Self-sends are local: the flag only applies to real channels,
         // and a crashed process cannot receive anyway.
-        let mut cfg = SimConfig::default();
-        cfg.drop_inflight_of_crashed = true;
+        let cfg = SimConfig { drop_inflight_of_crashed: true, ..SimConfig::default() };
         let mut sim = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
         sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(0));
         assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);

@@ -1,12 +1,13 @@
 //! Simulator-level properties: time monotonicity, conservation of
 //! messages, determinism across seeds, and fairness (every correct-channel
 //! message is eventually delivered at quiescence).
-
-use proptest::prelude::*;
+//!
+//! Cases are driven by a seeded [`SplitMix64`] (the build has no network
+//! access, so `proptest` is unavailable); every run replays the same cases.
 
 use gqs_core::ProcessId;
 use gqs_simnet::{
-    Context, FailureSchedule, OpId, Protocol, SimConfig, SimTime, Simulation, TimerId,
+    Context, FailureSchedule, OpId, Protocol, SimConfig, SimTime, Simulation, SplitMix64, TimerId,
 };
 
 /// A gossiping protocol: every process relays each first-seen token to a
@@ -34,7 +35,7 @@ impl Protocol for Gossip {
             self.relays += 1;
             // Deterministic pseudo-random fanout derived from the token.
             for p in 0..ctx.n() {
-                if (token.wrapping_mul(31).wrapping_add(p as u64)) % 3 != 0 {
+                if !(token.wrapping_mul(31).wrapping_add(p as u64)).is_multiple_of(3) {
                     ctx.send(ProcessId(p), token);
                 }
             }
@@ -62,55 +63,83 @@ fn run(seed: u64, n: usize, tokens: &[u64]) -> Simulation<Gossip> {
     sim
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// Virtual time never runs backwards at any process.
-    #[test]
-    fn handler_times_are_monotone(seed in any::<u64>(), n in 2usize..6) {
+/// Virtual time never runs backwards at any process.
+#[test]
+fn handler_times_are_monotone() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(10_000 + case);
+        let seed = rng.range(0, u64::MAX - 1);
+        let n = 2 + rng.range(0, 3) as usize;
         let sim = run(seed, n, &[7, 8, 9]);
         for p in 0..n {
             let times = &sim.node(ProcessId(p)).times;
             for w in times.windows(2) {
-                prop_assert!(w[0] <= w[1], "time went backwards at {p}");
+                assert!(w[0] <= w[1], "time went backwards at {p} (case {case})");
             }
         }
     }
+}
 
-    /// Message conservation: sent = delivered + dropped when quiescent.
-    #[test]
-    fn message_conservation(seed in any::<u64>(), n in 2usize..6) {
+/// Message conservation: sent = delivered + dropped when quiescent.
+#[test]
+fn message_conservation() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(20_000 + case);
+        let seed = rng.range(0, u64::MAX - 1);
+        let n = 2 + rng.range(0, 3) as usize;
         let sim = run(seed, n, &[1, 2]);
         let s = sim.stats();
-        prop_assert_eq!(s.sent, s.delivered + s.dropped_disconnected + s.dropped_crashed);
+        assert_eq!(
+            s.sent,
+            s.delivered + s.dropped_disconnected + s.dropped_crashed,
+            "conservation violated (case {case})"
+        );
     }
+}
 
-    /// Full determinism: identical seeds yield identical stats and final
-    /// protocol states.
-    #[test]
-    fn determinism(seed in any::<u64>()) {
+/// Full determinism: identical seeds yield identical stats and final
+/// protocol states.
+#[test]
+fn determinism() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(30_000 + case);
+        let seed = rng.range(0, u64::MAX - 1);
         let a = run(seed, 4, &[5, 6, 7]);
         let b = run(seed, 4, &[5, 6, 7]);
-        prop_assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.stats(), b.stats());
         for p in 0..4 {
-            prop_assert_eq!(&a.node(ProcessId(p)).times, &b.node(ProcessId(p)).times);
-            prop_assert_eq!(&a.node(ProcessId(p)).seen, &b.node(ProcessId(p)).seen);
+            assert_eq!(&a.node(ProcessId(p)).times, &b.node(ProcessId(p)).times);
+            assert_eq!(&a.node(ProcessId(p)).seen, &b.node(ProcessId(p)).seen);
         }
     }
+}
 
-    /// Without failures, every broadcast token reaches every process
-    /// (reliable channels deliver everything by quiescence).
-    #[test]
-    fn reliable_channels_deliver_broadcasts(seed in any::<u64>(), n in 2usize..6) {
+/// Without failures, every broadcast token reaches every process
+/// (reliable channels deliver everything by quiescence).
+#[test]
+fn reliable_channels_deliver_broadcasts() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(40_000 + case);
+        let seed = rng.range(0, u64::MAX - 1);
+        let n = 2 + rng.range(0, 3) as usize;
         let sim = run(seed, n, &[42]);
         for p in 0..n {
-            prop_assert!(sim.node(ProcessId(p)).seen.contains(&42), "process {p} missed the token");
+            assert!(
+                sim.node(ProcessId(p)).seen.contains(&42),
+                "process {p} missed the token (case {case})"
+            );
         }
     }
+}
 
-    /// Crashing every process but the invoker leaves the token confined.
-    #[test]
-    fn crashes_confine_information(seed in any::<u64>()) {
+/// Crashing every process but the invoker leaves the token confined.
+#[test]
+fn crashes_confine_information() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(50_000 + case);
+        let seed = rng.range(0, u64::MAX - 1);
         let cfg = SimConfig { seed, ..SimConfig::default() };
         let mut sim = Simulation::new(cfg, (0..3).map(|_| Gossip::default()).collect());
         let mut sched = FailureSchedule::none();
@@ -119,8 +148,8 @@ proptest! {
         sim.apply_failures(&sched);
         sim.invoke_at(SimTime(5), ProcessId(0), 9);
         sim.run();
-        prop_assert!(sim.node(ProcessId(0)).seen.contains(&9));
-        prop_assert!(sim.node(ProcessId(1)).seen.is_empty());
-        prop_assert!(sim.node(ProcessId(2)).seen.is_empty());
+        assert!(sim.node(ProcessId(0)).seen.contains(&9));
+        assert!(sim.node(ProcessId(1)).seen.is_empty());
+        assert!(sim.node(ProcessId(2)).seen.is_empty());
     }
 }

@@ -202,7 +202,12 @@ where
         self.pump(inner.take_effects(), ctx);
     }
 
-    fn issue_write(&mut self, machine: u64, seg: Segment<V>, ctx: &mut Context<E::Msg, SnapResp<V>>) {
+    fn issue_write(
+        &mut self,
+        machine: u64,
+        seg: Segment<V>,
+        ctx: &mut Context<E::Msg, SnapResp<V>>,
+    ) {
         let id = OpId(self.next_internal);
         self.next_internal += 1;
         self.routes.insert(id.0, machine);
@@ -306,7 +311,12 @@ where
         self.pump(inner.take_effects(), ctx);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<Self::Msg, Self::Resp>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<Self::Msg, Self::Resp>,
+    ) {
         let mut inner = Self::inner_ctx(ctx);
         self.reg.on_message(from, msg, &mut inner);
         self.pump(inner.take_effects(), ctx);

@@ -142,9 +142,7 @@ fn borrowed_scans_under_sustained_updates() {
     assert_snapshot_linearizable(sim.history(), 4);
     // At least one scan anywhere (client or embedded) must have borrowed:
     // segments move faster than collects stabilize.
-    let borrowed: u64 = (0..4)
-        .map(|p| sim.node(ProcessId(p)).inner().scan_stats().borrowed)
-        .sum();
+    let borrowed: u64 = (0..4).map(|p| sim.node(ProcessId(p)).inner().scan_stats().borrowed).sum();
     assert!(borrowed >= 1, "expected at least one borrowed scan termination");
 }
 

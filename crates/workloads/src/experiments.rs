@@ -10,9 +10,13 @@ use std::time::Instant;
 
 use gqs_checker::spec::RegisterSpec;
 use gqs_checker::wg::check_linearizable;
-use gqs_checker::{check_consensus, check_dependency_graph, check_lattice_agreement, wait_freedom_report};
+use gqs_checker::{
+    check_consensus, check_dependency_graph, check_lattice_agreement, wait_freedom_report,
+};
 use gqs_consensus::{gqs_consensus_nodes, view_overlaps, ProposalMode};
-use gqs_core::finder::{classical_qs_exists, find_gqs, gqs_exists, gqs_exists_brute_force, qs_plus_exists};
+use gqs_core::finder::{
+    classical_qs_exists, find_gqs, gqs_exists, gqs_exists_brute_force, qs_plus_exists,
+};
 use gqs_core::systems::{example9_f_prime, figure1};
 use gqs_core::{majority_system, NetworkGraph, ProcessId};
 use gqs_lattice::{gqs_lattice_nodes, JoinSemilattice, Propose, SetLattice};
@@ -23,7 +27,8 @@ use gqs_simnet::{
 use gqs_snapshots::{gqs_snapshot_nodes, SnapOp};
 
 use crate::convert;
-use crate::generators::{random_digraph, random_fail_prone, rotating_fail_prone};
+use crate::generators::{random_digraph, random_fail_prone, rotating_fail_prone, trial_rng};
+use crate::par;
 use crate::table::stats::mean;
 use crate::table::Table;
 
@@ -76,7 +81,8 @@ pub fn all_reports() -> Vec<ExperimentReport> {
 /// E1 — Figure 1 / Examples 1, 2, 7, 8: validate the running example.
 pub fn e1_figure1() -> ExperimentReport {
     let fig = figure1();
-    let mut t = Table::new(["pattern", "correct", "W_i", "f-avail", "R_i", "reach", "R_i SC?", "U_f"]);
+    let mut t =
+        Table::new(["pattern", "correct", "W_i", "f-avail", "R_i", "reach", "R_i SC?", "U_f"]);
     for i in 0..4 {
         let f = fig.fail_prone.pattern(i);
         let res = fig.graph.residual(f);
@@ -140,24 +146,21 @@ pub fn e2_example9() -> ExperimentReport {
 pub fn e3_u_f() -> ExperimentReport {
     let mut t = Table::new(["system", "patterns", "GQS found", "Prop 1 holds"]);
     t.row(["Figure 1".to_string(), "4".to_string(), "yes".to_string(), "yes".to_string()]);
-    let mut rng = SplitMix64::new(42);
-    let mut found = 0;
-    let mut holds = 0;
     let trials = 300;
-    for _ in 0..trials {
+    // One independent seeded stream per trial, evaluated across cores.
+    let verdicts = par::map(trials, |t| {
+        let mut rng = trial_rng(42, t);
         let g = random_digraph(5, 0.6, &mut rng);
         let fp = random_fail_prone(&g, 3, 2, 0.15, &mut rng);
-        if let Some(w) = find_gqs(&g, &fp) {
-            found += 1;
-            let ok = (0..fp.len()).all(|i| {
+        find_gqs(&g, &fp).map(|w| {
+            (0..fp.len()).all(|i| {
                 let u = w.system.u_f(i);
                 g.residual(fp.pattern(i)).is_strongly_connected(u)
-            });
-            if ok {
-                holds += 1;
-            }
-        }
-    }
+            })
+        })
+    });
+    let found = verdicts.iter().filter(|v| v.is_some()).count();
+    let holds = verdicts.iter().filter(|v| **v == Some(true)).count();
     t.row([
         "random n=5, p=0.6, 3 patterns".to_string(),
         format!("{trials} trials"),
@@ -218,7 +221,8 @@ pub fn e4_classical_qaf() -> ExperimentReport {
 /// the tick-interval ablation.
 pub fn e5_generalized_qaf() -> ExperimentReport {
     let fig = figure1();
-    let mut t = Table::new(["pattern", "tick", "write lat", "read lat", "msgs/op", "wait-free in U_f"]);
+    let mut t =
+        Table::new(["pattern", "tick", "write lat", "read lat", "msgs/op", "wait-free in U_f"]);
     for i in 0..4 {
         let u: Vec<ProcessId> = fig.gqs.u_f(i).iter().collect();
         let (wl, rl, mo, wf) = run_gqs_register_probe(&fig, i, 20, 300 + i as u64, u[0], u[1]);
@@ -439,7 +443,10 @@ pub fn e8_snapshot_and_lattice() -> ExperimentReport {
         let nodes = gqs_snapshot_nodes::<u64>(&fig.gqs, 0, 20);
         let cfg = SimConfig { seed: 21, horizon: SimTime(500_000), ..SimConfig::default() };
         let mut sim = Simulation::new(cfg, nodes);
-        sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
+        sim.apply_failures(&FailureSchedule::from_pattern_at(
+            fig.fail_prone.pattern(0),
+            SimTime(0),
+        ));
         for w in 0..writers {
             sim.invoke_at(SimTime(10 + w as u64), ProcessId(w), SnapOp::Update(w as u64 + 1));
         }
@@ -468,7 +475,9 @@ pub fn e8_snapshot_and_lattice() -> ExperimentReport {
         ]);
     }
     // Lattice agreement: proposers 2 and 4 (failure-free for 4).
-    for (label, proposers, pattern) in [("2 proposers (f1)", 2usize, Some(0usize)), ("4 proposers", 4, None)] {
+    for (label, proposers, pattern) in
+        [("2 proposers (f1)", 2usize, Some(0usize)), ("4 proposers", 4, None)]
+    {
         let nodes = gqs_lattice_nodes::<SetLattice<u64>>(&fig.gqs, 20);
         let cfg = SimConfig { seed: 23, horizon: SimTime(1_500_000), ..SimConfig::default() };
         let mut sim = Simulation::new(cfg, nodes);
@@ -479,7 +488,11 @@ pub fn e8_snapshot_and_lattice() -> ExperimentReport {
             ));
         }
         for p in 0..proposers {
-            sim.invoke_at(SimTime(10 + p as u64), ProcessId(p), Propose(SetLattice::singleton(p as u64)));
+            sim.invoke_at(
+                SimTime(10 + p as u64),
+                ProcessId(p),
+                Propose(SetLattice::singleton(p as u64)),
+            );
         }
         let reason = sim.run_until_ops_complete();
         let outs = convert::lattice_outcomes(sim.history());
@@ -521,7 +534,12 @@ pub fn e9_consensus_latency() -> ExperimentReport {
             let nodes = gqs_consensus_nodes::<u64>(&fig.gqs, c, ProposalMode::Push);
             let cfg = SimConfig {
                 seed: c + delta,
-                delay: DelayModel::PartialSynchrony { pre_min: 1, pre_max: 2_000, gst: 1_500, delta },
+                delay: DelayModel::PartialSynchrony {
+                    pre_min: 1,
+                    pre_max: 2_000,
+                    gst: 1_500,
+                    delta,
+                },
                 horizon: SimTime(3_000_000),
                 ..SimConfig::default()
             };
@@ -571,10 +589,8 @@ pub fn e10_view_overlap() -> ExperimentReport {
     let mut sim = Simulation::new(cfg, nodes);
     sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
     sim.run();
-    let logs: Vec<&[(u64, SimTime)]> = [0usize, 1, 2]
-        .iter()
-        .map(|p| sim.node(ProcessId(*p)).inner().view_entries())
-        .collect();
+    let logs: Vec<&[(u64, SimTime)]> =
+        [0usize, 1, 2].iter().map(|p| sim.node(ProcessId(*p)).inner().view_entries()).collect();
     let overlaps = view_overlaps(&logs, 50);
     let mut t = Table::new(["view", "overlap of correct processes"]);
     for (v, o) in overlaps.iter().filter(|(v, _)| v % 5 == 1 || *v == overlaps.len() as u64) {
@@ -597,18 +613,28 @@ pub fn e10_view_overlap() -> ExperimentReport {
 /// E11 — how much weaker is GQS than QS+? Random sweep.
 pub fn e11_gqs_vs_qs_plus() -> ExperimentReport {
     let mut t = Table::new([
-        "topology", "chan fail p", "trials", "GQS %", "QS+ %", "gap (GQS ∧ ¬QS+) %", "finder ms",
+        "topology",
+        "chan fail p",
+        "trials",
+        "GQS %",
+        "QS+ %",
+        "gap (GQS ∧ ¬QS+) %",
+        "finder ms",
     ]);
     let trials = 300;
     let sweep = |label: &str, p_edge: f64, p_chan: f64, t: &mut Table| {
-        let mut rng = SplitMix64::new((p_edge * 100.0 + p_chan * 10.0) as u64);
-        let (mut gqs_n, mut qsp_n, mut gap) = (0u32, 0u32, 0u32);
+        let seed = (p_edge * 100.0 + p_chan * 10.0) as u64;
         let start = Instant::now();
-        for _ in 0..trials {
+        // Each trial derives its own stream, so the sweep parallelizes
+        // without changing any verdict.
+        let verdicts = par::map(trials, |i| {
+            let mut rng = trial_rng(seed, i);
             let g = random_digraph(5, p_edge, &mut rng);
             let fp = random_fail_prone(&g, 3, 2, p_chan, &mut rng);
-            let has_gqs = gqs_exists(&g, &fp);
-            let has_qsp = qs_plus_exists(&g, &fp);
+            (gqs_exists(&g, &fp), qs_plus_exists(&g, &fp))
+        });
+        let (mut gqs_n, mut qsp_n, mut gap) = (0u32, 0u32, 0u32);
+        for (has_gqs, has_qsp) in verdicts {
             gqs_n += has_gqs as u32;
             qsp_n += has_qsp as u32;
             gap += (has_gqs && !has_qsp) as u32;
@@ -618,9 +644,9 @@ pub fn e11_gqs_vs_qs_plus() -> ExperimentReport {
             label.to_string(),
             format!("{p_chan:.1}"),
             trials.to_string(),
-            pct(gqs_n, trials),
-            pct(qsp_n, trials),
-            pct(gap, trials),
+            pct(gqs_n, trials as u32),
+            pct(qsp_n, trials as u32),
+            pct(gap, trials as u32),
             format!("{ms}"),
         ]);
     };
@@ -632,14 +658,16 @@ pub fn e11_gqs_vs_qs_plus() -> ExperimentReport {
     // Figure-1 style, channel failures doing the damage.
     let rot_trials = 2_000;
     let rot = |p_chan: f64, t: &mut Table| {
-        let mut rng = SplitMix64::new(7_000 + (p_chan * 100.0) as u64);
-        let (mut gqs_n, mut qsp_n, mut gap) = (0u32, 0u32, 0u32);
+        let seed = 7_000 + (p_chan * 100.0) as u64;
         let start = Instant::now();
-        for _ in 0..rot_trials {
+        let verdicts = par::map(rot_trials, |i| {
+            let mut rng = trial_rng(seed, i);
             let g = NetworkGraph::complete(4);
             let fp = rotating_fail_prone(&g, p_chan, &mut rng);
-            let has_gqs = gqs_exists(&g, &fp);
-            let has_qsp = qs_plus_exists(&g, &fp);
+            (gqs_exists(&g, &fp), qs_plus_exists(&g, &fp))
+        });
+        let (mut gqs_n, mut qsp_n, mut gap) = (0u32, 0u32, 0u32);
+        for (has_gqs, has_qsp) in verdicts {
             gqs_n += has_gqs as u32;
             qsp_n += has_qsp as u32;
             gap += (has_gqs && !has_qsp) as u32;
@@ -649,9 +677,9 @@ pub fn e11_gqs_vs_qs_plus() -> ExperimentReport {
             "rotating crashes n=4".to_string(),
             format!("{p_chan:.1}"),
             rot_trials.to_string(),
-            pct_f(gqs_n, rot_trials),
-            pct_f(qsp_n, rot_trials),
-            pct_f(gap, rot_trials),
+            pct_f(gqs_n, rot_trials as u32),
+            pct_f(qsp_n, rot_trials as u32),
+            pct_f(gap, rot_trials as u32),
             format!("{ms}"),
         ]);
     };
@@ -675,40 +703,40 @@ pub fn e12_separation() -> ExperimentReport {
     let fig = figure1();
     let mut t = Table::new(["protocol", "quorum access", "terminates under f1", "safe"]);
 
-    // GQS register (push) — terminates.
-    let sim = run_random_register_workload(&fig, 1);
-    let entries = convert::register_entries(sim.history(), 0);
-    t.row([
-        "register (Fig. 3+4)".to_string(),
-        "push + logical clocks".to_string(),
-        yes_no(sim.history().all_complete()),
-        yes_no(check_linearizable(&RegisterSpec::new(0u64), &entries).is_ok()),
-    ]);
-
-    // ABD register — stalls.
-    let nodes: Vec<Flood<_>> = abd_register_nodes::<u8, u64>(
-        4,
-        fig.gqs.reads().clone(),
-        fig.gqs.writes().clone(),
-        0,
-    )
-    .into_iter()
-    .map(Flood::new)
-    .collect();
-    let cfg = SimConfig { seed: 5, horizon: SimTime(30_000), ..SimConfig::default() };
-    let mut sim = Simulation::new(cfg, nodes);
-    sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
-    sim.invoke_at(SimTime(10), ProcessId(0), RegOp::Write { reg: 0, value: 1 });
-    sim.run();
-    t.row([
-        "register (ABD, Fig. 2)".to_string(),
-        "request/response".to_string(),
-        yes_no(sim.history().all_complete()),
-        "yes (stalls safely)".to_string(),
-    ]);
-
-    // Consensus push vs pull.
-    for (name, mode) in [("consensus (Fig. 6)", ProposalMode::Push), ("consensus (pull Paxos)", ProposalMode::Pull)] {
+    // The four protocol probes are independent simulations; run them as
+    // two concurrent pairs and emit the rows in the original order.
+    let gqs_register_row = || {
+        let sim = run_random_register_workload(&fig, 1);
+        let entries = convert::register_entries(sim.history(), 0);
+        [
+            "register (Fig. 3+4)".to_string(),
+            "push + logical clocks".to_string(),
+            yes_no(sim.history().all_complete()),
+            yes_no(check_linearizable(&RegisterSpec::new(0u64), &entries).is_ok()),
+        ]
+    };
+    let abd_row = || {
+        let nodes: Vec<Flood<_>> =
+            abd_register_nodes::<u8, u64>(4, fig.gqs.reads().clone(), fig.gqs.writes().clone(), 0)
+                .into_iter()
+                .map(Flood::new)
+                .collect();
+        let cfg = SimConfig { seed: 5, horizon: SimTime(30_000), ..SimConfig::default() };
+        let mut sim = Simulation::new(cfg, nodes);
+        sim.apply_failures(&FailureSchedule::from_pattern_at(
+            fig.fail_prone.pattern(0),
+            SimTime(0),
+        ));
+        sim.invoke_at(SimTime(10), ProcessId(0), RegOp::Write { reg: 0, value: 1 });
+        sim.run();
+        [
+            "register (ABD, Fig. 2)".to_string(),
+            "request/response".to_string(),
+            yes_no(sim.history().all_complete()),
+            "yes (stalls safely)".to_string(),
+        ]
+    };
+    let consensus_row = |name: &str, mode: ProposalMode| {
         let nodes = gqs_consensus_nodes::<u64>(&fig.gqs, 150, mode);
         let cfg = SimConfig {
             seed: 6,
@@ -717,17 +745,32 @@ pub fn e12_separation() -> ExperimentReport {
             ..SimConfig::default()
         };
         let mut sim = Simulation::new(cfg, nodes);
-        sim.apply_failures(&FailureSchedule::from_pattern_at(fig.fail_prone.pattern(0), SimTime(0)));
+        sim.apply_failures(&FailureSchedule::from_pattern_at(
+            fig.fail_prone.pattern(0),
+            SimTime(0),
+        ));
         sim.invoke_at(SimTime(10), ProcessId(0), 7u64);
         sim.run_until_ops_complete();
         let outs = convert::consensus_outcomes(sim.history());
-        t.row([
+        [
             name.to_string(),
             if mode == ProposalMode::Push { "1B pushed on view entry" } else { "1A prepare round" }
                 .to_string(),
             yes_no(sim.history().all_complete()),
             yes_no(check_consensus(&outs).is_ok()),
-        ]);
+        ]
+    };
+    let ((row1, row2), (row3, row4)) = par::run2(
+        || par::run2(gqs_register_row, abd_row),
+        || {
+            par::run2(
+                || consensus_row("consensus (Fig. 6)", ProposalMode::Push),
+                || consensus_row("consensus (pull Paxos)", ProposalMode::Pull),
+            )
+        },
+    );
+    for row in [row1, row2, row3, row4] {
+        t.row(row);
     }
     ExperimentReport {
         id: "E12",
@@ -739,7 +782,11 @@ pub fn e12_separation() -> ExperimentReport {
 }
 
 fn yes_no(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 fn pct(num: u32, den: u32) -> String {

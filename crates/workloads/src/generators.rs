@@ -4,9 +4,7 @@
 //! Everything is seeded through [`SplitMix64`], so sweeps are exactly
 //! reproducible.
 
-use gqs_core::{
-    Channel, FailProneSystem, FailurePattern, NetworkGraph, ProcessId, ProcessSet,
-};
+use gqs_core::{Channel, FailProneSystem, FailurePattern, NetworkGraph, ProcessId, ProcessSet};
 use gqs_simnet::SplitMix64;
 
 /// A directed Erdős–Rényi graph on `n` vertices: each ordered pair gets a
@@ -64,10 +62,8 @@ pub fn random_pattern(
     while faulty.len() < crash_count {
         faulty.insert(ProcessId(rng.range(0, n as u64 - 1) as usize));
     }
-    let channels: Vec<Channel> = graph
-        .channels()
-        .filter(|ch| !ch.touches(faulty) && rng.chance(p_chan))
-        .collect();
+    let channels: Vec<Channel> =
+        graph.channels().filter(|ch| !ch.touches(faulty) && rng.chance(p_chan)).collect();
     FailurePattern::new(n, faulty, channels).expect("construction preserves well-formedness")
 }
 
@@ -88,14 +84,45 @@ pub fn rotating_fail_prone(
     let patterns: Vec<FailurePattern> = (0..n)
         .map(|i| {
             let faulty = ProcessSet::singleton(ProcessId(i));
-            let channels: Vec<Channel> = graph
-                .channels()
-                .filter(|ch| !ch.touches(faulty) && rng.chance(p_chan))
-                .collect();
+            let channels: Vec<Channel> =
+                graph.channels().filter(|ch| !ch.touches(faulty) && rng.chance(p_chan)).collect();
             FailurePattern::new(n, faulty, channels).expect("well-formed by construction")
         })
         .collect();
     FailProneSystem::new(n, patterns).expect("uniform universe")
+}
+
+/// Derives the independent RNG stream of trial `i` in a seeded batch.
+///
+/// Each trial owns its whole stream, so a batch can be evaluated serially
+/// or in parallel (see [`crate::par::map`]) with bit-identical results.
+pub fn trial_rng(seed: u64, i: usize) -> SplitMix64 {
+    // Golden-ratio mixing keeps nearby trial indices on far-apart streams.
+    SplitMix64::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Generates `count` random `(graph, fail-prone system)` scenarios in
+/// parallel, one independent seeded stream per scenario.
+///
+/// This is the batched entry point sweeps and benches share: scenario `i`
+/// of a given `(seed, ...)` parameterization is identical no matter the
+/// thread count or which other scenarios are generated.
+#[allow(clippy::too_many_arguments)]
+pub fn random_scenarios(
+    count: usize,
+    n: usize,
+    p_edge: f64,
+    patterns: usize,
+    max_crashes: usize,
+    p_chan: f64,
+    seed: u64,
+) -> Vec<(NetworkGraph, FailProneSystem)> {
+    crate::par::map(count, |i| {
+        let mut rng = trial_rng(seed, i);
+        let g = random_digraph(n, p_edge, &mut rng);
+        let fp = random_fail_prone(&g, patterns, max_crashes, p_chan, &mut rng);
+        (g, fp)
+    })
 }
 
 /// A random fail-prone system of `patterns` patterns over `graph`.
@@ -152,5 +179,18 @@ mod tests {
         let a = random_fail_prone(&g, 4, 2, 0.2, &mut SplitMix64::new(9));
         let b = random_fail_prone(&g, 4, 2, 0.2, &mut SplitMix64::new(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_scenarios_are_reproducible_and_independent() {
+        let batch = random_scenarios(16, 5, 0.5, 3, 2, 0.2, 77);
+        let again = random_scenarios(16, 5, 0.5, 3, 2, 0.2, 77);
+        assert_eq!(batch, again, "same seed must replay the same batch");
+        // Scenario i is a function of (seed, i) alone.
+        let prefix = random_scenarios(4, 5, 0.5, 3, 2, 0.2, 77);
+        assert_eq!(&batch[..4], &prefix[..]);
+        // Different seeds change the batch.
+        let other = random_scenarios(16, 5, 0.5, 3, 2, 0.2, 78);
+        assert_ne!(batch, other);
     }
 }

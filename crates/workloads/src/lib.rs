@@ -7,6 +7,8 @@
 //! * [`convert`] — simulator histories → checker inputs;
 //! * [`experiments`] — one driver per experiment of DESIGN.md's index
 //!   (E1–E12), each returning a printable [`ExperimentReport`];
+//! * [`par`] — deterministic fork-join helpers that spread the random
+//!   sweeps (E3, E11, E12) across cores;
 //! * [`table`] — the plain-text tables EXPERIMENTS.md records.
 //!
 //! The `gqs-bench` crate's `tables` binary simply runs
@@ -18,6 +20,7 @@
 pub mod convert;
 pub mod experiments;
 pub mod generators;
+pub mod par;
 pub mod table;
 
 pub use experiments::{all_reports, ExperimentReport};

@@ -38,21 +38,36 @@ fn scenario() -> (NetworkGraph, FailProneSystem) {
     let east_to_west_loss = FailurePattern::new(
         5,
         pset![WEST_D],
-        [chan!(EAST_A, WEST_C), chan!(EAST_B, WEST_C), chan!(EAST_A, EDGE_E), chan!(EAST_B, EDGE_E)],
+        [
+            chan!(EAST_A, WEST_C),
+            chan!(EAST_B, WEST_C),
+            chan!(EAST_A, EDGE_E),
+            chan!(EAST_B, EDGE_E),
+        ],
     )
     .expect("well-formed");
     // WEST -> EAST direction lost; b may crash.
     let west_to_east_loss = FailurePattern::new(
         5,
         pset![EAST_B],
-        [chan!(WEST_C, EAST_A), chan!(WEST_D, EAST_A), chan!(WEST_C, EDGE_E), chan!(WEST_D, EDGE_E)],
+        [
+            chan!(WEST_C, EAST_A),
+            chan!(WEST_D, EAST_A),
+            chan!(WEST_C, EDGE_E),
+            chan!(WEST_D, EDGE_E),
+        ],
     )
     .expect("well-formed");
     // Edge site can upload but not receive.
     let edge_cut = FailurePattern::new(
         5,
         pset![],
-        [chan!(EAST_A, EDGE_E), chan!(EAST_B, EDGE_E), chan!(WEST_C, EDGE_E), chan!(WEST_D, EDGE_E)],
+        [
+            chan!(EAST_A, EDGE_E),
+            chan!(EAST_B, EDGE_E),
+            chan!(WEST_C, EDGE_E),
+            chan!(WEST_D, EDGE_E),
+        ],
     )
     .expect("well-formed");
     let fp = FailProneSystem::new(5, [east_to_west_loss, west_to_east_loss, edge_cut])

@@ -56,8 +56,8 @@ fn main() {
             println!("an example system in the gap (solvable only via one-way reachability):");
             println!("  {e}");
         }
-        None => println!(
-            "no gap witness found at these parameters — try p_chan between 0.2 and 0.4"
-        ),
+        None => {
+            println!("no gap witness found at these parameters — try p_chan between 0.2 and 0.4")
+        }
     }
 }

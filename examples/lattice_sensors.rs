@@ -78,7 +78,6 @@ fn main() {
     .expect("comparability / validity");
     println!();
     println!("all summaries are pairwise comparable and contain their own inputs ✓");
-    let rounds: Vec<u64> =
-        (0..2).map(|p| sim.node(ProcessId(p)).inner().rounds()).collect();
+    let rounds: Vec<u64> = (0..2).map(|p| sim.node(ProcessId(p)).inner().rounds()).collect();
     println!("update/scan rounds per station: {rounds:?} (bounded by n = 4)");
 }

@@ -137,10 +137,11 @@ fn example9_stalls_everywhere() {
     sim.apply_failures(&FailureSchedule::from_pattern_at(f_prime.pattern(0), SimTime(0)));
     // Try an operation at every correct process (a, b, c).
     for p in 0..3usize {
-        sim.invoke_at(SimTime(10 + p as u64), ProcessId(p), RegOp::Write {
-            reg: 0,
-            value: p as u64,
-        });
+        sim.invoke_at(
+            SimTime(10 + p as u64),
+            ProcessId(p),
+            RegOp::Write { reg: 0, value: p as u64 },
+        );
     }
     sim.run();
     for rec in sim.history().ops() {
