@@ -1,10 +1,14 @@
 //! Machine-readable perf snapshot of the decision-procedure hot paths.
 //!
 //! Times `find_gqs`, `gqs_exists` and `sccs` on a fixed scenario ladder
-//! (n = 5…64 processes with growing pattern counts, seeded generation, so
+//! (n = 5…256 processes with growing pattern counts, seeded generation, so
 //! every run measures the same instances), plus the naive pre-optimization
 //! pipeline ([`gqs_core::reference`]) on the 32-process / 16-pattern rung
-//! as the speedup baseline.
+//! as the speedup baseline. The top rungs (128, 256) exercise the
+//! multi-word `ProcessSet` paths past the old single-`u128` cap; the
+//! `small_n_fast_path` block records the n=32 number against the value
+//! measured just before the multi-word refactor, so small-universe
+//! regressions are visible at a glance.
 //!
 //! Usage:
 //!
@@ -26,8 +30,34 @@ use gqs_workloads::generators::random_scenarios;
 
 /// The fixed ladder: (processes, patterns). Edge probability and failure
 /// rates are fixed inside `scenarios`.
-const LADDER: &[(usize, usize)] =
-    &[(5, 4), (8, 6), (12, 8), (16, 10), (24, 12), (32, 16), (48, 24), (64, 32)];
+const LADDER: &[(usize, usize)] = &[
+    (5, 4),
+    (8, 6),
+    (12, 8),
+    (16, 10),
+    (24, 12),
+    (32, 16),
+    (48, 24),
+    (64, 32),
+    (128, 16),
+    (256, 16),
+];
+
+/// `gqs_exists` ns/op on the small rungs, measured immediately before the
+/// multi-word `ProcessSet` refactor — the reference points for the
+/// `small_n_fast_path` block. Machine-specific: they were taken on the
+/// same machine (and seeds) that produced the committed BENCH.json, so the
+/// before/after ratios are only meaningful for snapshots regenerated on
+/// comparable hardware; elsewhere, compare against a locally measured
+/// pre-refactor build instead. Re-measure if the scenario generator or
+/// seeds change.
+///
+/// The tiniest rungs (n <= 16, where whole calls cost 2–8µs) pay up to
+/// ~2x from the wider `Copy` sets on the non-kernel paths; the word-count
+/// -monomorphized kernels hold n >= 24 within noise. That trade is
+/// deliberate — watch these ratios so it does not silently get worse.
+const SMALL_N_GQS_EXISTS_NS_BEFORE_MULTIWORD: &[(usize, f64)] =
+    &[(5, 1554.1), (16, 7045.0), (32, 19370.8)];
 
 /// Scenarios per rung; results are averaged across them so a single
 /// degenerate instance cannot dominate a rung.
@@ -156,6 +186,29 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"small_n_fast_path\": {\n");
+    json.push_str(
+        "    \"note\": \"before-values are machine-specific (see perf_snapshot.rs); \
+         the ratios are meaningful only on hardware comparable to the committed BENCH.json's\",\n",
+    );
+    json.push_str("    \"rungs\": [\n");
+    for (i, &(small_n, before_ns)) in SMALL_N_GQS_EXISTS_NS_BEFORE_MULTIWORD.iter().enumerate() {
+        let after_ns = rungs
+            .iter()
+            .find(|r| r.n == small_n)
+            .expect("every small_n reference rung is on the ladder")
+            .gqs_exists_ns;
+        json.push_str(&format!(
+            "      {{\"n\": {}, \"gqs_exists_ns_before_multiword\": {}, \"gqs_exists_ns_after\": {}, \"after_over_before\": {:.2}}}{}\n",
+            small_n,
+            json_escape_free(before_ns),
+            json_escape_free(after_ns),
+            after_ns / before_ns,
+            if i + 1 < SMALL_N_GQS_EXISTS_NS_BEFORE_MULTIWORD.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
     json.push_str("  \"baseline\": {\n");
     json.push_str(&format!("    \"n\": {base_n},\n"));
     json.push_str(&format!("    \"patterns\": {base_m},\n"));

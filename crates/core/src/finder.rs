@@ -37,7 +37,10 @@
 //!    variable): bit `k` says "compatible with variable `v`'s `k`-th
 //!    candidate". Candidate lists have at most
 //!    [`MAX_PROCESSES`](crate::process::MAX_PROCESSES) entries (one per
-//!    SCC), so a mask is a single `u128`.
+//!    SCC), so a mask is a short run of `u64` words — the word count is
+//!    sized per instance from the longest candidate list (one word for
+//!    the common `≤ 64`-candidate case, more only when a pattern really
+//!    has hundreds of SCCs).
 //! 3. **Forward checking** — the search keeps a live domain mask per
 //!    variable. Assigning a candidate intersects every open domain with
 //!    the candidate's precomputed mask (one `AND` per variable — no
@@ -284,7 +287,7 @@ pub fn explain_unsolvable(
                 // to both is always pairwise-consistent (read ⊇ write).
                 continue;
             }
-            let pair_ok = (0..list_a.len()).any(|ca| csp.mask(va, ca, vb) != 0);
+            let pair_ok = (0..list_a.len()).any(|ca| csp.mask_nonempty(va, ca, vb));
             if !pair_ok {
                 return Some(Unsolvability::ConflictingPair { a, b });
             }
@@ -311,12 +314,31 @@ fn candidates_per_pattern(
 
 /// Pairwise compatibility: both chosen candidates' reads must intersect
 /// the other's write (`read ⊇ write` makes self-pairs consistent).
-fn compatible(a: &Candidate, b: &Candidate) -> bool {
-    a.read.intersects(b.write) && b.read.intersects(a.write)
+///
+/// Restricted to the low `nw` backing words — exact when every candidate
+/// set lives within those words (see [`Csp::compile`]), and much cheaper
+/// than a full-width test on the `O(G²)` compile loop.
+#[inline]
+fn compatible_low(a: &Candidate, b: &Candidate, nw: usize) -> bool {
+    let intersects_low = |x: &ProcessSet, y: &ProcessSet| {
+        let (xw, yw) = (x.as_words(), y.as_words());
+        let mut acc = 0u64;
+        for i in 0..nw {
+            acc |= xw[i] & yw[i];
+        }
+        acc != 0
+    };
+    intersects_low(&a.read, &b.write) && intersects_low(&b.read, &a.write)
 }
 
 /// The compiled CSP: deduped variables, a flattened candidate numbering,
 /// and the precomputed compatibility bitmatrix (see the module docs).
+///
+/// All candidate masks (domains, compatibility rows, trail entries) are
+/// runs of `mw` consecutive `u64` words, where `mw` is sized from the
+/// longest candidate list of the instance — so systems whose patterns have
+/// more than 64 (or 128) SCCs are handled with the same code path as the
+/// single-word common case.
 struct Csp<'a> {
     /// One candidate list per deduped variable (borrowed from the caller).
     vars: Vec<&'a [Candidate]>,
@@ -324,20 +346,30 @@ struct Csp<'a> {
     var_of_pattern: Vec<usize>,
     /// Variable index → offset into the global candidate numbering.
     offsets: Vec<usize>,
-    /// `compat[g * vars.len() + v]` = bitmask over variable `v`'s
-    /// candidates compatible with global candidate `g`.
-    compat: Vec<u128>,
+    /// Words per candidate mask: `⌈max candidate-list length / 64⌉`.
+    mw: usize,
+    /// `compat[((g * vars.len()) + v) * mw ..][..mw]` = bitmask over
+    /// variable `v`'s candidates compatible with global candidate `g`.
+    compat: Vec<u64>,
 }
 
-/// Bitmask with the low `len` bits set (`len <= 128`, one bit per
-/// candidate of a variable).
+/// Upper bound on `mw`: candidate lists have one entry per SCC, and there
+/// are at most `MAX_PROCESSES` SCCs.
+const MASK_WORDS_MAX: usize = crate::process::ProcessSet::WORDS;
+
+/// Sets the low `len` bits of `mask` (one bit per candidate of a
+/// variable), clearing the rest.
 #[inline]
-fn full_mask(len: usize) -> u128 {
-    debug_assert!(len <= 128, "at most one SCC candidate per process");
-    if len == 128 {
-        u128::MAX
-    } else {
-        (1u128 << len) - 1
+fn fill_low_bits(mask: &mut [u64], len: usize) {
+    let (full, rem) = (len / 64, len % 64);
+    for (i, w) in mask.iter_mut().enumerate() {
+        *w = if i < full {
+            u64::MAX
+        } else if i == full && rem != 0 {
+            (1u64 << rem) - 1
+        } else {
+            0
+        };
     }
 }
 
@@ -364,43 +396,71 @@ impl<'a> Csp<'a> {
             total += v.len();
         }
         let nvars = vars.len();
-        let mut compat = vec![0u128; total * nvars];
+        let max_len = vars.iter().map(|v| v.len()).max().unwrap_or(0).max(1);
+        let mw = max_len.div_ceil(64);
+        debug_assert!(mw <= MASK_WORDS_MAX, "at most one SCC candidate per process");
+        // All candidate sets live in the low words of their universe;
+        // restrict the O(G²) pairwise checks to the words actually used.
+        let used = vars
+            .iter()
+            .flat_map(|v| v.iter())
+            .flat_map(|c| [c.read, c.write])
+            .fold(0usize, |hi, s| {
+                let w = s.as_words();
+                hi.max((0..w.len()).rev().find(|&i| w[i] != 0).map_or(0, |i| i + 1))
+            })
+            .max(1);
+        let mut compat = vec![0u64; total * nvars * mw];
         for (a, va) in vars.iter().enumerate() {
             for (ca, cand_a) in va.iter().enumerate() {
                 let g = offsets[a] + ca;
                 for (b, vb) in vars.iter().enumerate() {
-                    let mut mask = 0u128;
+                    let row = &mut compat[(g * nvars + b) * mw..][..mw];
                     for (cb, cand_b) in vb.iter().enumerate() {
-                        if compatible(cand_a, cand_b) {
-                            mask |= 1u128 << cb;
+                        if compatible_low(cand_a, cand_b, used) {
+                            row[cb / 64] |= 1u64 << (cb % 64);
                         }
                     }
-                    compat[g * nvars + b] = mask;
                 }
             }
         }
-        Csp { vars, var_of_pattern, offsets, compat }
+        Csp { vars, var_of_pattern, offsets, mw, compat }
     }
 
-    /// The compatibility mask of variable `v`'s candidate `c` against
-    /// variable `u`'s candidates.
+    /// The compatibility mask (a `mw`-word run) of variable `v`'s
+    /// candidate `c` against variable `u`'s candidates.
     #[inline]
-    fn mask(&self, v: usize, c: usize, u: usize) -> u128 {
-        self.compat[(self.offsets[v] + c) * self.vars.len() + u]
+    fn mask(&self, v: usize, c: usize, u: usize) -> &[u64] {
+        let base = ((self.offsets[v] + c) * self.vars.len() + u) * self.mw;
+        &self.compat[base..base + self.mw]
+    }
+
+    /// Whether any candidate of variable `u` is compatible with variable
+    /// `v`'s candidate `c`.
+    #[inline]
+    fn mask_nonempty(&self, v: usize, c: usize, u: usize) -> bool {
+        self.mask(v, c, u).iter().any(|&w| w != 0)
     }
 
     /// Forward-checking search over domain bitmasks; returns one candidate
     /// choice per variable.
     fn search(&self) -> Option<Vec<usize>> {
-        let nvars = self.vars.len();
-        let mut domains: Vec<u128> = self.vars.iter().map(|v| full_mask(v.len())).collect();
-        if domains.contains(&0) {
-            return None;
+        let (nvars, mw) = (self.vars.len(), self.mw);
+        let mut domains = vec![0u64; nvars * mw];
+        for (v, var) in self.vars.iter().enumerate() {
+            fill_low_bits(&mut domains[v * mw..(v + 1) * mw], var.len());
+            if var.is_empty() {
+                return None;
+            }
         }
         let mut chosen = vec![usize::MAX; nvars];
         let mut open: Vec<usize> = (0..nvars).collect();
-        let mut trail: Vec<(usize, u128)> = Vec::with_capacity(nvars);
-        if self.assign_next(&mut domains, &mut chosen, &mut open, &mut trail) {
+        // The undo trail: variable indices plus their saved `mw`-word
+        // domains, in two parallel flat vectors (no per-node allocation).
+        let mut trail_vars: Vec<usize> = Vec::with_capacity(nvars);
+        let mut trail_words: Vec<u64> = Vec::with_capacity(nvars * mw);
+        if self.assign_next(&mut domains, &mut chosen, &mut open, &mut trail_vars, &mut trail_words)
+        {
             Some(chosen)
         } else {
             None
@@ -409,45 +469,69 @@ impl<'a> Csp<'a> {
 
     fn assign_next(
         &self,
-        domains: &mut [u128],
+        domains: &mut [u64],
         chosen: &mut [usize],
         open: &mut Vec<usize>,
-        trail: &mut Vec<(usize, u128)>,
+        trail_vars: &mut Vec<usize>,
+        trail_words: &mut Vec<u64>,
     ) -> bool {
+        let mw = self.mw;
         // Dynamic fail-first: branch on the smallest open domain.
-        let Some(pos) = (0..open.len()).min_by_key(|&i| domains[open[i]].count_ones()) else {
+        let Some(pos) = (0..open.len()).min_by_key(|&i| {
+            let v = open[i];
+            domains[v * mw..(v + 1) * mw].iter().map(|w| w.count_ones()).sum::<u32>()
+        }) else {
             return true; // all variables assigned
         };
         let v = open.swap_remove(pos);
-        let mut dom = domains[v];
-        while dom != 0 {
-            let c = dom.trailing_zeros() as usize;
-            dom &= dom - 1;
+        let mut dom = [0u64; MASK_WORDS_MAX];
+        dom[..mw].copy_from_slice(&domains[v * mw..(v + 1) * mw]);
+        let mut wi = 0;
+        while wi < mw {
+            let w = dom[wi];
+            if w == 0 {
+                wi += 1;
+                continue;
+            }
+            let c = wi * 64 + w.trailing_zeros() as usize;
+            dom[wi] = w & (w - 1);
             // Prune every open domain through the precomputed masks,
             // recording changed entries on the shared trail for undo.
-            let mark = trail.len();
+            let mark = trail_vars.len();
             let mut wiped = false;
             for &u in open.iter() {
-                let old = domains[u];
-                let pruned = old & self.mask(v, c, u);
-                if pruned != old {
-                    trail.push((u, old));
-                    domains[u] = pruned;
+                let mask = self.mask(v, c, u);
+                let du = &domains[u * mw..(u + 1) * mw];
+                let mut pruned = [0u64; MASK_WORDS_MAX];
+                let mut changed = false;
+                let mut nonempty = false;
+                for i in 0..mw {
+                    let nw = du[i] & mask[i];
+                    pruned[i] = nw;
+                    changed |= nw != du[i];
+                    nonempty |= nw != 0;
                 }
-                if pruned == 0 {
+                if changed {
+                    trail_vars.push(u);
+                    trail_words.extend_from_slice(&domains[u * mw..(u + 1) * mw]);
+                    domains[u * mw..(u + 1) * mw].copy_from_slice(&pruned[..mw]);
+                }
+                if !nonempty {
                     wiped = true;
                     break;
                 }
             }
             if !wiped {
                 chosen[v] = c;
-                if self.assign_next(domains, chosen, open, trail) {
+                if self.assign_next(domains, chosen, open, trail_vars, trail_words) {
                     return true;
                 }
             }
-            while trail.len() > mark {
-                let (u, old) = trail.pop().expect("trail entries above mark");
-                domains[u] = old;
+            while trail_vars.len() > mark {
+                let u = trail_vars.pop().expect("trail entries above mark");
+                let start = trail_words.len() - mw;
+                domains[u * mw..(u + 1) * mw].copy_from_slice(&trail_words[start..]);
+                trail_words.truncate(start);
             }
         }
         open.push(v);

@@ -237,10 +237,43 @@ impl fmt::Display for NetworkGraph {
     }
 }
 
+/// Dispatches a word-count-generic `ResidualGraph` method on the runtime
+/// word count `self.nw`, monomorphizing one kernel per possible word count
+/// so every hot loop gets a compile-time trip count (and slice bounds the
+/// optimizer can discharge). Usage: `with_word_count!(self, method, args…)`.
+macro_rules! with_word_count {
+    ($self:ident, $method:ident $(, $arg:expr)*) => {{
+        match $self.nw {
+            1 => $self.$method::<1>($($arg),*),
+            2 => $self.$method::<2>($($arg),*),
+            3 => $self.$method::<3>($($arg),*),
+            4 => $self.$method::<4>($($arg),*),
+            5 => $self.$method::<5>($($arg),*),
+            6 => $self.$method::<6>($($arg),*),
+            7 => $self.$method::<7>($($arg),*),
+            8 => $self.$method::<8>($($arg),*),
+            9 => $self.$method::<9>($($arg),*),
+            10 => $self.$method::<10>($($arg),*),
+            11 => $self.$method::<11>($($arg),*),
+            12 => $self.$method::<12>($($arg),*),
+            13 => $self.$method::<13>($($arg),*),
+            14 => $self.$method::<14>($($arg),*),
+            15 => $self.$method::<15>($($arg),*),
+            16 => $self.$method::<16>($($arg),*),
+            _ => unreachable!("words_for(n) is within 1..=ProcessSet::WORDS"),
+        }
+    }};
+}
+
+// `with_word_count!` enumerates exactly the word counts 1..=16.
+const _: () = assert!(ProcessSet::WORDS == 16, "update with_word_count!'s dispatch arms");
+
 /// The four per-vertex cache segments packed into one allocation: the
 /// effective successor/predecessor rows and the forward/backward reach
 /// sets. A segment entry is valid iff its bit is set in the matching
-/// validity mask (`n <= MAX_PROCESSES = 128`, so a `u128` mask suffices).
+/// validity mask (one word-count-bounded bitmask of `words_for(n)` words
+/// per segment, so the layout scales with the universe instead of being
+/// hardcoded to any word width).
 const SEG_ROW: usize = 0;
 const SEG_RROW: usize = 1;
 const SEG_FWD: usize = 2;
@@ -260,11 +293,16 @@ const SEG_BWD: usize = 3;
 pub struct ResidualGraph {
     base: Arc<Topology>,
     alive: ProcessSet,
-    /// One allocation of `4n` entries: segment `s` of vertex `p` lives at
-    /// `cache[s * n + p]`.
-    cache: Vec<Cell<ProcessSet>>,
-    /// Per-segment validity bitmasks over vertices.
-    valid: [Cell<u128>; 4],
+    /// Words per cached set: `ProcessSet::words_for(n)`. Cached rows and
+    /// reach sets are stored word-count-bounded, so a 32-process residual
+    /// costs one word per entry while a 1024-process one uses sixteen.
+    nw: usize,
+    /// One allocation of `4 * n * nw` words: segment `s` of vertex `p`
+    /// occupies `cache[(s * n + p) * nw ..][..nw]`.
+    cache: Vec<Cell<u64>>,
+    /// Per-segment validity bitmasks over vertices: segment `s`'s bit for
+    /// vertex `p` is bit `p % 64` of `valid[s * nw + p / 64]`.
+    valid: Vec<Cell<u64>>,
 }
 
 impl Clone for ResidualGraph {
@@ -272,6 +310,7 @@ impl Clone for ResidualGraph {
         ResidualGraph {
             base: Arc::clone(&self.base),
             alive: self.alive,
+            nw: self.nw,
             cache: self.cache.clone(),
             valid: self.valid.clone(),
         }
@@ -294,38 +333,128 @@ impl Eq for ResidualGraph {}
 impl ResidualGraph {
     fn new(base: Arc<Topology>, alive: ProcessSet) -> Self {
         let n = base.n;
+        let nw = ProcessSet::words_for(n);
         ResidualGraph {
             base,
             alive,
-            cache: vec![Cell::new(ProcessSet::new()); 4 * n],
-            valid: [Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0)],
+            nw,
+            cache: vec![Cell::new(0); 4 * n * nw],
+            valid: vec![Cell::new(0); 4 * nw],
         }
     }
 
     #[inline]
     fn seg_get(&self, seg: usize, p: usize) -> Option<ProcessSet> {
-        if self.valid[seg].get() & (1u128 << p) != 0 {
-            Some(self.cache[seg * self.base.n + p].get())
-        } else {
-            None
+        if self.valid[seg * self.nw + p / 64].get() & (1u64 << (p % 64)) == 0 {
+            return None;
         }
+        Some(self.read_cache_words((seg * self.base.n + p) * self.nw))
     }
 
     #[inline]
     fn seg_set(&self, seg: usize, p: usize, value: ProcessSet) {
-        self.cache[seg * self.base.n + p].set(value);
-        self.valid[seg].set(self.valid[seg].get() | (1u128 << p));
+        let base = (seg * self.base.n + p) * self.nw;
+        for i in 0..self.nw {
+            self.cache[base + i].set(value.word(i));
+        }
+        let v = &self.valid[seg * self.nw + p / 64];
+        v.set(v.get() | 1u64 << (p % 64));
+    }
+
+    /// Frontier BFS over word-bounded rows: starts at the alive vertex `p`,
+    /// expands along the effective rows of `seg`/`rows` (materializing row
+    /// cache entries on first touch), and returns the reach set.
+    ///
+    /// Dispatches once on the universe's word count to a monomorphized
+    /// kernel ([`ResidualGraph::bfs_fixed`]), so every loop below has a
+    /// compile-time trip count: for `n <= 64` the kernel degenerates to
+    /// single-register scalar ops, for `n <= 128` to two words — the same
+    /// cost profile as the old `u128` backing — and larger universes pay
+    /// only for the words they actually use.
+    fn bfs(&self, seg: usize, rows: &[ProcessSet], p: usize) -> ProcessSet {
+        with_word_count!(self, bfs_fixed, seg, rows, p)
+    }
+
+    /// The BFS kernel, monomorphized per word count (`NW == self.nw`).
+    /// Only the low `NW` words of any row are ever touched, and the cache
+    /// stride equals `NW`, so all indexing below is in terms of the
+    /// compile-time constant.
+    fn bfs_fixed<const NW: usize>(&self, seg: usize, rows: &[ProcessSet], p: usize) -> ProcessSet {
+        debug_assert_eq!(self.nw, NW);
+        let mut reach = [0u64; NW];
+        let mut frontier = [0u64; NW];
+        reach[p / 64] = 1u64 << (p % 64);
+        frontier[p / 64] = reach[p / 64];
+        loop {
+            let mut next = [0u64; NW];
+            for (wi, &fw) in frontier.iter().enumerate() {
+                let mut w = fw;
+                while w != 0 {
+                    let q = wi * 64 + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let cbase = self.materialize_row_fixed::<NW>(seg, rows, q);
+                    let crow = &self.cache[cbase..][..NW];
+                    for i in 0..NW {
+                        next[i] |= crow[i].get();
+                    }
+                }
+            }
+            let mut grew = false;
+            for i in 0..NW {
+                frontier[i] = next[i] & !reach[i];
+                reach[i] |= next[i];
+                grew |= frontier[i] != 0;
+            }
+            if !grew {
+                return ProcessSet::from_words(&reach);
+            }
+        }
+    }
+
+    /// Ensures the effective row of vertex `q` (base ∧ alive, minus any
+    /// dropped channels) is materialized in segment `seg`'s cache, and
+    /// returns the word offset of the row. Word-bounded: touches only the
+    /// low `nw` words.
+    #[inline]
+    fn materialize_row(&self, seg: usize, rows: &[ProcessSet], q: usize) -> usize {
+        with_word_count!(self, materialize_row_fixed, seg, rows, q)
+    }
+
+    /// The single home of the row cache protocol (validity check, `base ∧
+    /// alive` fill, validity set), monomorphized per word count
+    /// (`NW == self.nw`) so the BFS kernel can call it without losing its
+    /// compile-time trip counts.
+    #[inline]
+    fn materialize_row_fixed<const NW: usize>(
+        &self,
+        seg: usize,
+        rows: &[ProcessSet],
+        q: usize,
+    ) -> usize {
+        debug_assert_eq!(self.nw, NW);
+        let cbase = (seg * self.base.n + q) * NW;
+        let v = &self.valid[seg * NW + q / 64];
+        if v.get() & (1u64 << (q % 64)) == 0 {
+            let row = rows[q].as_words();
+            let alive = self.alive.as_words();
+            let crow = &self.cache[cbase..][..NW];
+            for i in 0..NW {
+                crow[i].set(row[i] & alive[i]);
+            }
+            v.set(v.get() | 1u64 << (q % 64));
+        }
+        cbase
     }
 
     /// Removes one failing channel while the residual is being built: the
-    /// affected rows are materialized (base ∧ alive) and edited in place,
-    /// so queries never consult the failure pattern again.
+    /// affected rows are materialized (base ∧ alive) and the single bit is
+    /// cleared in place, so queries never consult the failure pattern again.
     fn drop_channel_at_build(&self, ch: Channel) {
         let (from, to) = (ch.from.index(), ch.to.index());
-        let row = self.seg_get(SEG_ROW, from).unwrap_or(self.base.adj[from] & self.alive);
-        self.seg_set(SEG_ROW, from, row.without(ch.to));
-        let rrow = self.seg_get(SEG_RROW, to).unwrap_or(self.base.radj[to] & self.alive);
-        self.seg_set(SEG_RROW, to, rrow.without(ch.from));
+        let row = self.materialize_row(SEG_ROW, &self.base.adj, from) + to / 64;
+        self.cache[row].set(self.cache[row].get() & !(1u64 << (to % 64)));
+        let rrow = self.materialize_row(SEG_RROW, &self.base.radj, to) + from / 64;
+        self.cache[rrow].set(self.cache[rrow].get() & !(1u64 << (from % 64)));
     }
 
     /// Number of processes in the underlying system (including removed ones).
@@ -349,12 +478,8 @@ impl ResidualGraph {
         if !self.alive.contains(p) {
             return ProcessSet::new();
         }
-        if let Some(row) = self.seg_get(SEG_ROW, p.index()) {
-            return row;
-        }
-        let row = self.base.adj[p.index()] & self.alive;
-        self.seg_set(SEG_ROW, p.index(), row);
-        row
+        let cbase = self.materialize_row(SEG_ROW, &self.base.adj, p.index());
+        self.read_cache_words(cbase)
     }
 
     /// Predecessors of `p` among alive processes (transpose row).
@@ -363,12 +488,18 @@ impl ResidualGraph {
         if !self.alive.contains(p) {
             return ProcessSet::new();
         }
-        if let Some(row) = self.seg_get(SEG_RROW, p.index()) {
-            return row;
+        let cbase = self.materialize_row(SEG_RROW, &self.base.radj, p.index());
+        self.read_cache_words(cbase)
+    }
+
+    /// Rebuilds a set from the `nw` cache words at `cbase`.
+    #[inline]
+    fn read_cache_words(&self, cbase: usize) -> ProcessSet {
+        let mut s = ProcessSet::new();
+        for (i, c) in self.cache[cbase..][..self.nw].iter().enumerate() {
+            s.set_word(i, c.get());
         }
-        let row = self.base.radj[p.index()] & self.alive;
-        self.seg_set(SEG_RROW, p.index(), row);
-        row
+        s
     }
 
     /// Whether the channel survives in the residual graph.
@@ -387,16 +518,7 @@ impl ResidualGraph {
         if let Some(cached) = self.seg_get(SEG_FWD, p.index()) {
             return cached;
         }
-        let mut reach = ProcessSet::singleton(p);
-        let mut frontier = reach;
-        while !frontier.is_empty() {
-            let mut next = ProcessSet::new();
-            for q in frontier {
-                next |= self.successors(q);
-            }
-            frontier = next - reach;
-            reach |= next;
-        }
+        let reach = self.bfs(SEG_ROW, &self.base.adj, p.index());
         self.seg_set(SEG_FWD, p.index(), reach);
         reach
     }
@@ -413,16 +535,7 @@ impl ResidualGraph {
         if let Some(cached) = self.seg_get(SEG_BWD, p.index()) {
             return cached;
         }
-        let mut reach = ProcessSet::singleton(p);
-        let mut frontier = reach;
-        while !frontier.is_empty() {
-            let mut next = ProcessSet::new();
-            for q in frontier {
-                next |= self.predecessors(q);
-            }
-            frontier = next - reach;
-            reach |= next;
-        }
+        let reach = self.bfs(SEG_RROW, &self.base.radj, p.index());
         self.seg_set(SEG_BWD, p.index(), reach);
         reach
     }
@@ -436,14 +549,52 @@ impl ResidualGraph {
         if set.is_empty() || !set.is_subset(self.alive) {
             return ProcessSet::new();
         }
-        let mut acc = self.alive;
+        with_word_count!(self, reach_to_all_fixed, set)
+    }
+
+    /// Word-count-monomorphized core of [`ResidualGraph::reach_to_all`]:
+    /// intersects the (cached) backward reach rows of every member of
+    /// `set`, reading the cache words directly.
+    fn reach_to_all_fixed<const NW: usize>(&self, set: ProcessSet) -> ProcessSet {
+        debug_assert_eq!(self.nw, NW);
+        let mut acc = [0u64; NW];
+        acc.copy_from_slice(&self.alive.as_words()[..NW]);
         for p in set {
-            acc &= self.reach_to(p);
-            if acc.is_empty() {
+            let pi = p.index();
+            if self.valid[SEG_BWD * NW + pi / 64].get() & (1u64 << (pi % 64)) == 0 {
+                let _ = self.reach_to(p); // fill the SEG_BWD cache entry
+            }
+            let crow = &self.cache[(SEG_BWD * self.base.n + pi) * NW..][..NW];
+            let mut any = false;
+            for i in 0..NW {
+                acc[i] &= crow[i].get();
+                any |= acc[i] != 0;
+            }
+            if !any {
                 break;
             }
         }
-        acc
+        ProcessSet::from_words(&acc)
+    }
+
+    /// Whether the forward reach set of `p` contains all of `set`,
+    /// consulting (and on first touch filling) the `SEG_FWD` cache row
+    /// directly — a word-bounded subset test with no full-width set
+    /// materialization, shared by the quorum-validation hot paths.
+    #[inline]
+    fn cached_fwd_superset(&self, p: ProcessId, set: ProcessSet) -> bool {
+        let nw = self.nw;
+        let pi = p.index();
+        if self.valid[SEG_FWD * nw + pi / 64].get() & (1u64 << (pi % 64)) == 0 {
+            let _ = self.reach_from(p); // fill the SEG_FWD cache entry
+        }
+        let crow = &self.cache[(SEG_FWD * self.base.n + pi) * nw..][..nw];
+        let sw = set.as_words();
+        let mut stray = 0u64;
+        for (i, c) in crow.iter().enumerate() {
+            stray |= sw[i] & !c.get();
+        }
+        stray == 0
     }
 
     /// Whether every member of `to` is reachable from every member of
@@ -455,7 +606,7 @@ impl ResidualGraph {
         if !from.is_subset(self.alive) || !to.is_subset(self.alive) {
             return false;
         }
-        from.iter().all(|p| to.is_subset(self.reach_from(p)))
+        from.iter().all(|p| self.cached_fwd_superset(p, to))
     }
 
     /// Whether `set` is strongly connected in the residual graph: every
@@ -466,7 +617,7 @@ impl ResidualGraph {
         if set.is_empty() || !set.is_subset(self.alive) {
             return false;
         }
-        set.iter().all(|p| set.is_subset(self.reach_from(p)))
+        set.iter().all(|p| self.cached_fwd_superset(p, set))
     }
 
     /// The strongly connected components of the alive part of the graph,

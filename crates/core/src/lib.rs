@@ -36,6 +36,11 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Error enums embed `ProcessSet` counterexamples, and `ProcessSet` is a
+// deliberately `Copy` 128-byte multi-word bitset. The constructors that
+// return them are cold validation paths, so a large `Err` variant costs
+// nothing measurable and boxing would complicate every match site.
+#![allow(clippy::result_large_err)]
 
 pub mod channel;
 pub mod failure;

@@ -4,16 +4,19 @@
 //! Processes here are numbered `0..n`; [`ProcessSet`] is a bitset over those
 //! numbers, supporting the set algebra that quorum systems need (union,
 //! intersection, complement, subset tests) in a handful of machine
-//! instructions.
+//! instructions per 64-process word.
 
+use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Sub, SubAssign};
 
 /// Maximum number of processes supported by [`ProcessSet`].
 ///
-/// The bitset is backed by a `u128`; systems in the paper (and in every
-/// experiment here) are far smaller.
-pub const MAX_PROCESSES: usize = 128;
+/// The bitset is backed by a fixed array of [`ProcessSet::WORDS`] 64-bit
+/// words. Systems in the paper are tiny; the cap exists so that sets stay
+/// `Copy` (no heap, no lifetimes) while production-scale sweeps can still
+/// model systems of up to 1024 replicas.
+pub const MAX_PROCESSES: usize = 1024;
 
 /// Identifier of a process in the system.
 ///
@@ -56,11 +59,20 @@ impl fmt::Display for ProcessId {
     }
 }
 
-/// A set of processes, stored as a 128-bit bitset.
+/// A set of processes, stored as a fixed-width multi-word bitset.
 ///
 /// This is the workhorse type of the whole workspace: quorums, failure
 /// patterns, reachability sets and strongly connected components are all
 /// `ProcessSet`s.
+///
+/// The backing store is `[u64; WORDS]` (`WORDS * 64 = MAX_PROCESSES`
+/// bits), so the type stays `Copy` and the set algebra compiles to short,
+/// branch-free word loops that LLVM vectorizes. Algorithms that know their
+/// universe size `n` can restrict themselves to the low
+/// [`ProcessSet::words_for`]`(n)` words (see [`ProcessSet::word`] /
+/// [`ProcessSet::as_words`]) — members beyond `n` never exist unless
+/// explicitly inserted, so the high words of well-formed sets are zero and
+/// word-bounded loops are exact, not approximate.
 ///
 /// # Examples
 ///
@@ -71,17 +83,39 @@ impl fmt::Display for ProcessId {
 /// assert!(!(r & w).is_empty()); // quorum intersection
 /// assert_eq!((r | w).len(), 3);
 /// assert!(r.contains(ProcessId(2)));
+/// // Multi-word: processes past 128 are first-class.
+/// let big: ProcessSet = [5, 500, 1000].into_iter().collect();
+/// assert_eq!(big.len(), 3);
+/// assert!(big.contains(ProcessId(500)));
 /// ```
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
 pub struct ProcessSet {
-    bits: u128,
+    words: [u64; Self::WORDS],
 }
 
 impl ProcessSet {
+    /// Number of 64-bit words backing a set (`MAX_PROCESSES / 64`).
+    pub const WORDS: usize = MAX_PROCESSES / 64;
+
+    /// The number of backing words needed for a universe of `n` processes
+    /// (`⌈n / 64⌉`, and at least 1 so bounded loops are never empty).
+    ///
+    /// Hot paths that know `n` loop over `words_for(n)` words instead of
+    /// all [`ProcessSet::WORDS`], which keeps small universes as fast as
+    /// the old single-word representation.
+    #[inline]
+    pub const fn words_for(n: usize) -> usize {
+        if n == 0 {
+            1
+        } else {
+            n.div_ceil(64)
+        }
+    }
+
     /// The empty set.
     #[inline]
     pub const fn new() -> Self {
-        ProcessSet { bits: 0 }
+        ProcessSet { words: [0; Self::WORDS] }
     }
 
     /// The empty set (alias of [`ProcessSet::new`]).
@@ -98,11 +132,15 @@ impl ProcessSet {
     #[inline]
     pub fn full(n: usize) -> Self {
         assert!(n <= MAX_PROCESSES, "at most {MAX_PROCESSES} processes are supported");
-        if n == MAX_PROCESSES {
-            ProcessSet { bits: u128::MAX }
-        } else {
-            ProcessSet { bits: (1u128 << n) - 1 }
+        let mut words = [0u64; Self::WORDS];
+        let (full_words, rem) = (n / 64, n % 64);
+        for w in words.iter_mut().take(full_words) {
+            *w = u64::MAX;
         }
+        if rem != 0 {
+            words[full_words] = (1u64 << rem) - 1;
+        }
+        ProcessSet { words }
     }
 
     /// The singleton set `{p}`.
@@ -110,6 +148,48 @@ impl ProcessSet {
     pub fn singleton(p: ProcessId) -> Self {
         let mut s = Self::new();
         s.insert(p);
+        s
+    }
+
+    /// The backing words, low word first (bit `i` of word `w` is process
+    /// `64 * w + i`).
+    #[inline]
+    pub fn as_words(&self) -> &[u64; Self::WORDS] {
+        &self.words
+    }
+
+    /// The `i`-th backing word (zero for `i >= WORDS`, so word-bounded
+    /// loops need no range checks).
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        if i < Self::WORDS {
+            self.words[i]
+        } else {
+            0
+        }
+    }
+
+    /// Overwrites the `i`-th backing word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= WORDS`.
+    #[inline]
+    pub fn set_word(&mut self, i: usize, w: u64) {
+        self.words[i] = w;
+    }
+
+    /// Rebuilds a set from backing words, low word first; missing high
+    /// words are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`ProcessSet::WORDS`] words are given.
+    #[inline]
+    pub fn from_words(words: &[u64]) -> Self {
+        assert!(words.len() <= Self::WORDS, "too many backing words");
+        let mut s = Self::new();
+        s.words[..words.len()].copy_from_slice(words);
         s
     }
 
@@ -121,9 +201,9 @@ impl ProcessSet {
     #[inline]
     pub fn insert(&mut self, p: ProcessId) -> bool {
         assert!(p.index() < MAX_PROCESSES, "process id out of range");
-        let mask = 1u128 << p.index();
-        let fresh = self.bits & mask == 0;
-        self.bits |= mask;
+        let (w, mask) = (p.index() / 64, 1u64 << (p.index() % 64));
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
         fresh
     }
 
@@ -133,16 +213,16 @@ impl ProcessSet {
         if p.index() >= MAX_PROCESSES {
             return false;
         }
-        let mask = 1u128 << p.index();
-        let present = self.bits & mask != 0;
-        self.bits &= !mask;
+        let (w, mask) = (p.index() / 64, 1u64 << (p.index() % 64));
+        let present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
         present
     }
 
     /// Tests membership.
     #[inline]
     pub fn contains(self, p: ProcessId) -> bool {
-        p.index() < MAX_PROCESSES && self.bits & (1u128 << p.index()) != 0
+        p.index() < MAX_PROCESSES && self.words[p.index() / 64] & (1u64 << (p.index() % 64)) != 0
     }
 
     /// Returns a copy with `p` inserted.
@@ -164,25 +244,29 @@ impl ProcessSet {
     /// Number of processes in the set.
     #[inline]
     pub fn len(self) -> usize {
-        self.bits.count_ones() as usize
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether the set is empty.
+    ///
+    /// Like the other whole-set predicates, this is a branch-free word
+    /// fold, which the optimizer turns into a handful of vector ops —
+    /// faster than a short-circuiting scan for sets this small.
     #[inline]
     pub fn is_empty(self) -> bool {
-        self.bits == 0
+        self.words.iter().fold(0, |acc, &w| acc | w) == 0
     }
 
     /// Whether `self ⊆ other`.
     #[inline]
     pub fn is_subset(self, other: ProcessSet) -> bool {
-        self.bits & !other.bits == 0
+        self.words.iter().zip(other.words.iter()).fold(0, |acc, (&a, &b)| acc | (a & !b)) == 0
     }
 
     /// Whether `self ∩ other ≠ ∅`.
     #[inline]
     pub fn intersects(self, other: ProcessSet) -> bool {
-        self.bits & other.bits != 0
+        self.words.iter().zip(other.words.iter()).fold(0, |acc, (&a, &b)| acc | (a & b)) != 0
     }
 
     /// Whether `self ∩ other = ∅`.
@@ -195,22 +279,50 @@ impl ProcessSet {
     #[inline]
     #[must_use]
     pub fn complement(self, n: usize) -> Self {
-        ProcessSet { bits: !self.bits & Self::full(n).bits }
+        let mut out = Self::full(n);
+        for (o, s) in out.words.iter_mut().zip(self.words.iter()) {
+            *o &= !s;
+        }
+        out
     }
 
     /// The smallest process in the set, if any.
     #[inline]
     pub fn first(self) -> Option<ProcessId> {
-        if self.bits == 0 {
-            None
-        } else {
-            Some(ProcessId(self.bits.trailing_zeros() as usize))
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(ProcessId(i * 64 + w.trailing_zeros() as usize));
+            }
         }
+        None
     }
 
     /// Iterates over members in increasing order.
     pub fn iter(self) -> Iter {
-        Iter { bits: self.bits }
+        Iter { words: self.words, word: 0 }
+    }
+}
+
+impl PartialOrd for ProcessSet {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ProcessSet {
+    /// Numeric order of the backing bits (most significant word first),
+    /// matching the order of the old `u128` representation so sorted
+    /// quorum lists and map iteration keep their historical order.
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        for (a, b) in self.words.iter().zip(other.words.iter()).rev() {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
     }
 }
 
@@ -236,45 +348,54 @@ impl fmt::Display for ProcessSet {
 impl BitOr for ProcessSet {
     type Output = ProcessSet;
     #[inline]
-    fn bitor(self, rhs: Self) -> Self {
-        ProcessSet { bits: self.bits | rhs.bits }
+    fn bitor(mut self, rhs: Self) -> Self {
+        self |= rhs;
+        self
     }
 }
 
 impl BitOrAssign for ProcessSet {
     #[inline]
     fn bitor_assign(&mut self, rhs: Self) {
-        self.bits |= rhs.bits;
+        for (a, b) in self.words.iter_mut().zip(rhs.words.iter()) {
+            *a |= b;
+        }
     }
 }
 
 impl BitAnd for ProcessSet {
     type Output = ProcessSet;
     #[inline]
-    fn bitand(self, rhs: Self) -> Self {
-        ProcessSet { bits: self.bits & rhs.bits }
+    fn bitand(mut self, rhs: Self) -> Self {
+        self &= rhs;
+        self
     }
 }
 
 impl BitAndAssign for ProcessSet {
     #[inline]
     fn bitand_assign(&mut self, rhs: Self) {
-        self.bits &= rhs.bits;
+        for (a, b) in self.words.iter_mut().zip(rhs.words.iter()) {
+            *a &= b;
+        }
     }
 }
 
 impl Sub for ProcessSet {
     type Output = ProcessSet;
     #[inline]
-    fn sub(self, rhs: Self) -> Self {
-        ProcessSet { bits: self.bits & !rhs.bits }
+    fn sub(mut self, rhs: Self) -> Self {
+        self -= rhs;
+        self
     }
 }
 
 impl SubAssign for ProcessSet {
     #[inline]
     fn sub_assign(&mut self, rhs: Self) {
-        self.bits &= !rhs.bits;
+        for (a, b) in self.words.iter_mut().zip(rhs.words.iter()) {
+            *a &= !b;
+        }
     }
 }
 
@@ -313,7 +434,8 @@ impl IntoIterator for ProcessSet {
 /// Iterator over the members of a [`ProcessSet`], in increasing order.
 #[derive(Clone, Debug)]
 pub struct Iter {
-    bits: u128,
+    words: [u64; ProcessSet::WORDS],
+    word: usize,
 }
 
 impl Iterator for Iter {
@@ -321,17 +443,23 @@ impl Iterator for Iter {
 
     #[inline]
     fn next(&mut self) -> Option<ProcessId> {
-        if self.bits == 0 {
-            None
-        } else {
-            let i = self.bits.trailing_zeros() as usize;
-            self.bits &= self.bits - 1;
-            Some(ProcessId(i))
+        while self.word < ProcessSet::WORDS {
+            let w = self.words[self.word];
+            if w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                self.words[self.word] = w & (w - 1);
+                return Some(ProcessId(self.word * 64 + bit));
+            }
+            self.word += 1;
         }
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.bits.count_ones() as usize;
+        let n: usize = self.words[self.word.min(ProcessSet::WORDS)..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         (n, Some(n))
     }
 }
@@ -385,6 +513,13 @@ mod tests {
         assert!(!s.contains(ProcessId(5)));
         let all = ProcessSet::full(MAX_PROCESSES);
         assert_eq!(all.len(), MAX_PROCESSES);
+        // Word-boundary universes are exact.
+        for n in [63, 64, 65, 127, 128, 129, 512, 1023] {
+            let s = ProcessSet::full(n);
+            assert_eq!(s.len(), n, "full({n})");
+            assert!(s.contains(ProcessId(n - 1)));
+            assert!(!s.contains(ProcessId(n)));
+        }
     }
 
     #[test]
@@ -408,12 +543,74 @@ mod tests {
     }
 
     #[test]
+    fn set_algebra_across_word_boundaries() {
+        let a = pset![10, 63, 64, 200, 1000];
+        let b = pset![63, 200, 1023];
+        assert_eq!(a & b, pset![63, 200]);
+        assert_eq!(a - b, pset![10, 64, 1000]);
+        assert_eq!((a | b).len(), 6);
+        assert!(a.intersects(b));
+        assert!(pset![63, 200].is_subset(a));
+        assert!(!a.is_subset(b));
+        let co = a.complement(MAX_PROCESSES);
+        assert_eq!(co.len(), MAX_PROCESSES - a.len());
+        assert!(!co.intersects(a));
+    }
+
+    #[test]
+    fn ordering_matches_numeric_bit_order() {
+        // The high word dominates, as it did when the backing was one u128.
+        assert!(pset![129] > pset![128]);
+        assert!(pset![128] > pset![0, 1, 2, 127]);
+        assert!(pset![5] > pset![4, 3]);
+        let mut v = vec![pset![200], pset![0], pset![64], pset![1]];
+        v.sort_unstable();
+        assert_eq!(v, vec![pset![0], pset![1], pset![64], pset![200]]);
+    }
+
+    #[test]
+    fn word_accessors_round_trip() {
+        let s = pset![0, 64, 65, 1023];
+        assert_eq!(s.word(0), 1);
+        assert_eq!(s.word(1), 0b11);
+        assert_eq!(s.word(ProcessSet::WORDS - 1), 1u64 << 63);
+        assert_eq!(s.word(ProcessSet::WORDS + 5), 0);
+        assert_eq!(ProcessSet::from_words(s.as_words()), s);
+        let mut t = ProcessSet::new();
+        for i in 0..ProcessSet::WORDS {
+            t.set_word(i, s.word(i));
+        }
+        assert_eq!(t, s);
+        assert_eq!(ProcessSet::from_words(&[1, 0b11]), pset![0, 64, 65]);
+    }
+
+    #[test]
+    fn words_for_is_ceiling_division() {
+        assert_eq!(ProcessSet::words_for(0), 1);
+        assert_eq!(ProcessSet::words_for(1), 1);
+        assert_eq!(ProcessSet::words_for(64), 1);
+        assert_eq!(ProcessSet::words_for(65), 2);
+        assert_eq!(ProcessSet::words_for(128), 2);
+        assert_eq!(ProcessSet::words_for(129), 3);
+        assert_eq!(ProcessSet::words_for(MAX_PROCESSES), ProcessSet::WORDS);
+    }
+
+    #[test]
     fn iteration_is_sorted() {
         let s = pset![7, 1, 4];
         let v: Vec<usize> = s.iter().map(|p| p.index()).collect();
         assert_eq!(v, vec![1, 4, 7]);
         assert_eq!(s.iter().len(), 3);
         assert_eq!(s.first(), Some(ProcessId(1)));
+    }
+
+    #[test]
+    fn iteration_crosses_words() {
+        let s = pset![63, 64, 127, 128, 512, 1023];
+        let v: Vec<usize> = s.iter().map(|p| p.index()).collect();
+        assert_eq!(v, vec![63, 64, 127, 128, 512, 1023]);
+        assert_eq!(s.iter().len(), 6);
+        assert_eq!(s.first(), Some(ProcessId(63)));
     }
 
     #[test]
@@ -429,6 +626,8 @@ mod tests {
         assert_eq!(s, pset![0, 2]);
         let t: ProcessSet = (0..4).collect();
         assert_eq!(t, ProcessSet::full(4));
+        let big: ProcessSet = (0..300).collect();
+        assert_eq!(big, ProcessSet::full(300));
     }
 
     #[test]

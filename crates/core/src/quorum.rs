@@ -699,7 +699,7 @@ fn check_in_range(family: &QuorumFamily, n: usize) -> Result<(), QuorumSystemErr
 }
 
 /// Size and balance metrics of a quorum family — the quantities the
-/// classical quorum-system literature (Naor–Wool, cited as [34] in §8)
+/// classical quorum-system literature (Naor–Wool, cited as \[34\] in §8)
 /// optimizes. Useful for comparing the quorums the GQS finder produces
 /// against threshold/grid baselines.
 #[derive(Copy, Clone, PartialEq, Debug)]

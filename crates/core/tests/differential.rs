@@ -9,7 +9,7 @@
 
 mod common;
 
-use common::{build, random_fail_prone, random_pattern, random_raw, SplitMix64};
+use common::{build, random_fail_prone, random_pattern, random_raw, RawGraph, SplitMix64};
 use gqs_core::finder::{find_gqs, gqs_exists, gqs_exists_brute_force};
 use gqs_core::reference::{gqs_exists_naive, NaiveResidual};
 use gqs_core::{ProcessId, ProcessSet};
@@ -133,6 +133,97 @@ fn finder_matches_naive_and_brute_force() {
             None => {
                 assert!(!fast || fp.is_empty(), "no witness for a solvable system (case {case})")
             }
+        }
+    }
+}
+
+/// The multi-word engine agrees with the reference beyond the old
+/// 128-process cap: reachability, SCCs and `reach_to_all` on random
+/// digraphs with 129–260 processes (word counts 3 and 5, so every
+/// word-boundary crossing in the word-bounded kernels is exercised).
+#[test]
+fn reachability_matches_reference_past_128_processes() {
+    for (case, &n) in [129, 160, 192, 260].iter().enumerate() {
+        let mut rng = SplitMix64::new(12_000 + case as u64);
+        // Sparse enough that reachability is nontrivial, dense enough that
+        // the naive quadratic fixpoint converges in a few rounds.
+        let mut raw = RawGraph { n, edges: Vec::new() };
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && rng.chance(0.03) {
+                    raw.edges.push((a, b));
+                }
+            }
+        }
+        let g = build(&raw);
+        let f = random_pattern(&raw, 0.1, 0.2, &mut rng);
+        let fast = g.residual(&f);
+        let slow = NaiveResidual::build(&g, &f);
+        for p in 0..n {
+            assert_eq!(
+                fast.reach_from(ProcessId(p)),
+                slow.reach_from(ProcessId(p)),
+                "reach_from({p}) diverged at n={n}"
+            );
+            assert_eq!(
+                fast.reach_to(ProcessId(p)),
+                slow.reach_to(ProcessId(p)),
+                "reach_to({p}) diverged at n={n}"
+            );
+        }
+        assert_eq!(fast.sccs(), slow.sccs(), "sccs diverged at n={n}");
+        for _ in 0..4 {
+            let set: ProcessSet = (0..n).filter(|_| rng.chance(0.3)).collect();
+            assert_eq!(
+                fast.reach_to_all(set),
+                slow.reach_to_all(set),
+                "reach_to_all diverged at n={n}"
+            );
+        }
+    }
+}
+
+/// GQS existence past the old cap: the memoized finder, the naive
+/// pipeline, and (where the choice space is small enough) the exhaustive
+/// oracle agree on systems with more than 128 processes.
+///
+/// The graphs have a ring backbone plus random chords, which keeps the
+/// residuals to a handful of SCCs so the oracle's full cross product stays
+/// tractable.
+#[test]
+fn finder_matches_naive_and_brute_force_past_128_processes() {
+    for case in 0..8u64 {
+        let mut rng = SplitMix64::new(13_000 + case);
+        let n = 129 + rng.range(0, 60) as usize;
+        let mut raw = RawGraph { n, edges: Vec::new() };
+        for i in 0..n {
+            raw.edges.push((i, (i + 1) % n));
+        }
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && b != (a + 1) % n && rng.chance(0.02) {
+                    raw.edges.push((a, b));
+                }
+            }
+        }
+        let g = build(&raw);
+        let fp = random_fail_prone(&raw, 3, 0.03, 0.05, &mut rng);
+        let fast = gqs_exists(&g, &fp);
+        assert_eq!(fast, gqs_exists_naive(&g, &fp), "optimized vs naive finder (n={n})");
+        let combos: usize = fp.patterns().map(|f| g.residual(f).sccs().len().max(1)).product();
+        if combos <= 50_000 {
+            assert_eq!(
+                fast,
+                gqs_exists_brute_force(&g, &fp),
+                "optimized finder vs exhaustive oracle (n={n})"
+            );
+        }
+        match find_gqs(&g, &fp) {
+            Some(w) => {
+                assert!(fast, "witness produced for an unsolvable system (n={n})");
+                assert_eq!(w.per_pattern.len(), fp.len());
+            }
+            None => assert!(!fast, "no witness for a solvable system (n={n})"),
         }
     }
 }

@@ -1,0 +1,134 @@
+//! Word-boundary property tests for the multi-word [`ProcessSet`]:
+//! differential checks of the whole set algebra against a `BTreeSet<usize>`
+//! model, concentrated on universes that straddle the backing-word
+//! boundaries (63/64/65, 127/128/129) plus a mid-range multi-word size.
+//!
+//! Randomness comes from the same seeded SplitMix64 harness as the other
+//! integration tests, so every run replays the same cases.
+
+mod common;
+
+use std::collections::BTreeSet;
+
+use common::SplitMix64;
+use gqs_core::{ProcessId, ProcessSet};
+
+/// The universes under test: both sides of each 64-bit word boundary the
+/// old `u128` backing did and did not cover, plus a deep multi-word size.
+const SIZES: &[usize] = &[63, 64, 65, 127, 128, 129, 512];
+
+/// A random subset of `0..n` with inclusion probability `p`, built in both
+/// representations simultaneously.
+fn random_pair(n: usize, p: f64, rng: &mut SplitMix64) -> (ProcessSet, BTreeSet<usize>) {
+    let mut set = ProcessSet::new();
+    let mut model = BTreeSet::new();
+    for i in 0..n {
+        if rng.chance(p) {
+            set.insert(ProcessId(i));
+            model.insert(i);
+        }
+    }
+    (set, model)
+}
+
+fn assert_matches(set: ProcessSet, model: &BTreeSet<usize>, what: &str) {
+    assert_eq!(set.len(), model.len(), "{what}: len diverged");
+    assert_eq!(set.is_empty(), model.is_empty(), "{what}: is_empty diverged");
+    assert_eq!(
+        set.iter().map(|p| p.index()).collect::<Vec<_>>(),
+        model.iter().copied().collect::<Vec<_>>(),
+        "{what}: iteration diverged"
+    );
+    assert_eq!(set.first().map(|p| p.index()), model.first().copied(), "{what}: first diverged");
+}
+
+#[test]
+fn algebra_matches_btreeset_model_at_word_boundaries() {
+    for &n in SIZES {
+        for case in 0..40u64 {
+            let mut rng = SplitMix64::new(n as u64 * 1_000 + case);
+            // Sweep densities so empty, sparse and near-full sets all occur.
+            let p = [0.0, 0.05, 0.5, 0.95, 1.0][case as usize % 5];
+            let (a, ma) = random_pair(n, p, &mut rng);
+            let (b, mb) = random_pair(n, 0.5, &mut rng);
+            assert_matches(a, &ma, "a itself");
+            assert_matches(a | b, &(&ma | &mb), "union");
+            assert_matches(a & b, &(&ma & &mb), "intersection");
+            assert_matches(a - b, &(&ma - &mb), "difference");
+            let co_model: BTreeSet<usize> = (0..n).filter(|i| !ma.contains(i)).collect();
+            assert_matches(a.complement(n), &co_model, "complement");
+            assert_eq!(a.is_subset(b), ma.is_subset(&mb), "is_subset diverged (n={n})");
+            assert_eq!(a.is_disjoint(b), ma.is_disjoint(&mb), "is_disjoint diverged (n={n})");
+            assert_eq!(a.intersects(b), !ma.is_disjoint(&mb), "intersects diverged (n={n})");
+            // Membership across the whole universe, including both sides of
+            // every word boundary inside it.
+            for i in 0..n {
+                assert_eq!(a.contains(ProcessId(i)), ma.contains(&i), "contains({i}) at n={n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mutation_matches_btreeset_model_at_word_boundaries() {
+    for &n in SIZES {
+        let mut rng = SplitMix64::new(0xABCD ^ n as u64);
+        let mut set = ProcessSet::new();
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        // A long random walk of inserts/removes, biased to hover around the
+        // word boundaries inside the universe.
+        for step in 0..2_000 {
+            let i = if rng.chance(0.5) {
+                // Near a multiple of 64 (clamped into the universe).
+                let anchor = 64 * rng.range(0, (n as u64).div_ceil(64)) as usize;
+                let jitter = rng.range(0, 4) as usize;
+                anchor.saturating_sub(2).saturating_add(jitter).min(n - 1)
+            } else {
+                rng.range(0, n as u64 - 1) as usize
+            };
+            if rng.chance(0.5) {
+                assert_eq!(
+                    set.insert(ProcessId(i)),
+                    model.insert(i),
+                    "insert({i}) fresh-flag diverged at n={n} step={step}"
+                );
+            } else {
+                assert_eq!(
+                    set.remove(ProcessId(i)),
+                    model.remove(&i),
+                    "remove({i}) present-flag diverged at n={n} step={step}"
+                );
+            }
+        }
+        assert_matches(set, &model, "after the walk");
+        // with/without agree with the model on a sample, without mutating.
+        let snapshot = set;
+        for _ in 0..50 {
+            let i = rng.range(0, n as u64 - 1) as usize;
+            let mut m = model.clone();
+            m.insert(i);
+            assert_matches(snapshot.with(ProcessId(i)), &m, "with");
+            let mut m = model.clone();
+            m.remove(&i);
+            assert_matches(snapshot.without(ProcessId(i)), &m, "without");
+        }
+        assert_eq!(snapshot, set, "with/without mutated the receiver");
+    }
+}
+
+#[test]
+fn collect_and_full_match_model_at_word_boundaries() {
+    for &n in SIZES {
+        let mut rng = SplitMix64::new(0x5EED ^ n as u64);
+        let full = ProcessSet::full(n);
+        let full_model: BTreeSet<usize> = (0..n).collect();
+        assert_matches(full, &full_model, "full");
+        assert!(!full.contains(ProcessId(n)), "full({n}) leaked past the universe");
+        let picks: Vec<usize> = (0..n).filter(|_| rng.chance(0.3)).collect();
+        let collected: ProcessSet = picks.iter().copied().collect();
+        let model: BTreeSet<usize> = picks.into_iter().collect();
+        assert_matches(collected, &model, "FromIterator");
+        assert!(collected.is_subset(full));
+        assert_eq!(collected.complement(n).complement(n), collected, "double complement");
+    }
+}

@@ -22,12 +22,20 @@ use std::thread;
 
 /// Number of worker threads to use.
 fn threads() -> usize {
-    if let Ok(v) = std::env::var("GQS_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
-        }
+    threads_from(std::env::var("GQS_THREADS").ok().as_deref())
+}
+
+/// Resolves the worker-thread count from an optional `GQS_THREADS` value.
+///
+/// Only a positive integer (surrounding whitespace tolerated) overrides
+/// the default; `0`, the empty string, and garbage all mean "use the
+/// default" — an unset-but-exported variable or a typo must not silently
+/// serialize (or otherwise distort) every sweep.
+fn threads_from(var: Option<&str>) -> usize {
+    match var.map(str::trim).and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8),
     }
-    thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
 }
 
 /// Applies `f` to every index in `0..count` across worker threads and
@@ -109,6 +117,20 @@ mod tests {
         let parallel = map(64, per_trial);
         let serial: Vec<u64> = (0..64).map(per_trial).collect();
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn threads_from_rejects_zero_empty_and_garbage() {
+        let default = threads_from(None);
+        assert!(default >= 1, "default thread count is at least one");
+        // Explicit positive values win, with surrounding whitespace.
+        assert_eq!(threads_from(Some("1")), 1);
+        assert_eq!(threads_from(Some("12")), 12);
+        assert_eq!(threads_from(Some(" 3\n")), 3);
+        // 0, empty, and garbage all fall back to the default.
+        for bad in ["0", "", "  ", "-2", "four", "2x", "1.5", "0x4"] {
+            assert_eq!(threads_from(Some(bad)), default, "GQS_THREADS={bad:?}");
+        }
     }
 
     #[test]
