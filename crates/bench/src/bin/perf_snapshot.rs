@@ -26,7 +26,11 @@ use std::time::Instant;
 use gqs_core::finder::{find_gqs, gqs_exists};
 use gqs_core::reference::gqs_exists_naive;
 use gqs_core::{FailProneSystem, NetworkGraph};
-use gqs_workloads::generators::random_scenarios;
+use gqs_workloads::generators::{random_scenarios, trial_rng};
+use gqs_workloads::par;
+use gqs_workloads::sweep::{
+    self, MetricAgg, PatternFamily, ScenarioCell, ScenarioGrid, SweepOptions, TopologyFamily,
+};
 
 /// The fixed ladder: (processes, patterns). Edge probability and failure
 /// rates are fixed inside `scenarios`.
@@ -139,6 +143,58 @@ fn json_escape_free(v: f64) -> String {
     format!("{v:.1}")
 }
 
+/// Streamed-vs-materialized sweep comparison: the same 10k-trial rotating
+/// grid evaluated (a) through the streaming engine (constant memory,
+/// incremental aggregation) and (b) the pre-engine way — materialize every
+/// trial row with `par::map`, then reduce the batch. Returns
+/// `(trials, streamed_ns_per_trial, materialized_ns_per_trial)`.
+fn measure_sweep_engines() -> (usize, f64, f64) {
+    let grid = ScenarioGrid {
+        cells: (1..=5)
+            .map(|i| ScenarioCell {
+                family: TopologyFamily::Complete,
+                n: 4,
+                density: 1.0,
+                patterns: PatternFamily::Rotating,
+                p_chan: 0.1 * i as f64,
+            })
+            .collect(),
+        trials: 2_000,
+        seed: SEED,
+    };
+    let trials = grid.trials * grid.cells.len();
+    let best_of = |f: &dyn Fn()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_nanos() as f64 / trials as f64);
+        }
+        best
+    };
+    let streamed_ns = best_of(&|| {
+        std::hint::black_box(grid.run(&SweepOptions::default()));
+    });
+    let materialized_ns = best_of(&|| {
+        // The old shape: the whole batch of trial rows lives in memory
+        // before any aggregation happens.
+        let rows: Vec<Vec<f64>> = par::map(trials, |i| {
+            let cell = &grid.cells[i / grid.trials];
+            let mut rng = trial_rng(grid.seed, i);
+            sweep::scenario_trial(cell, &mut rng)
+        });
+        let mut aggs: Vec<Vec<MetricAgg>> =
+            vec![vec![MetricAgg::new(); sweep::SCENARIO_METRICS.len()]; grid.cells.len()];
+        for (i, row) in rows.iter().enumerate() {
+            for (agg, &v) in aggs[i / grid.trials].iter_mut().zip(row) {
+                agg.observe(v);
+            }
+        }
+        std::hint::black_box(aggs);
+    });
+    (trials, streamed_ns, materialized_ns)
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH.json".to_string());
 
@@ -186,6 +242,24 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    eprintln!("measuring streamed vs materialized sweep ...");
+    let (sweep_trials, streamed_ns, materialized_ns) = measure_sweep_engines();
+    json.push_str("  \"sweep\": {\n");
+    json.push_str(
+        "    \"note\": \"10k-trial rotating grid (5 cells x 2000): streaming engine vs \
+         materialize-then-reduce; ns per trial\",\n",
+    );
+    json.push_str(&format!("    \"trials\": {sweep_trials},\n"));
+    json.push_str(&format!("    \"streamed_ns_per_trial\": {},\n", json_escape_free(streamed_ns)));
+    json.push_str(&format!(
+        "    \"materialized_ns_per_trial\": {},\n",
+        json_escape_free(materialized_ns)
+    ));
+    json.push_str(&format!(
+        "    \"streamed_over_materialized\": {:.2}\n",
+        streamed_ns / materialized_ns
+    ));
+    json.push_str("  },\n");
     json.push_str("  \"small_n_fast_path\": {\n");
     json.push_str(
         "    \"note\": \"before-values are machine-specific (see perf_snapshot.rs); \

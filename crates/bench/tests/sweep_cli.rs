@@ -1,0 +1,122 @@
+//! Golden test for the `gqs_sweep` binary: a tiny grid's JSON output must
+//! be byte-identical to the checked-in `golden/tiny_sweep.json`, for any
+//! thread count — the CLI-level face of the sweep engine's determinism
+//! contract. (CI runs the same comparison as a shell smoke job.)
+//!
+//! If an intentional change to the metrics, the sketch, or the JSON shape
+//! lands, regenerate the golden file with the command in `golden_args`.
+//!
+//! Portability note: the quantile sketch's bucket boundaries go through
+//! `f64::ln`/`powi`, whose last-ulp rounding is libm-specific. The
+//! determinism promise (same bytes for any thread count / shard size) is
+//! per-platform; on a toolchain whose libm rounds differently, regenerate
+//! the golden file once rather than chasing the final digits.
+
+use std::process::Command;
+
+/// The exact invocation `golden/tiny_sweep.json` was produced with.
+fn golden_args() -> Vec<&'static str> {
+    vec![
+        "--family",
+        "two-cliques-bridge",
+        "--n",
+        "6",
+        "--patterns",
+        "rotating",
+        "--p-chan",
+        "0.25",
+        "--trials",
+        "8",
+        "--seed",
+        "7",
+        "--format",
+        "json",
+    ]
+}
+
+fn run_sweep(extra: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+        .args(golden_args())
+        .args(extra)
+        .output()
+        .expect("gqs_sweep runs");
+    assert!(out.status.success(), "gqs_sweep failed: {}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8(out.stdout).expect("output is UTF-8")
+}
+
+#[test]
+fn tiny_grid_matches_golden_aggregate() {
+    let golden = include_str!("../golden/tiny_sweep.json");
+    let got = run_sweep(&[]);
+    assert_eq!(
+        got, golden,
+        "gqs_sweep output drifted from golden/tiny_sweep.json; if the change \
+         is intentional, regenerate the golden file"
+    );
+    // And the determinism contract at the CLI boundary: forcing one
+    // worker must reproduce the same bytes.
+    let single = run_sweep(&["--threads", "1"]);
+    assert_eq!(single, golden, "--threads 1 output differs from golden");
+}
+
+#[test]
+fn json_output_is_well_formed() {
+    let got = run_sweep(&["--threads", "4"]);
+    // A minimal structural check (no JSON parser in-tree): balanced
+    // braces/brackets outside strings and the expected top-level keys.
+    let (mut depth, mut max_depth) = (0i64, 0i64);
+    let mut in_string = false;
+    let mut prev = ' ';
+    for ch in got.chars() {
+        if in_string {
+            if ch == '"' && prev != '\\' {
+                in_string = false;
+            }
+        } else {
+            match ch {
+                '"' => in_string = true,
+                '{' | '[' => {
+                    depth += 1;
+                    max_depth = max_depth.max(depth);
+                }
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced closers");
+        }
+        prev = ch;
+    }
+    assert_eq!(depth, 0, "unbalanced braces");
+    assert!(max_depth >= 3, "expected nested cells/aggregates");
+    for key in ["\"schema\"", "\"metrics\"", "\"cells\"", "\"aggregates\"", "\"complete\""] {
+        assert!(got.contains(key), "missing {key}");
+    }
+}
+
+#[test]
+fn csv_output_has_one_row_per_cell_metric() {
+    let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+        .args([
+            "--family", "ring", "--n", "4,6", "--p-chan", "0.1,0.3", "--trials", "4", "--seed",
+            "1", "--format", "csv",
+        ])
+        .output()
+        .expect("gqs_sweep runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    // 2 n-values x 2 p-chan values x 5 metrics + header.
+    assert_eq!(text.lines().count(), 1 + 2 * 2 * 5);
+    assert!(text.starts_with("family,n,density,patterns,p_chan,trials,metric,"));
+}
+
+#[test]
+fn bad_flags_fail_cleanly() {
+    for args in [&["--family", "moebius"][..], &["--n", "potato"], &["--format", "yaml"]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+            .args(args)
+            .output()
+            .expect("gqs_sweep runs");
+        assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
+        assert!(!out.stderr.is_empty());
+    }
+}

@@ -63,6 +63,57 @@ pub fn random_raw(max_n: usize, rng: &mut SplitMix64) -> RawGraph {
     RawGraph { n, edges }
 }
 
+/// A bidirectional ring on `n` vertices (mirrors
+/// `gqs_workloads::generators::ring`, duplicated here to keep core's test
+/// build free of the core → workloads dev-dependency cycle).
+pub fn ring_raw(n: usize) -> RawGraph {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        if i != j {
+            edges.push((i, j));
+            edges.push((j, i));
+        }
+    }
+    RawGraph { n, edges }
+}
+
+/// A ragged 4-neighbour mesh on `n` vertices, `cols` columns, every mesh
+/// edge bidirectional (mirrors `gqs_workloads::generators::grid_graph_n`).
+pub fn grid_raw(n: usize, cols: usize) -> RawGraph {
+    let mut edges = Vec::new();
+    for v in 0..n {
+        if (v + 1) % cols != 0 && v + 1 < n {
+            edges.push((v, v + 1));
+            edges.push((v + 1, v));
+        }
+        if v + cols < n {
+            edges.push((v, v + cols));
+            edges.push((v + cols, v));
+        }
+    }
+    RawGraph { n, edges }
+}
+
+/// Two complete cliques joined by a single bidirectional bridge (mirrors
+/// `gqs_workloads::generators::two_cliques_bridge`).
+pub fn bridge_raw(n: usize) -> RawGraph {
+    let half = n.div_ceil(2);
+    let mut edges = Vec::new();
+    for (lo, hi) in [(0, half), (half, n)] {
+        for a in lo..hi {
+            for b in lo..hi {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+        }
+    }
+    edges.push((0, half));
+    edges.push((half, 0));
+    RawGraph { n, edges }
+}
+
 pub fn build(raw: &RawGraph) -> NetworkGraph {
     NetworkGraph::with_channels(
         raw.n,

@@ -9,7 +9,10 @@
 
 mod common;
 
-use common::{build, random_fail_prone, random_pattern, random_raw, RawGraph, SplitMix64};
+use common::{
+    bridge_raw, build, grid_raw, random_fail_prone, random_pattern, random_raw, ring_raw, RawGraph,
+    SplitMix64,
+};
 use gqs_core::finder::{find_gqs, gqs_exists, gqs_exists_brute_force};
 use gqs_core::reference::{gqs_exists_naive, NaiveResidual};
 use gqs_core::{ProcessId, ProcessSet};
@@ -224,6 +227,47 @@ fn finder_matches_naive_and_brute_force_past_128_processes() {
                 assert_eq!(w.per_pattern.len(), fp.len());
             }
             None => assert!(!fast, "no witness for a solvable system (n={n})"),
+        }
+    }
+}
+
+/// Structured topologies — rings, meshes, two cliques joined by a single
+/// bridge — produce residual shapes (long detour paths, one-directional
+/// cuts, hub bottlenecks) that random digraphs almost never hit. The
+/// engine, the naive pipeline and the exhaustive oracle must agree on
+/// all of them, at both the reachability and the finder layer.
+#[test]
+fn finder_matches_reference_on_structured_topologies() {
+    for case in 0..60u64 {
+        let mut rng = SplitMix64::new(14_000 + case);
+        let n = 4 + (case as usize % 5); // 4..=8
+        for raw in [ring_raw(n), grid_raw(n, 3), bridge_raw(n)] {
+            let g = build(&raw);
+            // Reachability layer first.
+            let f = random_pattern(&raw, 0.15, 0.3, &mut rng);
+            let fast = g.residual(&f);
+            let slow = NaiveResidual::build(&g, &f);
+            for p in 0..n {
+                assert_eq!(fast.reach_from(ProcessId(p)), slow.reach_from(ProcessId(p)));
+                assert_eq!(fast.reach_to(ProcessId(p)), slow.reach_to(ProcessId(p)));
+            }
+            assert_eq!(fast.sccs(), slow.sccs());
+            // Finder layer: engine vs naive vs exhaustive oracle.
+            let fp = random_fail_prone(&raw, 3, 0.2, 0.3, &mut rng);
+            let verdict = gqs_exists(&g, &fp);
+            assert_eq!(verdict, gqs_exists_naive(&g, &fp), "naive diverged (case {case}, n={n})");
+            assert_eq!(
+                verdict,
+                gqs_exists_brute_force(&g, &fp),
+                "oracle diverged (case {case}, n={n})"
+            );
+            match find_gqs(&g, &fp) {
+                Some(w) => {
+                    assert!(verdict, "witness for unsolvable system (case {case})");
+                    assert_eq!(w.per_pattern.len(), fp.len());
+                }
+                None => assert!(!verdict, "no witness for solvable system (case {case})"),
+            }
         }
     }
 }

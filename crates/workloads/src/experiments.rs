@@ -18,7 +18,7 @@ use gqs_core::finder::{
     classical_qs_exists, find_gqs, gqs_exists, gqs_exists_brute_force, qs_plus_exists,
 };
 use gqs_core::systems::{example9_f_prime, figure1};
-use gqs_core::{majority_system, NetworkGraph, ProcessId};
+use gqs_core::{majority_system, ProcessId};
 use gqs_lattice::{gqs_lattice_nodes, JoinSemilattice, Propose, SetLattice};
 use gqs_registers::{abd_register_nodes, gqs_register_nodes, RegOp};
 use gqs_simnet::{
@@ -27,8 +27,11 @@ use gqs_simnet::{
 use gqs_snapshots::{gqs_snapshot_nodes, SnapOp};
 
 use crate::convert;
-use crate::generators::{random_digraph, random_fail_prone, rotating_fail_prone, trial_rng};
+use crate::generators::{random_digraph, random_fail_prone};
 use crate::par;
+use crate::sweep::{
+    self, PatternFamily, ScenarioCell, ScenarioGrid, SweepOptions, SweepSpec, TopologyFamily,
+};
 use crate::table::stats::mean;
 use crate::table::Table;
 
@@ -147,20 +150,23 @@ pub fn e3_u_f() -> ExperimentReport {
     let mut t = Table::new(["system", "patterns", "GQS found", "Prop 1 holds"]);
     t.row(["Figure 1".to_string(), "4".to_string(), "yes".to_string(), "yes".to_string()]);
     let trials = 300;
-    // One independent seeded stream per trial, evaluated across cores.
-    let verdicts = par::map(trials, |t| {
-        let mut rng = trial_rng(42, t);
-        let g = random_digraph(5, 0.6, &mut rng);
-        let fp = random_fail_prone(&g, 3, 2, 0.15, &mut rng);
-        find_gqs(&g, &fp).map(|w| {
+    // Streamed through the sweep engine: every trial folds straight into
+    // the incremental aggregates (nothing materializes the batch), and the
+    // per-trial seeding keeps the verdicts thread-count-independent.
+    let spec = SweepSpec { cells: &[()], trials, seed: 42, metrics: &["found", "holds"] };
+    let report = sweep::run(&spec, &SweepOptions::default(), |_, _, rng| {
+        let g = random_digraph(5, 0.6, rng);
+        let fp = random_fail_prone(&g, 3, 2, 0.15, rng);
+        let verdict = find_gqs(&g, &fp).map(|w| {
             (0..fp.len()).all(|i| {
                 let u = w.system.u_f(i);
                 g.residual(fp.pattern(i)).is_strongly_connected(u)
             })
-        })
+        });
+        vec![verdict.is_some() as u64 as f64, (verdict == Some(true)) as u64 as f64]
     });
-    let found = verdicts.iter().filter(|v| v.is_some()).count();
-    let holds = verdicts.iter().filter(|v| **v == Some(true)).count();
+    let found = report.agg(0, "found").sum() as u64;
+    let holds = report.agg(0, "holds").sum() as u64;
     t.row([
         "random n=5, p=0.6, 3 patterns".to_string(),
         format!("{trials} trials"),
@@ -344,21 +350,21 @@ fn run_gqs_register_probe(
 /// checked linearizable by the black-box Wing–Gong checker.
 pub fn e6_register_linearizability() -> ExperimentReport {
     let fig = figure1();
-    let mut checked = 0;
-    let mut passed = 0;
-    let mut wait_free = 0;
-    let seeds = 20u64;
-    for seed in 0..seeds {
-        let sim = run_random_register_workload(&fig, seed);
-        checked += 1;
+    let seeds = 20usize;
+    // The workload seeds form a 1-cell grid; each simulated run streams
+    // its verdicts into the incremental aggregates.
+    let spec =
+        SweepSpec { cells: &[()], trials: seeds, seed: 0, metrics: &["linearizable", "wait_free"] };
+    let report = sweep::run(&spec, &SweepOptions::default(), |_, trial, _rng| {
+        let sim = run_random_register_workload(&fig, trial as u64);
         let entries = convert::register_entries(sim.history(), 0);
-        if check_linearizable(&RegisterSpec::new(0u64), &entries).is_ok() {
-            passed += 1;
-        }
-        if wait_freedom_report(sim.history(), fig.gqs.u_f(0)).is_wait_free() {
-            wait_free += 1;
-        }
-    }
+        let lin = check_linearizable(&RegisterSpec::new(0u64), &entries).is_ok();
+        let wf = wait_freedom_report(sim.history(), fig.gqs.u_f(0)).is_wait_free();
+        vec![lin as u64 as f64, wf as u64 as f64]
+    });
+    let checked = report.agg(0, "linearizable").count();
+    let passed = report.agg(0, "linearizable").sum() as u64;
+    let wait_free = report.agg(0, "wait_free").sum() as u64;
     let mut t = Table::new(["runs", "linearizable", "wait-free in U_f1"]);
     t.row([seeds.to_string(), format!("{passed}/{checked}"), format!("{wait_free}/{checked}")]);
     ExperimentReport {
@@ -396,18 +402,21 @@ fn run_random_register_workload(
 /// rejects corrupted variants.
 pub fn e7_dependency_graph() -> ExperimentReport {
     let fig = figure1();
-    let mut accepted = 0;
-    let mut rejected_corrupt = 0;
-    let runs = 10u64;
-    for seed in 0..runs {
-        let sim = run_random_register_workload(&fig, 100 + seed);
+    let runs = 10usize;
+    let spec = SweepSpec {
+        cells: &[()],
+        trials: runs,
+        seed: 0,
+        metrics: &["accepted", "rejected_corrupt"],
+    };
+    let report = sweep::run(&spec, &SweepOptions::default(), |_, trial, _rng| {
+        let sim = run_random_register_workload(&fig, 100 + trial as u64);
         if !sim.history().all_complete() {
-            continue;
+            // §B covers complete executions; a pending run scores nothing.
+            return vec![0.0, 0.0];
         }
         let tagged = convert::register_tagged(sim.history(), 0);
-        if check_dependency_graph(&tagged, &0).is_ok() {
-            accepted += 1;
-        }
+        let accepted = check_dependency_graph(&tagged, &0).is_ok();
         // Corrupt: regress every read to the initial version.
         let mut bad = tagged.clone();
         let mut mutated = false;
@@ -418,10 +427,11 @@ pub fn e7_dependency_graph() -> ExperimentReport {
                 mutated = true;
             }
         }
-        if mutated && check_dependency_graph(&bad, &0).is_err() {
-            rejected_corrupt += 1;
-        }
-    }
+        let rejected = mutated && check_dependency_graph(&bad, &0).is_err();
+        vec![accepted as u64 as f64, rejected as u64 as f64]
+    });
+    let accepted = report.agg(0, "accepted").sum() as u64;
+    let rejected_corrupt = report.agg(0, "rejected_corrupt").sum() as u64;
     let mut t = Table::new(["runs", "accepted", "corrupted variants rejected"]);
     t.row([runs.to_string(), format!("{accepted}/{runs}"), format!("{rejected_corrupt}")]);
     ExperimentReport {
@@ -610,81 +620,69 @@ pub fn e10_view_overlap() -> ExperimentReport {
     }
 }
 
-/// E11 — how much weaker is GQS than QS+? Random sweep.
+/// E11 — how much weaker is GQS than QS+? Scenario-grid sweep through the
+/// streaming engine.
 pub fn e11_gqs_vs_qs_plus() -> ExperimentReport {
-    let mut t = Table::new([
-        "topology",
-        "chan fail p",
-        "trials",
-        "GQS %",
-        "QS+ %",
-        "gap (GQS ∧ ¬QS+) %",
-        "finder ms",
-    ]);
-    let trials = 300;
-    let sweep = |label: &str, p_edge: f64, p_chan: f64, t: &mut Table| {
-        let seed = (p_edge * 100.0 + p_chan * 10.0) as u64;
-        let start = Instant::now();
-        // Each trial derives its own stream, so the sweep parallelizes
-        // without changing any verdict.
-        let verdicts = par::map(trials, |i| {
-            let mut rng = trial_rng(seed, i);
-            let g = random_digraph(5, p_edge, &mut rng);
-            let fp = random_fail_prone(&g, 3, 2, p_chan, &mut rng);
-            (gqs_exists(&g, &fp), qs_plus_exists(&g, &fp))
-        });
-        let (mut gqs_n, mut qsp_n, mut gap) = (0u32, 0u32, 0u32);
-        for (has_gqs, has_qsp) in verdicts {
-            gqs_n += has_gqs as u32;
-            qsp_n += has_qsp as u32;
-            gap += (has_gqs && !has_qsp) as u32;
-        }
-        let ms = start.elapsed().as_millis();
-        t.row([
-            label.to_string(),
-            format!("{p_chan:.1}"),
-            trials.to_string(),
-            pct(gqs_n, trials as u32),
-            pct(qsp_n, trials as u32),
-            pct(gap, trials as u32),
-            format!("{ms}"),
-        ]);
+    let mut t =
+        Table::new(["topology", "chan fail p", "trials", "GQS %", "QS+ %", "gap (GQS ∧ ¬QS+) %"]);
+    let pct_cell = |report: &sweep::SweepReport, cell: usize, metric: &str| {
+        format!("{:.1}%", 100.0 * report.agg(cell, metric).mean())
     };
     // Random patterns usually leave some process correct everywhere, so a
     // singleton quorum system exists and the gap vanishes — one row records
     // that effect.
-    sweep("complete n=5, random patterns", 1.0, 0.6, &mut t);
+    let random_grid = ScenarioGrid {
+        cells: vec![ScenarioCell {
+            family: TopologyFamily::Random,
+            n: 5,
+            density: 1.0,
+            patterns: PatternFamily::Random { patterns: 3, max_crashes: 2 },
+            p_chan: 0.6,
+        }],
+        trials: 300,
+        seed: 106,
+    };
     // The regime of interest: rotating crashes (no universal survivor),
-    // Figure-1 style, channel failures doing the damage.
-    let rot_trials = 2_000;
-    let rot = |p_chan: f64, t: &mut Table| {
-        let seed = 7_000 + (p_chan * 100.0) as u64;
-        let start = Instant::now();
-        let verdicts = par::map(rot_trials, |i| {
-            let mut rng = trial_rng(seed, i);
-            let g = NetworkGraph::complete(4);
-            let fp = rotating_fail_prone(&g, p_chan, &mut rng);
-            (gqs_exists(&g, &fp), qs_plus_exists(&g, &fp))
-        });
-        let (mut gqs_n, mut qsp_n, mut gap) = (0u32, 0u32, 0u32);
-        for (has_gqs, has_qsp) in verdicts {
-            gqs_n += has_gqs as u32;
-            qsp_n += has_qsp as u32;
-            gap += (has_gqs && !has_qsp) as u32;
-        }
-        let ms = start.elapsed().as_millis();
+    // Figure-1 style, channel failures doing the damage. One streamed grid,
+    // one cell per channel-failure rate.
+    let p_chans = [0.1f64, 0.2, 0.3, 0.4, 0.5, 0.6];
+    let rot_grid = ScenarioGrid {
+        cells: p_chans
+            .iter()
+            .map(|&p_chan| ScenarioCell {
+                family: TopologyFamily::Complete,
+                n: 4,
+                density: 1.0,
+                patterns: PatternFamily::Rotating,
+                p_chan,
+            })
+            .collect(),
+        trials: 2_000,
+        seed: 7_000,
+    };
+    let start = Instant::now();
+    let (random_report, rot_report) = par::run2(
+        || random_grid.run(&SweepOptions::default()),
+        || rot_grid.run(&SweepOptions::default()),
+    );
+    let ms = start.elapsed().as_millis();
+    t.row([
+        "random n=5, p=1.0, random patterns".to_string(),
+        "0.6".to_string(),
+        random_grid.trials.to_string(),
+        pct_cell(&random_report, 0, "gqs"),
+        pct_cell(&random_report, 0, "qs_plus"),
+        pct_cell(&random_report, 0, "gap"),
+    ]);
+    for (cell, p_chan) in p_chans.iter().enumerate() {
         t.row([
             "rotating crashes n=4".to_string(),
             format!("{p_chan:.1}"),
-            rot_trials.to_string(),
-            pct_f(gqs_n, rot_trials as u32),
-            pct_f(qsp_n, rot_trials as u32),
-            pct_f(gap, rot_trials as u32),
-            format!("{ms}"),
+            rot_grid.trials.to_string(),
+            pct_cell(&rot_report, cell, "gqs"),
+            pct_cell(&rot_report, cell, "qs_plus"),
+            pct_cell(&rot_report, cell, "gap"),
         ]);
-    };
-    for p_chan in [0.1f64, 0.2, 0.3, 0.4, 0.5, 0.6] {
-        rot(p_chan, &mut t);
     }
     ExperimentReport {
         id: "E11",
@@ -694,6 +692,8 @@ pub fn e11_gqs_vs_qs_plus() -> ExperimentReport {
         notes: vec![
             "With random patterns some process is usually correct everywhere, so the trivial singleton system R = W = {x} makes GQS and QS+ coincide.".into(),
             "Rotating crashes (Figure-1 style) remove universal survivors; there the one-way-connectivity gap appears and grows with channel failures.".into(),
+            format!("Both grids streamed through the sweep engine ({} trials total) in {ms} ms.",
+                random_grid.trials + rot_grid.trials * rot_grid.cells.len()),
         ],
     }
 }
@@ -703,40 +703,9 @@ pub fn e12_separation() -> ExperimentReport {
     let fig = figure1();
     let mut t = Table::new(["protocol", "quorum access", "terminates under f1", "safe"]);
 
-    // The four protocol probes are independent simulations; run them as
-    // two concurrent pairs and emit the rows in the original order.
-    let gqs_register_row = || {
-        let sim = run_random_register_workload(&fig, 1);
-        let entries = convert::register_entries(sim.history(), 0);
-        [
-            "register (Fig. 3+4)".to_string(),
-            "push + logical clocks".to_string(),
-            yes_no(sim.history().all_complete()),
-            yes_no(check_linearizable(&RegisterSpec::new(0u64), &entries).is_ok()),
-        ]
-    };
-    let abd_row = || {
-        let nodes: Vec<Flood<_>> =
-            abd_register_nodes::<u8, u64>(4, fig.gqs.reads().clone(), fig.gqs.writes().clone(), 0)
-                .into_iter()
-                .map(Flood::new)
-                .collect();
-        let cfg = SimConfig { seed: 5, horizon: SimTime(30_000), ..SimConfig::default() };
-        let mut sim = Simulation::new(cfg, nodes);
-        sim.apply_failures(&FailureSchedule::from_pattern_at(
-            fig.fail_prone.pattern(0),
-            SimTime(0),
-        ));
-        sim.invoke_at(SimTime(10), ProcessId(0), RegOp::Write { reg: 0, value: 1 });
-        sim.run();
-        [
-            "register (ABD, Fig. 2)".to_string(),
-            "request/response".to_string(),
-            yes_no(sim.history().all_complete()),
-            "yes (stalls safely)".to_string(),
-        ]
-    };
-    let consensus_row = |name: &str, mode: ProposalMode| {
+    // The four protocol probes form a 4-cell grid (one trial each): the
+    // sweep engine runs them concurrently and streams the verdicts back.
+    let consensus_probe = |mode: ProposalMode| {
         let nodes = gqs_consensus_nodes::<u64>(&fig.gqs, 150, mode);
         let cfg = SimConfig {
             seed: 6,
@@ -752,25 +721,70 @@ pub fn e12_separation() -> ExperimentReport {
         sim.invoke_at(SimTime(10), ProcessId(0), 7u64);
         sim.run_until_ops_complete();
         let outs = convert::consensus_outcomes(sim.history());
-        [
-            name.to_string(),
-            if mode == ProposalMode::Push { "1B pushed on view entry" } else { "1A prepare round" }
-                .to_string(),
-            yes_no(sim.history().all_complete()),
-            yes_no(check_consensus(&outs).is_ok()),
-        ]
+        (sim.history().all_complete(), check_consensus(&outs).is_ok())
     };
-    let ((row1, row2), (row3, row4)) = par::run2(
-        || par::run2(gqs_register_row, abd_row),
-        || {
-            par::run2(
-                || consensus_row("consensus (Fig. 6)", ProposalMode::Push),
-                || consensus_row("consensus (pull Paxos)", ProposalMode::Pull),
-            )
-        },
-    );
-    for row in [row1, row2, row3, row4] {
-        t.row(row);
+    let protocols: [(&str, &str); 4] = [
+        ("register (Fig. 3+4)", "push + logical clocks"),
+        ("register (ABD, Fig. 2)", "request/response"),
+        ("consensus (Fig. 6)", "1B pushed on view entry"),
+        ("consensus (pull Paxos)", "1A prepare round"),
+    ];
+    let spec = SweepSpec {
+        cells: &[0usize, 1, 2, 3],
+        trials: 1,
+        seed: 0,
+        metrics: &["terminates", "safe"],
+    };
+    let opts = SweepOptions { shard: Some(1), ..Default::default() };
+    let report = sweep::run(&spec, &opts, |&probe, _, _rng| {
+        let (terminates, safe) = match probe {
+            0 => {
+                let sim = run_random_register_workload(&fig, 1);
+                let entries = convert::register_entries(sim.history(), 0);
+                (
+                    sim.history().all_complete(),
+                    check_linearizable(&RegisterSpec::new(0u64), &entries).is_ok(),
+                )
+            }
+            1 => {
+                let nodes: Vec<Flood<_>> = abd_register_nodes::<u8, u64>(
+                    4,
+                    fig.gqs.reads().clone(),
+                    fig.gqs.writes().clone(),
+                    0,
+                )
+                .into_iter()
+                .map(Flood::new)
+                .collect();
+                let cfg = SimConfig { seed: 5, horizon: SimTime(30_000), ..SimConfig::default() };
+                let mut sim = Simulation::new(cfg, nodes);
+                sim.apply_failures(&FailureSchedule::from_pattern_at(
+                    fig.fail_prone.pattern(0),
+                    SimTime(0),
+                ));
+                sim.invoke_at(SimTime(10), ProcessId(0), RegOp::Write { reg: 0, value: 1 });
+                sim.run();
+                // ABD stalls rather than misbehaves; "safe" is reported as
+                // a fixed string below.
+                (sim.history().all_complete(), true)
+            }
+            2 => consensus_probe(ProposalMode::Push),
+            _ => consensus_probe(ProposalMode::Pull),
+        };
+        vec![terminates as u64 as f64, safe as u64 as f64]
+    });
+    for (i, (name, access)) in protocols.iter().enumerate() {
+        let safe = if i == 1 {
+            "yes (stalls safely)".to_string()
+        } else {
+            yes_no(report.agg(i, "safe").sum() > 0.0)
+        };
+        t.row([
+            name.to_string(),
+            access.to_string(),
+            yes_no(report.agg(i, "terminates").sum() > 0.0),
+            safe,
+        ]);
     }
     ExperimentReport {
         id: "E12",
@@ -787,14 +801,6 @@ fn yes_no(b: bool) -> String {
     } else {
         "no".into()
     }
-}
-
-fn pct(num: u32, den: u32) -> String {
-    format!("{:.0}%", 100.0 * num as f64 / den as f64)
-}
-
-fn pct_f(num: u32, den: u32) -> String {
-    format!("{:.1}%", 100.0 * num as f64 / den as f64)
 }
 
 #[cfg(test)]

@@ -9,10 +9,39 @@
 //!   (E1–E12), each returning a printable [`ExperimentReport`];
 //! * [`par`] — deterministic fork-join helpers that spread the random
 //!   sweeps (E3, E11, E12) across cores;
+//! * [`sweep`] — the streaming sweep engine: sharded scenario grids,
+//!   constant-memory incremental aggregation, scenario families;
 //! * [`table`] — the plain-text tables EXPERIMENTS.md records.
 //!
 //! The `gqs-bench` crate's `tables` binary simply runs
 //! [`experiments::all_reports`] and prints them.
+//!
+//! ## Sweeps
+//!
+//! Large scenario grids run through [`sweep::run`]: workers claim
+//! fixed-size shards of a lazily generated grid, fold trials into
+//! constant-size partial aggregates (count/mean/min/max + quantile
+//! sketch) and stream them to an in-order merger, so peak memory is
+//! independent of the trial count and aggregates are bit-identical for
+//! any thread count (see the [`sweep`] module docs for the full
+//! determinism contract). The `gqs-bench` crate's `gqs_sweep` binary
+//! exposes the engine on the command line:
+//!
+//! ```text
+//! gqs_sweep [--family complete|ring|oriented-ring|star|grid|two-cliques-bridge|random]
+//!           [--n LIST] [--density LIST] [--patterns rotating|random|adversarial]
+//!           [--pattern-count K] [--max-crashes K] [--p-chan LIST]
+//!           [--trials N] [--seed S] [--threads T] [--shard K]
+//!           [--format json|csv] [--out PATH]
+//! ```
+//!
+//! where `LIST` is the grid grammar of [`sweep::parse_usize_list`] /
+//! [`sweep::parse_f64_list`]: a value (`6`), a comma list (`4,6,8`), or
+//! an inclusive range with optional step (`4..8`, `4..16:4`,
+//! `0.1..0.5:0.2`). The grid is the cross product of `--n`, `--density`
+//! and `--p-chan`; every cell runs `--trials` seeded trials measuring
+//! [`sweep::SCENARIO_METRICS`], and the JSON/CSV output contains no
+//! timing, so reports diff byte for byte.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,6 +50,7 @@ pub mod convert;
 pub mod experiments;
 pub mod generators;
 pub mod par;
+pub mod sweep;
 pub mod table;
 
 pub use experiments::{all_reports, ExperimentReport};

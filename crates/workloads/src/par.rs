@@ -25,6 +25,16 @@ fn threads() -> usize {
     threads_from(std::env::var("GQS_THREADS").ok().as_deref())
 }
 
+/// The worker-thread count the sweep helpers resolve from the
+/// environment: `GQS_THREADS` if set to a positive integer, otherwise
+/// `min(available_parallelism, 8)`.
+///
+/// Exposed so other schedulers (the streaming sweep engine, benches) use
+/// the same knob as [`map`].
+pub fn thread_count() -> usize {
+    threads()
+}
+
 /// Resolves the worker-thread count from an optional `GQS_THREADS` value.
 ///
 /// Only a positive integer (surrounding whitespace tolerated) overrides

@@ -1,0 +1,1029 @@
+//! The streaming sweep engine: sharded scenario grids, a constant-memory
+//! incremental aggregator, and the scenario-grid vocabulary behind the
+//! `gqs_sweep` CLI.
+//!
+//! # Why streaming
+//!
+//! The experiment drivers historically materialized a whole batch of
+//! trial results and reduced it afterwards, so peak memory grew linearly
+//! with the trial count. This module inverts that: the grid is generated
+//! lazily, workers claim **shards** (fixed-size runs of trials within one
+//! grid cell) from a shared counter, fold each trial into a small
+//! per-shard partial aggregate the moment it finishes, and stream the
+//! partial through a channel to the merger. Nobody ever holds more than
+//! one shard of state:
+//!
+//! ```text
+//! shard queue (atomic counter)
+//!     │ claim              ┌────────────┐ (shard, partial)   ┌────────┐
+//!     ├───────────────────▶│ worker 0   │───────────────────▶│ merger │
+//!     ├───────────────────▶│ worker ... │───────────────────▶│ (in-   │
+//!     └───────────────────▶│ worker T-1 │───────────────────▶│ order) │
+//!                          └────────────┘      mpsc          └────────┘
+//! ```
+//!
+//! # Determinism contract
+//!
+//! Aggregates are **bit-identical** for any worker count (including
+//! `GQS_THREADS=1`), because every source of order-sensitivity is pinned:
+//!
+//! * trial `t` of cell `c` always draws from
+//!   [`trial_rng`]`(seed, c * trials + t)` — seeding never depends on
+//!   which worker runs the trial;
+//! * a shard's partial aggregate folds its trials in index order on one
+//!   worker;
+//! * the merger buffers out-of-order partials and merges each cell's
+//!   shards strictly in shard order, so the floating-point sums reassociate
+//!   identically no matter the arrival order;
+//! * the quantile sketch is integer bucket counts — merge order cannot
+//!   perturb it at all.
+//!
+//! # Cancellation
+//!
+//! Pass a [`CancelToken`] in [`SweepOptions`]: workers re-check it before
+//! every trial, abandon their current shard, and stop claiming. The
+//! report then covers, per cell, the longest completed shard *prefix*
+//! (so even a cancelled run has well-defined semantics) and is marked
+//! incomplete.
+//!
+//! # The scenario grid
+//!
+//! [`ScenarioGrid`] is the concrete grid the `gqs_sweep` CLI exposes: a
+//! cross product of topology family × system size × density × pattern
+//! family × channel-failure rate, with [`SCENARIO_METRICS`] measured per
+//! trial (GQS/QS+ existence, the separation gap, witness size, residual
+//! SCC count — all deterministic, so whole reports diff cleanly).
+//! [`report_json`]/[`report_csv`] render machine-readable tables, and
+//! [`parse_usize_list`]/[`parse_f64_list`] implement the CLI's grid
+//! grammar (`4..8`, `4..16:2`, `0.1,0.3`, single values).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+use gqs_core::finder::{find_gqs, qs_plus_exists};
+use gqs_core::{FailProneSystem, NetworkGraph};
+use gqs_simnet::SplitMix64;
+
+use crate::generators::{
+    adversarial_fail_prone, grid_graph_n, oriented_ring, random_digraph, random_fail_prone, ring,
+    rotating_fail_prone, star, trial_rng, two_cliques_bridge,
+};
+use crate::par;
+
+// ---------------------------------------------------------------------------
+// Quantile sketch
+// ---------------------------------------------------------------------------
+
+/// Relative accuracy target of [`QuantileSketch`]: quantile estimates are
+/// within ~1.5% of the exact value (plus bucket-midpoint rounding).
+pub const SKETCH_ALPHA: f64 = 0.015;
+
+/// Bucket growth factor `γ = (1 + α) / (1 - α)`.
+fn gamma() -> f64 {
+    (1.0 + SKETCH_ALPHA) / (1.0 - SKETCH_ALPHA)
+}
+
+/// Bucket index offset: bucket 0 holds magnitudes around `γ^-OFFSET`
+/// (≈ 1e-10), the last bucket magnitudes around `γ^(BUCKETS-1-OFFSET)`
+/// (≈ 3e13). Values outside clamp into the edge buckets (count stays
+/// exact; only the estimate saturates).
+const SKETCH_OFFSET: i32 = 760;
+/// Total buckets per sign.
+const SKETCH_BUCKETS: usize = 1800;
+
+/// A DDSketch-style mergeable quantile sketch: log-spaced buckets with a
+/// fixed relative-accuracy guarantee, integer counts, constant memory.
+///
+/// Because the state is pure bucket counts, merging is elementwise
+/// addition — commutative, associative, and bit-exact in any order. That
+/// is what lets the streaming engine promise identical quantiles for any
+/// thread count.
+#[derive(Clone, PartialEq)]
+pub struct QuantileSketch {
+    count: u64,
+    zeros: u64,
+    /// Lazily allocated bucket arrays (most metrics never go negative, and
+    /// many — the 0/1 indicator metrics — never populate `pos` either).
+    pos: Option<Box<[u64]>>,
+    neg: Option<Box<[u64]>>,
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch { count: 0, zeros: 0, pos: None, neg: None }
+    }
+
+    /// Number of observed values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn bucket(v: f64) -> usize {
+        let idx = (v.ln() / gamma().ln()).ceil() as i32 + SKETCH_OFFSET;
+        idx.clamp(0, SKETCH_BUCKETS as i32 - 1) as usize
+    }
+
+    fn bucket_value(slot: usize) -> f64 {
+        let g = gamma();
+        // Bucket `slot` covers (γ^(i-1), γ^i]; estimate with the midpoint.
+        g.powi(slot as i32 - SKETCH_OFFSET) * 2.0 / (g + 1.0)
+    }
+
+    /// Records one value.
+    pub fn observe(&mut self, v: f64) {
+        assert!(!v.is_nan(), "sketches reject NaN");
+        self.count += 1;
+        if v == 0.0 {
+            self.zeros += 1;
+        } else {
+            let side = if v > 0.0 { &mut self.pos } else { &mut self.neg };
+            let buckets = side.get_or_insert_with(|| vec![0u64; SKETCH_BUCKETS].into_boxed_slice());
+            buckets[Self::bucket(v.abs())] += 1;
+        }
+    }
+
+    /// Adds `other`'s counts into `self`. Order-insensitive.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        self.count += other.count;
+        self.zeros += other.zeros;
+        for (mine, theirs) in [(&mut self.pos, &other.pos), (&mut self.neg, &other.neg)] {
+            if let Some(theirs) = theirs {
+                let mine =
+                    mine.get_or_insert_with(|| vec![0u64; SKETCH_BUCKETS].into_boxed_slice());
+                for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+                    *m += *t;
+                }
+            }
+        }
+    }
+
+    /// The estimated `q`-quantile (`0.0 ≤ q ≤ 1.0`), nearest-rank, or
+    /// `0.0` for an empty sketch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0.0;
+        }
+        // Same nearest-rank convention as `table::stats::percentile`.
+        let rank = (q * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        // Most negative first: negative buckets from large magnitude down.
+        if let Some(neg) = &self.neg {
+            for slot in (0..SKETCH_BUCKETS).rev() {
+                if neg[slot] > 0 {
+                    seen += neg[slot];
+                    if seen > rank {
+                        return -Self::bucket_value(slot);
+                    }
+                }
+            }
+        }
+        seen += self.zeros;
+        if seen > rank {
+            return 0.0;
+        }
+        if let Some(pos) = &self.pos {
+            for (slot, &c) in pos.iter().enumerate() {
+                if c > 0 {
+                    seen += c;
+                    if seen > rank {
+                        return Self::bucket_value(slot);
+                    }
+                }
+            }
+        }
+        unreachable!("rank < count implies some bucket covers it")
+    }
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for QuantileSketch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QuantileSketch")
+            .field("count", &self.count)
+            .field("zeros", &self.zeros)
+            .field("p50", &self.quantile(0.5))
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental aggregator
+// ---------------------------------------------------------------------------
+
+/// Constant-memory running aggregate of one metric: count, sum (for the
+/// mean), exact min/max, and a [`QuantileSketch`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricAgg {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    sketch: QuantileSketch,
+}
+
+impl MetricAgg {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        MetricAgg {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sketch: QuantileSketch::new(),
+        }
+    }
+
+    /// Folds one observation in.
+    pub fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sketch.observe(v);
+    }
+
+    /// Merges `other` into `self`.
+    ///
+    /// Count/min/max/sketch are order-insensitive; the floating-point
+    /// `sum` is not, which is why the engine merges shards in index order.
+    pub fn merge(&mut self, other: &MetricAgg) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sketch.merge(&other.sketch);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean; `0.0` when empty (matching `table::stats::mean`).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum; `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum; `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Estimated `q`-quantile (see [`QuantileSketch::quantile`]), clamped
+    /// into the exact `[min, max]` envelope.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sketch.quantile(q).clamp(self.min, self.max)
+    }
+}
+
+impl Default for MetricAgg {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// Cooperative cancellation flag for a running sweep: set it from any
+/// thread and workers wind down at the next trial boundary.
+pub type CancelToken = Arc<AtomicBool>;
+
+/// A sweep specification: the grid cells, trials per cell, base seed, and
+/// metric names (one per element of every trial row).
+#[derive(Clone, Debug)]
+pub struct SweepSpec<'a, C> {
+    /// The grid cells; the trial closure receives one per call.
+    pub cells: &'a [C],
+    /// Trials per cell.
+    pub trials: usize,
+    /// Base seed; trial `t` of cell `c` draws from
+    /// [`trial_rng`]`(seed, c * trials + t)`.
+    pub seed: u64,
+    /// Metric names, defining the width and order of every trial row.
+    pub metrics: &'a [&'a str],
+}
+
+/// Tuning knobs for [`run`].
+#[derive(Clone, Debug, Default)]
+pub struct SweepOptions {
+    /// Worker threads; `None` resolves [`par::thread_count`]
+    /// (`GQS_THREADS` or `min(cores, 8)`).
+    pub threads: Option<usize>,
+    /// Trials per shard; `None` means 64. Smaller shards smooth load
+    /// balancing, larger shards amortize channel traffic.
+    pub shard: Option<usize>,
+    /// Cooperative cancellation flag, checked before every trial.
+    pub cancel: Option<CancelToken>,
+}
+
+/// Aggregates for one grid cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellAggregates {
+    /// Trials merged into this cell (the longest completed shard prefix;
+    /// equals the requested trial count iff the sweep ran to completion).
+    pub trials: u64,
+    /// One aggregate per metric, in [`SweepSpec::metrics`] order.
+    pub aggs: Vec<MetricAgg>,
+}
+
+/// The result of a sweep: per-cell aggregates in cell order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepReport {
+    /// Metric names, as passed in the spec.
+    pub metrics: Vec<String>,
+    /// One entry per grid cell, in spec order.
+    pub cells: Vec<CellAggregates>,
+    /// Whether every trial of every cell was merged (false iff cancelled).
+    pub complete: bool,
+}
+
+impl SweepReport {
+    /// The aggregate of `metric` in cell `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell index or metric name is unknown.
+    pub fn agg(&self, cell: usize, metric: &str) -> &MetricAgg {
+        let m = self
+            .metrics
+            .iter()
+            .position(|n| n == metric)
+            .unwrap_or_else(|| panic!("unknown metric {metric:?}"));
+        &self.cells[cell].aggs[m]
+    }
+}
+
+/// Runs a sweep: shards every cell's trials across the worker pool,
+/// streams per-shard partial aggregates through a channel, and merges
+/// them in deterministic order.
+///
+/// `trial(cell, t, rng)` must return one `f64` per metric and derive all
+/// randomness from the provided per-trial RNG (or from `t` itself); under
+/// that contract the report is bit-identical for every thread count.
+///
+/// Peak memory is independent of the trial count: each worker holds one
+/// shard's constant-size partial, and the merger holds one aggregate per
+/// cell plus a bounded buffer of out-of-order shards — a worker that runs
+/// more than a fixed window of shards ahead of the merge frontier parks
+/// (yielding) until the frontier catches up, so even a pathologically
+/// slow shard cannot make the buffer grow with the trial count.
+///
+/// # Panics
+///
+/// Panics if a trial row's width differs from `spec.metrics.len()`.
+pub fn run<C, F>(spec: &SweepSpec<'_, C>, opts: &SweepOptions, trial: F) -> SweepReport
+where
+    C: Sync,
+    F: Fn(&C, usize, &mut SplitMix64) -> Vec<f64> + Sync,
+{
+    let n_metrics = spec.metrics.len();
+    let n_cells = spec.cells.len();
+    let shard = opts.shard.unwrap_or(64).max(1);
+    let shards_per_cell = spec.trials.div_ceil(shard);
+    let total_shards = n_cells * shards_per_cell;
+    let mut cells: Vec<CellAggregates> = (0..n_cells)
+        .map(|_| CellAggregates { trials: 0, aggs: vec![MetricAgg::new(); n_metrics] })
+        .collect();
+    let mut complete = true;
+    if total_shards > 0 {
+        let workers = resolve_threads(opts).min(total_shards).max(1);
+        let next = AtomicUsize::new(0);
+        // Shards folded by the merger so far; the backpressure frontier.
+        let folded = AtomicUsize::new(0);
+        // How far past the merge frontier a worker may run. The shard
+        // holding the frontier itself always satisfies the check (every
+        // smaller index is already folded), so progress is guaranteed and
+        // the merger's out-of-order buffer never exceeds `window` shards.
+        let window = (workers * 4).max(16);
+        let cancelled = || opts.cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed));
+        let (tx, rx) = mpsc::channel::<(usize, Vec<MetricAgg>)>();
+        let trial = &trial;
+        let next = &next;
+        let folded = &folded;
+        let cancelled = &cancelled;
+        thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                s.spawn(move || loop {
+                    if cancelled() {
+                        break;
+                    }
+                    let sidx = next.fetch_add(1, Ordering::Relaxed);
+                    if sidx >= total_shards {
+                        break;
+                    }
+                    while sidx >= folded.load(Ordering::Acquire) + window {
+                        if cancelled() {
+                            return;
+                        }
+                        thread::yield_now();
+                    }
+                    let c = sidx / shards_per_cell;
+                    let k = sidx % shards_per_cell;
+                    let lo = k * shard;
+                    let hi = ((k + 1) * shard).min(spec.trials);
+                    let mut partial = vec![MetricAgg::new(); n_metrics];
+                    let mut abandoned = false;
+                    for t in lo..hi {
+                        if cancelled() {
+                            abandoned = true;
+                            break;
+                        }
+                        let mut rng = trial_rng(spec.seed, c * spec.trials + t);
+                        let row = trial(&spec.cells[c], t, &mut rng);
+                        assert_eq!(row.len(), n_metrics, "trial row width mismatch");
+                        for (agg, v) in partial.iter_mut().zip(row) {
+                            agg.observe(v);
+                        }
+                    }
+                    if abandoned {
+                        break;
+                    }
+                    // The merger only hangs up on cancellation; dropping
+                    // the partial then is exactly right.
+                    let _ = tx.send((sidx, partial));
+                });
+            }
+            drop(tx);
+            // The merger runs on this thread: buffer out-of-order shards
+            // and fold each cell's in shard order, so float sums
+            // reassociate identically for every worker schedule.
+            let mut next_shard: Vec<usize> = vec![0; n_cells];
+            let mut pending: Vec<BTreeMap<usize, Vec<MetricAgg>>> = vec![BTreeMap::new(); n_cells];
+            for (sidx, partial) in rx {
+                let c = sidx / shards_per_cell;
+                pending[c].insert(sidx % shards_per_cell, partial);
+                while let Some(p) = pending[c].remove(&next_shard[c]) {
+                    for (agg, part) in cells[c].aggs.iter_mut().zip(&p) {
+                        agg.merge(part);
+                    }
+                    next_shard[c] += 1;
+                    folded.fetch_add(1, Ordering::Release);
+                }
+            }
+            for (c, cell) in cells.iter_mut().enumerate() {
+                cell.trials = (next_shard[c] * shard).min(spec.trials) as u64;
+                if next_shard[c] < shards_per_cell {
+                    complete = false;
+                }
+            }
+        });
+    }
+    SweepReport { metrics: spec.metrics.iter().map(|m| m.to_string()).collect(), cells, complete }
+}
+
+fn resolve_threads(opts: &SweepOptions) -> usize {
+    match opts.threads {
+        Some(t) if t >= 1 => t,
+        _ => par::thread_count(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario grids (the CLI vocabulary)
+// ---------------------------------------------------------------------------
+
+/// A topology family for scenario grids.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum TopologyFamily {
+    /// [`NetworkGraph::complete`] — the paper's standard model.
+    Complete,
+    /// [`ring`] — bidirectional cycle.
+    Ring,
+    /// [`oriented_ring`] — unidirectional cycle.
+    OrientedRing,
+    /// [`star`] — hub-and-spoke.
+    Star,
+    /// [`grid_graph_n`] — near-square 4-neighbour mesh.
+    Grid,
+    /// [`two_cliques_bridge`] — two cliques joined by one bridge.
+    TwoCliquesBridge,
+    /// [`random_digraph`] with the cell's edge density.
+    Random,
+}
+
+impl TopologyFamily {
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyFamily::Complete => "complete",
+            TopologyFamily::Ring => "ring",
+            TopologyFamily::OrientedRing => "oriented-ring",
+            TopologyFamily::Star => "star",
+            TopologyFamily::Grid => "grid",
+            TopologyFamily::TwoCliquesBridge => "two-cliques-bridge",
+            TopologyFamily::Random => "random",
+        }
+    }
+
+    /// Builds the topology on `n` processes. Only `Random` consumes the
+    /// RNG (with `density` as edge probability); the structured families
+    /// are deterministic in `n`.
+    pub fn build(self, n: usize, density: f64, rng: &mut SplitMix64) -> NetworkGraph {
+        match self {
+            TopologyFamily::Complete => NetworkGraph::complete(n),
+            TopologyFamily::Ring => ring(n),
+            TopologyFamily::OrientedRing => oriented_ring(n),
+            TopologyFamily::Star => star(n),
+            TopologyFamily::Grid => grid_graph_n(n, (n as f64).sqrt().ceil() as usize),
+            TopologyFamily::TwoCliquesBridge => two_cliques_bridge(n),
+            TopologyFamily::Random => random_digraph(n, density, rng),
+        }
+    }
+}
+
+impl FromStr for TopologyFamily {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "complete" => Ok(TopologyFamily::Complete),
+            "ring" => Ok(TopologyFamily::Ring),
+            "oriented-ring" | "oriented_ring" => Ok(TopologyFamily::OrientedRing),
+            "star" => Ok(TopologyFamily::Star),
+            "grid" => Ok(TopologyFamily::Grid),
+            "two-cliques-bridge" | "two_cliques_bridge" => Ok(TopologyFamily::TwoCliquesBridge),
+            "random" => Ok(TopologyFamily::Random),
+            other => Err(format!(
+                "unknown topology family {other:?} (expected complete|ring|oriented-ring|star|grid|two-cliques-bridge|random)"
+            )),
+        }
+    }
+}
+
+/// A failure-pattern family for scenario grids.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum PatternFamily {
+    /// [`random_fail_prone`]: `patterns` patterns, up to `max_crashes`
+    /// crashes each, i.i.d. channel failures at the cell's `p_chan`.
+    Random {
+        /// Patterns per system.
+        patterns: usize,
+        /// Maximum crashes per pattern.
+        max_crashes: usize,
+    },
+    /// [`rotating_fail_prone`]: one pattern per process (Figure-1 style),
+    /// channel failures at the cell's `p_chan`.
+    Rotating,
+    /// [`adversarial_fail_prone`]: targeted directed-cut patterns with
+    /// background noise at the cell's `p_chan`.
+    Adversarial {
+        /// Patterns per system.
+        patterns: usize,
+    },
+}
+
+impl PatternFamily {
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PatternFamily::Random { .. } => "random",
+            PatternFamily::Rotating => "rotating",
+            PatternFamily::Adversarial { .. } => "adversarial",
+        }
+    }
+
+    /// Draws a fail-prone system over `graph` from the family.
+    pub fn build(self, graph: &NetworkGraph, p_chan: f64, rng: &mut SplitMix64) -> FailProneSystem {
+        match self {
+            PatternFamily::Random { patterns, max_crashes } => {
+                random_fail_prone(graph, patterns, max_crashes, p_chan, rng)
+            }
+            PatternFamily::Rotating => rotating_fail_prone(graph, p_chan, rng),
+            PatternFamily::Adversarial { patterns } => {
+                adversarial_fail_prone(graph, patterns, p_chan, rng)
+            }
+        }
+    }
+}
+
+/// One cell of a scenario grid.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ScenarioCell {
+    /// Topology family.
+    pub family: TopologyFamily,
+    /// System size.
+    pub n: usize,
+    /// Edge density (used by [`TopologyFamily::Random`] only).
+    pub density: f64,
+    /// Pattern family.
+    pub patterns: PatternFamily,
+    /// Channel-failure probability fed to the pattern family.
+    pub p_chan: f64,
+}
+
+/// A full scenario grid: cells × trials, with a base seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioGrid {
+    /// The cells, in output order.
+    pub cells: Vec<ScenarioCell>,
+    /// Trials per cell.
+    pub trials: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// The metrics every scenario trial reports, in row order:
+///
+/// * `gqs` — 1 if a generalized quorum system exists;
+/// * `qs_plus` — 1 if a QS+ exists;
+/// * `gap` — 1 if a GQS exists but no QS+ (the paper's separation);
+/// * `w_min` — size of the smallest write quorum in the found witness
+///   (0 when unsolvable);
+/// * `sccs_f0` — number of SCCs of the first pattern's residual graph.
+///
+/// All five are deterministic functions of the scenario, so sweep reports
+/// can be diffed byte for byte (no timing noise).
+pub const SCENARIO_METRICS: &[&str] = &["gqs", "qs_plus", "gap", "w_min", "sccs_f0"];
+
+/// Runs one scenario trial: builds the cell's topology and fail-prone
+/// system from `rng` and measures [`SCENARIO_METRICS`].
+pub fn scenario_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
+    let g = cell.family.build(cell.n, cell.density, rng);
+    let fp = cell.patterns.build(&g, cell.p_chan, rng);
+    let witness = find_gqs(&g, &fp);
+    let gqs = witness.is_some();
+    let qsp = qs_plus_exists(&g, &fp);
+    let w_min = witness
+        .as_ref()
+        .and_then(|w| w.per_pattern.iter().map(|(_, w)| w.len()).min())
+        .unwrap_or(0);
+    let sccs = if fp.is_empty() { 0 } else { g.residual(fp.pattern(0)).sccs().len() };
+    vec![
+        gqs as u64 as f64,
+        qsp as u64 as f64,
+        (gqs && !qsp) as u64 as f64,
+        w_min as f64,
+        sccs as f64,
+    ]
+}
+
+impl ScenarioGrid {
+    /// Streams the grid through the engine.
+    pub fn run(&self, opts: &SweepOptions) -> SweepReport {
+        let spec = SweepSpec {
+            cells: &self.cells,
+            trials: self.trials,
+            seed: self.seed,
+            metrics: SCENARIO_METRICS,
+        };
+        run(&spec, opts, |cell, _t, rng| scenario_trial(cell, rng))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grid grammar + rendering
+// ---------------------------------------------------------------------------
+
+/// Parses the CLI's integer-list grammar: `"6"`, `"4,6,8"`, `"4..8"`
+/// (inclusive), `"4..16:4"` (inclusive with step).
+pub fn parse_usize_list(s: &str) -> Result<Vec<usize>, String> {
+    if let Some((range, step)) = split_range(s)? {
+        let as_int = |v: f64| -> Result<usize, String> {
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("integer range {s:?} has non-integer part {v}"));
+            }
+            Ok(v as usize)
+        };
+        let (lo, hi) = (as_int(range.0)?, as_int(range.1)?);
+        let step = as_int(step.unwrap_or(1.0))?;
+        if step == 0 {
+            return Err(format!("zero step in {s:?}"));
+        }
+        return Ok((lo..=hi).step_by(step).collect());
+    }
+    s.split(',')
+        .map(|p| p.trim().parse::<usize>().map_err(|e| format!("bad integer {p:?}: {e}")))
+        .collect()
+}
+
+/// Parses the CLI's float-list grammar: `"0.2"`, `"0.1,0.3,0.5"`,
+/// `"0.1..0.5:0.2"` (inclusive range with mandatory step).
+pub fn parse_f64_list(s: &str) -> Result<Vec<f64>, String> {
+    if let Some(((lo, hi), step)) = split_range(s)? {
+        let step =
+            step.ok_or_else(|| format!("float range {s:?} needs a step, e.g. 0.1..0.5:0.2"))?;
+        if step <= 0.0 {
+            return Err(format!("non-positive step in {s:?}"));
+        }
+        let mut out = Vec::new();
+        let mut v = lo;
+        // The slack only absorbs accumulated float drift (so an on-grid
+        // upper bound like 0.5 in 0.1..0.5:0.2 is hit); it is far smaller
+        // than a step, so no off-grid point past `hi` is ever admitted.
+        while v <= hi + step * 1e-9 {
+            out.push(v.min(hi));
+            v += step;
+        }
+        return Ok(out);
+    }
+    s.split(',')
+        .map(|p| p.trim().parse::<f64>().map_err(|e| format!("bad number {p:?}: {e}")))
+        .collect()
+}
+
+/// A parsed `a..b[:step]` range: inclusive bounds plus the optional step.
+type ParsedRange = ((f64, f64), Option<f64>);
+
+/// Splits `"a..b"` / `"a..b:s"` syntax; `Ok(None)` when `s` is not a
+/// range.
+fn split_range(s: &str) -> Result<Option<ParsedRange>, String> {
+    let Some((lo, rest)) = s.split_once("..") else { return Ok(None) };
+    let (hi, step) = match rest.split_once(':') {
+        Some((hi, step)) => {
+            (hi, Some(step.trim().parse::<f64>().map_err(|e| format!("bad step {step:?}: {e}"))?))
+        }
+        None => (rest, None),
+    };
+    let lo = lo.trim().parse::<f64>().map_err(|e| format!("bad bound {lo:?}: {e}"))?;
+    let hi = hi.trim().parse::<f64>().map_err(|e| format!("bad bound {hi:?}: {e}"))?;
+    if lo > hi {
+        return Err(format!("empty range {s:?}"));
+    }
+    Ok(Some(((lo, hi), step)))
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    // `{}` prints the shortest round-trip form, which is valid JSON for
+    // every finite f64.
+    assert!(v.is_finite(), "aggregates are finite");
+    out.push_str(&format!("{v}"));
+}
+
+fn push_agg_json(out: &mut String, agg: &MetricAgg) {
+    out.push_str(&format!("{{\"count\":{},\"mean\":", agg.count()));
+    push_json_f64(out, agg.mean());
+    out.push_str(",\"min\":");
+    push_json_f64(out, agg.min());
+    out.push_str(",\"max\":");
+    push_json_f64(out, agg.max());
+    for (name, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+        out.push_str(&format!(",\"{name}\":"));
+        push_json_f64(out, agg.quantile(q));
+    }
+    out.push('}');
+}
+
+/// Renders a scenario-grid report as deterministic JSON (no timing, no
+/// environment — byte-identical across runs and thread counts).
+pub fn report_json(grid: &ScenarioGrid, report: &SweepReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"gqs_sweep/v1\",\n");
+    out.push_str(&format!("  \"trials_per_cell\": {},\n", grid.trials));
+    out.push_str(&format!("  \"seed\": {},\n", grid.seed));
+    out.push_str(&format!("  \"complete\": {},\n", report.complete));
+    out.push_str("  \"metrics\": [");
+    for (i, m) in report.metrics.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{m}\""));
+    }
+    out.push_str("],\n  \"cells\": [\n");
+    for (c, (cell, aggs)) in grid.cells.iter().zip(&report.cells).enumerate() {
+        if c > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"n\": {}, \"density\": ",
+            cell.family.name(),
+            cell.n
+        ));
+        push_json_f64(&mut out, cell.density);
+        out.push_str(&format!(", \"patterns\": \"{}\", \"p_chan\": ", cell.patterns.name()));
+        push_json_f64(&mut out, cell.p_chan);
+        out.push_str(&format!(", \"trials\": {},\n     \"aggregates\": {{", aggs.trials));
+        for (m, (name, agg)) in report.metrics.iter().zip(&aggs.aggs).enumerate() {
+            if m > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": "));
+            push_agg_json(&mut out, agg);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Renders a scenario-grid report as CSV: one row per cell × metric.
+pub fn report_csv(grid: &ScenarioGrid, report: &SweepReport) -> String {
+    let mut out = String::from(
+        "family,n,density,patterns,p_chan,trials,metric,count,mean,min,max,p50,p90,p99\n",
+    );
+    for (cell, aggs) in grid.cells.iter().zip(&report.cells) {
+        for (name, agg) in report.metrics.iter().zip(&aggs.aggs) {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                cell.family.name(),
+                cell.n,
+                cell.density,
+                cell.patterns.name(),
+                cell.p_chan,
+                aggs.trials,
+                name,
+                agg.count(),
+                agg.mean(),
+                agg.min(),
+                agg.max(),
+                agg.quantile(0.5),
+                agg.quantile(0.9),
+                agg.quantile(0.99),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_tracks_quantiles_within_tolerance() {
+        let mut sk = QuantileSketch::new();
+        let mut rng = SplitMix64::new(5);
+        let mut vals: Vec<f64> = Vec::new();
+        for _ in 0..5_000 {
+            let v = rng.f64() * 1e6;
+            vals.push(v);
+            sk.observe(v);
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let rank = (q * (vals.len() - 1) as f64).round() as usize;
+            let exact = vals[rank];
+            let est = sk.quantile(q);
+            assert!(
+                (est - exact).abs() <= 2.0 * SKETCH_ALPHA * exact.abs() + 1e-9,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_handles_zeros_and_negatives() {
+        let mut sk = QuantileSketch::new();
+        for v in [-10.0, -1.0, 0.0, 0.0, 1.0, 10.0] {
+            sk.observe(v);
+        }
+        assert_eq!(sk.count(), 6);
+        assert!(sk.quantile(0.0) < -9.0);
+        assert_eq!(sk.quantile(0.5), 0.0);
+        assert!(sk.quantile(1.0) > 9.0);
+    }
+
+    #[test]
+    fn sketch_merge_is_order_insensitive() {
+        let mut rng = SplitMix64::new(9);
+        let parts: Vec<QuantileSketch> = (0..4)
+            .map(|_| {
+                let mut sk = QuantileSketch::new();
+                for _ in 0..200 {
+                    sk.observe(rng.f64() * 100.0 - 20.0);
+                }
+                sk
+            })
+            .collect();
+        let mut forward = QuantileSketch::new();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut backward = QuantileSketch::new();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn engine_handles_empty_grids() {
+        let spec = SweepSpec { cells: &[] as &[u32], trials: 100, seed: 1, metrics: &["x"] };
+        let r = run(&spec, &SweepOptions::default(), |_, _, _| vec![0.0]);
+        assert!(r.complete && r.cells.is_empty());
+        let spec = SweepSpec { cells: &[1u32], trials: 0, seed: 1, metrics: &["x"] };
+        let r = run(&spec, &SweepOptions::default(), |_, _, _| vec![0.0]);
+        assert!(r.complete);
+        assert_eq!(r.cells[0].trials, 0);
+        assert_eq!(r.agg(0, "x").count(), 0);
+        assert_eq!(r.agg(0, "x").mean(), 0.0);
+    }
+
+    #[test]
+    fn engine_seeds_by_global_trial_index() {
+        // The same (seed, cell, trial) must see the same RNG no matter the
+        // shard size or thread count.
+        let spec = SweepSpec { cells: &[0u32, 1], trials: 10, seed: 77, metrics: &["draw"] };
+        let f = |c: &u32, t: usize, rng: &mut SplitMix64| {
+            let _ = (c, t);
+            vec![rng.next_u64() as f64]
+        };
+        let a = run(&spec, &SweepOptions { shard: Some(1), ..Default::default() }, f);
+        let b =
+            run(&spec, &SweepOptions { shard: Some(7), threads: Some(3), ..Default::default() }, f);
+        assert_eq!(a, b);
+        // And it matches a hand-rolled serial loop over global indices.
+        let expected: f64 = (0..10).map(|t| trial_rng(77, t).next_u64() as f64).sum();
+        assert_eq!(a.agg(0, "draw").sum(), expected);
+    }
+
+    #[test]
+    fn pre_cancelled_sweep_reports_incomplete() {
+        let cancel: CancelToken = Arc::new(AtomicBool::new(true));
+        let spec = SweepSpec { cells: &[0u32], trials: 50, seed: 3, metrics: &["x"] };
+        let opts = SweepOptions { cancel: Some(cancel), ..Default::default() };
+        let r = run(&spec, &opts, |_, _, _| vec![1.0]);
+        assert!(!r.complete);
+        assert_eq!(r.cells[0].trials, 0);
+    }
+
+    #[test]
+    fn grid_grammar_parses() {
+        assert_eq!(parse_usize_list("6").unwrap(), vec![6]);
+        assert_eq!(parse_usize_list("4,6,8").unwrap(), vec![4, 6, 8]);
+        assert_eq!(parse_usize_list("4..8").unwrap(), vec![4, 5, 6, 7, 8]);
+        assert_eq!(parse_usize_list("4..16:4").unwrap(), vec![4, 8, 12, 16]);
+        assert_eq!(parse_f64_list("0.2").unwrap(), vec![0.2]);
+        assert_eq!(parse_f64_list("0.1,0.3").unwrap(), vec![0.1, 0.3]);
+        let r = parse_f64_list("0.1..0.5:0.2").unwrap();
+        assert_eq!(r.len(), 3);
+        assert!((r[2] - 0.5).abs() < 1e-12);
+        // An off-grid upper bound is not forced into the grid.
+        assert_eq!(parse_f64_list("0..1:0.4").unwrap(), vec![0.0, 0.4, 0.8]);
+        assert!(parse_usize_list("8..4").is_err());
+        assert!(parse_f64_list("0.1..0.5").is_err(), "float ranges need a step");
+        assert!(parse_usize_list("x").is_err());
+        // Integer ranges reject fractional or negative parts instead of
+        // silently truncating them.
+        for bad in ["4.5..8", "-1..3", "4..8.5", "4..16:2.5"] {
+            assert!(parse_usize_list(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn scenario_grid_runs_and_renders() {
+        let grid = ScenarioGrid {
+            cells: vec![ScenarioCell {
+                family: TopologyFamily::TwoCliquesBridge,
+                n: 6,
+                density: 0.0,
+                patterns: PatternFamily::Rotating,
+                p_chan: 0.2,
+            }],
+            trials: 8,
+            seed: 1,
+        };
+        let report = grid.run(&SweepOptions::default());
+        assert!(report.complete);
+        assert_eq!(report.agg(0, "gqs").count(), 8);
+        // gap implies gqs, cell by cell.
+        assert!(report.agg(0, "gap").sum() <= report.agg(0, "gqs").sum());
+        let json = report_json(&grid, &report);
+        assert!(json.contains("\"schema\": \"gqs_sweep/v1\""));
+        assert!(json.contains("two-cliques-bridge"));
+        let csv = report_csv(&grid, &report);
+        assert_eq!(csv.lines().count(), 1 + SCENARIO_METRICS.len());
+    }
+}

@@ -42,6 +42,54 @@
 //! See `examples/` for runnable end-to-end scenarios and the `gqs-bench`
 //! crate for the experiment harness regenerating every table of
 //! EXPERIMENTS.md.
+//!
+//! ## Scenario sweeps from the command line
+//!
+//! Large scenario grids run through the streaming sweep engine
+//! ([`workloads::sweep`]) via the `gqs_sweep` binary. `gqs_sweep --help`:
+//!
+//! ```text
+//! gqs_sweep — streamed scenario-grid sweeps over the GQS decision procedures
+//!
+//! USAGE:
+//!     gqs_sweep [OPTIONS]
+//!
+//! GRID (each LIST is a value `6`, a comma list `4,6,8`, or an inclusive
+//! range `4..8` / `4..16:4` / `0.1..0.5:0.2` — float ranges need a step):
+//!     --family <F>         topology family: complete|ring|oriented-ring|star|
+//!                          grid|two-cliques-bridge|random      [default: complete]
+//!     --n <LIST>           system sizes                        [default: 4]
+//!     --density <LIST>     edge probability, random family only [default: 0.6]
+//!     --patterns <P>       pattern family: rotating|random|adversarial
+//!                                                              [default: rotating]
+//!     --pattern-count <K>  patterns per system (random/adversarial) [default: 3]
+//!     --max-crashes <K>    max crashes per pattern (random)     [default: 1]
+//!     --p-chan <LIST>      channel-failure probabilities        [default: 0.2]
+//!
+//! EXECUTION:
+//!     --trials <N>         trials per cell                      [default: 100]
+//!     --seed <S>           base seed                            [default: 42]
+//!     --threads <T>        worker threads          [default: GQS_THREADS or auto]
+//!     --shard <K>          trials per shard                     [default: 64]
+//!
+//! OUTPUT:
+//!     --format <json|csv>  output format                        [default: json]
+//!     --out <PATH>         write to PATH instead of stdout
+//! ```
+//!
+//! For example, sweeping ring sizes against channel-failure rates:
+//!
+//! ```text
+//! cargo run --release -p gqs-bench --bin gqs_sweep -- \
+//!     --family ring --n 4..8 --patterns rotating \
+//!     --p-chan 0.1,0.3,0.5 --trials 500 --format json
+//! ```
+//!
+//! streams 7.5k trials with constant memory and prints per-cell
+//! aggregates (count/mean/min/max/p50/p90/p99 of GQS and QS+ existence,
+//! their gap, witness size, residual SCC count). Output is byte-identical
+//! for any `--threads`/`GQS_THREADS` value and contains no timing, so
+//! sweep reports diff cleanly in review.
 
 #![forbid(unsafe_code)]
 
