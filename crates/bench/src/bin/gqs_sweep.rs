@@ -4,11 +4,15 @@
 //! The grid is the cross product of `--n`, `--density` and `--p-chan`
 //! (each a value, comma list, or inclusive range — see
 //! `gqs_workloads::sweep::parse_usize_list`), over one topology family
-//! and one failure-pattern family. Every cell runs `--trials` seeded
-//! trials measuring GQS/QS+ existence, the separation gap, witness size
-//! and residual SCC count; results are folded incrementally (constant
-//! memory per worker, no materialized batches) and are bit-identical for
-//! any `--threads` value.
+//! and one failure-pattern family. In the default `--mode solvability`
+//! every cell runs `--trials` seeded trials measuring GQS/QS+ existence,
+//! the separation gap, witness size and residual SCC count; in
+//! `--mode latency` each trial instead *simulates* a flooded ABD majority
+//! register over the cell's topology under its first drawn failure
+//! pattern and measures completion rate, operation latency and message
+//! cost (`gqs_workloads::sweep::LATENCY_METRICS`). Either way results are
+//! folded incrementally (constant memory per worker, no materialized
+//! batches) and are bit-identical for any `--threads` value.
 //!
 //! ```text
 //! gqs_sweep --family ring --n 4..8 --patterns rotating \
@@ -44,6 +48,9 @@ range `4..8` / `4..16:4` / `0.1..0.5:0.2` — float ranges need a step):
     --p-chan <LIST>      channel-failure probabilities        [default: 0.2]
 
 EXECUTION:
+    --mode <M>           solvability (decision procedures) or latency
+                         (simulated flooded ABD register: completion rate,
+                         op latency, msgs/op)          [default: solvability]
     --trials <N>         trials per cell                      [default: 100]
     --seed <S>           base seed                            [default: 42]
     --threads <T>        worker threads          [default: GQS_THREADS or auto]
@@ -56,7 +63,8 @@ OUTPUT:
 
 Aggregates per cell and metric: count, mean, min, max, p50/p90/p99
 (quantiles from a mergeable sketch, ~1.5% relative error). Metrics:
-gqs, qs_plus, gap, w_min, sccs_f0 — all deterministic, so output is
+gqs, qs_plus, gap, w_min, sccs_f0 (solvability) or completed, lat_mean,
+lat_max, msgs_per_op (latency) — all deterministic, so output is
 byte-identical across runs and thread counts.
 ";
 
@@ -68,6 +76,7 @@ struct Args {
     pattern_count: usize,
     max_crashes: usize,
     p_chans: Vec<f64>,
+    mode: String,
     trials: usize,
     seed: u64,
     threads: Option<usize>,
@@ -85,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
         pattern_count: 3,
         max_crashes: 1,
         p_chans: vec![0.2],
+        mode: "solvability".to_string(),
         trials: 100,
         seed: 42,
         threads: None,
@@ -111,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
                 args.max_crashes = value()?.parse().map_err(|e| format!("bad count: {e}"))?
             }
             "--p-chan" => args.p_chans = parse_f64_list(&value()?)?,
+            "--mode" => args.mode = value()?,
             "--trials" => args.trials = value()?.parse().map_err(|e| format!("bad trials: {e}"))?,
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
             "--threads" => {
@@ -126,6 +137,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.pattern_count == 0 {
         return Err("--pattern-count must be at least 1".to_string());
+    }
+    if !matches!(args.mode.as_str(), "solvability" | "latency") {
+        return Err(format!("unknown mode {:?} (expected solvability|latency)", args.mode));
     }
     if !matches!(args.format.as_str(), "json" | "csv") {
         return Err(format!("unknown format {:?} (expected json|csv)", args.format));
@@ -181,7 +195,7 @@ fn main() {
     };
     let opts = SweepOptions { threads: args.threads, shard: args.shard, cancel: None };
     let start = Instant::now();
-    let report = grid.run(&opts);
+    let report = if args.mode == "latency" { grid.run_latency(&opts) } else { grid.run(&opts) };
     let elapsed = start.elapsed();
     let total_trials = grid.trials * grid.cells.len();
     eprintln!(

@@ -59,6 +59,65 @@ fn tiny_grid_matches_golden_aggregate() {
     assert_eq!(single, golden, "--threads 1 output differs from golden");
 }
 
+/// The exact invocation `golden/tiny_latency.json` was produced with.
+fn latency_golden_args() -> Vec<&'static str> {
+    vec![
+        "--mode",
+        "latency",
+        "--family",
+        "ring",
+        "--n",
+        "5",
+        "--patterns",
+        "rotating",
+        "--p-chan",
+        "0,0.3",
+        "--trials",
+        "6",
+        "--seed",
+        "11",
+        "--format",
+        "json",
+    ]
+}
+
+#[test]
+fn tiny_latency_grid_matches_golden_aggregate() {
+    let golden = include_str!("../golden/tiny_latency.json");
+    let run = |extra: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+            .args(latency_golden_args())
+            .args(extra)
+            .output()
+            .expect("gqs_sweep runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).expect("output is UTF-8")
+    };
+    let got = run(&[]);
+    assert_eq!(
+        got, golden,
+        "latency-mode output drifted from golden/tiny_latency.json; if the \
+         change is intentional (e.g. a simulator or protocol change shifting \
+         latencies), regenerate the golden file"
+    );
+    assert!(
+        got.contains("\"metrics\": [\"completed\", \"lat_mean\", \"lat_max\", \"msgs_per_op\"]")
+    );
+    // The determinism contract holds for simulated latency trials too.
+    let single = run(&["--threads", "1"]);
+    assert_eq!(single, golden, "--threads 1 latency output differs from golden");
+}
+
+#[test]
+fn unknown_mode_fails_cleanly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+        .args(["--mode", "throughput"])
+        .output()
+        .expect("gqs_sweep runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("solvability|latency"));
+}
+
 #[test]
 fn json_output_is_well_formed() {
     let got = run_sweep(&["--threads", "4"]);

@@ -5,9 +5,12 @@
 
 use gqs_checker::{check_consensus, ConsensusOutcome};
 use gqs_consensus::{gqs_consensus_nodes, view_overlaps, ConsensusNode, ProposalMode};
+use gqs_core::finder::find_gqs;
 use gqs_core::systems::figure1;
-use gqs_core::ProcessId;
-use gqs_simnet::{DelayModel, FailureSchedule, Flood, SimConfig, SimTime, Simulation, StopReason};
+use gqs_core::{Channel, FailProneSystem, FailurePattern, NetworkGraph, ProcessId, ProcessSet};
+use gqs_simnet::{
+    DelayModel, FailureSchedule, Flood, SimConfig, SimTime, Simulation, StopReason, Topology,
+};
 
 fn ps_config(seed: u64, gst: u64, delta: u64) -> SimConfig {
     SimConfig {
@@ -217,6 +220,95 @@ fn isolated_proposals_never_win() {
         assert!(outs[0].decided.is_some() && outs[1].decided.is_some());
         assert!(outs[2].decided.is_none());
     }
+}
+
+/// E9 on a non-complete topology: synchronizer-driven consensus over a
+/// bidirectional ring(5) under `Flood`, with rotating crash-only failure
+/// patterns (pattern 0 crashes process 0 at time zero) and a brutally
+/// asynchronous pre-GST period (`pre_max` far beyond the horizon).
+///
+/// This is the liveness/latency face of the §7 clamp fix: every message
+/// in flight at GST — including the flooded proposal envelopes sent at
+/// t = 10 — is delivered by `gst + δ`, so after GST the decision is a
+/// matter of view arithmetic alone. The asserted bound is derived from
+/// GST + δ: the decision lands within two full leader rotations (2n
+/// views) of the first post-GST view, and its absolute time within the
+/// summed durations of those views.
+#[test]
+fn sparse_topology_decides_within_gst_derived_bound() {
+    // ring(5): bidirectional cycle, built by hand (the generator lives in
+    // gqs-workloads, which depends on this crate).
+    let n = 5usize;
+    let mut g = NetworkGraph::empty(n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        g.add_channel(Channel::new(ProcessId(i), ProcessId(j)));
+        g.add_channel(Channel::new(ProcessId(j), ProcessId(i)));
+    }
+    // Rotating crash-only patterns: no universal survivor, no channel
+    // failures (the sparse topology itself supplies the damage).
+    let patterns: Vec<FailurePattern> = (0..n)
+        .map(|i| {
+            FailurePattern::new(n, ProcessSet::singleton(ProcessId(i)), Vec::new())
+                .expect("well-formed")
+        })
+        .collect();
+    let fp = FailProneSystem::new(n, patterns).expect("uniform universe");
+    let gqs = find_gqs(&g, &fp).expect("ring(5) admits a GQS under rotating crashes").system;
+    let proposer = gqs.u_f(0).iter().next().expect("U_f(0) is nonempty");
+
+    let (c, gst, delta) = (150u64, 1_000u64, 5u64);
+    let nodes = gqs_consensus_nodes::<u64>(&gqs, c, ProposalMode::Push);
+    let cfg = SimConfig {
+        seed: 17,
+        topology: Topology::from(g),
+        delay: DelayModel::PartialSynchrony { pre_min: 1, pre_max: 1_000_000, gst, delta },
+        horizon: SimTime(3_000_000),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(cfg, nodes);
+    sim.apply_failures(&FailureSchedule::from_pattern_at(fp.pattern(0), SimTime(0)));
+    sim.invoke_at(SimTime(10), proposer, 7u64);
+    let reason = sim.run_until_ops_complete();
+    assert_eq!(reason, StopReason::OpsComplete, "consensus must decide on the sparse topology");
+
+    let (decided_view, decided_at) = sim
+        .node(proposer)
+        .inner()
+        .decision()
+        .map(|(_, v, t)| (*v, t.ticks()))
+        .expect("the proposer decided");
+    // The first view the proposer entered at or after GST.
+    let v_gst = sim
+        .node(proposer)
+        .inner()
+        .view_entries()
+        .iter()
+        .find(|(_, t)| t.ticks() >= gst)
+        .map(|(v, _)| *v)
+        .expect("views keep advancing past GST");
+    // View bound: some view in the first full post-GST leader rotation is
+    // led by a U_f member and (with v * C >= v_gst * C >> n·δ hops) is
+    // long enough to decide; a second rotation is pure slack.
+    assert!(
+        decided_view <= v_gst + 2 * n as u64,
+        "decision view {decided_view} exceeds v_gst + 2n = {}",
+        v_gst + 2 * n as u64
+    );
+    // Time bound: GST + δ (everything in flight lands), plus at most the
+    // summed durations of the views up to the view bound, plus one δ per
+    // flooding hop in the deciding view's message exchanges (absorbed by
+    // the final view's slack below).
+    let bound_view = v_gst + 2 * n as u64;
+    let view_time: u64 = (v_gst..=bound_view).map(|v| v * c).sum();
+    let bound = gst + delta + view_time;
+    assert!(
+        decided_at <= bound,
+        "decided at {decided_at}, bound gst + δ + Σ view durations = {bound} \
+         (v_gst = {v_gst}; without the pre-GST arrival clamp, envelopes from \
+         t=10 could land anywhere up to t = 1_000_010)"
+    );
+    check_consensus(&outcomes(&sim)).expect("safety on the sparse topology");
 }
 
 /// Randomized sweep: staggered mid-run failures, two proposers, many

@@ -266,6 +266,72 @@ mod tests {
         assert_eq!(reason, StopReason::OpsComplete);
     }
 
+    /// Over a sparse topology, flooding restores *logical* connectivity:
+    /// a unidirectional ring has no direct channel from 0 to 2, but the
+    /// envelope hops 0 → 1 → 2 and the reply wraps 2 → 0.
+    #[test]
+    fn flooding_restores_connectivity_over_sparse_topologies() {
+        use crate::topology::Topology;
+        use gqs_core::NetworkGraph;
+        let mut ring = NetworkGraph::empty(3);
+        for (a, b) in [(0, 1), (1, 2), (2, 0)] {
+            ring.add_channel(Channel::new(ProcessId(a), ProcessId(b)));
+        }
+        let cfg = SimConfig { topology: Topology::from(ring), ..SimConfig::default() };
+        let nodes = (0..3).map(|_| Flood::new(OneShot::default())).collect();
+        let mut sim = Simulation::new(cfg, nodes);
+        sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(2));
+        let reason = sim.run_until_ops_complete();
+        assert_eq!(reason, StopReason::OpsComplete);
+        // The logical sender is still the origin, not the relay.
+        assert_eq!(sim.node(ProcessId(2)).inner().received_from, vec![ProcessId(0)]);
+        // Direct sends on absent channels were attempted and dropped.
+        assert!(sim.stats().dropped_disconnected > 0);
+    }
+
+    /// A disconnection *within* a sparse topology can still be routed
+    /// around if the graph leaves another directed path.
+    #[test]
+    fn flooding_routes_around_disconnections_in_sparse_graphs() {
+        use crate::topology::Topology;
+        use gqs_core::NetworkGraph;
+        // Diamond: 0 -> {1, 2} -> 3 -> 0. Disconnect (1, 3); the request
+        // still flows 0 -> 2 -> 3 and the reply 3 -> 0.
+        let mut g = NetworkGraph::empty(4);
+        for (a, b) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)] {
+            g.add_channel(Channel::new(ProcessId(a), ProcessId(b)));
+        }
+        let cfg = SimConfig { topology: Topology::from(g), ..SimConfig::default() };
+        let nodes = (0..4).map(|_| Flood::new(OneShot::default())).collect();
+        let mut sim = Simulation::new(cfg, nodes);
+        let mut sched = FailureSchedule::none();
+        sched.disconnect(Channel::new(ProcessId(1), ProcessId(3)), SimTime::ZERO);
+        sim.apply_failures(&sched);
+        sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(3));
+        assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+    }
+
+    /// When the sparse graph leaves no directed path, flooding cannot
+    /// invent one.
+    #[test]
+    fn flooding_cannot_cross_a_topology_cut() {
+        use crate::topology::Topology;
+        use gqs_core::NetworkGraph;
+        // A line 0 -> 1 -> 2 with no way back: the request arrives at 2,
+        // the reply can never return to 0.
+        let mut g = NetworkGraph::empty(3);
+        for (a, b) in [(0, 1), (1, 2)] {
+            g.add_channel(Channel::new(ProcessId(a), ProcessId(b)));
+        }
+        let cfg = SimConfig { topology: Topology::from(g), ..SimConfig::default() };
+        let nodes = (0..3).map(|_| Flood::new(OneShot::default())).collect();
+        let mut sim = Simulation::new(cfg, nodes);
+        sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(2));
+        sim.run();
+        assert_eq!(sim.node(ProcessId(2)).inner().received_from, vec![ProcessId(0)]);
+        assert!(!sim.history().ops()[0].is_complete(), "no return path exists");
+    }
+
     #[test]
     fn relay_counters_track_forwarding_cost() {
         let mut sim = flooded(3);

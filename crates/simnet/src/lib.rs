@@ -7,9 +7,14 @@
 //! * **process crashes** (a crashed process takes no further steps),
 //! * **channel disconnections** (from some point on, a faulty channel drops
 //!   every message sent through it),
+//! * an explicit **communication graph** ([`Topology`], default complete;
+//!   a send over an absent channel behaves like a send over a channel
+//!   disconnected at time zero),
 //! * an optional **partial synchrony** mode (GST + δ) for consensus,
 //! * a **flooding middleware** ([`Flood`]) realizing the paper's
-//!   "forward every received message" transitivity assumption.
+//!   "forward every received message" transitivity assumption — over a
+//!   sparse [`Topology`], flooding restores logical connectivity along
+//!   directed paths of present channels.
 //!
 //! Protocols implement [`Protocol`] and are driven by [`Simulation`], which
 //! records an operation [`History`] suitable for the `gqs-checker` crate.
@@ -58,6 +63,7 @@ pub mod protocol;
 pub mod rng;
 pub mod sim;
 pub mod time;
+pub mod topology;
 
 pub use flood::{Flood, FloodMsg};
 pub use history::{History, NetStats, OpRecord};
@@ -65,3 +71,4 @@ pub use protocol::{Context, Effect, OpId, Protocol, TimerId};
 pub use rng::SplitMix64;
 pub use sim::{DelayModel, FailureSchedule, SimConfig, Simulation, StopReason};
 pub use time::SimTime;
+pub use topology::Topology;

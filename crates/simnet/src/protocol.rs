@@ -52,8 +52,10 @@ pub enum Effect<M, R> {
     SetTimer {
         /// Protocol-chosen identifier, passed back to `on_timer`.
         id: TimerId,
-        /// Delay in time units (0 fires at the current instant, after the
-        /// current event).
+        /// Delay in time units. The simulator clamps it to at least 1 so
+        /// that virtual time always advances between firings (a
+        /// same-instant timer would let a re-arming protocol livelock the
+        /// event loop).
         after: u64,
     },
     /// Complete a pending client operation with a response.

@@ -7,6 +7,9 @@
 //!   are dropped. Messages it sent while alive stay in flight.
 //! * **Disconnections** — from its disconnection time on, a channel drops
 //!   every message *sent* through it; messages sent earlier are delivered.
+//! * **Topology** — the communication graph ([`Topology`], default
+//!   complete); a send over a channel the graph does not contain behaves
+//!   like a send over a channel disconnected at time zero.
 //! * **Asynchrony** — message delays are finite but unbounded (drawn from a
 //!   seeded distribution); fairness holds because every queued event is
 //!   eventually processed.
@@ -25,6 +28,7 @@ use crate::history::{History, NetStats};
 use crate::protocol::{Context, Effect, OpId, Protocol, TimerId};
 use crate::rng::SplitMix64;
 use crate::time::SimTime;
+use crate::topology::Topology;
 
 /// Message delay model.
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -70,9 +74,13 @@ impl DelayModel {
             DelayModel::Uniform { min, max } => rng.range(min, max),
             DelayModel::PartialSynchrony { pre_min, pre_max, gst, delta } => {
                 if now.ticks() < gst {
-                    // A pre-GST message may still arrive fast; it must
-                    // arrive by GST + pre_max at the latest (finite).
-                    rng.range(pre_min, pre_max)
+                    // A pre-GST message may arrive at any time up to the
+                    // §7 bound: every message in flight at GST is
+                    // delivered by GST + δ, so the drawn delay is clamped
+                    // to land no later than that. (`now < gst` and
+                    // `delta >= 1` make the clamp at least 2 ticks, so the
+                    // delay stays >= 1.)
+                    rng.range(pre_min, pre_max).min(gst + delta - now.ticks())
                 } else {
                     rng.range(1, delta)
                 }
@@ -90,13 +98,19 @@ impl DelayModel {
 }
 
 /// Simulator configuration.
-#[derive(Copy, Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SimConfig {
     /// RNG seed; two runs with equal configuration and inputs produce
     /// identical traces.
     pub seed: u64,
     /// Message delay model.
     pub delay: DelayModel,
+    /// The communication graph. Defaults to [`Topology::Complete`] (the
+    /// paper's standard model); with [`Topology::Graph`], a send over a
+    /// channel absent from the graph behaves like a send over a channel
+    /// disconnected at time zero (dropped, counted as
+    /// `dropped_disconnected`). Self-sends are always delivered.
+    pub topology: Topology,
     /// Hard stop: events after this time are not processed.
     pub horizon: SimTime,
     /// Safety cap on the number of processed events.
@@ -118,6 +132,7 @@ impl Default for SimConfig {
         SimConfig {
             seed: 1,
             delay: DelayModel::Uniform { min: 1, max: 10 },
+            topology: Topology::Complete,
             horizon: SimTime(1_000_000),
             max_events: 50_000_000,
             timer_drift_max: 1.0,
@@ -268,16 +283,21 @@ impl<P: Protocol> Simulation<P> {
     ///
     /// # Panics
     ///
-    /// Panics if `nodes` is empty or the delay model is ill-formed.
+    /// Panics if `nodes` is empty, the delay model is ill-formed, or the
+    /// topology's process count differs from `nodes.len()`.
     pub fn new(config: SimConfig, nodes: Vec<P>) -> Self {
         assert!(!nodes.is_empty(), "a system has at least one process");
         config.delay.validate();
         assert!(config.timer_drift_max >= 1.0, "drift factor must be >= 1");
         let n = nodes.len();
+        if let Some(t_n) = config.topology.required_len() {
+            assert_eq!(t_n, n, "topology has {t_n} processes but the system has {n}");
+        }
+        let seed = config.seed;
         let mut sim = Simulation {
             nodes,
             config,
-            rng: SplitMix64::new(config.seed),
+            rng: SplitMix64::new(seed),
             queue: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
@@ -468,11 +488,15 @@ impl<P: Protocol> Simulation<P> {
             match eff {
                 Effect::Send { to, msg } => {
                     self.stats.sent += 1;
+                    // A channel outside the topology is a channel
+                    // disconnected at time zero; a scheduled disconnection
+                    // kicks in from its time on. Self-sends skip both.
                     let dropped = to != me
-                        && matches!(
-                            self.disconnected_at.get(&Channel::new(me, to)),
-                            Some(&t) if t <= self.now
-                        );
+                        && (!self.config.topology.connects(me, to)
+                            || matches!(
+                                self.disconnected_at.get(&Channel::new(me, to)),
+                                Some(&t) if t <= self.now
+                            ));
                     if dropped {
                         self.stats.dropped_disconnected += 1;
                     } else {
@@ -481,7 +505,11 @@ impl<P: Protocol> Simulation<P> {
                     }
                 }
                 Effect::SetTimer { id, after } => {
-                    let after = self.drifted(after);
+                    // Zero-duration timers are clamped to one tick: a
+                    // same-instant timer lets a re-arming protocol spin
+                    // the event loop without virtual time advancing
+                    // (message delays are already validated >= 1).
+                    let after = self.drifted(after.max(1));
                     self.push(self.now + after, EventKind::Timer { process: me, id });
                 }
                 Effect::Complete { op, resp } => {
@@ -499,7 +527,9 @@ impl<P: Protocol> Simulation<P> {
         };
         if drifting && self.config.timer_drift_max > 1.0 {
             let factor = 1.0 + self.rng.f64() * (self.config.timer_drift_max - 1.0);
-            (after as f64 * factor).round() as u64
+            // Drift stretches but never erases a duration: the >= 1 floor
+            // of the undrifted value is preserved.
+            ((after as f64 * factor).round() as u64).max(1)
         } else {
             after
         }
@@ -596,7 +626,8 @@ mod tests {
         let mut lats = Vec::new();
         for seed in [1u64, 99] {
             cfg.seed = seed;
-            let mut sim = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
+            let mut sim =
+                Simulation::new(cfg.clone(), vec![PingPong::default(), PingPong::default()]);
             sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(1));
             sim.run();
             lats.push(sim.history().ops()[0].latency());
@@ -732,6 +763,159 @@ mod tests {
         let mut sim = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
         sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(0));
         assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+    }
+
+    #[test]
+    fn pre_gst_sends_arrive_by_gst_plus_delta() {
+        // Regression: a message sent just before GST used to draw its
+        // delay from [pre_min, pre_max] unclamped and could arrive
+        // arbitrarily later than GST + δ, contradicting the §7 model.
+        let (gst, delta) = (1_000u64, 7u64);
+        for seed in 0..50u64 {
+            let cfg = SimConfig {
+                seed,
+                delay: DelayModel::PartialSynchrony { pre_min: 1, pre_max: 1_000_000, gst, delta },
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
+            // PING sent at gst - 1 (pre-GST): must land by gst + delta.
+            // The PONG back is sent post-GST: at most delta more.
+            sim.invoke_at(SimTime(gst - 1), ProcessId(0), ProcessId(1));
+            let reason = sim.run_until_ops_complete();
+            assert_eq!(reason, StopReason::OpsComplete, "seed {seed}");
+            assert!(
+                sim.now().ticks() <= gst + 2 * delta,
+                "seed {seed}: round trip finished at {} > gst + 2δ = {}",
+                sim.now().ticks(),
+                gst + 2 * delta
+            );
+        }
+    }
+
+    #[test]
+    fn pre_gst_delays_still_vary_below_the_clamp() {
+        // The clamp must not collapse every pre-GST delay onto gst + δ:
+        // early sends far from GST keep their drawn delays.
+        let cfg = SimConfig {
+            seed: 3,
+            delay: DelayModel::PartialSynchrony { pre_min: 1, pre_max: 40, gst: 10_000, delta: 4 },
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
+        sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(1));
+        sim.run_until_ops_complete();
+        let lat = sim.history().ops()[0].latency().unwrap();
+        assert!(lat <= 80, "far-from-GST delays must come from [pre_min, pre_max], got {lat}");
+    }
+
+    /// A protocol that re-arms a zero-duration timer forever.
+    #[derive(Default, Debug)]
+    struct Spinner {
+        fired: u64,
+    }
+
+    impl Protocol for Spinner {
+        type Msg = ();
+        type Op = ();
+        type Resp = ();
+
+        fn on_start(&mut self, ctx: &mut Context<(), ()>) {
+            ctx.set_timer(TimerId(0), 0);
+        }
+
+        fn on_message(&mut self, _from: ProcessId, _msg: (), _ctx: &mut Context<(), ()>) {}
+
+        fn on_timer(&mut self, id: TimerId, ctx: &mut Context<(), ()>) {
+            self.fired += 1;
+            ctx.set_timer(id, 0); // re-arm at zero duration
+        }
+
+        fn on_invoke(&mut self, _op: OpId, _body: (), _ctx: &mut Context<(), ()>) {}
+    }
+
+    #[test]
+    fn zero_duration_timers_cannot_freeze_virtual_time() {
+        // Regression: `SetTimer { after: 0 }` used to schedule a
+        // same-instant event, so a re-arming protocol spun the loop to
+        // max_events with time frozen at zero. The >= 1 clamp makes every
+        // firing advance the clock, so the horizon is reached instead.
+        let cfg = SimConfig { horizon: SimTime(500), ..SimConfig::default() };
+        let mut sim = Simulation::new(cfg, vec![Spinner::default()]);
+        let reason = sim.run();
+        assert_eq!(reason, StopReason::Horizon, "time must advance past the horizon");
+        assert_eq!(sim.now(), SimTime(500));
+        let fired = sim.node(ProcessId(0)).fired;
+        assert!((499..=501).contains(&fired), "one firing per tick, got {fired}");
+    }
+
+    #[test]
+    fn zero_duration_timers_survive_drift() {
+        // The drift path must preserve the >= 1 floor too.
+        let cfg = SimConfig {
+            horizon: SimTime(200),
+            delay: DelayModel::PartialSynchrony { pre_min: 1, pre_max: 9, gst: 100_000, delta: 3 },
+            timer_drift_max: 2.5,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(cfg, vec![Spinner::default()]);
+        let reason = sim.run();
+        assert_eq!(reason, StopReason::Horizon);
+        // Drifted firings land 1–3 ticks apart, so the clock ends within
+        // one drifted duration of the horizon — never frozen at zero.
+        assert!(sim.now() >= SimTime(195), "time stalled at {:?}", sim.now());
+    }
+
+    #[test]
+    fn absent_channels_drop_sends_like_disconnections() {
+        use gqs_core::NetworkGraph;
+        // Topology 0 -> 1 only: the PING gets through, the PONG back is
+        // dropped exactly as if (1,0) had disconnected at time zero.
+        let mut g = NetworkGraph::empty(2);
+        g.add_channel(Channel::new(ProcessId(0), ProcessId(1)));
+        let cfg = SimConfig { topology: g.into(), ..SimConfig::default() };
+        let mut sim = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
+        sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(1));
+        let reason = sim.run();
+        assert_eq!(reason, StopReason::Quiescent);
+        assert!(!sim.history().ops()[0].is_complete());
+        assert_eq!(sim.stats().delivered, 1, "the forward PING is delivered");
+        assert_eq!(sim.stats().dropped_disconnected, 1, "the reverse PONG is dropped");
+    }
+
+    #[test]
+    fn complete_topology_graph_changes_nothing() {
+        use gqs_core::NetworkGraph;
+        // An explicit complete graph must reproduce the default behaviour
+        // bit for bit (same RNG consumption, same trace).
+        let mut a = two_nodes();
+        let cfg = SimConfig { topology: NetworkGraph::complete(2).into(), ..SimConfig::default() };
+        let mut b = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
+        for sim in [&mut a, &mut b] {
+            sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(1));
+            sim.run();
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn self_sends_ignore_the_topology() {
+        use gqs_core::NetworkGraph;
+        let cfg = SimConfig {
+            topology: NetworkGraph::empty(2).into(), // no channels at all
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
+        sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(0));
+        assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology has 3 processes")]
+    fn topology_size_mismatch_is_rejected() {
+        use gqs_core::NetworkGraph;
+        let cfg = SimConfig { topology: NetworkGraph::empty(3).into(), ..SimConfig::default() };
+        let _ = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
     }
 
     #[test]

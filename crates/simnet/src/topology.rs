@@ -1,0 +1,120 @@
+//! The communication graph a simulation runs over.
+//!
+//! The paper's standard model (§2) gives every ordered pair of distinct
+//! processes a unidirectional channel — the complete digraph — and that is
+//! what [`Topology::Complete`] (the default) provides, so existing callers
+//! are untouched. [`Topology::Graph`] restricts the network to the
+//! channels of an explicit [`NetworkGraph`]: a send over a channel the
+//! graph does not contain behaves exactly like a send over a channel that
+//! disconnected at time zero (dropped, counted in
+//! `NetStats::dropped_disconnected`).
+//!
+//! Sparse topologies are where the paper's WLOG-transitivity argument
+//! becomes operational: §5 assumes the connectivity relation of `G \ f`
+//! is transitive because "transitivity can be easily simulated by having
+//! all processes forward every received message" — which is what
+//! [`crate::flood::Flood`] implements. Running a flooded protocol over a
+//! [`Topology::Graph`] therefore restores *logical* connectivity along
+//! directed paths of present (and non-disconnected) channels, at the
+//! message cost the experiment tables report.
+
+use gqs_core::{NetworkGraph, ProcessId};
+
+/// The static communication graph of a [`crate::sim::Simulation`].
+///
+/// Self-delivery is always allowed: a process is connected to itself in
+/// every topology (the model has no self-channels; self-sends are local).
+///
+/// # Examples
+///
+/// ```
+/// use gqs_core::{Channel, NetworkGraph, ProcessId};
+/// use gqs_simnet::Topology;
+///
+/// let complete = Topology::Complete;
+/// assert!(complete.connects(ProcessId(0), ProcessId(2)));
+///
+/// let mut g = NetworkGraph::empty(3);
+/// g.add_channel(Channel::new(ProcessId(0), ProcessId(1)));
+/// let sparse = Topology::from(g);
+/// assert!(sparse.connects(ProcessId(0), ProcessId(1)));
+/// assert!(!sparse.connects(ProcessId(1), ProcessId(0))); // channels are directed
+/// assert!(sparse.connects(ProcessId(2), ProcessId(2))); // self-delivery always
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub enum Topology {
+    /// Every ordered pair of distinct processes has a channel (the
+    /// paper's standard model, and the historical simulator behaviour).
+    #[default]
+    Complete,
+    /// Only the channels of this graph exist. The graph must have exactly
+    /// one vertex per simulated process ([`crate::sim::Simulation::new`]
+    /// checks).
+    Graph(NetworkGraph),
+}
+
+impl Topology {
+    /// Whether a message from `from` can traverse the network to `to`
+    /// directly (self-sends always can).
+    pub fn connects(&self, from: ProcessId, to: ProcessId) -> bool {
+        from == to
+            || match self {
+                Topology::Complete => true,
+                Topology::Graph(g) => g.successors(from).contains(to),
+            }
+    }
+
+    /// The number of processes this topology prescribes, if it does
+    /// (`Complete` adapts to any system size).
+    pub fn required_len(&self) -> Option<usize> {
+        match self {
+            Topology::Complete => None,
+            Topology::Graph(g) => Some(g.len()),
+        }
+    }
+}
+
+impl From<NetworkGraph> for Topology {
+    fn from(g: NetworkGraph) -> Self {
+        Topology::Graph(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqs_core::Channel;
+
+    #[test]
+    fn complete_connects_everything() {
+        let t = Topology::default();
+        assert_eq!(t, Topology::Complete);
+        assert!(t.connects(ProcessId(0), ProcessId(9)));
+        assert!(t.connects(ProcessId(3), ProcessId(3)));
+        assert_eq!(t.required_len(), None);
+    }
+
+    #[test]
+    fn graph_restricts_to_its_channels() {
+        let mut g = NetworkGraph::empty(4);
+        g.add_channel(Channel::new(ProcessId(0), ProcessId(1)));
+        g.add_channel(Channel::new(ProcessId(1), ProcessId(2)));
+        let t = Topology::from(g);
+        assert!(t.connects(ProcessId(0), ProcessId(1)));
+        assert!(t.connects(ProcessId(1), ProcessId(2)));
+        assert!(!t.connects(ProcessId(0), ProcessId(2)));
+        assert!(!t.connects(ProcessId(1), ProcessId(0)));
+        assert!(t.connects(ProcessId(3), ProcessId(3)));
+        assert_eq!(t.required_len(), Some(4));
+    }
+
+    #[test]
+    fn complete_graph_topology_equals_complete_behaviour() {
+        let t = Topology::from(NetworkGraph::complete(5));
+        for a in 0..5 {
+            for b in 0..5 {
+                assert!(t.connects(ProcessId(a), ProcessId(b)));
+            }
+        }
+    }
+}

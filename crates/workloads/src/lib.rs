@@ -31,6 +31,7 @@
 //! gqs_sweep [--family complete|ring|oriented-ring|star|grid|two-cliques-bridge|random]
 //!           [--n LIST] [--density LIST] [--patterns rotating|random|adversarial]
 //!           [--pattern-count K] [--max-crashes K] [--p-chan LIST]
+//!           [--mode solvability|latency]
 //!           [--trials N] [--seed S] [--threads T] [--shard K]
 //!           [--format json|csv] [--out PATH]
 //! ```
@@ -40,8 +41,11 @@
 //! an inclusive range with optional step (`4..8`, `4..16:4`,
 //! `0.1..0.5:0.2`). The grid is the cross product of `--n`, `--density`
 //! and `--p-chan`; every cell runs `--trials` seeded trials measuring
-//! [`sweep::SCENARIO_METRICS`], and the JSON/CSV output contains no
-//! timing, so reports diff byte for byte.
+//! [`sweep::SCENARIO_METRICS`] (default mode) or — in `--mode latency` —
+//! simulating a flooded ABD register over the cell's topology and
+//! measuring [`sweep::LATENCY_METRICS`] (completion rate, operation
+//! latency, msgs/op). The JSON/CSV output contains no timing, so reports
+//! diff byte for byte.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -65,8 +65,9 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 
 use gqs_core::finder::{find_gqs, qs_plus_exists};
-use gqs_core::{FailProneSystem, NetworkGraph};
-use gqs_simnet::SplitMix64;
+use gqs_core::{majority_system, FailProneSystem, NetworkGraph, ProcessId};
+use gqs_registers::{abd_register_nodes, RegOp};
+use gqs_simnet::{FailureSchedule, Flood, SimConfig, SimTime, Simulation, SplitMix64, Topology};
 
 use crate::generators::{
     adversarial_fail_prone, grid_graph_n, oriented_ring, random_digraph, random_fail_prone, ring,
@@ -700,6 +701,90 @@ pub fn scenario_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
     ]
 }
 
+/// The metrics every protocol-latency trial reports, in row order:
+///
+/// * `completed` — fraction of the trial's operations that completed
+///   before quiescence/horizon (availability under the drawn pattern);
+/// * `lat_mean` — mean latency of the completed operations (simulated
+///   ticks; 0 when none completed);
+/// * `lat_max` — worst completed-operation latency in the trial;
+/// * `msgs_per_op` — delivered physical messages (flood relays included)
+///   divided by the number of invoked operations.
+///
+/// Per-cell quantiles of each metric come from the engine's
+/// [`QuantileSketch`], so e.g. the report's `lat_mean.p99` is the 99th
+/// percentile of per-trial mean latency. Simulations are deterministic in
+/// the per-trial seed, so latency reports diff byte for byte like
+/// solvability reports.
+pub const LATENCY_METRICS: &[&str] = &["completed", "lat_mean", "lat_max", "msgs_per_op"];
+
+/// Operations invoked per latency trial.
+const LATENCY_OPS: u64 = 6;
+/// Gap between successive invocations (ticks) — wide enough that ops
+/// mostly run uncontended under the default `[1, 10]` delay model.
+const LATENCY_OP_SPACING: u64 = 400;
+/// Hard stop per trial; stalled runs go quiescent long before this.
+const LATENCY_HORIZON: u64 = 100_000;
+
+/// Runs one protocol-latency trial: builds the cell's topology and
+/// fail-prone system exactly like [`scenario_trial`], then drives an
+/// ABD majority register wrapped in [`Flood`] over that topology — the
+/// paper's §5 transitivity construction operationalized — with the
+/// *first* drawn pattern's failures striking at time zero, and measures
+/// [`LATENCY_METRICS`].
+///
+/// Operations alternate writes and reads, round-robin over the pattern's
+/// correct processes. On topologies/patterns whose residual graph keeps
+/// the invoker connected to a majority, everything completes and the
+/// latency reflects the graph's hop structure (plus the `O(n²)` flooding
+/// cost in `msgs_per_op`); where the pattern severs too much, `completed`
+/// drops below 1 — the availability/latency trade-off of the classical
+/// quorum-system literature, measured per cell.
+pub fn latency_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
+    let g = cell.family.build(cell.n, cell.density, rng);
+    let fp = cell.patterns.build(&g, cell.p_chan, rng);
+    let sim_seed = rng.next_u64();
+    if fp.is_empty() {
+        return vec![0.0; LATENCY_METRICS.len()];
+    }
+    let pattern = fp.pattern(0);
+    let correct: Vec<ProcessId> = pattern.correct().iter().collect();
+    if correct.is_empty() {
+        return vec![0.0; LATENCY_METRICS.len()];
+    }
+    let qs = majority_system(cell.n).expect("majority system exists for n >= 1");
+    let nodes: Vec<Flood<_>> =
+        abd_register_nodes::<u8, u64>(cell.n, qs.reads().clone(), qs.writes().clone(), 0)
+            .into_iter()
+            .map(Flood::new)
+            .collect();
+    let cfg = SimConfig {
+        seed: sim_seed,
+        topology: Topology::from(g),
+        horizon: SimTime(LATENCY_HORIZON),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(cfg, nodes);
+    sim.apply_failures(&FailureSchedule::from_pattern_at(pattern, SimTime(0)));
+    for i in 0..LATENCY_OPS {
+        let p = correct[(i as usize) % correct.len()];
+        let at = SimTime(10 + i * LATENCY_OP_SPACING);
+        if i % 2 == 0 {
+            sim.invoke_at(at, p, RegOp::Write { reg: 0, value: i });
+        } else {
+            sim.invoke_at(at, p, RegOp::Read { reg: 0 });
+        }
+    }
+    sim.run_until_ops_complete();
+    let lats: Vec<u64> = sim.history().ops().iter().filter_map(|r| r.latency()).collect();
+    let completed = lats.len() as f64 / LATENCY_OPS as f64;
+    let lat_mean =
+        if lats.is_empty() { 0.0 } else { lats.iter().sum::<u64>() as f64 / lats.len() as f64 };
+    let lat_max = lats.iter().max().copied().unwrap_or(0) as f64;
+    let msgs_per_op = sim.stats().delivered as f64 / LATENCY_OPS as f64;
+    vec![completed, lat_mean, lat_max, msgs_per_op]
+}
+
 impl ScenarioGrid {
     /// Streams the grid through the engine.
     pub fn run(&self, opts: &SweepOptions) -> SweepReport {
@@ -710,6 +795,20 @@ impl ScenarioGrid {
             metrics: SCENARIO_METRICS,
         };
         run(&spec, opts, |cell, _t, rng| scenario_trial(cell, rng))
+    }
+
+    /// Streams the grid through the engine in protocol-latency mode
+    /// ([`latency_trial`] per trial, [`LATENCY_METRICS`] per cell). The
+    /// determinism contract is identical: aggregates are bit-identical
+    /// for any thread count.
+    pub fn run_latency(&self, opts: &SweepOptions) -> SweepReport {
+        let spec = SweepSpec {
+            cells: &self.cells,
+            trials: self.trials,
+            seed: self.seed,
+            metrics: LATENCY_METRICS,
+        };
+        run(&spec, opts, |cell, _t, rng| latency_trial(cell, rng))
     }
 }
 
@@ -1000,6 +1099,70 @@ mod tests {
         for bad in ["4.5..8", "-1..3", "4..8.5", "4..16:2.5"] {
             assert!(parse_usize_list(bad).is_err(), "{bad:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn latency_grid_measures_and_stays_deterministic() {
+        // Complete graph, rotating crashes, no channel failures: exactly
+        // one majority quorum survives pattern f0, so every op completes.
+        let grid = ScenarioGrid {
+            cells: vec![ScenarioCell {
+                family: TopologyFamily::Complete,
+                n: 4,
+                density: 1.0,
+                patterns: PatternFamily::Rotating,
+                p_chan: 0.0,
+            }],
+            trials: 6,
+            seed: 11,
+        };
+        let report = grid.run_latency(&SweepOptions::default());
+        assert!(report.complete);
+        assert_eq!(report.metrics, LATENCY_METRICS);
+        assert_eq!(report.agg(0, "completed").mean(), 1.0, "all ops must complete");
+        assert!(report.agg(0, "lat_mean").mean() > 0.0);
+        assert!(report.agg(0, "msgs_per_op").mean() > 0.0);
+        // The determinism contract holds in latency mode too.
+        let single = grid.run_latency(&SweepOptions { threads: Some(1), ..Default::default() });
+        let many = grid.run_latency(&SweepOptions {
+            threads: Some(3),
+            shard: Some(2),
+            ..Default::default()
+        });
+        assert_eq!(single, many);
+        assert_eq!(single, report);
+    }
+
+    #[test]
+    fn latency_on_sparse_topologies_costs_more_hops() {
+        // A ring forces multi-hop (flooded) quorum access: mean latency on
+        // ring(5) must exceed the complete graph's at equal n, and a star
+        // whose hub crashes (rotating pattern f0 crashes process 0 = hub)
+        // completes nothing.
+        let cell = |family| ScenarioCell {
+            family,
+            n: 5,
+            density: 1.0,
+            patterns: PatternFamily::Rotating,
+            p_chan: 0.0,
+        };
+        let grid = |family| ScenarioGrid { cells: vec![cell(family)], trials: 8, seed: 5 };
+        let complete = grid(TopologyFamily::Complete).run_latency(&SweepOptions::default());
+        let ring = grid(TopologyFamily::Ring).run_latency(&SweepOptions::default());
+        let star = grid(TopologyFamily::Star).run_latency(&SweepOptions::default());
+        assert_eq!(complete.agg(0, "completed").mean(), 1.0);
+        assert_eq!(ring.agg(0, "completed").mean(), 1.0, "ring minus one process stays connected");
+        assert!(
+            ring.agg(0, "lat_mean").mean() > complete.agg(0, "lat_mean").mean(),
+            "ring quorum access must pay for multi-hop flooding: {} vs {}",
+            ring.agg(0, "lat_mean").mean(),
+            complete.agg(0, "lat_mean").mean()
+        );
+        assert_eq!(
+            star.agg(0, "completed").mean(),
+            0.0,
+            "with the hub crashed, spokes cannot reach any quorum"
+        );
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! How solvability varies across network shapes: a streamed scenario
-//! grid over every topology family, under rotating crashes and under
-//! targeted adversarial cuts.
+//! How solvability — and protocol latency — vary across network shapes:
+//! a streamed scenario grid over every topology family, under rotating
+//! crashes and under targeted adversarial cuts, followed by a
+//! protocol-latency sweep that *simulates* a flooded ABD register on
+//! each shape.
 //!
 //! Run with:
 //!
@@ -56,6 +58,35 @@ fn main() {
         }
         println!("== {title}, {TRIALS} trials/cell ==\n{t}");
     }
+    // The latency face of the same grid: each trial simulates a flooded
+    // ABD majority register over the family's channels with the first
+    // rotating pattern's crash striking at time zero.
+    let grid = ScenarioGrid {
+        cells: families
+            .iter()
+            .map(|&family| ScenarioCell {
+                family,
+                n: 6,
+                density: 1.0,
+                patterns: PatternFamily::Rotating,
+                p_chan: 0.0,
+            })
+            .collect(),
+        trials: 32,
+        seed: 2025,
+    };
+    let report = grid.run_latency(&SweepOptions::default());
+    let mut t = Table::new(["topology (n=6)", "completed %", "mean latency", "p90 lat", "msgs/op"]);
+    for (i, cell) in grid.cells.iter().enumerate() {
+        t.row([
+            cell.family.name().to_string(),
+            format!("{:.0}%", 100.0 * report.agg(i, "completed").mean()),
+            format!("{:.0}", report.agg(i, "lat_mean").mean()),
+            format!("{:.0}", report.agg(i, "lat_mean").quantile(0.9)),
+            format!("{:.0}", report.agg(i, "msgs_per_op").mean()),
+        ]);
+    }
+    println!("== simulated ABD-over-Flood latency, rotating crash f0, 32 trials/cell ==\n{t}");
     println!("note: star scores 0 under rotating crashes — the pattern that");
     println!("crashes the hub leaves no strongly connected write quorum that");
     println!("others can reach, so no GQS exists. Redundant shapes (meshes,");
