@@ -26,7 +26,7 @@ use std::time::Instant;
 
 use gqs_workloads::sweep::{
     parse_f64_list, parse_usize_list, report_csv, report_json, PatternFamily, ScenarioCell,
-    ScenarioGrid, SweepOptions, TopologyFamily,
+    ScenarioGrid, ScheduleFamily, SweepOptions, TopologyFamily,
 };
 
 const USAGE: &str = "\
@@ -38,19 +38,28 @@ USAGE:
 GRID (each LIST is a value `6`, a comma list `4,6,8`, or an inclusive
 range `4..8` / `4..16:4` / `0.1..0.5:0.2` — float ranges need a step):
     --family <F>         topology family: complete|ring|oriented-ring|star|
-                         grid|two-cliques-bridge|random      [default: complete]
+                         grid|two-cliques-bridge|regions|random
+                                                             [default: complete]
     --n <LIST>           system sizes                        [default: 4]
     --density <LIST>     edge probability, random family only [default: 0.6]
+    --regions <R>        region count, regions family only    [default: 3]
     --patterns <P>       pattern family: rotating|random|adversarial
                                                              [default: rotating]
     --pattern-count <K>  patterns per system (random/adversarial) [default: 3]
     --max-crashes <K>    max crashes per pattern (random)     [default: 1]
     --p-chan <LIST>      channel-failure probabilities        [default: 0.2]
+    --schedule <LIST>    comma list of fault schedules for the simulated
+                         modes: static|region-outage|flapping-link|
+                         hub-crash|rolling-restart (solvability collapses
+                         the axis)                           [default: static]
 
 EXECUTION:
-    --mode <M>           solvability (decision procedures) or latency
+    --mode <M>           solvability (decision procedures), latency
                          (simulated flooded ABD register: completion rate,
-                         op latency, msgs/op)          [default: solvability]
+                         op latency, msgs/op) or consensus (simulated
+                         single-shot Figure-6 consensus: decided fraction,
+                         views and time to decide, decision latency over
+                         C x delta, msgs/op)           [default: solvability]
     --trials <N>         trials per cell                      [default: 100]
     --seed <S>           base seed                            [default: 42]
     --threads <T>        worker threads          [default: GQS_THREADS or auto]
@@ -63,15 +72,18 @@ OUTPUT:
 
 Aggregates per cell and metric: count, mean, min, max, p50/p90/p99
 (quantiles from a mergeable sketch, ~1.5% relative error). Metrics:
-gqs, qs_plus, gap, w_min, sccs_f0 (solvability) or completed, lat_mean,
-lat_max, msgs_per_op (latency) — all deterministic, so output is
-byte-identical across runs and thread counts.
+gqs, qs_plus, gap, w_min, sccs_f0 (solvability); completed, lat_mean,
+lat_max, msgs_per_op (latency); or decided, views, decide_lat,
+lat_over_cdelta, msgs_per_op (consensus) — all deterministic, so output
+is byte-identical across runs and thread counts.
 ";
 
 struct Args {
     family: TopologyFamily,
     ns: Vec<usize>,
     densities: Vec<f64>,
+    regions: usize,
+    schedules: Vec<ScheduleFamily>,
     pattern_kind: String,
     pattern_count: usize,
     max_crashes: usize,
@@ -90,6 +102,8 @@ fn parse_args() -> Result<Args, String> {
         family: TopologyFamily::Complete,
         ns: vec![4],
         densities: vec![0.6],
+        regions: 3,
+        schedules: vec![ScheduleFamily::Static],
         pattern_kind: "rotating".to_string(),
         pattern_count: 3,
         max_crashes: 1,
@@ -113,6 +127,15 @@ fn parse_args() -> Result<Args, String> {
             "--family" => args.family = value()?.parse()?,
             "--n" => args.ns = parse_usize_list(&value()?)?,
             "--density" => args.densities = parse_f64_list(&value()?)?,
+            "--regions" => {
+                args.regions = value()?.parse().map_err(|e| format!("bad region count: {e}"))?
+            }
+            "--schedule" => {
+                args.schedules = value()?
+                    .split(',')
+                    .map(|p| p.trim().parse::<ScheduleFamily>())
+                    .collect::<Result<Vec<_>, _>>()?
+            }
             "--patterns" => args.pattern_kind = value()?,
             "--pattern-count" => {
                 args.pattern_count = value()?.parse().map_err(|e| format!("bad count: {e}"))?
@@ -138,8 +161,20 @@ fn parse_args() -> Result<Args, String> {
     if args.pattern_count == 0 {
         return Err("--pattern-count must be at least 1".to_string());
     }
-    if !matches!(args.mode.as_str(), "solvability" | "latency") {
-        return Err(format!("unknown mode {:?} (expected solvability|latency)", args.mode));
+    if args.trials == 0 {
+        return Err("--trials must be at least 1 (an empty grid reports nothing)".to_string());
+    }
+    if args.regions == 0 {
+        return Err("--regions must be at least 1".to_string());
+    }
+    if args.schedules.is_empty() {
+        return Err("--schedule needs at least one family".to_string());
+    }
+    if !matches!(args.mode.as_str(), "solvability" | "latency" | "consensus") {
+        return Err(format!(
+            "unknown mode {:?} (expected solvability|latency|consensus)",
+            args.mode
+        ));
     }
     if !matches!(args.format.as_str(), "json" | "csv") {
         return Err(format!("unknown format {:?} (expected json|csv)", args.format));
@@ -160,20 +195,38 @@ fn build_grid(args: &Args) -> Result<ScenarioGrid, String> {
             ))
         }
     };
+    let family = match args.family {
+        TopologyFamily::Regions { .. } => TopologyFamily::Regions { regions: args.regions },
+        f => f,
+    };
     // Non-random families ignore density; collapse that axis so the grid
-    // has no duplicate cells.
-    let densities: &[f64] =
-        if args.family == TopologyFamily::Random { &args.densities } else { &[1.0] };
+    // has no duplicate cells. Solvability decides existence, not
+    // executions, so the schedule axis collapses there the same way.
+    let densities: &[f64] = if family == TopologyFamily::Random { &args.densities } else { &[1.0] };
+    let schedules: &[ScheduleFamily] =
+        if args.mode == "solvability" { &[ScheduleFamily::Static] } else { &args.schedules };
     let mut cells = Vec::new();
     for &n in &args.ns {
         if n < 2 {
             return Err(format!("--n values must be at least 2 (got {n})"));
         }
-        for &density in densities {
-            for &p_chan in &args.p_chans {
-                cells.push(ScenarioCell { family: args.family, n, density, patterns, p_chan });
+        if let TopologyFamily::Regions { regions } = family {
+            if n < regions {
+                return Err(format!(
+                    "--n {n} is smaller than --regions {regions} (every region needs a process)"
+                ));
             }
         }
+        for &density in densities {
+            for &p_chan in &args.p_chans {
+                for &schedule in schedules {
+                    cells.push(ScenarioCell { family, n, density, patterns, p_chan, schedule });
+                }
+            }
+        }
+    }
+    if cells.is_empty() {
+        return Err("the grid is empty: every axis needs at least one value".to_string());
     }
     Ok(ScenarioGrid { cells, trials: args.trials, seed: args.seed })
 }
@@ -195,7 +248,11 @@ fn main() {
     };
     let opts = SweepOptions { threads: args.threads, shard: args.shard, cancel: None };
     let start = Instant::now();
-    let report = if args.mode == "latency" { grid.run_latency(&opts) } else { grid.run(&opts) };
+    let report = match args.mode.as_str() {
+        "latency" => grid.run_latency(&opts),
+        "consensus" => grid.run_consensus(&opts),
+        _ => grid.run(&opts),
+    };
     let elapsed = start.elapsed();
     let total_trials = grid.trials * grid.cells.len();
     eprintln!(

@@ -29,7 +29,8 @@ use gqs_core::{FailProneSystem, NetworkGraph};
 use gqs_workloads::generators::{random_scenarios, trial_rng};
 use gqs_workloads::par;
 use gqs_workloads::sweep::{
-    self, MetricAgg, PatternFamily, ScenarioCell, ScenarioGrid, SweepOptions, TopologyFamily,
+    self, MetricAgg, PatternFamily, ScenarioCell, ScenarioGrid, ScheduleFamily, SweepOptions,
+    TopologyFamily,
 };
 
 /// The fixed ladder: (processes, patterns). Edge probability and failure
@@ -157,6 +158,7 @@ fn measure_sweep_engines() -> (usize, f64, f64) {
                 density: 1.0,
                 patterns: PatternFamily::Rotating,
                 p_chan: 0.1 * i as f64,
+                schedule: ScheduleFamily::Static,
             })
             .collect(),
         trials: 2_000,
@@ -193,6 +195,36 @@ fn measure_sweep_engines() -> (usize, f64, f64) {
         std::hint::black_box(aggs);
     });
     (trials, streamed_ns, materialized_ns)
+}
+
+/// Schedule-driven vs static latency trials: the same WAN grid simulated
+/// with the historical pattern-at-time-zero adversary and with the
+/// staggered region-outage fault script, single-threaded for stable
+/// numbers. Returns `(trials, static_ns_per_trial, outage_ns_per_trial)`
+/// — the per-trial cost of the `gqs_faults` path (script compilation +
+/// heal/recover event traffic) over the static path.
+fn measure_fault_schedule() -> (usize, f64, f64) {
+    let cell = |schedule| ScenarioCell {
+        family: TopologyFamily::Regions { regions: 3 },
+        n: 9,
+        density: 1.0,
+        patterns: PatternFamily::Rotating,
+        p_chan: 0.1,
+        schedule,
+    };
+    let trials = 256;
+    let time = |schedule| {
+        let grid = ScenarioGrid { cells: vec![cell(schedule)], trials, seed: SEED ^ 0xFA17 };
+        let opts = SweepOptions { threads: Some(1), ..SweepOptions::default() };
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            std::hint::black_box(grid.run_latency(&opts));
+            best = best.min(t0.elapsed().as_nanos() as f64 / trials as f64);
+        }
+        best
+    };
+    (trials, time(ScheduleFamily::Static), time(ScheduleFamily::RegionOutage))
 }
 
 fn main() {
@@ -259,6 +291,22 @@ fn main() {
         "    \"streamed_over_materialized\": {:.2}\n",
         streamed_ns / materialized_ns
     ));
+    json.push_str("  },\n");
+    eprintln!("measuring static vs schedule-driven latency trials ...");
+    let (fs_trials, static_ns, outage_ns) = measure_fault_schedule();
+    json.push_str("  \"fault_schedule\": {\n");
+    json.push_str(
+        "    \"note\": \"simulated latency trials on regions(3) n=9, rotating p_chan=0.1: \
+         static pattern-at-zero vs staggered region-outage script (gqs_faults); ns per trial, \
+         single-threaded\",\n",
+    );
+    json.push_str(&format!("    \"trials\": {fs_trials},\n"));
+    json.push_str(&format!("    \"static_ns_per_trial\": {},\n", json_escape_free(static_ns)));
+    json.push_str(&format!(
+        "    \"region_outage_ns_per_trial\": {},\n",
+        json_escape_free(outage_ns)
+    ));
+    json.push_str(&format!("    \"outage_over_static\": {:.2}\n", outage_ns / static_ns));
     json.push_str("  },\n");
     json.push_str("  \"small_n_fast_path\": {\n");
     json.push_str(

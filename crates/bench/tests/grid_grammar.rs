@@ -1,0 +1,92 @@
+//! Hardening tests for the `gqs_sweep` grid grammar and grid-shape
+//! validation: every malformed axis — reversed ranges, zero or negative
+//! steps, garbage values, empty/zero-trial grids — must exit with code 2
+//! and one clear line on stderr, never a panic and never silent empty
+//! output.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (Option<i32>, String) {
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_gqs_sweep")).args(args).output().expect("gqs_sweep runs");
+    (out.status.code(), String::from_utf8_lossy(&out.stderr).into_owned())
+}
+
+/// Asserts `args` fail with exit 2 and a single one-line `gqs_sweep:`
+/// error mentioning `needle` (no panic backtraces, no multi-line dumps).
+fn assert_clean_error(args: &[&str], needle: &str) {
+    let (code, stderr) = run(args);
+    assert_eq!(code, Some(2), "{args:?} must exit 2, stderr: {stderr}");
+    assert!(stderr.contains(needle), "{args:?}: stderr must mention {needle:?}, got: {stderr}");
+    assert!(!stderr.contains("panicked"), "{args:?} must not panic: {stderr}");
+    let error_lines: Vec<&str> = stderr.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(error_lines.len(), 1, "{args:?}: expected one error line, got: {stderr}");
+    assert!(error_lines[0].starts_with("gqs_sweep: "), "error line is prefixed: {stderr}");
+}
+
+#[test]
+fn reversed_integer_range_is_a_clear_error() {
+    assert_clean_error(&["--n", "16..4:4"], "reversed range");
+    assert_clean_error(&["--n", "8..4"], "reversed range");
+}
+
+#[test]
+fn reversed_float_range_is_a_clear_error() {
+    assert_clean_error(&["--p-chan", "0.5..0.1:0.1"], "reversed range");
+}
+
+#[test]
+fn zero_step_is_a_clear_error() {
+    assert_clean_error(&["--n", "4..16:0"], "zero step");
+    assert_clean_error(&["--p-chan", "0.1..0.5:0"], "non-positive step");
+}
+
+#[test]
+fn negative_step_is_a_clear_error() {
+    assert_clean_error(&["--n", "4..16:-4"], "negative value");
+    assert_clean_error(&["--p-chan", "0.1..0.5:-0.2"], "non-positive step");
+}
+
+#[test]
+fn stepless_float_range_is_a_clear_error() {
+    assert_clean_error(&["--p-chan", "0.1..0.5"], "needs a step");
+}
+
+#[test]
+fn absurdly_fine_float_step_is_rejected_not_hung() {
+    // A pathological step must not spin generating 10^300 grid points.
+    assert_clean_error(&["--p-chan", "0..1:1e-300"], "over a million points");
+}
+
+#[test]
+fn garbage_values_are_clear_errors() {
+    assert_clean_error(&["--n", ""], "bad integer");
+    assert_clean_error(&["--n", "4,,8"], "bad integer");
+    assert_clean_error(&["--p-chan", "0.1,zebra"], "bad number");
+    assert_clean_error(&["--n", "4.5..8"], "non-integer");
+}
+
+#[test]
+fn zero_trials_is_an_error_not_silent_empty_output() {
+    assert_clean_error(&["--trials", "0"], "--trials must be at least 1");
+}
+
+#[test]
+fn degenerate_grid_axes_are_errors() {
+    assert_clean_error(&["--n", "1"], "--n values must be at least 2");
+    assert_clean_error(&["--regions", "0"], "--regions must be at least 1");
+    assert_clean_error(
+        &["--family", "regions", "--regions", "5", "--n", "4"],
+        "every region needs a process",
+    );
+    assert_clean_error(&["--schedule", "meteor-strike"], "unknown schedule family");
+}
+
+#[test]
+fn well_formed_edge_ranges_still_parse() {
+    // The hardening must not reject legitimate degenerate-looking input.
+    let (code, _) = run(&["--n", "4..4", "--trials", "1", "--format", "csv"]);
+    assert_eq!(code, Some(0), "a single-point range is valid");
+    let (code, _) = run(&["--p-chan", "0.3..0.3:0.1", "--trials", "1", "--format", "csv"]);
+    assert_eq!(code, Some(0), "an on-boundary float range is valid");
+}

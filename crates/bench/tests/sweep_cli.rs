@@ -108,6 +108,62 @@ fn tiny_latency_grid_matches_golden_aggregate() {
     assert_eq!(single, golden, "--threads 1 latency output differs from golden");
 }
 
+/// The exact invocation `golden/tiny_consensus.json` was produced with:
+/// a 3-region WAN under a staggered region-outage schedule, in consensus
+/// mode.
+fn consensus_golden_args() -> Vec<&'static str> {
+    vec![
+        "--mode",
+        "consensus",
+        "--family",
+        "regions",
+        "--regions",
+        "3",
+        "--n",
+        "6",
+        "--patterns",
+        "rotating",
+        "--p-chan",
+        "0",
+        "--schedule",
+        "region-outage",
+        "--trials",
+        "4",
+        "--seed",
+        "13",
+        "--format",
+        "json",
+    ]
+}
+
+#[test]
+fn tiny_consensus_grid_matches_golden_aggregate() {
+    let golden = include_str!("../golden/tiny_consensus.json");
+    let run = |extra: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+            .args(consensus_golden_args())
+            .args(extra)
+            .output()
+            .expect("gqs_sweep runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).expect("output is UTF-8")
+    };
+    let got = run(&[]);
+    assert_eq!(
+        got, golden,
+        "consensus-mode output drifted from golden/tiny_consensus.json; if the \
+         change is intentional (e.g. a simulator, consensus or fault-script \
+         change shifting decisions), regenerate the golden file"
+    );
+    assert!(got.contains(
+        "\"metrics\": [\"decided\", \"views\", \"decide_lat\", \"lat_over_cdelta\", \"msgs_per_op\"]"
+    ));
+    assert!(got.contains("\"schedule\": \"region-outage\""));
+    // The determinism contract holds for simulated consensus trials too.
+    let single = run(&["--threads", "1"]);
+    assert_eq!(single, golden, "--threads 1 consensus output differs from golden");
+}
+
 #[test]
 fn unknown_mode_fails_cleanly() {
     let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
@@ -115,7 +171,7 @@ fn unknown_mode_fails_cleanly() {
         .output()
         .expect("gqs_sweep runs");
     assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("solvability|latency"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("solvability|latency|consensus"));
 }
 
 #[test]
@@ -165,7 +221,38 @@ fn csv_output_has_one_row_per_cell_metric() {
     let text = String::from_utf8(out.stdout).unwrap();
     // 2 n-values x 2 p-chan values x 5 metrics + header.
     assert_eq!(text.lines().count(), 1 + 2 * 2 * 5);
-    assert!(text.starts_with("family,n,density,patterns,p_chan,trials,metric,"));
+    assert!(text.starts_with("family,n,density,patterns,p_chan,schedule,trials,metric,"));
+}
+
+#[test]
+fn schedule_axis_multiplies_latency_cells() {
+    let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+        .args([
+            "--mode",
+            "latency",
+            "--family",
+            "ring",
+            "--n",
+            "4",
+            "--p-chan",
+            "0",
+            "--schedule",
+            "static,rolling-restart",
+            "--trials",
+            "2",
+            "--seed",
+            "3",
+            "--format",
+            "csv",
+        ])
+        .output()
+        .expect("gqs_sweep runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    // 2 schedules x 4 latency metrics + header.
+    assert_eq!(text.lines().count(), 1 + 2 * 4);
+    assert!(text.contains(",static,"));
+    assert!(text.contains(",rolling-restart,"));
 }
 
 #[test]

@@ -42,8 +42,8 @@ pub mod synchronizer;
 pub use protocol::{ConsensusMsg, ConsensusNode, Phase, ProposalMode};
 pub use synchronizer::{leader_of, view_overlaps, ViewSynchronizer, VIEW_TIMER};
 
-use gqs_core::{GeneralizedQuorumSystem, ProcessId};
-use gqs_simnet::Flood;
+use gqs_core::{majority_system, GeneralizedQuorumSystem, ProcessId};
+use gqs_simnet::{Flood, SimTime};
 use std::fmt::Debug;
 
 /// Builds one flooding-wrapped consensus node per process of a
@@ -69,4 +69,46 @@ where
             ))
         })
         .collect()
+}
+
+/// Builds one flooding-wrapped consensus node per process using the
+/// **majority** quorum system (reads = writes = any `⌈(n+1)/2⌉`-set) —
+/// the topology-agnostic configuration the sweep engine's consensus mode
+/// drives over arbitrary communication graphs.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `c == 0`.
+pub fn majority_consensus_nodes<V>(
+    n: usize,
+    c: u64,
+    mode: ProposalMode,
+) -> Vec<Flood<ConsensusNode<V>>>
+where
+    V: Clone + Debug + PartialEq,
+{
+    let qs = majority_system(n).expect("majority system exists for n >= 1");
+    (0..n)
+        .map(|p| {
+            Flood::new(ConsensusNode::new(
+                ProcessId(p),
+                n,
+                qs.reads().clone(),
+                qs.writes().clone(),
+                c,
+                mode,
+            ))
+        })
+        .collect()
+}
+
+/// A value-agnostic decision probe for harnesses that only need liveness
+/// figures: the `(view, decision time)` of a flooding-wrapped node, if it
+/// has decided — without reaching into protocol internals or naming the
+/// value type's contents.
+pub fn probe_decision<V>(node: &Flood<ConsensusNode<V>>) -> Option<(u64, SimTime)>
+where
+    V: Clone + Debug + PartialEq,
+{
+    node.inner().decision().map(|&(_, view, at)| (view, at))
 }

@@ -316,6 +316,17 @@ impl<V: Clone + Debug + PartialEq> Protocol for ConsensusNode<V> {
             None => self.waiting.push(op),
         }
     }
+
+    fn on_recover(&mut self, ctx: &mut Context<Self::Msg, Self::Resp>) {
+        // The crash cancelled the view timer, so the synchronizer would
+        // stay frozen in its pre-crash view forever. Rejoin by advancing
+        // to the next view — re-arming the timer and re-entering the
+        // protocol (pushing a fresh 1B in push mode). Views only grow, so
+        // Proposition 2's eventual-overlap argument still applies and a
+        // recovered process catches up with the decided value.
+        let view = self.sync.advance(ctx);
+        self.enter_view(view, ctx);
+    }
 }
 
 #[cfg(test)]

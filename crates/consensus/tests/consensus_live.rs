@@ -340,3 +340,35 @@ fn randomized_agreement_sweep() {
         check_consensus(&outcomes(&sim)).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
+
+/// The sweep-facing probes: `majority_consensus_nodes` builds a working
+/// majority-quorum system, recovered nodes re-arm their synchronizer
+/// (`on_recover`) and catch up to the decision, and `probe_decision`
+/// agrees with the node's own decision record.
+#[test]
+fn majority_nodes_decide_and_probe_matches_after_recovery() {
+    use gqs_consensus::{majority_consensus_nodes, probe_decision};
+    let n = 4;
+    let nodes = majority_consensus_nodes::<u64>(n, 50, ProposalMode::Push);
+    let mut sim = Simulation::new(ps_config(7, 500, 5), nodes);
+    // Process 3 is down during [100, 4000): it misses the decision and
+    // must catch up through recovered views.
+    let mut sched = FailureSchedule::none();
+    sched.crash(ProcessId(3), SimTime(100)).recover(ProcessId(3), SimTime(4_000));
+    sim.apply_failures(&sched);
+    for p in 0..3 {
+        sim.invoke_at(SimTime(10 + p as u64), ProcessId(p), 100 + p as u64);
+    }
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+    // Let the recovered process catch up.
+    sim.run_until(SimTime(500_000));
+    for p in 0..n {
+        let probed = probe_decision(sim.node(ProcessId(p)))
+            .unwrap_or_else(|| panic!("process {p} must decide (p=3 via recovery)"));
+        let &(_, view, at) = sim.node(ProcessId(p)).inner().decision().unwrap();
+        assert_eq!(probed, (view, at), "probe must mirror the decision record");
+    }
+    let vals: Vec<u64> =
+        (0..n).map(|p| sim.node(ProcessId(p)).inner().decision().unwrap().0).collect();
+    assert!(vals.windows(2).all(|w| w[0] == w[1]), "Agreement: {vals:?}");
+}

@@ -1,0 +1,278 @@
+//! The fault-script core: typed timeline events and their compilation to
+//! simulator schedules.
+
+use gqs_core::{Channel, FailurePattern, ProcessId};
+use gqs_simnet::{FailureSchedule, Protocol, SimTime, Simulation};
+
+/// One typed event on a fault timeline.
+///
+/// Channel events carry channel *sets* because realistic faults rarely
+/// strike one channel: a region outage is a whole inter-region cut going
+/// down at once.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Every channel in `channels` starts dropping sends at `at`.
+    CutDown {
+        /// The channels going down together.
+        channels: Vec<Channel>,
+        /// When the down interval opens.
+        at: SimTime,
+    },
+    /// Every channel in `channels` delivers sends again from `at` on.
+    CutHeal {
+        /// The channels healing together.
+        channels: Vec<Channel>,
+        /// When the down interval closes.
+        at: SimTime,
+    },
+    /// `process` stops taking steps at `at`.
+    Crash {
+        /// The crashing process.
+        process: ProcessId,
+        /// Crash time.
+        at: SimTime,
+    },
+    /// A crashed `process` rejoins at `at` (protocol state intact,
+    /// pre-crash timers cancelled, `on_recover` delivered).
+    Recover {
+        /// The recovering process.
+        process: ProcessId,
+        /// Recovery time.
+        at: SimTime,
+    },
+}
+
+impl FaultEvent {
+    /// The time this event fires.
+    pub fn at(&self) -> SimTime {
+        match self {
+            FaultEvent::CutDown { at, .. }
+            | FaultEvent::CutHeal { at, .. }
+            | FaultEvent::Crash { at, .. }
+            | FaultEvent::Recover { at, .. } => *at,
+        }
+    }
+}
+
+/// A declarative fault timeline: an ordered list of [`FaultEvent`]s.
+///
+/// Scripts are built with the fluent methods below (or the combinators in
+/// [`crate::scenarios`]) and compiled to a [`FailureSchedule`] with
+/// [`FaultScript::to_schedule`] — or applied directly to a running
+/// simulation with [`FaultScript::apply`]. Everything is plain data: a
+/// script is deterministic by construction, and two equal scripts produce
+/// bit-identical simulator traces under equal seeds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultScript {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultScript {
+    /// An empty script (no faults ever).
+    pub fn new() -> Self {
+        FaultScript::default()
+    }
+
+    /// A script replaying the paper's lower-bound adversary: all of
+    /// `pattern`'s crashes and disconnections strike at `at`, permanently.
+    pub fn from_pattern_at(pattern: &FailurePattern, at: SimTime) -> Self {
+        let mut s = FaultScript::new();
+        for p in pattern.faulty() {
+            s.crash(p, at);
+        }
+        s.cut_down(pattern.channels(), at);
+        s
+    }
+
+    /// The events, in insertion order. (The simulator orders same-time
+    /// events by scheduling order, so insertion order is the tie-break.)
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the script has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The time of the latest event ([`SimTime::ZERO`] when empty) — handy
+    /// for sizing run horizons.
+    pub fn end(&self) -> SimTime {
+        self.events.iter().map(FaultEvent::at).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Appends a [`FaultEvent::CutDown`] (skipped if `channels` is empty).
+    pub fn cut_down(
+        &mut self,
+        channels: impl IntoIterator<Item = Channel>,
+        at: SimTime,
+    ) -> &mut Self {
+        let channels: Vec<Channel> = channels.into_iter().collect();
+        if !channels.is_empty() {
+            self.events.push(FaultEvent::CutDown { channels, at });
+        }
+        self
+    }
+
+    /// Appends a [`FaultEvent::CutHeal`] (skipped if `channels` is empty).
+    pub fn cut_heal(
+        &mut self,
+        channels: impl IntoIterator<Item = Channel>,
+        at: SimTime,
+    ) -> &mut Self {
+        let channels: Vec<Channel> = channels.into_iter().collect();
+        if !channels.is_empty() {
+            self.events.push(FaultEvent::CutHeal { channels, at });
+        }
+        self
+    }
+
+    /// Cuts `channels` during the half-open window `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty (`until <= from`).
+    pub fn down_window(
+        &mut self,
+        channels: impl IntoIterator<Item = Channel>,
+        from: SimTime,
+        until: SimTime,
+    ) -> &mut Self {
+        assert!(from < until, "empty down window [{from:?}, {until:?})");
+        let channels: Vec<Channel> = channels.into_iter().collect();
+        self.cut_down(channels.iter().copied(), from);
+        self.cut_heal(channels, until)
+    }
+
+    /// Appends a [`FaultEvent::Crash`].
+    pub fn crash(&mut self, process: ProcessId, at: SimTime) -> &mut Self {
+        self.events.push(FaultEvent::Crash { process, at });
+        self
+    }
+
+    /// Appends a [`FaultEvent::Recover`].
+    pub fn recover(&mut self, process: ProcessId, at: SimTime) -> &mut Self {
+        self.events.push(FaultEvent::Recover { process, at });
+        self
+    }
+
+    /// Crashes `process` during `[from, until)`, then recovers it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty (`until <= from`).
+    pub fn crash_window(&mut self, process: ProcessId, from: SimTime, until: SimTime) -> &mut Self {
+        assert!(from < until, "empty crash window [{from:?}, {until:?})");
+        self.crash(process, from).recover(process, until)
+    }
+
+    /// Appends all of `other`'s events after this script's (timelines
+    /// compose; relative order only matters for same-instant events).
+    pub fn merge(&mut self, other: FaultScript) -> &mut Self {
+        self.events.extend(other.events);
+        self
+    }
+
+    /// Compiles the script to the simulator's event-schedule form.
+    pub fn to_schedule(&self) -> FailureSchedule {
+        let mut sched = FailureSchedule::none();
+        for ev in &self.events {
+            match ev {
+                FaultEvent::CutDown { channels, at } => {
+                    for &ch in channels {
+                        sched.disconnect(ch, *at);
+                    }
+                }
+                FaultEvent::CutHeal { channels, at } => {
+                    for &ch in channels {
+                        sched.heal(ch, *at);
+                    }
+                }
+                FaultEvent::Crash { process, at } => {
+                    sched.crash(*process, *at);
+                }
+                FaultEvent::Recover { process, at } => {
+                    sched.recover(*process, *at);
+                }
+            }
+        }
+        sched
+    }
+
+    /// Schedules every event of the script into `sim`.
+    pub fn apply<P: Protocol>(&self, sim: &mut Simulation<P>) {
+        sim.apply_failures(&self.to_schedule());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqs_core::{chan, pset, ProcessSet};
+
+    #[test]
+    fn fluent_builders_record_events_in_order() {
+        let mut s = FaultScript::new();
+        s.cut_down([chan!(0, 1)], SimTime(5))
+            .crash(ProcessId(2), SimTime(7))
+            .cut_heal([chan!(0, 1)], SimTime(9))
+            .recover(ProcessId(2), SimTime(11));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.end(), SimTime(11));
+        assert_eq!(s.events()[0].at(), SimTime(5));
+        assert!(matches!(s.events()[3], FaultEvent::Recover { process: ProcessId(2), .. }));
+    }
+
+    #[test]
+    fn empty_channel_sets_are_skipped() {
+        let mut s = FaultScript::new();
+        s.cut_down([], SimTime(1)).cut_heal([], SimTime(2));
+        assert!(s.is_empty());
+        assert_eq!(s.end(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn down_window_pairs_cut_and_heal() {
+        let mut s = FaultScript::new();
+        s.down_window([chan!(0, 1), chan!(1, 0)], SimTime(10), SimTime(20));
+        let sched = s.to_schedule();
+        assert_eq!(sched.disconnects().len(), 2);
+        assert_eq!(sched.heals().len(), 2);
+        assert!(sched.disconnects().iter().all(|&(_, at)| at == SimTime(10)));
+        assert!(sched.heals().iter().all(|&(_, at)| at == SimTime(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty down window")]
+    fn empty_window_rejected() {
+        FaultScript::new().down_window([chan!(0, 1)], SimTime(5), SimTime(5));
+    }
+
+    #[test]
+    fn from_pattern_at_matches_schedule_semantics() {
+        let faulty: ProcessSet = pset![1];
+        let pattern = FailurePattern::new(3, faulty, vec![chan!(0, 2)]).unwrap();
+        let s = FaultScript::from_pattern_at(&pattern, SimTime(3));
+        let sched = s.to_schedule();
+        assert_eq!(sched.crashes(), &[(ProcessId(1), SimTime(3))]);
+        assert_eq!(sched.disconnects(), &[(chan!(0, 2), SimTime(3))]);
+        assert!(sched.heals().is_empty(), "pattern strikes are permanent");
+        assert!(sched.recovers().is_empty());
+    }
+
+    #[test]
+    fn merge_concatenates_timelines() {
+        let mut a = FaultScript::new();
+        a.crash(ProcessId(0), SimTime(1));
+        let mut b = FaultScript::new();
+        b.recover(ProcessId(0), SimTime(2));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.end(), SimTime(2));
+    }
+}

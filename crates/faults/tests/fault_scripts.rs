@@ -1,0 +1,170 @@
+//! End-to-end fault-script runs: scripts compiled by `gqs_faults` drive
+//! the simulator, and the availability story they promise — blocked
+//! during the outage, restored after the heal — actually happens.
+
+use gqs_core::ProcessId;
+use gqs_faults::{regions, scenarios, FaultScript};
+use gqs_simnet::{
+    Context, Flood, OpId, Protocol, SimConfig, SimTime, Simulation, StopReason, TimerId, Topology,
+};
+
+/// Request/ack with retries every 40 ticks until acked — the minimal
+/// protocol that survives transient faults.
+#[derive(Default, Debug)]
+struct Retry {
+    pending: Option<(OpId, ProcessId)>,
+}
+
+#[derive(Clone, Debug)]
+enum Msg {
+    Req,
+    Ack,
+}
+
+impl Protocol for Retry {
+    type Msg = Msg;
+    type Op = ProcessId;
+    type Resp = ();
+
+    fn on_start(&mut self, _ctx: &mut Context<Msg, ()>) {}
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<Msg, ()>) {
+        match msg {
+            Msg::Req => ctx.send(from, Msg::Ack),
+            Msg::Ack => {
+                if let Some((op, _)) = self.pending.take() {
+                    ctx.complete(op, ());
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _id: TimerId, ctx: &mut Context<Msg, ()>) {
+        if let Some((_, target)) = self.pending {
+            ctx.send(target, Msg::Req);
+            ctx.set_timer(TimerId(0), 40);
+        }
+    }
+
+    fn on_invoke(&mut self, op: OpId, target: ProcessId, ctx: &mut Context<Msg, ()>) {
+        self.pending = Some((op, target));
+        ctx.send(target, Msg::Req);
+        ctx.set_timer(TimerId(0), 40);
+    }
+}
+
+fn wan_sim(r: usize, k: usize) -> (Simulation<Flood<Retry>>, gqs_faults::RegionLayout) {
+    let (graph, layout) = regions::regions(r, k);
+    let n = graph.len();
+    let cfg = SimConfig {
+        topology: Topology::from(graph),
+        horizon: SimTime(100_000),
+        ..SimConfig::default()
+    };
+    let nodes = (0..n).map(|_| Flood::new(Retry::default())).collect();
+    (Simulation::new(cfg, nodes), layout)
+}
+
+#[test]
+fn region_outage_blocks_cross_region_traffic_until_heal() {
+    let (mut sim, layout) = wan_sim(3, 3);
+    let graph = regions::regions(3, 3).0;
+    // Region 1 dark during [500, 3000).
+    let script = scenarios::region_outage(&layout, &graph, 1, SimTime(500), SimTime(3000));
+    script.apply(&mut sim);
+    let in_r0 = ProcessId(0);
+    let in_r1 = layout.gateway(1);
+    // Before the outage: cross-region op completes promptly.
+    let before = sim.invoke_at(SimTime(10), in_r0, in_r1);
+    // During: the op stalls until the heal, then the retry gets through.
+    let during = sim.invoke_at(SimTime(1000), in_r0, in_r1);
+    // After: back to normal.
+    let after = sim.invoke_at(SimTime(5000), in_r0, in_r1);
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+    let done = |op: OpId| {
+        sim.history()
+            .ops()
+            .iter()
+            .find(|r| r.id == op)
+            .and_then(|r| r.completed_at())
+            .expect("completed")
+    };
+    assert!(done(before) < SimTime(500), "pre-outage op completes before the cut");
+    assert!(done(during) >= SimTime(3000), "mid-outage op cannot complete before the heal");
+    assert!(done(after) < SimTime(6000), "post-heal traffic flows normally again");
+}
+
+#[test]
+fn intra_region_traffic_survives_the_outage() {
+    let (mut sim, layout) = wan_sim(3, 3);
+    let graph = regions::regions(3, 3).0;
+    scenarios::region_outage(&layout, &graph, 1, SimTime(500), SimTime(3000)).apply(&mut sim);
+    // Both endpoints inside the dark region: the island stays healthy.
+    let a = layout.gateway(1);
+    let b = ProcessId(a.index() + 1);
+    sim.invoke_at(SimTime(1000), a, b);
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+    let done = sim.history().ops()[0].completed_at().unwrap();
+    assert!(done < SimTime(1200), "intra-region traffic is unaffected, got {done:?}");
+}
+
+#[test]
+fn rolling_restart_leaves_everyone_alive_and_responsive() {
+    let (mut sim, _layout) = wan_sim(2, 3);
+    let script = scenarios::rolling_restart(6, SimTime(100), 200, 50);
+    let end = script.end();
+    script.apply(&mut sim);
+    // An op invoked after the whole roll completes normally.
+    sim.invoke_at(end + 100, ProcessId(0), ProcessId(5));
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+    for p in 0..6 {
+        assert!(!sim.is_crashed(ProcessId(p)), "process {p} must have recovered");
+    }
+}
+
+#[test]
+fn hub_crash_blacks_out_spokes_until_recovery() {
+    // A pure star: 1 hub + 3 spokes, every path goes through the hub.
+    let mut g = gqs_core::NetworkGraph::empty(4);
+    for i in 1..4 {
+        g.add_channel(gqs_core::Channel::new(ProcessId(0), ProcessId(i)));
+        g.add_channel(gqs_core::Channel::new(ProcessId(i), ProcessId(0)));
+    }
+    let cfg = SimConfig {
+        topology: Topology::from(g),
+        horizon: SimTime(100_000),
+        ..SimConfig::default()
+    };
+    let nodes = (0..4).map(|_| Flood::new(Retry::default())).collect();
+    let mut sim: Simulation<Flood<Retry>> = Simulation::new(cfg, nodes);
+    scenarios::hub_crash(ProcessId(0), SimTime(200), Some(SimTime(2000))).apply(&mut sim);
+    // Spoke-to-spoke traffic during the hub's downtime stalls, then heals.
+    sim.invoke_at(SimTime(500), ProcessId(1), ProcessId(2));
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+    let done = sim.history().ops()[0].completed_at().unwrap();
+    assert!(done >= SimTime(2000), "no spoke path exists while the hub is down, got {done:?}");
+}
+
+#[test]
+fn equal_scripts_produce_identical_traces() {
+    let build = || {
+        let (mut sim, layout) = wan_sim(3, 2);
+        let graph = regions::regions(3, 2).0;
+        let mut script = FaultScript::new();
+        script
+            .merge(scenarios::staggered_region_outages(&layout, &graph, SimTime(300), 400, 600))
+            .merge(scenarios::flapping_link(
+                &layout.cut(&graph, 0),
+                SimTime(2500),
+                100,
+                100,
+                SimTime(3000),
+            ));
+        script.apply(&mut sim);
+        sim.invoke_at(SimTime(50), ProcessId(0), ProcessId(5));
+        sim.invoke_at(SimTime(700), ProcessId(2), ProcessId(0));
+        sim.run();
+        (sim.stats(), sim.now())
+    };
+    assert_eq!(build(), build(), "same script + same seed = same trace");
+}

@@ -237,6 +237,14 @@ impl<S: Clone + Debug, U: Update<S>> QuorumAccess<S, U> for GeneralizedQaf<S, U>
         }
     }
 
+    fn on_recover<R>(&mut self, ctx: &mut Context<Self::Msg, R>) {
+        // The crash cancelled the periodic propagation; without re-arming
+        // it a recovered process would never push state again and every
+        // downstream read quorum through it would starve.
+        self.push_state(ctx);
+        ctx.set_timer(TICK_TIMER, self.tick_interval);
+    }
+
     fn start_get<R>(&mut self, token: u64, ctx: &mut Context<Self::Msg, R>) {
         // Lines 4-5: broadcast CLOCK_REQ.
         self.seq += 1;

@@ -65,6 +65,11 @@ pub trait QuorumAccess<S, U> {
     /// Forward of [`gqs_simnet::Protocol::on_timer`] for engine timers.
     fn on_timer<R>(&mut self, id: TimerId, ctx: &mut Context<Self::Msg, R>);
 
+    /// Forward of [`gqs_simnet::Protocol::on_recover`]: a crash cancels
+    /// the engine's timers, so timer-driven engines must re-arm here. The
+    /// default rejoins silently (right for request/response engines).
+    fn on_recover<R>(&mut self, _ctx: &mut Context<Self::Msg, R>) {}
+
     /// Begins a `quorum_get()`; completion arrives as
     /// [`QafEvent::GetDone`] with the same token.
     fn start_get<R>(&mut self, token: u64, ctx: &mut Context<Self::Msg, R>);

@@ -207,6 +207,10 @@ where
         self.engine.on_timer(id, ctx);
     }
 
+    fn on_recover(&mut self, ctx: &mut Context<Self::Msg, Self::Resp>) {
+        self.engine.on_recover(ctx);
+    }
+
     fn on_invoke(&mut self, op: OpId, body: Self::Op, ctx: &mut Context<Self::Msg, Self::Resp>) {
         let token = self.fresh_token();
         let phase = match body {

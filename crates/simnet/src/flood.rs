@@ -154,6 +154,14 @@ impl<P: Protocol> Protocol for Flood<P> {
         self.inner.on_invoke(op, body, &mut inner_ctx);
         self.translate(&mut inner_ctx, ctx);
     }
+
+    fn on_recover(&mut self, ctx: &mut Context<Self::Msg, Self::Resp>) {
+        // The dedup set survives the crash on purpose: envelopes relayed
+        // before the crash are not re-delivered to the inner protocol.
+        let mut inner_ctx = Self::inner_ctx(ctx);
+        self.inner.on_recover(&mut inner_ctx);
+        self.translate(&mut inner_ctx, ctx);
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +338,75 @@ mod tests {
         sim.run();
         assert_eq!(sim.node(ProcessId(2)).inner().received_from, vec![ProcessId(0)]);
         assert!(!sim.history().ops()[0].is_complete(), "no return path exists");
+    }
+
+    /// Like [`OneShot`] but re-sends its Hello every 30 ticks until acked
+    /// — the minimal protocol whose liveness survives a flapping link.
+    #[derive(Default, Debug)]
+    struct Retry {
+        pending: Option<(OpId, ProcessId)>,
+    }
+
+    impl Protocol for Retry {
+        type Msg = Msg;
+        type Op = ProcessId;
+        type Resp = ();
+
+        fn on_start(&mut self, _ctx: &mut Context<Msg, ()>) {}
+
+        fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<Msg, ()>) {
+            match msg {
+                Msg::Hello => ctx.send(from, Msg::Ack),
+                Msg::Ack => {
+                    if let Some((op, _)) = self.pending.take() {
+                        ctx.complete(op, ());
+                    }
+                }
+            }
+        }
+
+        fn on_timer(&mut self, _id: TimerId, ctx: &mut Context<Msg, ()>) {
+            if let Some((_, target)) = self.pending {
+                ctx.send(target, Msg::Hello);
+                ctx.set_timer(TimerId(0), 30);
+            }
+        }
+
+        fn on_invoke(&mut self, op: OpId, target: ProcessId, ctx: &mut Context<Msg, ()>) {
+            self.pending = Some((op, target));
+            ctx.send(target, Msg::Hello);
+            ctx.set_timer(TimerId(0), 30);
+        }
+    }
+
+    /// Regression for healed-channel accounting: sends through a down
+    /// interval count as `dropped_disconnected`, and a retrying flood over
+    /// the flapping link *eventually delivers* once the link heals.
+    #[test]
+    fn flood_over_a_flapping_link_eventually_delivers_post_heal() {
+        use crate::topology::Topology;
+        use gqs_core::NetworkGraph;
+        // Line topology 0 <-> 1 <-> 2: every path from 0 runs over (0,1).
+        let mut g = NetworkGraph::empty(3);
+        for (a, b) in [(0, 1), (1, 0), (1, 2), (2, 1)] {
+            g.add_channel(Channel::new(ProcessId(a), ProcessId(b)));
+        }
+        let cfg = SimConfig { topology: Topology::from(g), ..SimConfig::default() };
+        let nodes = (0..3).map(|_| Flood::new(Retry::default())).collect();
+        let mut sim = Simulation::new(cfg, nodes);
+        // (0,1) is down during [0, 100): the first retries all drop.
+        let ch = Channel::new(ProcessId(0), ProcessId(1));
+        let mut sched = FailureSchedule::none();
+        sched.disconnect(ch, SimTime::ZERO).heal(ch, SimTime(100));
+        sim.apply_failures(&sched);
+        sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(2));
+        let reason = sim.run_until_ops_complete();
+        assert_eq!(reason, StopReason::OpsComplete, "the op must complete after the heal");
+        let done = sim.history().ops()[0].completed_at().unwrap();
+        assert!(done >= SimTime(100), "completion cannot precede the heal, got {done:?}");
+        let stats = sim.stats();
+        assert!(stats.dropped_disconnected > 0, "in-window sends must be counted as dropped");
+        assert!(stats.delivered > 0, "post-heal sends must be delivered");
     }
 
     #[test]

@@ -169,6 +169,13 @@ pub trait Protocol {
     /// Called when a client invokes an operation at this process. The
     /// protocol completes it later via [`Context::complete`].
     fn on_invoke(&mut self, op: OpId, body: Self::Op, ctx: &mut Context<Self::Msg, Self::Resp>);
+
+    /// Called when this process recovers from a crash (a scheduled
+    /// [`crate::FailureSchedule::recover`]). State survives the crash;
+    /// timers armed before it do not, and messages that arrived while
+    /// down were lost. The default rejoins silently — override to re-arm
+    /// timers or re-announce state.
+    fn on_recover(&mut self, _ctx: &mut Context<Self::Msg, Self::Resp>) {}
 }
 
 #[cfg(test)]

@@ -4,9 +4,16 @@
 //! with the failure semantics of the paper's model (§2):
 //!
 //! * **Crashes** — a crashed process takes no further steps; messages to it
-//!   are dropped. Messages it sent while alive stay in flight.
-//! * **Disconnections** — from its disconnection time on, a channel drops
-//!   every message *sent* through it; messages sent earlier are delivered.
+//!   are dropped. Messages it sent while alive stay in flight. A crash may
+//!   be followed by a scheduled **recovery**: the process rejoins with its
+//!   protocol state intact (`on_recover` is delivered; the default rejoins
+//!   silently), timers armed before the crash are cancelled, and messages
+//!   that arrived while it was down are lost.
+//! * **Disconnections** — channels fail in **intervals**: from a
+//!   disconnection time until the matching heal (if any), a channel drops
+//!   every message *sent* through it; messages sent earlier — or after the
+//!   heal — are delivered. A disconnection with no heal is the paper's
+//!   permanent channel fault.
 //! * **Topology** — the communication graph ([`Topology`], default
 //!   complete); a send over a channel the graph does not contain behaves
 //!   like a send over a channel disconnected at time zero.
@@ -141,14 +148,22 @@ impl Default for SimConfig {
     }
 }
 
-/// When each failure of a pattern strikes during a run.
+/// When each failure of a pattern strikes — and, optionally, heals —
+/// during a run.
 ///
 /// The fail-prone system says *what may fail*; a schedule decides *when* it
-/// does in one particular execution.
+/// does in one particular execution. Beyond the paper's permanent faults,
+/// a schedule may also contain **heals** (a disconnected channel resumes
+/// delivering messages sent from the heal time on) and **recoveries** (a
+/// crashed process rejoins; see [`crate::Protocol::on_recover`]). The
+/// `gqs_faults` crate compiles declarative fault scripts — region outages,
+/// flapping links, rolling restarts — down to this type.
 #[derive(Clone, Debug, Default)]
 pub struct FailureSchedule {
     crashes: Vec<(ProcessId, SimTime)>,
     disconnects: Vec<(Channel, SimTime)>,
+    heals: Vec<(Channel, SimTime)>,
+    recovers: Vec<(ProcessId, SimTime)>,
 }
 
 impl FailureSchedule {
@@ -195,6 +210,22 @@ impl FailureSchedule {
         self
     }
 
+    /// Adds a channel heal: from `at` on, messages sent through `ch` are
+    /// delivered again (a no-op if the channel is up at `at`).
+    pub fn heal(&mut self, ch: Channel, at: SimTime) -> &mut Self {
+        self.heals.push((ch, at));
+        self
+    }
+
+    /// Adds a process recovery: at `at`, a crashed `p` rejoins with its
+    /// protocol state intact (a no-op if `p` is alive at `at`). Timers
+    /// armed before the crash stay cancelled; the protocol's `on_recover`
+    /// hook runs at the recovery instant.
+    pub fn recover(&mut self, p: ProcessId, at: SimTime) -> &mut Self {
+        self.recovers.push((p, at));
+        self
+    }
+
     /// Scheduled crashes.
     pub fn crashes(&self) -> &[(ProcessId, SimTime)] {
         &self.crashes
@@ -204,16 +235,61 @@ impl FailureSchedule {
     pub fn disconnects(&self) -> &[(Channel, SimTime)] {
         &self.disconnects
     }
+
+    /// Scheduled channel heals.
+    pub fn heals(&self) -> &[(Channel, SimTime)] {
+        &self.heals
+    }
+
+    /// Scheduled process recoveries.
+    pub fn recovers(&self) -> &[(ProcessId, SimTime)] {
+        &self.recovers
+    }
+
+    /// Whether the schedule contains no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.disconnects.is_empty()
+            && self.heals.is_empty()
+            && self.recovers.is_empty()
+    }
 }
 
 #[derive(Debug)]
 enum EventKind<M, O> {
-    Start { process: ProcessId },
-    Deliver { from: ProcessId, to: ProcessId, msg: M },
-    Timer { process: ProcessId, id: TimerId },
-    Invoke { process: ProcessId, op: OpId, body: O },
-    Crash { process: ProcessId },
-    Disconnect { channel: Channel },
+    Start {
+        process: ProcessId,
+    },
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+    /// `epoch` is the arming process's crash epoch at `SetTimer` time: a
+    /// crash bumps the epoch, so timers armed before a crash never fire
+    /// after a recovery.
+    Timer {
+        process: ProcessId,
+        id: TimerId,
+        epoch: u64,
+    },
+    Invoke {
+        process: ProcessId,
+        op: OpId,
+        body: O,
+    },
+    Crash {
+        process: ProcessId,
+    },
+    Recover {
+        process: ProcessId,
+    },
+    Disconnect {
+        channel: Channel,
+    },
+    Heal {
+        channel: Channel,
+    },
 }
 
 #[derive(Debug)]
@@ -267,8 +343,19 @@ pub struct Simulation<P: Protocol> {
     queue: BinaryHeap<Reverse<QueuedEvent<P::Msg, P::Op>>>,
     seq: u64,
     now: SimTime,
-    crashed_at: Vec<Option<SimTime>>,
-    disconnected_at: HashMap<Channel, SimTime>,
+    /// Per-process liveness; toggled by `Crash`/`Recover` events, so it
+    /// always reflects the state at the current virtual instant.
+    crashed: Vec<bool>,
+    /// Bumped on every crash; cancels timers armed in earlier epochs.
+    crash_epoch: Vec<u64>,
+    /// Per-channel count of down intervals covering the current instant.
+    /// The interval *set* of a run is realized incrementally: each
+    /// `Disconnect` opens an interval (+1), each `Heal` closes one (−1,
+    /// saturating), and because events are processed in time order a
+    /// channel is down exactly while some interval covers `now` — so
+    /// overlapping windows compose by union (a shared channel only comes
+    /// back up when *every* covering window has healed).
+    down: HashMap<Channel, u32>,
     history: History<P::Op, P::Resp>,
     stats: NetStats,
     next_op: u64,
@@ -301,8 +388,9 @@ impl<P: Protocol> Simulation<P> {
             queue: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
-            crashed_at: vec![None; n],
-            disconnected_at: HashMap::new(),
+            crashed: vec![false; n],
+            crash_epoch: vec![0; n],
+            down: HashMap::new(),
             history: History::new(),
             stats: NetStats::default(),
             next_op: 0,
@@ -345,12 +433,19 @@ impl<P: Protocol> Simulation<P> {
         self.stats
     }
 
-    /// Whether `p` has crashed (at or before the current time).
+    /// Whether `p` is crashed at the current virtual instant.
     pub fn is_crashed(&self, p: ProcessId) -> bool {
-        matches!(self.crashed_at[p.index()], Some(t) if t <= self.now)
+        self.crashed[p.index()]
     }
 
-    /// Schedules all failures in `schedule`.
+    /// Whether `ch` is inside a down interval at the current instant (a
+    /// channel absent from the topology is *not* reported here — it never
+    /// existed, so it has no intervals).
+    pub fn is_disconnected(&self, ch: Channel) -> bool {
+        self.down.contains_key(&ch)
+    }
+
+    /// Schedules all failures (and heals/recoveries) in `schedule`.
     pub fn apply_failures(&mut self, schedule: &FailureSchedule) {
         for &(p, at) in schedule.crashes() {
             assert!(p.index() < self.len(), "crash target out of range");
@@ -359,6 +454,14 @@ impl<P: Protocol> Simulation<P> {
         for &(ch, at) in schedule.disconnects() {
             assert!(ch.to.index() < self.len() && ch.from.index() < self.len());
             self.push(at, EventKind::Disconnect { channel: ch });
+        }
+        for &(ch, at) in schedule.heals() {
+            assert!(ch.to.index() < self.len() && ch.from.index() < self.len());
+            self.push(at, EventKind::Heal { channel: ch });
+        }
+        for &(p, at) in schedule.recovers() {
+            assert!(p.index() < self.len(), "recovery target out of range");
+            self.push(at, EventKind::Recover { process: p });
         }
     }
 
@@ -445,8 +548,10 @@ impl<P: Protocol> Simulation<P> {
                     self.apply_effects(to, ctx);
                 }
             }
-            EventKind::Timer { process, id } => {
-                if !self.is_crashed(process) {
+            EventKind::Timer { process, id, epoch } => {
+                // A timer armed before a crash is cancelled by the epoch
+                // bump even if the process has since recovered.
+                if !self.is_crashed(process) && epoch == self.crash_epoch[process.index()] {
                     self.stats.timers_fired += 1;
                     let mut ctx = self.ctx(process);
                     self.nodes[process.index()].on_timer(id, &mut ctx);
@@ -466,10 +571,32 @@ impl<P: Protocol> Simulation<P> {
                 }
             }
             EventKind::Crash { process } => {
-                self.crashed_at[process.index()].get_or_insert(self.now);
+                let i = process.index();
+                if !self.crashed[i] {
+                    self.crashed[i] = true;
+                    // Cancel every timer armed before (or at) the crash.
+                    self.crash_epoch[i] += 1;
+                }
+            }
+            EventKind::Recover { process } => {
+                let i = process.index();
+                if self.crashed[i] {
+                    self.crashed[i] = false;
+                    let mut ctx = self.ctx(process);
+                    self.nodes[i].on_recover(&mut ctx);
+                    self.apply_effects(process, ctx);
+                }
             }
             EventKind::Disconnect { channel } => {
-                self.disconnected_at.entry(channel).or_insert(self.now);
+                *self.down.entry(channel).or_insert(0) += 1;
+            }
+            EventKind::Heal { channel } => {
+                if let Some(count) = self.down.get_mut(&channel) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.down.remove(&channel);
+                    }
+                }
             }
         }
         true
@@ -490,13 +617,11 @@ impl<P: Protocol> Simulation<P> {
                     self.stats.sent += 1;
                     // A channel outside the topology is a channel
                     // disconnected at time zero; a scheduled disconnection
-                    // kicks in from its time on. Self-sends skip both.
+                    // drops sends until (if ever) the channel heals.
+                    // Self-sends skip both.
                     let dropped = to != me
                         && (!self.config.topology.connects(me, to)
-                            || matches!(
-                                self.disconnected_at.get(&Channel::new(me, to)),
-                                Some(&t) if t <= self.now
-                            ));
+                            || self.down.contains_key(&Channel::new(me, to)));
                     if dropped {
                         self.stats.dropped_disconnected += 1;
                     } else {
@@ -510,7 +635,8 @@ impl<P: Protocol> Simulation<P> {
                     // the event loop without virtual time advancing
                     // (message delays are already validated >= 1).
                     let after = self.drifted(after.max(1));
-                    self.push(self.now + after, EventKind::Timer { process: me, id });
+                    let epoch = self.crash_epoch[me.index()];
+                    self.push(self.now + after, EventKind::Timer { process: me, id, epoch });
                 }
                 Effect::Complete { op, resp } => {
                     self.history.record_completion(op, self.now, resp);
@@ -691,6 +817,167 @@ mod tests {
         sim.run();
         assert!(sim.history().ops()[0].is_complete());
         assert_eq!(sim.stats().dropped_disconnected, 0);
+    }
+
+    #[test]
+    fn down_interval_drops_inside_and_delivers_after_heal() {
+        // The acceptance shape for interval faults: channel (0,1) is down
+        // during [3, 20) — a send in that window drops, a send after the
+        // heal is delivered and the op completes.
+        let mut sim = two_nodes();
+        let ch = Channel::new(ProcessId(0), ProcessId(1));
+        let mut sched = FailureSchedule::none();
+        sched.disconnect(ch, SimTime(3)).heal(ch, SimTime(20));
+        sim.apply_failures(&sched);
+        sim.invoke_at(SimTime(5), ProcessId(0), ProcessId(1)); // PING dropped
+        sim.invoke_at(SimTime(25), ProcessId(0), ProcessId(1)); // delivered
+        sim.run();
+        assert_eq!(sim.stats().dropped_disconnected, 1);
+        assert!(!sim.history().ops()[0].is_complete(), "the in-window send must drop");
+        assert!(sim.history().ops()[1].is_complete(), "the post-heal send must deliver");
+    }
+
+    #[test]
+    fn flapping_channel_alternates_drop_and_deliver() {
+        // Fixed 1-tick delays: each op's round trip finishes before the
+        // next invocation, so completions map 1:1 to invocations.
+        let cfg =
+            SimConfig { delay: DelayModel::Uniform { min: 1, max: 1 }, ..SimConfig::default() };
+        let mut sim = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
+        let ch = Channel::new(ProcessId(0), ProcessId(1));
+        let mut sched = FailureSchedule::none();
+        // Down intervals [10, 20) and [30, 40).
+        sched.disconnect(ch, SimTime(10)).heal(ch, SimTime(20));
+        sched.disconnect(ch, SimTime(30)).heal(ch, SimTime(40));
+        sim.apply_failures(&sched);
+        for at in [5u64, 15, 25, 35, 45] {
+            sim.invoke_at(SimTime(at), ProcessId(0), ProcessId(1));
+        }
+        sim.run();
+        let complete: Vec<bool> = sim.history().ops().iter().map(|r| r.is_complete()).collect();
+        assert_eq!(complete, vec![true, false, true, false, true]);
+        assert_eq!(sim.stats().dropped_disconnected, 2);
+    }
+
+    #[test]
+    fn overlapping_down_windows_compose_by_union() {
+        // Windows [10, 30) and [20, 50) on the same channel (the shape a
+        // staggered region outage produces on a shared bridge): the first
+        // heal at 30 must NOT bring the channel up — the second window
+        // still covers it until 50.
+        let cfg =
+            SimConfig { delay: DelayModel::Uniform { min: 1, max: 1 }, ..SimConfig::default() };
+        let mut sim = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
+        let ch = Channel::new(ProcessId(0), ProcessId(1));
+        let mut sched = FailureSchedule::none();
+        sched.disconnect(ch, SimTime(10)).heal(ch, SimTime(30));
+        sched.disconnect(ch, SimTime(20)).heal(ch, SimTime(50));
+        sim.apply_failures(&sched);
+        for at in [5u64, 35, 55] {
+            sim.invoke_at(SimTime(at), ProcessId(0), ProcessId(1));
+        }
+        sim.run();
+        let complete: Vec<bool> = sim.history().ops().iter().map(|r| r.is_complete()).collect();
+        assert_eq!(complete, vec![true, false, true], "t=35 is inside the union [10, 50)");
+    }
+
+    #[test]
+    fn recovered_process_receives_again() {
+        let cfg =
+            SimConfig { delay: DelayModel::Uniform { min: 1, max: 1 }, ..SimConfig::default() };
+        let mut sim = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
+        let mut sched = FailureSchedule::none();
+        sched.crash(ProcessId(1), SimTime(2)).recover(ProcessId(1), SimTime(10));
+        sim.apply_failures(&sched);
+        sim.invoke_at(SimTime(5), ProcessId(0), ProcessId(1)); // arrives t=6, down
+        sim.invoke_at(SimTime(20), ProcessId(0), ProcessId(1)); // after recovery
+        sim.run();
+        assert_eq!(sim.stats().dropped_crashed, 1, "the mid-crash arrival is lost");
+        assert!(!sim.history().ops()[0].is_complete());
+        assert!(sim.history().ops()[1].is_complete(), "the recovered process answers again");
+        assert!(!sim.is_crashed(ProcessId(1)));
+    }
+
+    /// Arms one timer at start; counts recoveries and fires separately
+    /// for timers armed before the crash vs in `on_recover`.
+    #[derive(Default, Debug)]
+    struct RecoverProbe {
+        pre_fired: u64,
+        post_fired: u64,
+        recovered: u64,
+    }
+
+    impl Protocol for RecoverProbe {
+        type Msg = ();
+        type Op = ();
+        type Resp = ();
+
+        fn on_start(&mut self, ctx: &mut Context<(), ()>) {
+            ctx.set_timer(TimerId(0), 10);
+        }
+
+        fn on_message(&mut self, _from: ProcessId, _msg: (), _ctx: &mut Context<(), ()>) {}
+
+        fn on_timer(&mut self, id: TimerId, _ctx: &mut Context<(), ()>) {
+            if id == TimerId(0) {
+                self.pre_fired += 1;
+            } else {
+                self.post_fired += 1;
+            }
+        }
+
+        fn on_invoke(&mut self, _op: OpId, _body: (), _ctx: &mut Context<(), ()>) {}
+
+        fn on_recover(&mut self, ctx: &mut Context<(), ()>) {
+            self.recovered += 1;
+            ctx.set_timer(TimerId(1), 5);
+        }
+    }
+
+    #[test]
+    fn crash_cancels_timers_and_recovery_rearms() {
+        // Timer armed at t=0 for t=10; crash at 4, recover at 8. The
+        // pre-crash timer must NOT fire at t=10 even though the process is
+        // alive again — its epoch died with the crash. The timer armed in
+        // on_recover (t=8 + 5) fires normally.
+        let mut sim = Simulation::new(SimConfig::default(), vec![RecoverProbe::default()]);
+        let mut sched = FailureSchedule::none();
+        sched.crash(ProcessId(0), SimTime(4)).recover(ProcessId(0), SimTime(8));
+        sim.apply_failures(&sched);
+        sim.run();
+        let node = sim.node(ProcessId(0));
+        assert_eq!(node.recovered, 1);
+        assert_eq!(node.pre_fired, 0, "pre-crash timers stay cancelled after recovery");
+        assert_eq!(node.post_fired, 1, "timers armed in on_recover fire");
+    }
+
+    #[test]
+    fn heal_of_up_channel_and_recovery_of_live_process_are_noops() {
+        let mut sim = two_nodes();
+        let mut sched = FailureSchedule::none();
+        sched.heal(Channel::new(ProcessId(0), ProcessId(1)), SimTime(1));
+        sched.recover(ProcessId(0), SimTime(2));
+        sim.apply_failures(&sched);
+        sim.invoke_at(SimTime(5), ProcessId(0), ProcessId(1));
+        assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+        assert_eq!(sim.stats().dropped_disconnected, 0);
+    }
+
+    #[test]
+    fn heal_cannot_resurrect_an_absent_topology_channel() {
+        use gqs_core::NetworkGraph;
+        // (1,0) is not in the topology; "healing" it must not create it.
+        let mut g = NetworkGraph::empty(2);
+        g.add_channel(Channel::new(ProcessId(0), ProcessId(1)));
+        let cfg = SimConfig { topology: g.into(), ..SimConfig::default() };
+        let mut sim = Simulation::new(cfg, vec![PingPong::default(), PingPong::default()]);
+        let mut sched = FailureSchedule::none();
+        sched.heal(Channel::new(ProcessId(1), ProcessId(0)), SimTime(1));
+        sim.apply_failures(&sched);
+        sim.invoke_at(SimTime(5), ProcessId(0), ProcessId(1));
+        sim.run();
+        assert!(!sim.history().ops()[0].is_complete(), "the PONG has no channel to return on");
+        assert_eq!(sim.stats().dropped_disconnected, 1);
     }
 
     #[test]

@@ -36,7 +36,8 @@ use crate::generators::{
 };
 use crate::par;
 use crate::sweep::{
-    self, PatternFamily, ScenarioCell, ScenarioGrid, SweepOptions, SweepSpec, TopologyFamily,
+    self, PatternFamily, ScenarioCell, ScenarioGrid, ScheduleFamily, SweepOptions, SweepSpec,
+    TopologyFamily,
 };
 use crate::table::stats::mean;
 use crate::table::Table;
@@ -981,6 +982,7 @@ pub fn e11_gqs_vs_qs_plus() -> ExperimentReport {
             density: 1.0,
             patterns: PatternFamily::Random { patterns: 3, max_crashes: 2 },
             p_chan: 0.6,
+            schedule: ScheduleFamily::Static,
         }],
         trials: 300,
         seed: 106,
@@ -998,6 +1000,7 @@ pub fn e11_gqs_vs_qs_plus() -> ExperimentReport {
                 density: 1.0,
                 patterns: PatternFamily::Rotating,
                 p_chan,
+                schedule: ScheduleFamily::Static,
             })
             .collect(),
         trials: 2_000,

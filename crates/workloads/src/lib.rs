@@ -28,10 +28,12 @@
 //! exposes the engine on the command line:
 //!
 //! ```text
-//! gqs_sweep [--family complete|ring|oriented-ring|star|grid|two-cliques-bridge|random]
-//!           [--n LIST] [--density LIST] [--patterns rotating|random|adversarial]
+//! gqs_sweep [--family complete|ring|oriented-ring|star|grid|two-cliques-bridge|regions|random]
+//!           [--n LIST] [--density LIST] [--regions R]
+//!           [--patterns rotating|random|adversarial]
 //!           [--pattern-count K] [--max-crashes K] [--p-chan LIST]
-//!           [--mode solvability|latency]
+//!           [--schedule static|region-outage|flapping-link|hub-crash|rolling-restart,...]
+//!           [--mode solvability|latency|consensus]
 //!           [--trials N] [--seed S] [--threads T] [--shard K]
 //!           [--format json|csv] [--out PATH]
 //! ```
@@ -39,13 +41,16 @@
 //! where `LIST` is the grid grammar of [`sweep::parse_usize_list`] /
 //! [`sweep::parse_f64_list`]: a value (`6`), a comma list (`4,6,8`), or
 //! an inclusive range with optional step (`4..8`, `4..16:4`,
-//! `0.1..0.5:0.2`). The grid is the cross product of `--n`, `--density`
-//! and `--p-chan`; every cell runs `--trials` seeded trials measuring
-//! [`sweep::SCENARIO_METRICS`] (default mode) or — in `--mode latency` —
-//! simulating a flooded ABD register over the cell's topology and
-//! measuring [`sweep::LATENCY_METRICS`] (completion rate, operation
-//! latency, msgs/op). The JSON/CSV output contains no timing, so reports
-//! diff byte for byte.
+//! `0.1..0.5:0.2`). The grid is the cross product of `--n`, `--density`,
+//! `--p-chan` and `--schedule`; every cell runs `--trials` seeded trials
+//! measuring [`sweep::SCENARIO_METRICS`] (default mode), or simulates per
+//! trial — under the cell's [`sweep::ScheduleFamily`] fault timeline — a
+//! flooded ABD register (`--mode latency`, [`sweep::LATENCY_METRICS`]:
+//! completion rate, operation latency, msgs/op) or a single-shot
+//! Figure-6 consensus run (`--mode consensus`,
+//! [`sweep::CONSENSUS_METRICS`]: decided fraction, views and time to
+//! decide, decision latency over `C × δ`, msgs/proposal). The JSON/CSV
+//! output contains no timing, so reports diff byte for byte.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

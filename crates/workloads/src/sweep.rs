@@ -64,10 +64,12 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 
+use gqs_consensus::{majority_consensus_nodes, ProposalMode};
 use gqs_core::finder::{find_gqs, qs_plus_exists};
-use gqs_core::{majority_system, FailProneSystem, NetworkGraph, ProcessId};
+use gqs_core::{majority_system, FailProneSystem, FailurePattern, NetworkGraph, ProcessId};
+use gqs_faults::{scenarios, FaultScript, RegionLayout};
 use gqs_registers::{abd_register_nodes, RegOp};
-use gqs_simnet::{FailureSchedule, Flood, SimConfig, SimTime, Simulation, SplitMix64, Topology};
+use gqs_simnet::{DelayModel, Flood, SimConfig, SimTime, Simulation, SplitMix64, Topology};
 
 use crate::generators::{
     adversarial_fail_prone, grid_graph_n, oriented_ring, random_digraph, random_fail_prone, ring,
@@ -541,6 +543,12 @@ pub enum TopologyFamily {
     Grid,
     /// [`two_cliques_bridge`] — two cliques joined by one bridge.
     TwoCliquesBridge,
+    /// [`gqs_faults::wan_graph`] — a WAN: `regions` cliques of `n /
+    /// regions` processes, consecutive gateways bridged in a ring.
+    Regions {
+        /// Number of regions (data centers).
+        regions: usize,
+    },
     /// [`random_digraph`] with the cell's edge density.
     Random,
 }
@@ -555,6 +563,7 @@ impl TopologyFamily {
             TopologyFamily::Star => "star",
             TopologyFamily::Grid => "grid",
             TopologyFamily::TwoCliquesBridge => "two-cliques-bridge",
+            TopologyFamily::Regions { .. } => "regions",
             TopologyFamily::Random => "random",
         }
     }
@@ -570,8 +579,22 @@ impl TopologyFamily {
             TopologyFamily::Star => star(n),
             TopologyFamily::Grid => grid_graph_n(n, (n as f64).sqrt().ceil() as usize),
             TopologyFamily::TwoCliquesBridge => two_cliques_bridge(n),
+            TopologyFamily::Regions { .. } => gqs_faults::wan_graph(&self.region_layout(n)),
             TopologyFamily::Random => random_digraph(n, density, rng),
         }
+    }
+
+    /// The region partition fault schedules act on: the family's own
+    /// regions for [`TopologyFamily::Regions`], the two cliques for
+    /// [`TopologyFamily::TwoCliquesBridge`], and an even two-way split for
+    /// every other family (so region schedules remain meaningful — they
+    /// cut the channels crossing the split).
+    pub fn region_layout(self, n: usize) -> RegionLayout {
+        let r = match self {
+            TopologyFamily::Regions { regions } => regions,
+            _ => 2,
+        };
+        RegionLayout::even(n, r.clamp(1, n))
     }
 }
 
@@ -586,9 +609,10 @@ impl FromStr for TopologyFamily {
             "star" => Ok(TopologyFamily::Star),
             "grid" => Ok(TopologyFamily::Grid),
             "two-cliques-bridge" | "two_cliques_bridge" => Ok(TopologyFamily::TwoCliquesBridge),
+            "regions" => Ok(TopologyFamily::Regions { regions: 3 }),
             "random" => Ok(TopologyFamily::Random),
             other => Err(format!(
-                "unknown topology family {other:?} (expected complete|ring|oriented-ring|star|grid|two-cliques-bridge|random)"
+                "unknown topology family {other:?} (expected complete|ring|oriented-ring|star|grid|two-cliques-bridge|regions|random)"
             )),
         }
     }
@@ -640,6 +664,165 @@ impl PatternFamily {
     }
 }
 
+/// A fault-schedule family for simulated (latency/consensus) scenario
+/// grids: *when* faults strike, persist and heal during a trial.
+///
+/// [`ScheduleFamily::Static`] is the paper's lower-bound adversary and
+/// the historical behaviour — the first drawn pattern strikes whole at
+/// time zero and never heals. The dynamic families compile
+/// [`gqs_faults`] scenario scripts instead: the drawn pattern's *channel*
+/// failures still apply from time zero as static background noise
+/// (nothing at `p_chan = 0`), but its crashes are replaced by the
+/// schedule's own timeline, so recovery stories are not masked by
+/// permanently dead processes. Solvability mode ignores the schedule (it
+/// decides existence, not executions).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleFamily {
+    /// Pattern `f0` strikes at time zero, permanently (the historical
+    /// behaviour; operations are invoked at `f0`-correct processes).
+    Static,
+    /// [`scenarios::staggered_region_outages`] over
+    /// [`TopologyFamily::region_layout`]: each region's inter-region cut
+    /// goes down for a window, staggered region by region.
+    RegionOutage,
+    /// [`scenarios::flapping_link`] on region 0's inter-region cut — the
+    /// bridge-saturation probe (periodic down/up on the busiest cut).
+    FlappingLink,
+    /// [`scenarios::hub_crash`]: process 0 (star hub / first gateway)
+    /// crashes mid-run and later recovers.
+    HubCrash,
+    /// [`scenarios::rolling_restart`]: every process crashes and recovers
+    /// in sequence, one at a time.
+    RollingRestart,
+}
+
+/// Per-mode timing constants for [`ScheduleFamily::script`], expressed in
+/// simulated ticks (latency trials pace ops every few hundred ticks;
+/// consensus trials live on the view-synchronizer scale).
+#[derive(Copy, Clone, Debug)]
+pub struct ScheduleTiming {
+    /// When the first dynamic fault strikes.
+    pub start: u64,
+    /// Length of an outage / crash window.
+    pub window: u64,
+    /// Offset between consecutive region outages.
+    pub stagger: u64,
+    /// Flap phase lengths (down, up); flapping runs over `[start, start + window)`.
+    pub flap: (u64, u64),
+    /// Rolling restart per-process downtime and gap.
+    pub restart: (u64, u64),
+}
+
+/// Timing for latency-mode trials (ops at `10 + i * 400`).
+pub const LATENCY_TIMING: ScheduleTiming =
+    ScheduleTiming { start: 300, window: 700, stagger: 500, flap: (150, 150), restart: (350, 150) };
+
+/// Timing for consensus-mode trials (GST at 1000, views of `v * C`).
+/// Faults strike at 200 — before undisturbed runs decide (~300–600
+/// ticks) — so the schedule actually gates the decision: a region
+/// outage pushes `decide_lat` past its heal, a static run decides early.
+pub const CONSENSUS_TIMING: ScheduleTiming = ScheduleTiming {
+    start: 200,
+    window: 2_000,
+    stagger: 1_000,
+    flap: (400, 400),
+    restart: (800, 200),
+};
+
+impl ScheduleFamily {
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScheduleFamily::Static => "static",
+            ScheduleFamily::RegionOutage => "region-outage",
+            ScheduleFamily::FlappingLink => "flapping-link",
+            ScheduleFamily::HubCrash => "hub-crash",
+            ScheduleFamily::RollingRestart => "rolling-restart",
+        }
+    }
+
+    /// Compiles the family into the fault script one trial applies: the
+    /// static pattern strike for [`ScheduleFamily::Static`], otherwise the
+    /// pattern's channel noise plus the family's dynamic timeline over the
+    /// cell's topology.
+    pub fn script(
+        self,
+        family: TopologyFamily,
+        n: usize,
+        g: &NetworkGraph,
+        pattern: &FailurePattern,
+        t: &ScheduleTiming,
+    ) -> FaultScript {
+        if self == ScheduleFamily::Static {
+            return FaultScript::from_pattern_at(pattern, SimTime::ZERO);
+        }
+        let mut s = FaultScript::new();
+        // Background noise: the pattern's channel failures, permanent.
+        s.cut_down(pattern.channels(), SimTime::ZERO);
+        let layout = family.region_layout(n);
+        match self {
+            ScheduleFamily::Static => unreachable!("handled above"),
+            ScheduleFamily::RegionOutage => {
+                s.merge(scenarios::staggered_region_outages(
+                    &layout,
+                    g,
+                    SimTime(t.start),
+                    t.window,
+                    t.stagger,
+                ));
+            }
+            ScheduleFamily::FlappingLink => {
+                s.merge(scenarios::flapping_link(
+                    &layout.cut(g, 0),
+                    SimTime(t.start),
+                    t.flap.0,
+                    t.flap.1,
+                    SimTime(t.start + t.window),
+                ));
+            }
+            ScheduleFamily::HubCrash => {
+                s.merge(scenarios::hub_crash(
+                    ProcessId(0),
+                    SimTime(t.start),
+                    Some(SimTime(t.start + t.window)),
+                ));
+            }
+            ScheduleFamily::RollingRestart => {
+                s.merge(scenarios::rolling_restart(n, SimTime(t.start), t.restart.0, t.restart.1));
+            }
+        }
+        s
+    }
+
+    /// The processes a trial invokes operations at, round-robin: the
+    /// pattern-correct processes under [`ScheduleFamily::Static`] (the
+    /// historical behaviour), everyone otherwise (dynamic faults are
+    /// transient, so every process is a legitimate client entry point).
+    fn invokers(self, n: usize, pattern: &FailurePattern) -> Vec<ProcessId> {
+        match self {
+            ScheduleFamily::Static => pattern.correct().iter().collect(),
+            _ => (0..n).map(ProcessId).collect(),
+        }
+    }
+}
+
+impl FromStr for ScheduleFamily {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "static" => Ok(ScheduleFamily::Static),
+            "region-outage" | "region_outage" => Ok(ScheduleFamily::RegionOutage),
+            "flapping-link" | "flapping_link" => Ok(ScheduleFamily::FlappingLink),
+            "hub-crash" | "hub_crash" => Ok(ScheduleFamily::HubCrash),
+            "rolling-restart" | "rolling_restart" => Ok(ScheduleFamily::RollingRestart),
+            other => Err(format!(
+                "unknown schedule family {other:?} (expected static|region-outage|flapping-link|hub-crash|rolling-restart)"
+            )),
+        }
+    }
+}
+
 /// One cell of a scenario grid.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct ScenarioCell {
@@ -653,6 +836,9 @@ pub struct ScenarioCell {
     pub patterns: PatternFamily,
     /// Channel-failure probability fed to the pattern family.
     pub p_chan: f64,
+    /// Fault-schedule family (simulated modes only; solvability ignores
+    /// it).
+    pub schedule: ScheduleFamily,
 }
 
 /// A full scenario grid: cells × trials, with a base seed.
@@ -729,17 +915,20 @@ const LATENCY_HORIZON: u64 = 100_000;
 /// Runs one protocol-latency trial: builds the cell's topology and
 /// fail-prone system exactly like [`scenario_trial`], then drives an
 /// ABD majority register wrapped in [`Flood`] over that topology — the
-/// paper's §5 transitivity construction operationalized — with the
-/// *first* drawn pattern's failures striking at time zero, and measures
+/// paper's §5 transitivity construction operationalized — under the
+/// cell's fault schedule ([`ScheduleFamily`]; `Static` replays the
+/// historical "pattern `f0` at time zero" adversary) and measures
 /// [`LATENCY_METRICS`].
 ///
-/// Operations alternate writes and reads, round-robin over the pattern's
-/// correct processes. On topologies/patterns whose residual graph keeps
-/// the invoker connected to a majority, everything completes and the
-/// latency reflects the graph's hop structure (plus the `O(n²)` flooding
-/// cost in `msgs_per_op`); where the pattern severs too much, `completed`
-/// drops below 1 — the availability/latency trade-off of the classical
-/// quorum-system literature, measured per cell.
+/// Operations alternate writes and reads, round-robin over the
+/// schedule's invokers (`f0`-correct processes under `Static`, every
+/// process under the dynamic families). On scenarios
+/// whose residual graph keeps the invoker connected to a majority,
+/// everything completes and the latency reflects the graph's hop
+/// structure (plus the `O(n²)` flooding cost in `msgs_per_op`); where the
+/// faults sever too much for too long, `completed` drops below 1 — the
+/// availability/latency trade-off of the classical quorum-system
+/// literature, now measured per cell *and per fault timeline*.
 pub fn latency_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
     let g = cell.family.build(cell.n, cell.density, rng);
     let fp = cell.patterns.build(&g, cell.p_chan, rng);
@@ -748,10 +937,11 @@ pub fn latency_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
         return vec![0.0; LATENCY_METRICS.len()];
     }
     let pattern = fp.pattern(0);
-    let correct: Vec<ProcessId> = pattern.correct().iter().collect();
-    if correct.is_empty() {
+    let invokers = cell.schedule.invokers(cell.n, pattern);
+    if invokers.is_empty() {
         return vec![0.0; LATENCY_METRICS.len()];
     }
+    let script = cell.schedule.script(cell.family, cell.n, &g, pattern, &LATENCY_TIMING);
     let qs = majority_system(cell.n).expect("majority system exists for n >= 1");
     let nodes: Vec<Flood<_>> =
         abd_register_nodes::<u8, u64>(cell.n, qs.reads().clone(), qs.writes().clone(), 0)
@@ -765,9 +955,9 @@ pub fn latency_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(cfg, nodes);
-    sim.apply_failures(&FailureSchedule::from_pattern_at(pattern, SimTime(0)));
+    sim.apply_failures(&script.to_schedule());
     for i in 0..LATENCY_OPS {
-        let p = correct[(i as usize) % correct.len()];
+        let p = invokers[(i as usize) % invokers.len()];
         let at = SimTime(10 + i * LATENCY_OP_SPACING);
         if i % 2 == 0 {
             sim.invoke_at(at, p, RegOp::Write { reg: 0, value: i });
@@ -783,6 +973,96 @@ pub fn latency_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
     let lat_max = lats.iter().max().copied().unwrap_or(0) as f64;
     let msgs_per_op = sim.stats().delivered as f64 / LATENCY_OPS as f64;
     vec![completed, lat_mean, lat_max, msgs_per_op]
+}
+
+/// The metrics every consensus trial reports, in row order:
+///
+/// * `decided` — fraction of processes that learned the decision before
+///   the horizon;
+/// * `views` — the view in which the earliest decision fell (0 when
+///   nobody decided);
+/// * `decide_lat` — simulated time of the earliest decision (0 when
+///   nobody decided);
+/// * `lat_over_cdelta` — `decide_lat / (C × δ)`, the §7 figure of merit
+///   (the upper bound says decisions land within a bounded number of
+///   `C × δ`-scaled views after GST);
+/// * `msgs_per_op` — delivered physical messages (flood relays included)
+///   per invoked proposal.
+pub const CONSENSUS_METRICS: &[&str] =
+    &["decided", "views", "decide_lat", "lat_over_cdelta", "msgs_per_op"];
+
+/// View-duration constant `C` for consensus trials.
+const CONSENSUS_C: u64 = 50;
+/// Post-GST delay bound `δ`.
+const CONSENSUS_DELTA: u64 = 5;
+/// Global stabilization time: late enough that early views churn, early
+/// enough that decisions land well before the horizon.
+const CONSENSUS_GST: u64 = 1_000;
+/// Hard stop per consensus trial.
+const CONSENSUS_HORIZON: u64 = 200_000;
+
+/// Runs one single-shot consensus trial: builds the cell's topology and
+/// fail-prone system exactly like [`scenario_trial`], then drives the
+/// Figure 6 push-consensus protocol (majority quorums, flooded, view
+/// synchronizer with `C = 50`) under partial synchrony (`GST = 1000`,
+/// `δ = 5`) and the cell's fault schedule, and measures
+/// [`CONSENSUS_METRICS`].
+///
+/// Every invoker proposes its own value at the start of the run; the
+/// trial asserts Agreement (all decided values equal — a safety tripwire
+/// that has caught real bugs in weaker harnesses) and reports liveness
+/// figures. Deterministic in the per-trial seed like every other trial.
+pub fn consensus_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
+    let g = cell.family.build(cell.n, cell.density, rng);
+    let fp = cell.patterns.build(&g, cell.p_chan, rng);
+    let sim_seed = rng.next_u64();
+    if fp.is_empty() {
+        return vec![0.0; CONSENSUS_METRICS.len()];
+    }
+    let pattern = fp.pattern(0);
+    let invokers = cell.schedule.invokers(cell.n, pattern);
+    if invokers.is_empty() {
+        return vec![0.0; CONSENSUS_METRICS.len()];
+    }
+    let script = cell.schedule.script(cell.family, cell.n, &g, pattern, &CONSENSUS_TIMING);
+    let nodes = majority_consensus_nodes::<u64>(cell.n, CONSENSUS_C, ProposalMode::Push);
+    let cfg = SimConfig {
+        seed: sim_seed,
+        delay: DelayModel::PartialSynchrony {
+            pre_min: 1,
+            pre_max: 100,
+            gst: CONSENSUS_GST,
+            delta: CONSENSUS_DELTA,
+        },
+        topology: Topology::from(g),
+        horizon: SimTime(CONSENSUS_HORIZON),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(cfg, nodes);
+    sim.apply_failures(&script.to_schedule());
+    for (i, &p) in invokers.iter().enumerate() {
+        sim.invoke_at(SimTime(10 + i as u64), p, p.index() as u64 + 1);
+    }
+    sim.run_until_ops_complete();
+    // One pass collects everything a decision yields: the value for the
+    // Agreement tripwire, the (view, time) pair for the metrics.
+    let decisions: Vec<(u64, u64, SimTime)> = (0..cell.n)
+        .filter_map(|p| {
+            sim.node(ProcessId(p)).inner().decision().map(|&(v, view, at)| (v, view, at))
+        })
+        .collect();
+    assert!(
+        decisions.windows(2).all(|w| w[0].0 == w[1].0),
+        "consensus Agreement violated: {:?}",
+        decisions.iter().map(|&(v, _, _)| v).collect::<Vec<_>>()
+    );
+    let decided = decisions.len() as f64 / cell.n as f64;
+    let first = decisions.iter().min_by_key(|&&(_, _, at)| at);
+    let views = first.map(|&(_, v, _)| v).unwrap_or(0) as f64;
+    let decide_lat = first.map(|&(_, _, at)| at.ticks()).unwrap_or(0) as f64;
+    let lat_over_cdelta = decide_lat / (CONSENSUS_C * CONSENSUS_DELTA) as f64;
+    let msgs_per_op = sim.stats().delivered as f64 / invokers.len() as f64;
+    vec![decided, views, decide_lat, lat_over_cdelta, msgs_per_op]
 }
 
 impl ScenarioGrid {
@@ -810,6 +1090,19 @@ impl ScenarioGrid {
         };
         run(&spec, opts, |cell, _t, rng| latency_trial(cell, rng))
     }
+
+    /// Streams the grid through the engine in consensus mode
+    /// ([`consensus_trial`] per trial, [`CONSENSUS_METRICS`] per cell),
+    /// under the same determinism contract.
+    pub fn run_consensus(&self, opts: &SweepOptions) -> SweepReport {
+        let spec = SweepSpec {
+            cells: &self.cells,
+            trials: self.trials,
+            seed: self.seed,
+            metrics: CONSENSUS_METRICS,
+        };
+        run(&spec, opts, |cell, _t, rng| consensus_trial(cell, rng))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -821,7 +1114,10 @@ impl ScenarioGrid {
 pub fn parse_usize_list(s: &str) -> Result<Vec<usize>, String> {
     if let Some((range, step)) = split_range(s)? {
         let as_int = |v: f64| -> Result<usize, String> {
-            if v < 0.0 || v.fract() != 0.0 {
+            if v < 0.0 {
+                return Err(format!("negative value {v} in integer range {s:?}"));
+            }
+            if v.fract() != 0.0 {
                 return Err(format!("integer range {s:?} has non-integer part {v}"));
             }
             Ok(v as usize)
@@ -846,6 +1142,9 @@ pub fn parse_f64_list(s: &str) -> Result<Vec<f64>, String> {
             step.ok_or_else(|| format!("float range {s:?} needs a step, e.g. 0.1..0.5:0.2"))?;
         if step <= 0.0 {
             return Err(format!("non-positive step in {s:?}"));
+        }
+        if (hi - lo) / step > 1e6 {
+            return Err(format!("range {s:?} yields over a million points; raise the step"));
         }
         let mut out = Vec::new();
         let mut v = lo;
@@ -879,7 +1178,7 @@ fn split_range(s: &str) -> Result<Option<ParsedRange>, String> {
     let lo = lo.trim().parse::<f64>().map_err(|e| format!("bad bound {lo:?}: {e}"))?;
     let hi = hi.trim().parse::<f64>().map_err(|e| format!("bad bound {hi:?}: {e}"))?;
     if lo > hi {
-        return Err(format!("empty range {s:?}"));
+        return Err(format!("reversed range {s:?} (bounds must satisfy lo <= hi)"));
     }
     Ok(Some(((lo, hi), step)))
 }
@@ -933,6 +1232,7 @@ pub fn report_json(grid: &ScenarioGrid, report: &SweepReport) -> String {
         push_json_f64(&mut out, cell.density);
         out.push_str(&format!(", \"patterns\": \"{}\", \"p_chan\": ", cell.patterns.name()));
         push_json_f64(&mut out, cell.p_chan);
+        out.push_str(&format!(", \"schedule\": \"{}\"", cell.schedule.name()));
         out.push_str(&format!(", \"trials\": {},\n     \"aggregates\": {{", aggs.trials));
         for (m, (name, agg)) in report.metrics.iter().zip(&aggs.aggs).enumerate() {
             if m > 0 {
@@ -950,17 +1250,18 @@ pub fn report_json(grid: &ScenarioGrid, report: &SweepReport) -> String {
 /// Renders a scenario-grid report as CSV: one row per cell × metric.
 pub fn report_csv(grid: &ScenarioGrid, report: &SweepReport) -> String {
     let mut out = String::from(
-        "family,n,density,patterns,p_chan,trials,metric,count,mean,min,max,p50,p90,p99\n",
+        "family,n,density,patterns,p_chan,schedule,trials,metric,count,mean,min,max,p50,p90,p99\n",
     );
     for (cell, aggs) in grid.cells.iter().zip(&report.cells) {
         for (name, agg) in report.metrics.iter().zip(&aggs.aggs) {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 cell.family.name(),
                 cell.n,
                 cell.density,
                 cell.patterns.name(),
                 cell.p_chan,
+                cell.schedule.name(),
                 aggs.trials,
                 name,
                 agg.count(),
@@ -1112,6 +1413,7 @@ mod tests {
                 density: 1.0,
                 patterns: PatternFamily::Rotating,
                 p_chan: 0.0,
+                schedule: ScheduleFamily::Static,
             }],
             trials: 6,
             seed: 11,
@@ -1145,6 +1447,7 @@ mod tests {
             density: 1.0,
             patterns: PatternFamily::Rotating,
             p_chan: 0.0,
+            schedule: ScheduleFamily::Static,
         };
         let grid = |family| ScenarioGrid { cells: vec![cell(family)], trials: 8, seed: 5 };
         let complete = grid(TopologyFamily::Complete).run_latency(&SweepOptions::default());
@@ -1174,6 +1477,7 @@ mod tests {
                 density: 0.0,
                 patterns: PatternFamily::Rotating,
                 p_chan: 0.2,
+                schedule: ScheduleFamily::Static,
             }],
             trials: 8,
             seed: 1,
@@ -1186,7 +1490,125 @@ mod tests {
         let json = report_json(&grid, &report);
         assert!(json.contains("\"schema\": \"gqs_sweep/v1\""));
         assert!(json.contains("two-cliques-bridge"));
+        assert!(json.contains("\"schedule\": \"static\""));
         let csv = report_csv(&grid, &report);
         assert_eq!(csv.lines().count(), 1 + SCENARIO_METRICS.len());
+        assert!(csv.lines().next().unwrap().contains(",schedule,"));
+    }
+
+    #[test]
+    fn schedule_families_roundtrip_their_names() {
+        for fam in [
+            ScheduleFamily::Static,
+            ScheduleFamily::RegionOutage,
+            ScheduleFamily::FlappingLink,
+            ScheduleFamily::HubCrash,
+            ScheduleFamily::RollingRestart,
+        ] {
+            assert_eq!(fam.name().parse::<ScheduleFamily>().unwrap(), fam);
+        }
+        assert!("lunar-eclipse".parse::<ScheduleFamily>().is_err());
+    }
+
+    #[test]
+    fn regions_family_builds_the_wan_shape() {
+        let mut rng = SplitMix64::new(1);
+        let fam = TopologyFamily::Regions { regions: 3 };
+        let g = fam.build(9, 1.0, &mut rng);
+        // 3 cliques of 3 (6 channels each) + 3 bidirectional gateway
+        // bridges.
+        assert_eq!(g.channels().count(), 3 * 6 + 6);
+        assert_eq!(fam.name(), "regions");
+        assert_eq!("regions".parse::<TopologyFamily>().unwrap(), fam);
+        // Region layouts fall back to a two-way split elsewhere.
+        assert_eq!(TopologyFamily::Ring.region_layout(6).regions(), 2);
+        assert_eq!(fam.region_layout(9).regions(), 3);
+    }
+
+    #[test]
+    fn dynamic_schedules_change_latency_outcomes() {
+        // Complete graph, n = 8: the fallback layout splits 4/4, so during
+        // the outage *neither* side holds a majority of 5 and every op
+        // invoked inside the window is lost (the ABD engine does not
+        // retransmit). Statically the same scenario completes everything.
+        let cell = |schedule| ScenarioCell {
+            family: TopologyFamily::Complete,
+            n: 8,
+            density: 1.0,
+            patterns: PatternFamily::Rotating,
+            p_chan: 0.0,
+            schedule,
+        };
+        let run = |schedule| {
+            ScenarioGrid { cells: vec![cell(schedule)], trials: 8, seed: 21 }
+                .run_latency(&SweepOptions::default())
+        };
+        let stat = run(ScheduleFamily::Static);
+        let outage = run(ScheduleFamily::RegionOutage);
+        assert_eq!(stat.agg(0, "completed").mean(), 1.0);
+        let dipped = outage.agg(0, "completed").mean();
+        assert!(dipped < 1.0, "region outages must cost availability, got {dipped}");
+        assert!(dipped > 0.0, "ops outside the outage windows still complete");
+    }
+
+    #[test]
+    fn consensus_trial_measures_and_stays_deterministic() {
+        let grid = ScenarioGrid {
+            cells: vec![ScenarioCell {
+                family: TopologyFamily::Complete,
+                n: 4,
+                density: 1.0,
+                patterns: PatternFamily::Rotating,
+                p_chan: 0.0,
+                schedule: ScheduleFamily::Static,
+            }],
+            trials: 6,
+            seed: 19,
+        };
+        let report = grid.run_consensus(&SweepOptions::default());
+        assert!(report.complete);
+        assert_eq!(report.metrics, CONSENSUS_METRICS);
+        // Rotating f0 crashes one of four processes; the other three
+        // decide (majority quorums of 3 survive) and learn the decision.
+        assert_eq!(report.agg(0, "decided").mean(), 0.75, "3 of 4 processes decide");
+        assert!(report.agg(0, "views").mean() >= 1.0);
+        assert!(report.agg(0, "decide_lat").mean() > 0.0);
+        assert!(report.agg(0, "lat_over_cdelta").mean() > 0.0);
+        assert!(report.agg(0, "msgs_per_op").mean() > 0.0);
+        // Thread-invariance at fixed sharding (the engine contract; the
+        // f64 sums of real-valued metrics only reassociate identically
+        // when the shard boundaries are the same).
+        let single = grid.run_consensus(&SweepOptions {
+            threads: Some(1),
+            shard: Some(2),
+            ..Default::default()
+        });
+        let many = grid.run_consensus(&SweepOptions {
+            threads: Some(3),
+            shard: Some(2),
+            ..Default::default()
+        });
+        assert_eq!(single, many);
+    }
+
+    #[test]
+    fn rolling_restart_consensus_recovers_everyone() {
+        // Under a rolling restart every process crashes once and heals;
+        // with on_recover re-arming the synchronizer, all processes learn
+        // the decision by the horizon.
+        let grid = ScenarioGrid {
+            cells: vec![ScenarioCell {
+                family: TopologyFamily::Complete,
+                n: 4,
+                density: 1.0,
+                patterns: PatternFamily::Rotating,
+                p_chan: 0.0,
+                schedule: ScheduleFamily::RollingRestart,
+            }],
+            trials: 6,
+            seed: 19,
+        };
+        let report = grid.run_consensus(&SweepOptions::default());
+        assert_eq!(report.agg(0, "decided").mean(), 1.0, "restarts heal: everyone decides");
     }
 }

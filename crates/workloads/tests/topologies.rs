@@ -154,6 +154,40 @@ fn finder_matches_reference_on_structured_topologies() {
     }
 }
 
+/// The WAN family (`gqs_faults::regions` behind
+/// `TopologyFamily::Regions`): strongly connected while healthy, every
+/// inter-region cut is sparse (gateway bridges only), and cutting one
+/// region's whole boundary severs exactly that region.
+#[test]
+fn regions_family_properties() {
+    use gqs_faults::{wan_graph, RegionLayout};
+    for (n, r) in [(6usize, 2usize), (9, 3), (12, 3), (10, 4), (16, 4)] {
+        let layout = RegionLayout::even(n, r);
+        let g = wan_graph(&layout);
+        assert_eq!(g.len(), n);
+        assert!(
+            g.residual_failure_free().is_strongly_connected(full(n)),
+            "healthy WAN n={n} r={r} must be strongly connected"
+        );
+        for region in 0..r {
+            let cut = layout.cut(&g, region);
+            // Ring of gateways: each region touches exactly two bridge
+            // pairs (one for r = 2, where both neighbours coincide).
+            let expected = if r == 2 { 2 } else { 4 };
+            assert_eq!(cut.len(), expected, "n={n} r={r} region={region}");
+            // Failing the whole cut severs the region from the rest.
+            let pattern =
+                gqs_core::FailurePattern::new(n, ProcessSet::new(), cut).expect("well-formed");
+            let residual = g.residual(&pattern);
+            let members = layout.members(region);
+            for inside in members.iter() {
+                let reach = residual.reach_from(inside);
+                assert_eq!(reach & members, reach, "region {region} must be an island");
+            }
+        }
+    }
+}
+
 /// Differential at the reachability layer: residuals of structured
 /// topologies under random patterns agree with the naive engine on every
 /// per-vertex query.

@@ -1,0 +1,102 @@
+//! A 3-region WAN loses a region, then heals: availability before,
+//! during and after the outage.
+//!
+//! Twelve processes in three 4-process regions (cliques bridged
+//! gateway-to-gateway in a ring, `gqs::faults::regions`) run a flooded
+//! ABD majority register. A `gqs_faults` script cuts region 1's entire
+//! inter-region boundary during `[2000, 6000)` and heals it. One
+//! write+read pair is invoked at every process in each phase; the tables
+//! show the availability story the fault-script engine is for:
+//!
+//! * **before** — everything completes;
+//! * **during** — region 1 (4 nodes) cannot assemble a majority of 7 and
+//!   its operations are lost, while regions 0 + 2 (8 nodes) keep serving;
+//! * **after** — the healed cut restores full availability.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example region_outage
+//! ```
+
+use gqs::core::{majority_system, ProcessId};
+use gqs::faults::{regions, scenarios};
+use gqs::registers::{abd_register_nodes, RegOp};
+use gqs::simnet::{Flood, SimConfig, SimTime, Simulation, Topology};
+use gqs::workloads::Table;
+
+fn main() {
+    let (graph, layout) = regions::regions(3, 4);
+    let n = graph.len();
+    let outage = (SimTime(2_000), SimTime(6_000));
+    println!("== 3-region WAN (n = {n}), region 1 dark during [{}, {}) ==\n", outage.0, outage.1);
+
+    let qs = majority_system(n).expect("majority quorums");
+    let nodes: Vec<_> =
+        abd_register_nodes::<u8, u64>(n, qs.reads().clone(), qs.writes().clone(), 0)
+            .into_iter()
+            .map(Flood::new)
+            .collect();
+    let cfg = SimConfig {
+        topology: Topology::from(graph.clone()),
+        horizon: SimTime(1_000_000),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(cfg, nodes);
+    scenarios::region_outage(&layout, &graph, 1, outage.0, outage.1).apply(&mut sim);
+
+    // One write + one read per process per phase.
+    let phases = [("before", 500u64), ("during", 3_000), ("after", 7_000)];
+    let mut ops = Vec::new(); // (phase, region, op id)
+    for (phase, at) in phases {
+        for p in 0..n {
+            let region = layout.region_of(ProcessId(p));
+            let w = sim.invoke_at(
+                SimTime(at + p as u64 * 20),
+                ProcessId(p),
+                RegOp::Write { reg: 0, value: p as u64 },
+            );
+            let r = sim.invoke_at(
+                SimTime(at + p as u64 * 20 + 10),
+                ProcessId(p),
+                RegOp::Read { reg: 0 },
+            );
+            ops.push((phase, region, w));
+            ops.push((phase, region, r));
+        }
+    }
+    sim.run();
+
+    let mut t = Table::new(["phase", "region 0", "region 1 (dark)", "region 2"]);
+    for (phase, _) in phases {
+        let mut row = vec![phase.to_string()];
+        for region in 0..3 {
+            let mine: Vec<_> = ops
+                .iter()
+                .filter(|(ph, r, _)| *ph == phase && *r == region)
+                .map(|(_, _, id)| *id)
+                .collect();
+            let records: Vec<_> =
+                sim.history().ops().iter().filter(|rec| mine.contains(&rec.id)).collect();
+            let done = records.iter().filter(|r| r.is_complete()).count();
+            let lats: Vec<u64> = records.iter().filter_map(|r| r.latency()).collect();
+            let lat = if lats.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:.0} ticks", lats.iter().sum::<u64>() as f64 / lats.len() as f64)
+            };
+            row.push(format!("{:3.0}% ({lat})", 100.0 * done as f64 / mine.len() as f64));
+        }
+        t.row(row);
+    }
+    println!("{t}");
+    println!(
+        "During the outage region 1 is a healthy island — its processes run but \n\
+         cannot reach a majority across the cut, so their operations are lost \n\
+         (the ABD engine does not retransmit). Regions 0 + 2 hold 8 >= 7 \n\
+         processes and keep completing operations throughout. After the heal \n\
+         every region serves again; dropped-send accounting: {} messages hit \n\
+         the dark cut.",
+        sim.stats().dropped_disconnected
+    );
+}

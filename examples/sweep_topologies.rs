@@ -18,7 +18,7 @@
 //! counts, so numbers are comparable machine to machine.
 
 use gqs::workloads::sweep::{
-    PatternFamily, ScenarioCell, ScenarioGrid, SweepOptions, TopologyFamily,
+    PatternFamily, ScenarioCell, ScenarioGrid, ScheduleFamily, SweepOptions, TopologyFamily,
 };
 use gqs::workloads::Table;
 
@@ -40,7 +40,14 @@ fn main() {
         let grid = ScenarioGrid {
             cells: families
                 .iter()
-                .map(|&family| ScenarioCell { family, n: 6, density: 1.0, patterns, p_chan: 0.1 })
+                .map(|&family| ScenarioCell {
+                    family,
+                    n: 6,
+                    density: 1.0,
+                    patterns,
+                    p_chan: 0.1,
+                    schedule: ScheduleFamily::Static,
+                })
                 .collect(),
             trials: TRIALS,
             seed: 2025,
@@ -70,6 +77,7 @@ fn main() {
                 density: 1.0,
                 patterns: PatternFamily::Rotating,
                 p_chan: 0.0,
+                schedule: ScheduleFamily::Static,
             })
             .collect(),
         trials: 32,

@@ -21,6 +21,7 @@
 //! | [`snapshots`] | `gqs-snapshots` | Afek et al. snapshots over the registers |
 //! | [`lattice`] | `gqs-lattice` | single-shot lattice agreement over the snapshots |
 //! | [`consensus`] | `gqs-consensus` | Figure 6 consensus + view synchronizer + pull-Paxos baseline |
+//! | [`faults`] | `gqs-faults` | declarative fault scripts: region outages, flapping links, hub crashes, rolling restarts |
 //! | [`checker`] | `gqs-checker` | Wing–Gong and §B dependency-graph linearizability, object safety |
 //! | [`workloads`] | `gqs-workloads` | generators, experiment drivers E1–E12, tables |
 //!
@@ -57,16 +58,22 @@
 //! GRID (each LIST is a value `6`, a comma list `4,6,8`, or an inclusive
 //! range `4..8` / `4..16:4` / `0.1..0.5:0.2` — float ranges need a step):
 //!     --family <F>         topology family: complete|ring|oriented-ring|star|
-//!                          grid|two-cliques-bridge|random      [default: complete]
+//!                          grid|two-cliques-bridge|regions|random
+//!                                                              [default: complete]
 //!     --n <LIST>           system sizes                        [default: 4]
 //!     --density <LIST>     edge probability, random family only [default: 0.6]
+//!     --regions <R>        region count, regions family only    [default: 3]
 //!     --patterns <P>       pattern family: rotating|random|adversarial
 //!                                                              [default: rotating]
 //!     --pattern-count <K>  patterns per system (random/adversarial) [default: 3]
 //!     --max-crashes <K>    max crashes per pattern (random)     [default: 1]
 //!     --p-chan <LIST>      channel-failure probabilities        [default: 0.2]
+//!     --schedule <LIST>    fault schedules for the simulated modes:
+//!                          static|region-outage|flapping-link|hub-crash|
+//!                          rolling-restart                      [default: static]
 //!
 //! EXECUTION:
+//!     --mode <M>           solvability | latency | consensus [default: solvability]
 //!     --trials <N>         trials per cell                      [default: 100]
 //!     --seed <S>           base seed                            [default: 42]
 //!     --threads <T>        worker threads          [default: GQS_THREADS or auto]
@@ -96,6 +103,7 @@
 pub use gqs_checker as checker;
 pub use gqs_consensus as consensus;
 pub use gqs_core as core;
+pub use gqs_faults as faults;
 pub use gqs_lattice as lattice;
 pub use gqs_registers as registers;
 pub use gqs_simnet as simnet;
