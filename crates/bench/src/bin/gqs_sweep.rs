@@ -10,7 +10,11 @@
 //! `--mode latency` each trial instead *simulates* a flooded ABD majority
 //! register over the cell's topology under its first drawn failure
 //! pattern and measures completion rate, operation latency and message
-//! cost (`gqs_workloads::sweep::LATENCY_METRICS`). Either way results are
+//! cost (`gqs_workloads::sweep::LATENCY_METRICS`); `--mode availability`
+//! swaps in the self-healing register stack (retransmitting quorum
+//! engines over `--loss`-lossy channels) and measures completion,
+//! stalled ops, time-to-heal and retransmits/op
+//! (`gqs_workloads::sweep::AVAILABILITY_METRICS`). Either way results are
 //! folded incrementally (constant memory per worker, no materialized
 //! batches) and are bit-identical for any `--threads` value.
 //!
@@ -48,6 +52,9 @@ range `4..8` / `4..16:4` / `0.1..0.5:0.2` — float ranges need a step):
     --pattern-count <K>  patterns per system (random/adversarial) [default: 3]
     --max-crashes <K>    max crashes per pattern (random)     [default: 1]
     --p-chan <LIST>      channel-failure probabilities        [default: 0.2]
+    --loss <LIST>        per-channel message-loss probabilities in [0, 1]
+                         for the simulated modes (solvability collapses
+                         the axis)                           [default: 0]
     --schedule <LIST>    comma list of fault schedules for the simulated
                          modes: static|region-outage|flapping-link|
                          hub-crash|rolling-restart (solvability collapses
@@ -56,10 +63,14 @@ range `4..8` / `4..16:4` / `0.1..0.5:0.2` — float ranges need a step):
 EXECUTION:
     --mode <M>           solvability (decision procedures), latency
                          (simulated flooded ABD register: completion rate,
-                         op latency, msgs/op) or consensus (simulated
+                         op latency, msgs/op), consensus (simulated
                          single-shot Figure-6 consensus: decided fraction,
                          views and time to decide, decision latency over
-                         C x delta, msgs/op)           [default: solvability]
+                         C x delta, msgs/op) or availability (simulated
+                         self-healing ABD register with ack/retransmit/
+                         backoff delivery over lossy links: completion
+                         rate, stalled ops, time-to-heal, retransmits/op)
+                                               [default: solvability]
     --trials <N>         trials per cell                      [default: 100]
     --seed <S>           base seed                            [default: 42]
     --threads <T>        worker threads          [default: GQS_THREADS or auto]
@@ -73,9 +84,10 @@ OUTPUT:
 Aggregates per cell and metric: count, mean, min, max, p50/p90/p99
 (quantiles from a mergeable sketch, ~1.5% relative error). Metrics:
 gqs, qs_plus, gap, w_min, sccs_f0 (solvability); completed, lat_mean,
-lat_max, msgs_per_op (latency); or decided, views, decide_lat,
-lat_over_cdelta, msgs_per_op (consensus) — all deterministic, so output
-is byte-identical across runs and thread counts.
+lat_max, msgs_per_op (latency); decided, views, decide_lat,
+lat_over_cdelta, msgs_per_op (consensus); or completed, stalled,
+time_to_heal, retransmits_per_op (availability) — all deterministic, so
+output is byte-identical across runs and thread counts.
 ";
 
 struct Args {
@@ -88,6 +100,7 @@ struct Args {
     pattern_count: usize,
     max_crashes: usize,
     p_chans: Vec<f64>,
+    losses: Vec<f64>,
     mode: String,
     trials: usize,
     seed: u64,
@@ -108,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
         pattern_count: 3,
         max_crashes: 1,
         p_chans: vec![0.2],
+        losses: vec![0.0],
         mode: "solvability".to_string(),
         trials: 100,
         seed: 42,
@@ -144,6 +158,7 @@ fn parse_args() -> Result<Args, String> {
                 args.max_crashes = value()?.parse().map_err(|e| format!("bad count: {e}"))?
             }
             "--p-chan" => args.p_chans = parse_f64_list(&value()?)?,
+            "--loss" => args.losses = parse_f64_list(&value()?)?,
             "--mode" => args.mode = value()?,
             "--trials" => args.trials = value()?.parse().map_err(|e| format!("bad trials: {e}"))?,
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
@@ -170,9 +185,14 @@ fn parse_args() -> Result<Args, String> {
     if args.schedules.is_empty() {
         return Err("--schedule needs at least one family".to_string());
     }
-    if !matches!(args.mode.as_str(), "solvability" | "latency" | "consensus") {
+    for &loss in &args.losses {
+        if !(0.0..=1.0).contains(&loss) {
+            return Err(format!("--loss values must be in [0, 1] (got {loss})"));
+        }
+    }
+    if !matches!(args.mode.as_str(), "solvability" | "latency" | "consensus" | "availability") {
         return Err(format!(
-            "unknown mode {:?} (expected solvability|latency|consensus)",
+            "unknown mode {:?} (expected solvability|latency|consensus|availability)",
             args.mode
         ));
     }
@@ -201,10 +221,12 @@ fn build_grid(args: &Args) -> Result<ScenarioGrid, String> {
     };
     // Non-random families ignore density; collapse that axis so the grid
     // has no duplicate cells. Solvability decides existence, not
-    // executions, so the schedule axis collapses there the same way.
+    // executions, so the schedule and loss axes collapse there the same
+    // way.
     let densities: &[f64] = if family == TopologyFamily::Random { &args.densities } else { &[1.0] };
     let schedules: &[ScheduleFamily] =
         if args.mode == "solvability" { &[ScheduleFamily::Static] } else { &args.schedules };
+    let losses: &[f64] = if args.mode == "solvability" { &[0.0] } else { &args.losses };
     let mut cells = Vec::new();
     for &n in &args.ns {
         if n < 2 {
@@ -219,8 +241,18 @@ fn build_grid(args: &Args) -> Result<ScenarioGrid, String> {
         }
         for &density in densities {
             for &p_chan in &args.p_chans {
-                for &schedule in schedules {
-                    cells.push(ScenarioCell { family, n, density, patterns, p_chan, schedule });
+                for &loss in losses {
+                    for &schedule in schedules {
+                        cells.push(ScenarioCell {
+                            family,
+                            n,
+                            density,
+                            patterns,
+                            p_chan,
+                            loss,
+                            schedule,
+                        });
+                    }
                 }
             }
         }
@@ -251,6 +283,7 @@ fn main() {
     let report = match args.mode.as_str() {
         "latency" => grid.run_latency(&opts),
         "consensus" => grid.run_consensus(&opts),
+        "availability" => grid.run_availability(&opts),
         _ => grid.run(&opts),
     };
     let elapsed = start.elapsed();

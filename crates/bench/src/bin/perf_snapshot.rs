@@ -158,6 +158,7 @@ fn measure_sweep_engines() -> (usize, f64, f64) {
                 density: 1.0,
                 patterns: PatternFamily::Rotating,
                 p_chan: 0.1 * i as f64,
+                loss: 0.0,
                 schedule: ScheduleFamily::Static,
             })
             .collect(),
@@ -210,6 +211,7 @@ fn measure_fault_schedule() -> (usize, f64, f64) {
         density: 1.0,
         patterns: PatternFamily::Rotating,
         p_chan: 0.1,
+        loss: 0.0,
         schedule,
     };
     let trials = 256;
@@ -225,6 +227,48 @@ fn measure_fault_schedule() -> (usize, f64, f64) {
         best
     };
     (trials, time(ScheduleFamily::Static), time(ScheduleFamily::RegionOutage))
+}
+
+/// Plain flooded ABD vs the self-healing stack on the same loss-free
+/// static cell: what the ack/retransmit/backoff layer costs when nothing
+/// needs healing. Returns `(trials, plain_ns_per_trial,
+/// reliable_ns_per_trial)` — the insurance premium of the reliable
+/// delivery layer at loss=0.
+///
+/// The cell is a complete graph where every op completes in both modes
+/// with zero retransmits, so the comparison is pure protocol overhead. (A
+/// partitioning cell would instead measure the retry engine hammering a
+/// permanently dead link for the whole horizon — honest behaviour, but a
+/// different question.)
+fn measure_reliable_overhead() -> (usize, f64, f64) {
+    let cell = ScenarioCell {
+        family: TopologyFamily::Complete,
+        n: 9,
+        density: 1.0,
+        patterns: PatternFamily::Rotating,
+        p_chan: 0.0,
+        loss: 0.0,
+        schedule: ScheduleFamily::Static,
+    };
+    let trials = 256;
+    let grid = ScenarioGrid { cells: vec![cell], trials, seed: SEED ^ 0x5EAF };
+    let opts = SweepOptions { threads: Some(1), ..SweepOptions::default() };
+    let time = |run: &dyn Fn()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            run();
+            best = best.min(t0.elapsed().as_nanos() as f64 / trials as f64);
+        }
+        best
+    };
+    let plain_ns = time(&|| {
+        std::hint::black_box(grid.run_latency(&opts));
+    });
+    let reliable_ns = time(&|| {
+        std::hint::black_box(grid.run_availability(&opts));
+    });
+    (trials, plain_ns, reliable_ns)
 }
 
 fn main() {
@@ -307,6 +351,22 @@ fn main() {
         json_escape_free(outage_ns)
     ));
     json.push_str(&format!("    \"outage_over_static\": {:.2}\n", outage_ns / static_ns));
+    json.push_str("  },\n");
+    eprintln!("measuring plain vs reliable register stack at loss=0 ...");
+    let (ro_trials, plain_ns, reliable_ns) = measure_reliable_overhead();
+    json.push_str("  \"reliable_overhead\": {\n");
+    json.push_str(
+        "    \"note\": \"simulated register trials on complete(9), static schedule, loss=0, \
+         all ops complete with zero retransmits: plain flooded ABD (run_latency) vs the \
+         ack/retransmit/backoff stack (run_availability); ns per trial, single-threaded\",\n",
+    );
+    json.push_str(&format!("    \"trials\": {ro_trials},\n"));
+    json.push_str(&format!("    \"plain_abd_ns_per_trial\": {},\n", json_escape_free(plain_ns)));
+    json.push_str(&format!(
+        "    \"reliable_abd_ns_per_trial\": {},\n",
+        json_escape_free(reliable_ns)
+    ));
+    json.push_str(&format!("    \"reliable_over_plain\": {:.2}\n", reliable_ns / plain_ns));
     json.push_str("  },\n");
     json.push_str("  \"small_n_fast_path\": {\n");
     json.push_str(

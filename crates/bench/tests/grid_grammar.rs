@@ -83,6 +83,36 @@ fn degenerate_grid_axes_are_errors() {
 }
 
 #[test]
+fn loss_axis_rejects_garbage_and_out_of_range_values() {
+    assert_clean_error(&["--loss", "zebra"], "bad number");
+    assert_clean_error(&["--loss", "0.1,,0.3"], "bad number");
+    assert_clean_error(&["--loss", "0.5..0.1:0.1"], "reversed range");
+    assert_clean_error(&["--loss", "0.1..0.5"], "needs a step");
+    assert_clean_error(&["--loss", "1.5"], "must be in [0, 1]");
+    assert_clean_error(&["--loss", "-0.1"], "must be in [0, 1]");
+    assert_clean_error(&["--loss", "0.1,2.0"], "must be in [0, 1]");
+}
+
+#[test]
+fn availability_mode_flags_are_validated() {
+    assert_clean_error(&["--mode", "availabilty"], "unknown mode");
+    // A valid availability spec runs and reports its metrics.
+    let (code, _) = run(&[
+        "--mode",
+        "availability",
+        "--n",
+        "4",
+        "--loss",
+        "0.2",
+        "--trials",
+        "1",
+        "--format",
+        "csv",
+    ]);
+    assert_eq!(code, Some(0), "a well-formed availability sweep runs");
+}
+
+#[test]
 fn well_formed_edge_ranges_still_parse() {
     // The hardening must not reject legitimate degenerate-looking input.
     let (code, _) = run(&["--n", "4..4", "--trials", "1", "--format", "csv"]);

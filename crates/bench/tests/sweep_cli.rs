@@ -164,6 +164,65 @@ fn tiny_consensus_grid_matches_golden_aggregate() {
     assert_eq!(single, golden, "--threads 1 consensus output differs from golden");
 }
 
+/// The exact invocation `golden/tiny_availability.json` was produced
+/// with: a 3-region WAN under a staggered region-outage schedule with 10%
+/// per-channel message loss, in availability mode (the self-healing
+/// register stack).
+fn availability_golden_args() -> Vec<&'static str> {
+    vec![
+        "--mode",
+        "availability",
+        "--family",
+        "regions",
+        "--regions",
+        "3",
+        "--n",
+        "6",
+        "--patterns",
+        "rotating",
+        "--p-chan",
+        "0",
+        "--loss",
+        "0.1",
+        "--schedule",
+        "region-outage",
+        "--trials",
+        "4",
+        "--seed",
+        "17",
+        "--format",
+        "json",
+    ]
+}
+
+#[test]
+fn tiny_availability_grid_matches_golden_aggregate() {
+    let golden = include_str!("../golden/tiny_availability.json");
+    let run = |extra: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+            .args(availability_golden_args())
+            .args(extra)
+            .output()
+            .expect("gqs_sweep runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).expect("output is UTF-8")
+    };
+    let got = run(&[]);
+    assert_eq!(
+        got, golden,
+        "availability-mode output drifted from golden/tiny_availability.json; \
+         if the change is intentional (e.g. a retransmission or loss-model \
+         change shifting completions), regenerate the golden file"
+    );
+    assert!(got.contains(
+        "\"metrics\": [\"completed\", \"stalled\", \"time_to_heal\", \"retransmits_per_op\"]"
+    ));
+    assert!(got.contains("\"loss\": 0.1"));
+    // The determinism contract holds for availability trials too.
+    let single = run(&["--threads", "1"]);
+    assert_eq!(single, golden, "--threads 1 availability output differs from golden");
+}
+
 #[test]
 fn unknown_mode_fails_cleanly() {
     let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
@@ -171,7 +230,9 @@ fn unknown_mode_fails_cleanly() {
         .output()
         .expect("gqs_sweep runs");
     assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("solvability|latency|consensus"));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("solvability|latency|consensus|availability")
+    );
 }
 
 #[test]
@@ -221,7 +282,7 @@ fn csv_output_has_one_row_per_cell_metric() {
     let text = String::from_utf8(out.stdout).unwrap();
     // 2 n-values x 2 p-chan values x 5 metrics + header.
     assert_eq!(text.lines().count(), 1 + 2 * 2 * 5);
-    assert!(text.starts_with("family,n,density,patterns,p_chan,schedule,trials,metric,"));
+    assert!(text.starts_with("family,n,density,patterns,p_chan,loss,schedule,trials,metric,"));
 }
 
 #[test]

@@ -67,6 +67,18 @@ pub enum ConsensusMsg<V> {
         /// The accepted value.
         val: V,
     },
+    /// `DECIDED(x, view)`: a decided process re-broadcasts its decision on
+    /// every view entry (i.e. on each synchronizer timeout). Processes cut
+    /// off from the deciding quorum — by an outage or message loss — adopt
+    /// it after the heal without any client retry; safe by "once chosen,
+    /// always chosen". Adopters re-broadcast too, so the decision also
+    /// spreads hop-by-hop through partially healed topologies.
+    Decided {
+        /// The decided value.
+        val: V,
+        /// The view in which it was decided (propagated verbatim).
+        view: u64,
+    },
 }
 
 /// Protocol phases within a view (Figure 6's `phase` variable).
@@ -155,6 +167,13 @@ impl<V: Clone + Debug + PartialEq> ConsensusNode<V> {
     }
 
     fn enter_view(&mut self, view: u64, ctx: &mut Context<ConsensusMsg<V>, V>) {
+        // A decided process no longer runs the view protocol: it repeats
+        // its decision instead, healing any process the deciding quorum's
+        // 2Bs never reached (dropped by an outage or the loss model).
+        if let Some((val, dview, _)) = &self.decided {
+            ctx.broadcast(ConsensusMsg::Decided { val: val.clone(), view: *dview });
+            return;
+        }
         self.phase = Phase::Enter;
         // Prune buffers of strictly older views.
         self.onebs = self.onebs.split_off(&view);
@@ -302,6 +321,19 @@ impl<V: Clone + Debug + PartialEq> Protocol for ConsensusNode<V> {
                 if view >= self.sync.view() {
                     self.twobs.entry(view).or_default().insert(from.index(), val);
                     self.try_decide(view, ctx);
+                }
+            }
+            ConsensusMsg::Decided { val, view } => {
+                // Adopt a relayed decision regardless of our own view:
+                // "once chosen, always chosen" makes it final everywhere.
+                if self.decided.is_none() {
+                    self.val = Some(val.clone());
+                    self.aview = view;
+                    self.phase = Phase::Decide;
+                    self.decided = Some((val.clone(), view, ctx.now()));
+                    for op in self.waiting.drain(..) {
+                        ctx.complete(op, val.clone());
+                    }
                 }
             }
         }
@@ -465,6 +497,50 @@ mod tests {
         assert!(effects
             .iter()
             .any(|e| matches!(e, gqs_simnet::Effect::Complete { op: OpId(9), resp: 5 })));
+    }
+
+    #[test]
+    fn decided_process_rebroadcasts_its_decision_on_view_entry() {
+        let mut n = node(2, ProposalMode::Push);
+        let mut c = ctx(2);
+        n.on_start(&mut c);
+        n.on_message(ProcessId(0), ConsensusMsg::TwoB { view: 1, val: 5 }, &mut c);
+        n.on_message(ProcessId(1), ConsensusMsg::TwoB { view: 1, val: 5 }, &mut c);
+        assert!(n.decision().is_some());
+        let _ = c.take_effects();
+        // The next synchronizer timeout repeats the decision to all.
+        n.on_timer(crate::synchronizer::VIEW_TIMER, &mut c);
+        let decided_sends = c
+            .take_effects()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    gqs_simnet::Effect::Send { msg: ConsensusMsg::Decided { val: 5, view: 1 }, .. }
+                )
+            })
+            .count();
+        assert_eq!(decided_sends, 3, "the decision is repeated to every process");
+    }
+
+    #[test]
+    fn received_decision_is_adopted_and_completes_waiting_ops() {
+        let mut n = node(1, ProposalMode::Push);
+        let mut c = ctx(1);
+        n.on_start(&mut c);
+        n.on_invoke(OpId(4), 99, &mut c);
+        assert!(n.decision().is_none());
+        let _ = c.take_effects();
+        n.on_message(ProcessId(2), ConsensusMsg::Decided { val: 5, view: 1 }, &mut c);
+        let (v, view, _) = n.decision().expect("adopted");
+        assert_eq!((*v, *view), (5, 1));
+        assert!(c
+            .take_effects()
+            .iter()
+            .any(|e| matches!(e, gqs_simnet::Effect::Complete { op: OpId(4), resp: 5 })));
+        // A second copy is ignored (decisions are final).
+        n.on_message(ProcessId(0), ConsensusMsg::Decided { val: 5, view: 1 }, &mut c);
+        assert_eq!(n.decision().map(|(v, _, _)| *v), Some(5));
     }
 
     #[test]

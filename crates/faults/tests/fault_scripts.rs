@@ -1,27 +1,35 @@
 //! End-to-end fault-script runs: scripts compiled by `gqs_faults` drive
 //! the simulator, and the availability story they promise — blocked
 //! during the outage, restored after the heal — actually happens.
+//!
+//! The transport under test is the real production stack: a one-shot
+//! request/response protocol (which never retries on its own) wrapped in
+//! [`Reliable`] for ack/retransmit/backoff delivery and [`Flood`] for
+//! path diversity. Every heal-and-complete below is the reliability
+//! layer's doing, not a test-local retry loop.
 
-use gqs_core::ProcessId;
+use gqs_core::{majority_system, ProcessId};
 use gqs_faults::{regions, scenarios, FaultScript};
+use gqs_registers::{abd_register_nodes, reliable_abd_register_nodes, AbdRegister, RegOp};
 use gqs_simnet::{
-    Context, Flood, OpId, Protocol, SimConfig, SimTime, Simulation, StopReason, TimerId, Topology,
+    Context, Flood, OpId, Protocol, Reliable, SimConfig, SimTime, Simulation, StopReason, TimerId,
+    Topology,
 };
 
-/// Request/ack with retries every 40 ticks until acked — the minimal
-/// protocol that survives transient faults.
+/// Fire-and-forget request/response: sends each request exactly once and
+/// never retries — surviving faults is entirely [`Reliable`]'s job.
 #[derive(Default, Debug)]
-struct Retry {
-    pending: Option<(OpId, ProcessId)>,
+struct OneShot {
+    pending: Vec<OpId>,
 }
 
 #[derive(Clone, Debug)]
 enum Msg {
     Req,
-    Ack,
+    Rsp,
 }
 
-impl Protocol for Retry {
+impl Protocol for OneShot {
     type Msg = Msg;
     type Op = ProcessId;
     type Resp = ();
@@ -30,30 +38,37 @@ impl Protocol for Retry {
 
     fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<Msg, ()>) {
         match msg {
-            Msg::Req => ctx.send(from, Msg::Ack),
-            Msg::Ack => {
-                if let Some((op, _)) = self.pending.take() {
+            Msg::Req => ctx.send(from, Msg::Rsp),
+            Msg::Rsp => {
+                // Reliable delivers in per-sender order, so responses
+                // come back in invocation order.
+                if !self.pending.is_empty() {
+                    let op = self.pending.remove(0);
                     ctx.complete(op, ());
                 }
             }
         }
     }
 
-    fn on_timer(&mut self, _id: TimerId, ctx: &mut Context<Msg, ()>) {
-        if let Some((_, target)) = self.pending {
-            ctx.send(target, Msg::Req);
-            ctx.set_timer(TimerId(0), 40);
-        }
-    }
+    fn on_timer(&mut self, _id: TimerId, _ctx: &mut Context<Msg, ()>) {}
 
     fn on_invoke(&mut self, op: OpId, target: ProcessId, ctx: &mut Context<Msg, ()>) {
-        self.pending = Some((op, target));
+        self.pending.push(op);
         ctx.send(target, Msg::Req);
-        ctx.set_timer(TimerId(0), 40);
     }
 }
 
-fn wan_sim(r: usize, k: usize) -> (Simulation<Flood<Retry>>, gqs_faults::RegionLayout) {
+type ReliableStack = Flood<Reliable<OneShot>>;
+
+fn reliable_nodes(n: usize) -> Vec<ReliableStack> {
+    (0..n)
+        .map(|p| {
+            Flood::new(Reliable::with_tuning(OneShot::default(), 40, 640, 0xFA_075 + p as u64))
+        })
+        .collect()
+}
+
+fn wan_sim(r: usize, k: usize) -> (Simulation<ReliableStack>, gqs_faults::RegionLayout) {
     let (graph, layout) = regions::regions(r, k);
     let n = graph.len();
     let cfg = SimConfig {
@@ -61,8 +76,7 @@ fn wan_sim(r: usize, k: usize) -> (Simulation<Flood<Retry>>, gqs_faults::RegionL
         horizon: SimTime(100_000),
         ..SimConfig::default()
     };
-    let nodes = (0..n).map(|_| Flood::new(Retry::default())).collect();
-    (Simulation::new(cfg, nodes), layout)
+    (Simulation::new(cfg, reliable_nodes(n)), layout)
 }
 
 #[test]
@@ -76,7 +90,8 @@ fn region_outage_blocks_cross_region_traffic_until_heal() {
     let in_r1 = layout.gateway(1);
     // Before the outage: cross-region op completes promptly.
     let before = sim.invoke_at(SimTime(10), in_r0, in_r1);
-    // During: the op stalls until the heal, then the retry gets through.
+    // During: the op stalls until the heal, then a retransmission gets
+    // through (the one-shot protocol itself never resends).
     let during = sim.invoke_at(SimTime(1000), in_r0, in_r1);
     // After: back to normal.
     let after = sim.invoke_at(SimTime(5000), in_r0, in_r1);
@@ -92,6 +107,7 @@ fn region_outage_blocks_cross_region_traffic_until_heal() {
     assert!(done(before) < SimTime(500), "pre-outage op completes before the cut");
     assert!(done(during) >= SimTime(3000), "mid-outage op cannot complete before the heal");
     assert!(done(after) < SimTime(6000), "post-heal traffic flows normally again");
+    assert!(sim.stats().retransmitted > 0, "the mid-outage op heals via retransmission");
 }
 
 #[test]
@@ -135,8 +151,7 @@ fn hub_crash_blacks_out_spokes_until_recovery() {
         horizon: SimTime(100_000),
         ..SimConfig::default()
     };
-    let nodes = (0..4).map(|_| Flood::new(Retry::default())).collect();
-    let mut sim: Simulation<Flood<Retry>> = Simulation::new(cfg, nodes);
+    let mut sim: Simulation<ReliableStack> = Simulation::new(cfg, reliable_nodes(4));
     scenarios::hub_crash(ProcessId(0), SimTime(200), Some(SimTime(2000))).apply(&mut sim);
     // Spoke-to-spoke traffic during the hub's downtime stalls, then heals.
     sim.invoke_at(SimTime(500), ProcessId(1), ProcessId(2));
@@ -167,4 +182,64 @@ fn equal_scripts_produce_identical_traces() {
         (sim.stats(), sim.now())
     };
     assert_eq!(build(), build(), "same script + same seed = same trace");
+}
+
+/// The regression the self-healing register stack exists for: a write
+/// invoked *inside* a region outage, at a process in the dark region.
+/// The plain ABD register broadcasts its phase-1 message exactly once —
+/// the cut eats it, and the op never completes even after the heal. The
+/// retrying register stack retransmits and completes within a bounded
+/// interval after the heal, with zero client-side re-invocations.
+#[test]
+fn abd_write_during_region_outage_needs_the_retrying_stack() {
+    let (graph, layout) = regions::regions(3, 3);
+    let n = graph.len();
+    let qs = majority_system(n).expect("majority system exists");
+    let cfg = SimConfig {
+        topology: Topology::from(graph.clone()),
+        horizon: SimTime(100_000),
+        ..SimConfig::default()
+    };
+    let script = scenarios::region_outage(&layout, &graph, 1, SimTime(500), SimTime(3000));
+    // The invoker sits inside the dark region: its 3-process island
+    // cannot form a majority quorum of 5, so nothing completes before
+    // the heal.
+    let invoker = layout.gateway(1);
+
+    // Plain ABD: the one broadcast is lost to the cut; the run drains to
+    // quiescence with the op still open.
+    let plain: Vec<Flood<AbdRegister<u8, u64>>> =
+        abd_register_nodes(n, qs.reads().clone(), qs.writes().clone(), 0u64)
+            .into_iter()
+            .map(Flood::new)
+            .collect();
+    let mut sim = Simulation::new(cfg.clone(), plain);
+    script.apply(&mut sim);
+    sim.invoke_at(SimTime(1000), invoker, RegOp::Write { reg: 0u8, value: 7u64 });
+    let reason = sim.run_until_ops_complete();
+    assert_ne!(reason, StopReason::OpsComplete, "plain ABD must not complete, got {reason:?}");
+    assert!(
+        sim.history().ops()[0].completed_at().is_none(),
+        "the un-retried write stays open forever"
+    );
+
+    // The retrying stack: same cell, same op, no client retry — the
+    // engine's retransmissions notice the heal and finish the write.
+    const RETRY: u64 = 150;
+    let retrying: Vec<Flood<AbdRegister<u8, u64>>> =
+        reliable_abd_register_nodes(n, qs.reads().clone(), qs.writes().clone(), 0u64, RETRY)
+            .into_iter()
+            .map(Flood::new)
+            .collect();
+    let mut sim = Simulation::new(cfg, retrying);
+    script.apply(&mut sim);
+    sim.invoke_at(SimTime(1000), invoker, RegOp::Write { reg: 0u8, value: 7u64 });
+    assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+    let done = sim.history().ops()[0].completed_at().expect("the retrying write completes");
+    assert!(done >= SimTime(3000), "nothing can complete before the heal, got {done:?}");
+    assert!(
+        done < SimTime(3000 + 10 * RETRY),
+        "the first post-heal retry round should finish the op, got {done:?}"
+    );
+    assert!(sim.stats().retransmitted > 0, "healing happened via engine retransmission");
 }

@@ -134,6 +134,7 @@ impl<L: JoinSemilattice> LatticeNode<L> {
                     let machine = self.routes.remove(&op.0).expect("unknown internal snapshot op");
                     self.advance(machine, resp, ctx);
                 }
+                Effect::NoteRetransmit { count } => ctx.note_retransmit(count),
             }
         }
     }

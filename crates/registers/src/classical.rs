@@ -7,8 +7,19 @@
 //! (Definition 1); used here as the ABD baseline that **stalls** under the
 //! weak connectivity of Figure 1 — the behaviour the generalized engine of
 //! Figure 3 exists to fix.
+//!
+//! # Recovery-aware retries
+//!
+//! By default each request is broadcast exactly once, so a request lost to
+//! a down interval or the loss model stalls its invocation forever. With
+//! [`ClassicalQaf::with_retry`], unanswered `GET_REQ`/`SET_REQ`s are
+//! rebroadcast on a periodic [`RETRY_TIMER`] until the quorum responds —
+//! replicas suppress duplicate `SET_REQ` applications by `(requester,
+//! seq)` and re-ack instead, so retries never double-apply an update.
+//! Retransmitted copies are accounted via
+//! [`gqs_simnet::Context::note_retransmit`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Debug;
 use std::marker::PhantomData;
 
@@ -17,6 +28,12 @@ use gqs_simnet::{Context, TimerId};
 
 use crate::qaf::{QafEvent, QuorumAccess};
 use crate::update::Update;
+
+/// Timer id used by the retrying engines ([`ClassicalQaf::with_retry`],
+/// [`crate::GeneralizedQaf::with_retry`]) for request retransmission.
+/// Distinct from [`crate::generalized::TICK_TIMER`] and the consensus
+/// synchronizer's timer.
+pub const RETRY_TIMER: TimerId = TimerId(2);
 
 /// Wire messages of the classical engine (Figure 2).
 #[derive(Clone, Debug)]
@@ -55,10 +72,12 @@ struct PendingGet<S> {
 }
 
 #[derive(Debug)]
-struct PendingSet {
+struct PendingSet<U> {
     seq: u64,
     token: u64,
     responded: ProcessSet,
+    /// Kept for retransmission under `with_retry`.
+    update: U,
 }
 
 /// The Figure 2 engine at one process.
@@ -69,7 +88,15 @@ pub struct ClassicalQaf<S, U> {
     reads: QuorumFamily,
     writes: QuorumFamily,
     gets: Vec<PendingGet<S>>,
-    sets: Vec<PendingSet>,
+    sets: Vec<PendingSet<U>>,
+    /// Period of the request retransmission, if enabled.
+    retry_interval: Option<u64>,
+    /// Whether a [`RETRY_TIMER`] is currently armed (timers are one-shot
+    /// and cannot be cancelled, so arming is tracked to avoid storms).
+    retry_armed: bool,
+    /// `(requester, seq)` of every `SET_REQ` already applied here:
+    /// retransmitted requests are re-acked, not re-applied.
+    applied: BTreeSet<(ProcessId, u64)>,
     _update: PhantomData<U>,
 }
 
@@ -83,13 +110,53 @@ impl<S: Clone + Debug, U: Update<S>> ClassicalQaf<S, U> {
             writes,
             gets: Vec::new(),
             sets: Vec::new(),
+            retry_interval: None,
+            retry_armed: false,
+            applied: BTreeSet::new(),
             _update: PhantomData,
         }
+    }
+
+    /// Enables periodic retransmission of unanswered requests every
+    /// `interval` time units (see the [module docs](self)). Off by
+    /// default: the plain engine sends each request exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0`.
+    pub fn with_retry(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "the retry period must be positive");
+        self.retry_interval = Some(interval);
+        self
     }
 
     /// Number of invocations still awaiting a quorum.
     pub fn pending(&self) -> usize {
         self.gets.len() + self.sets.len()
+    }
+
+    /// Arms the retry timer if retries are enabled, work is pending and no
+    /// timer is already armed.
+    fn arm_retry<R>(&mut self, ctx: &mut Context<ClassicalMsg<S, U>, R>) {
+        if let Some(interval) = self.retry_interval {
+            if !self.retry_armed && self.pending() > 0 {
+                ctx.set_timer(RETRY_TIMER, interval);
+                self.retry_armed = true;
+            }
+        }
+    }
+
+    /// Rebroadcasts every unanswered request and accounts the copies.
+    fn retransmit_pending<R>(&mut self, ctx: &mut Context<ClassicalMsg<S, U>, R>) {
+        let copies = ctx.n() as u64;
+        for g in &self.gets {
+            ctx.broadcast(ClassicalMsg::GetReq { seq: g.seq });
+            ctx.note_retransmit(copies);
+        }
+        for s in &self.sets {
+            ctx.broadcast(ClassicalMsg::SetReq { seq: s.seq, update: s.update.clone() });
+            ctx.note_retransmit(copies);
+        }
     }
 }
 
@@ -98,18 +165,41 @@ impl<S: Clone + Debug, U: Update<S>> QuorumAccess<S, U> for ClassicalQaf<S, U> {
 
     fn on_start<R>(&mut self, _ctx: &mut Context<Self::Msg, R>) {}
 
-    fn on_timer<R>(&mut self, _id: TimerId, _ctx: &mut Context<Self::Msg, R>) {}
+    fn on_timer<R>(&mut self, id: TimerId, ctx: &mut Context<Self::Msg, R>) {
+        if id == RETRY_TIMER && self.retry_interval.is_some() {
+            self.retry_armed = false;
+            self.retransmit_pending(ctx);
+            self.arm_retry(ctx);
+        }
+    }
+
+    fn on_recover<R>(&mut self, ctx: &mut Context<Self::Msg, R>) {
+        // The crash cancelled any armed retry timer; resume the pending
+        // requests immediately and re-arm.
+        self.retry_armed = false;
+        if self.retry_interval.is_some() {
+            self.retransmit_pending(ctx);
+            self.arm_retry(ctx);
+        }
+    }
 
     fn start_get<R>(&mut self, token: u64, ctx: &mut Context<Self::Msg, R>) {
         self.seq += 1;
         self.gets.push(PendingGet { seq: self.seq, token, responses: BTreeMap::new() });
         ctx.broadcast(ClassicalMsg::GetReq { seq: self.seq });
+        self.arm_retry(ctx);
     }
 
     fn start_set<R>(&mut self, token: u64, update: U, ctx: &mut Context<Self::Msg, R>) {
         self.seq += 1;
-        self.sets.push(PendingSet { seq: self.seq, token, responded: ProcessSet::new() });
+        self.sets.push(PendingSet {
+            seq: self.seq,
+            token,
+            responded: ProcessSet::new(),
+            update: update.clone(),
+        });
         ctx.broadcast(ClassicalMsg::SetReq { seq: self.seq, update });
+        self.arm_retry(ctx);
     }
 
     fn on_message<R>(
@@ -136,7 +226,12 @@ impl<S: Clone + Debug, U: Update<S>> QuorumAccess<S, U> for ClassicalQaf<S, U> {
                 }
             }
             ClassicalMsg::SetReq { seq, update } => {
-                self.state = update.apply(&self.state);
+                // A retransmitted SET_REQ must not re-apply (updates are
+                // not idempotent); it is re-acked so a lost SET_RESP is
+                // recovered by the requester's next retry.
+                if self.applied.insert((from, seq)) {
+                    self.state = update.apply(&self.state);
+                }
                 ctx.send(from, ClassicalMsg::SetResp { seq });
             }
             ClassicalMsg::SetResp { seq } => {
@@ -244,6 +339,73 @@ mod tests {
         let _ = e.on_message(ProcessId(1), ClassicalMsg::SetResp { seq: 1 }, &mut c);
         let _ = e.on_message(ProcessId(1), ClassicalMsg::SetResp { seq: 1 }, &mut c);
         assert_eq!(e.pending(), 1, "one distinct responder is not a quorum");
+    }
+
+    #[test]
+    fn duplicate_set_req_applies_once_but_is_reacked() {
+        let mut e = majority_engine();
+        let mut c = ctx(1);
+        let u = VersionedWrite { reg: 0, value: 9, version: (1, 0) };
+        let req = ClassicalMsg::SetReq { seq: 4, update: u };
+        let _ = e.on_message(ProcessId(0), req.clone(), &mut c);
+        let _ = e.on_message(ProcessId(0), req, &mut c);
+        assert_eq!(e.state().get(&0), (9, (1, 0)), "the update applied exactly once");
+        assert_eq!(c.effect_count(), 2, "both copies are acked");
+        // The same seq from a DIFFERENT requester is a distinct request.
+        let u2 = VersionedWrite { reg: 0, value: 11, version: (2, 2) };
+        let _ = e.on_message(ProcessId(2), ClassicalMsg::SetReq { seq: 4, update: u2 }, &mut c);
+        assert_eq!(e.state().get(&0), (11, (2, 2)));
+    }
+
+    #[test]
+    fn retry_rebroadcasts_unanswered_requests_until_quorum() {
+        let mut e = majority_engine().with_retry(50);
+        let mut c = ctx(0);
+        e.start_get(7, &mut c);
+        // Broadcast (3 sends) + armed retry timer.
+        assert_eq!(c.effect_count(), 4);
+        let mut c = ctx(0);
+        e.on_timer(RETRY_TIMER, &mut c);
+        // Rebroadcast (3) + NoteRetransmit + re-armed timer.
+        assert_eq!(c.effect_count(), 5);
+        // Satisfy the read quorum; the next firing must go quiet.
+        let s = RegMap::new(0);
+        let ev =
+            e.on_message(ProcessId(1), ClassicalMsg::GetResp { seq: 1, state: s.clone() }, &mut c);
+        assert!(ev.is_empty());
+        let ev = e.on_message(ProcessId(2), ClassicalMsg::GetResp { seq: 1, state: s }, &mut c);
+        assert_eq!(ev.len(), 1);
+        let mut c = ctx(0);
+        e.on_timer(RETRY_TIMER, &mut c);
+        assert_eq!(c.effect_count(), 0, "nothing pending, nothing resent, no re-arm");
+    }
+
+    #[test]
+    fn without_retry_the_timer_is_inert() {
+        let mut e = majority_engine();
+        let mut c = ctx(0);
+        e.start_get(7, &mut c);
+        assert_eq!(c.effect_count(), 3, "no timer armed");
+        let mut c = ctx(0);
+        e.on_timer(RETRY_TIMER, &mut c);
+        assert_eq!(c.effect_count(), 0);
+    }
+
+    #[test]
+    fn recovery_resends_pending_requests() {
+        let mut e = majority_engine().with_retry(50);
+        let mut c = ctx(0);
+        e.start_set(3, VersionedWrite { reg: 0, value: 1, version: (1, 0) }, &mut c);
+        let mut c = ctx(0);
+        e.on_recover(&mut c);
+        // Rebroadcast (3) + NoteRetransmit + re-armed timer.
+        assert_eq!(c.effect_count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "retry period must be positive")]
+    fn zero_retry_interval_rejected() {
+        let _ = majority_engine().with_retry(0);
     }
 
     #[test]

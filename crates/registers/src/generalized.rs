@@ -22,6 +22,18 @@
 //! `get` cuts off against *write* quorums. Lemma 1 and Theorem 3 prove
 //! this yields Real-time ordering; Theorem 4 gives `(F, τ)`-wait-freedom
 //! for `τ(f) = U_f`.
+//!
+//! # Recovery-aware retries
+//!
+//! The periodic push already makes the *stage-2* waits (pushed clocks
+//! reaching a cut-off) self-healing, but the stage-1 requests
+//! (`CLOCK_REQ`, `SET_REQ`) are broadcast exactly once by default and can
+//! be lost to a down interval or the loss model. With
+//! [`GeneralizedQaf::with_retry`] they are rebroadcast on a periodic
+//! [`crate::classical::RETRY_TIMER`] until the quorum answers; replicas
+//! suppress duplicate `SET_REQ` applications by `(requester, seq)` and
+//! re-ack with the clock recorded at first application, preserving the
+//! line-21..24 semantics under retransmission.
 
 use std::collections::BTreeMap;
 use std::fmt::Debug;
@@ -29,6 +41,7 @@ use std::fmt::Debug;
 use gqs_core::{ProcessId, ProcessSet, QuorumFamily};
 use gqs_simnet::{Context, TimerId};
 
+use crate::classical::RETRY_TIMER;
 use crate::qaf::{QafEvent, QuorumAccess};
 use crate::update::Update;
 
@@ -99,10 +112,12 @@ struct PendingGet {
 }
 
 #[derive(Debug)]
-struct PendingSet {
+struct PendingSet<U> {
     seq: u64,
     token: u64,
     stage: SetStage,
+    /// Kept for retransmission under `with_retry`.
+    update: U,
 }
 
 /// The Figure 3 engine at one process.
@@ -118,8 +133,15 @@ pub struct GeneralizedQaf<S, U> {
     /// monotone per sender, so keeping the max-clock push loses nothing.
     latest: BTreeMap<ProcessId, (S, u64)>,
     gets: Vec<PendingGet>,
-    sets: Vec<PendingSet>,
+    sets: Vec<PendingSet<U>>,
     updates_applied: u64,
+    /// Period of the stage-1 request retransmission, if enabled.
+    retry_interval: Option<u64>,
+    /// Whether a [`RETRY_TIMER`] is currently armed.
+    retry_armed: bool,
+    /// Clock recorded at the first application of each `(requester, seq)`
+    /// `SET_REQ`; retransmitted copies are re-acked with it.
+    applied: BTreeMap<(ProcessId, u64), u64>,
     _update: std::marker::PhantomData<U>,
 }
 
@@ -146,8 +168,24 @@ impl<S: Clone + Debug, U: Update<S>> GeneralizedQaf<S, U> {
             gets: Vec::new(),
             sets: Vec::new(),
             updates_applied: 0,
+            retry_interval: None,
+            retry_armed: false,
+            applied: BTreeMap::new(),
             _update: std::marker::PhantomData,
         }
+    }
+
+    /// Enables periodic retransmission of unanswered stage-1 requests
+    /// every `interval` time units (see the [module docs](self)). Off by
+    /// default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0`.
+    pub fn with_retry(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "the retry period must be positive");
+        self.retry_interval = Some(interval);
+        self
     }
 
     /// The current logical clock (for tests and experiments).
@@ -212,6 +250,37 @@ impl<S: Clone + Debug, U: Update<S>> GeneralizedQaf<S, U> {
         events
     }
 
+    /// Arms the retry timer if retries are enabled, some invocation is
+    /// still in stage 1, and no timer is already armed.
+    fn arm_retry<R>(&mut self, ctx: &mut Context<GeneralizedMsg<S, U>, R>) {
+        let stage1 = self.gets.iter().any(|g| matches!(g.stage, GetStage::AwaitCutoff { .. }))
+            || self.sets.iter().any(|s| matches!(s.stage, SetStage::AwaitAcks { .. }));
+        if let Some(interval) = self.retry_interval {
+            if !self.retry_armed && stage1 {
+                ctx.set_timer(RETRY_TIMER, interval);
+                self.retry_armed = true;
+            }
+        }
+    }
+
+    /// Rebroadcasts every stage-1 request still awaiting its quorum (the
+    /// stage-2 waits are healed by the periodic push on its own timer).
+    fn retransmit_pending<R>(&mut self, ctx: &mut Context<GeneralizedMsg<S, U>, R>) {
+        let copies = ctx.n() as u64;
+        for g in &self.gets {
+            if matches!(g.stage, GetStage::AwaitCutoff { .. }) {
+                ctx.broadcast(GeneralizedMsg::ClockReq { seq: g.seq });
+                ctx.note_retransmit(copies);
+            }
+        }
+        for s in &self.sets {
+            if matches!(s.stage, SetStage::AwaitAcks { .. }) {
+                ctx.broadcast(GeneralizedMsg::SetReq { seq: s.seq, update: s.update.clone() });
+                ctx.note_retransmit(copies);
+            }
+        }
+    }
+
     fn push_state<R>(&mut self, ctx: &mut Context<GeneralizedMsg<S, U>, R>) {
         // Line 13-14: advance the clock and push state to all (including
         // ourselves — our own cache entry comes back through the channel).
@@ -234,6 +303,10 @@ impl<S: Clone + Debug, U: Update<S>> QuorumAccess<S, U> for GeneralizedQaf<S, U>
         if id == TICK_TIMER {
             self.push_state(ctx);
             ctx.set_timer(TICK_TIMER, self.tick_interval);
+        } else if id == RETRY_TIMER && self.retry_interval.is_some() {
+            self.retry_armed = false;
+            self.retransmit_pending(ctx);
+            self.arm_retry(ctx);
         }
     }
 
@@ -243,6 +316,13 @@ impl<S: Clone + Debug, U: Update<S>> QuorumAccess<S, U> for GeneralizedQaf<S, U>
         // downstream read quorum through it would starve.
         self.push_state(ctx);
         ctx.set_timer(TICK_TIMER, self.tick_interval);
+        // Likewise for the retry timer: resume pending stage-1 requests
+        // immediately and re-arm.
+        self.retry_armed = false;
+        if self.retry_interval.is_some() {
+            self.retransmit_pending(ctx);
+            self.arm_retry(ctx);
+        }
     }
 
     fn start_get<R>(&mut self, token: u64, ctx: &mut Context<Self::Msg, R>) {
@@ -254,6 +334,7 @@ impl<S: Clone + Debug, U: Update<S>> QuorumAccess<S, U> for GeneralizedQaf<S, U>
             stage: GetStage::AwaitCutoff { clocks: BTreeMap::new() },
         });
         ctx.broadcast(GeneralizedMsg::ClockReq { seq: self.seq });
+        self.arm_retry(ctx);
     }
 
     fn start_set<R>(&mut self, token: u64, update: U, ctx: &mut Context<Self::Msg, R>) {
@@ -263,8 +344,10 @@ impl<S: Clone + Debug, U: Update<S>> QuorumAccess<S, U> for GeneralizedQaf<S, U>
             seq: self.seq,
             token,
             stage: SetStage::AwaitAcks { clocks: BTreeMap::new() },
+            update: update.clone(),
         });
         ctx.broadcast(GeneralizedMsg::SetReq { seq: self.seq, update });
+        self.arm_retry(ctx);
     }
 
     fn on_message<R>(
@@ -304,10 +387,20 @@ impl<S: Clone + Debug, U: Update<S>> QuorumAccess<S, U> for GeneralizedQaf<S, U>
             }
             GeneralizedMsg::SetReq { seq, update } => {
                 // Lines 21-24: apply, bump clock, ack with the new clock.
-                self.state = update.apply(&self.state);
-                self.clock += 1;
-                self.updates_applied += 1;
-                ctx.send(from, GeneralizedMsg::SetResp { seq, clock: self.clock });
+                // A retransmitted SET_REQ must not re-apply or re-bump; it
+                // is re-acked with the clock recorded at first application,
+                // so a lost SET_RESP costs nothing but a retry round.
+                let clock = match self.applied.get(&(from, seq)) {
+                    Some(&recorded) => recorded,
+                    None => {
+                        self.state = update.apply(&self.state);
+                        self.clock += 1;
+                        self.updates_applied += 1;
+                        self.applied.insert((from, seq), self.clock);
+                        self.clock
+                    }
+                };
+                ctx.send(from, GeneralizedMsg::SetResp { seq, clock });
                 Vec::new()
             }
             GeneralizedMsg::SetResp { seq, clock } => {
@@ -475,6 +568,62 @@ mod tests {
         assert_eq!(ev.len(), 1);
         assert_eq!(ev[0].token(), 2);
         assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn duplicate_set_req_reacks_the_recorded_clock() {
+        let mut e = engine();
+        let mut c = ctx(1);
+        let u = VersionedWrite { reg: 0, value: 8, version: (1, 0) };
+        let req = Msg::SetReq { seq: 5, update: u };
+        let _ = e.on_message(ProcessId(0), req.clone(), &mut c);
+        // Another update lands in between, advancing the clock.
+        let u2 = VersionedWrite { reg: 1, value: 3, version: (1, 2) };
+        let _ = e.on_message(ProcessId(2), Msg::SetReq { seq: 1, update: u2 }, &mut c);
+        assert_eq!(e.clock(), 2);
+        let mut c = ctx(1);
+        let _ = e.on_message(ProcessId(0), req, &mut c);
+        assert_eq!(e.updates_applied(), 2, "the duplicate did not re-apply");
+        assert_eq!(e.clock(), 2, "the duplicate did not re-bump the clock");
+        let acked = c.take_effects();
+        assert!(
+            matches!(
+                acked[..],
+                [gqs_simnet::Effect::Send { msg: Msg::SetResp { seq: 5, clock: 1 }, .. }]
+            ),
+            "the re-ack carries the clock recorded at first application, got {acked:?}"
+        );
+    }
+
+    #[test]
+    fn retry_rebroadcasts_only_stage_one_requests() {
+        let mut e = engine().with_retry(50);
+        let mut c = ctx(0);
+        e.start_get(42, &mut c);
+        // Broadcast (3) + armed retry timer.
+        assert_eq!(c.effect_count(), 4);
+        let mut c = ctx(0);
+        e.on_timer(RETRY_TIMER, &mut c);
+        // Rebroadcast CLOCK_REQ (3) + NoteRetransmit + re-arm.
+        assert_eq!(c.effect_count(), 5);
+        // Reach stage 2: the cut-off is known, the wait is now on pushes.
+        let _ = e.on_message(ProcessId(0), Msg::ClockResp { seq: 1, clock: 3 }, &mut c);
+        let _ = e.on_message(ProcessId(1), Msg::ClockResp { seq: 1, clock: 5 }, &mut c);
+        let mut c = ctx(0);
+        e.on_timer(RETRY_TIMER, &mut c);
+        assert_eq!(c.effect_count(), 0, "stage-2 waits ride the periodic push, not retries");
+    }
+
+    #[test]
+    fn recovery_resends_stage_one_and_rearms_both_timers() {
+        let mut e = engine().with_retry(50);
+        let mut c = ctx(0);
+        e.start_set(7, VersionedWrite { reg: 0, value: 1, version: (1, 0) }, &mut c);
+        let mut c = ctx(0);
+        e.on_recover(&mut c);
+        // push_state broadcast (3) + tick re-arm + SET_REQ rebroadcast (3)
+        // + NoteRetransmit + retry re-arm.
+        assert_eq!(c.effect_count(), 9);
     }
 
     #[test]

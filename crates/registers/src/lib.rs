@@ -15,6 +15,15 @@
 //!   engine; [`GqsRegister`] is the paper's protocol, [`AbdRegister`] the
 //!   baseline.
 //!
+//! Both engines can also **retransmit** unanswered requests
+//! ([`ClassicalQaf::with_retry`] / [`GeneralizedQaf::with_retry`]): lost
+//! `GET_REQ`/`SET_REQ`/`CLOCK_REQ` broadcasts are re-sent on a periodic
+//! timer ([`RETRY_TIMER`]) until the quorum answers, with replica-side
+//! **duplicate suppression** — a retransmitted `SET_REQ` is recognized by
+//! `(requester, seq)` and re-**ack**ed instead of re-applied. An operation
+//! invoked during an outage then completes a bounded time after the heal
+//! with no client-side retry (see [`reliable_abd_register_nodes`]).
+//!
 //! ## Example: the Figure 1 system
 //!
 //! ```
@@ -46,11 +55,11 @@ pub mod qaf;
 pub mod register;
 pub mod update;
 
-pub use classical::{ClassicalMsg, ClassicalQaf};
+pub use classical::{ClassicalMsg, ClassicalQaf, RETRY_TIMER};
 pub use generalized::{GeneralizedMsg, GeneralizedQaf, TICK_TIMER};
 pub use qaf::{QafEvent, QuorumAccess};
 pub use register::{
-    abd_register_nodes, gqs_register_nodes, AbdRegister, GqsRegister, QuorumRegister, RegOp,
-    RegResp,
+    abd_register_nodes, gqs_register_nodes, reliable_abd_register_nodes, AbdRegister, GqsRegister,
+    QuorumRegister, RegOp, RegResp,
 };
 pub use update::{RegMap, Update, Version, VersionedWrite, VERSION_ZERO};

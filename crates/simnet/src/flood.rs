@@ -97,6 +97,7 @@ impl<P: Protocol> Flood<P> {
                 }
                 Effect::SetTimer { id, after } => ctx.set_timer(id, after),
                 Effect::Complete { op, resp } => ctx.complete(op, resp),
+                Effect::NoteRetransmit { count } => ctx.note_retransmit(count),
             }
         }
     }

@@ -147,6 +147,14 @@ pub struct NetStats {
     pub dropped_disconnected: u64,
     /// Messages dropped because the destination had crashed.
     pub dropped_crashed: u64,
+    /// Messages dropped by the seeded per-channel loss model
+    /// ([`crate::SimConfig::loss`]).
+    pub dropped_lossy: u64,
+    /// Retransmissions reported by reliability layers via
+    /// [`crate::Effect::NoteRetransmit`]. Each retransmitted copy is also
+    /// counted in `sent`; this field isolates the overhead of the
+    /// ack/retransmit machinery.
+    pub retransmitted: u64,
     /// Timer events fired at live processes.
     pub timers_fired: u64,
     /// Total events processed.

@@ -14,7 +14,15 @@
 //! * a **flooding middleware** ([`Flood`]) realizing the paper's
 //!   "forward every received message" transitivity assumption — over a
 //!   sparse [`Topology`], flooding restores logical connectivity along
-//!   directed paths of present channels.
+//!   directed paths of present channels,
+//! * a **seeded message-loss model** ([`SimConfig::loss`]: each send over
+//!   an up channel is independently dropped with a configured probability,
+//!   deterministically per seed), and
+//! * a **reliability middleware** ([`Reliable`]): per-destination sequence
+//!   numbers, **acks**, **duplicate suppression**, and retransmission with
+//!   seeded exponential **backoff**, delivering every wrapped message
+//!   exactly once and in per-sender order despite loss, flapping channels
+//!   and crash/recover cycles.
 //!
 //! Protocols implement [`Protocol`] and are driven by [`Simulation`], which
 //! records an operation [`History`] suitable for the `gqs-checker` crate.
@@ -60,6 +68,7 @@
 pub mod flood;
 pub mod history;
 pub mod protocol;
+pub mod reliable;
 pub mod rng;
 pub mod sim;
 pub mod time;
@@ -68,6 +77,7 @@ pub mod topology;
 pub use flood::{Flood, FloodMsg};
 pub use history::{History, NetStats, OpRecord};
 pub use protocol::{Context, Effect, OpId, Protocol, TimerId};
+pub use reliable::{Reliable, ReliableMsg, RETX_TIMER};
 pub use rng::SplitMix64;
 pub use sim::{DelayModel, FailureSchedule, SimConfig, Simulation, StopReason};
 pub use time::SimTime;

@@ -65,6 +65,15 @@ pub enum Effect<M, R> {
         /// Its response value.
         resp: R,
     },
+    /// Account `count` retransmitted messages in the run's
+    /// [`crate::NetStats`]. Bookkeeping only — the resent copies travel as
+    /// ordinary [`Effect::Send`]s; this effect lets reliability layers
+    /// (e.g. [`crate::Reliable`]) surface their overhead in the
+    /// simulator-wide statistics. Middleware must pass it through.
+    NoteRetransmit {
+        /// Number of retransmissions to account.
+        count: u64,
+    },
 }
 
 /// Handler context: identifies the process and collects effects.
@@ -126,6 +135,15 @@ impl<M, R> Context<M, R> {
     /// Completes a pending operation.
     pub fn complete(&mut self, op: OpId, resp: R) {
         self.effects.push(Effect::Complete { op, resp });
+    }
+
+    /// Accounts `count` retransmitted messages in the run's statistics
+    /// (see [`Effect::NoteRetransmit`]). Call once per resent copy,
+    /// alongside the [`Context::send`] that carries it.
+    pub fn note_retransmit(&mut self, count: u64) {
+        if count > 0 {
+            self.effects.push(Effect::NoteRetransmit { count });
+        }
     }
 
     /// Drains the collected effects (middleware entry point).

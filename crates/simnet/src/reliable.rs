@@ -1,0 +1,475 @@
+//! Reliable-delivery middleware: acks, retransmission and duplicate
+//! suppression over lossy or flapping channels.
+//!
+//! [`Flood`](crate::Flood) restores *connectivity* (a logical message
+//! travels along any directed path of present channels); [`Reliable`]
+//! restores *delivery*: every logical send is enveloped as
+//! [`ReliableMsg::Data`] with a per-destination sequence number, the
+//! receiver answers each data message with a [`ReliableMsg::Ack`], and the
+//! sender retransmits unacknowledged envelopes under seeded exponential
+//! backoff (doubling from a base delay up to a cap, plus deterministic
+//! jitter so synchronized senders de-correlate). The receiver suppresses
+//! duplicates and releases payloads to the wrapped protocol **exactly once
+//! and in per-sender order**: out-of-order arrivals are held back until
+//! the gap fills.
+//!
+//! Retransmission of an envelope stops when its ack arrives. Crashes
+//! interact with the machinery through the simulator's crash epochs: a
+//! crash of the sender cancels its armed retransmit timer (the epoch
+//! advances, so the pre-crash timer never fires), and
+//! [`Protocol::on_recover`] re-arms the pending retransmit timers — every
+//! unacknowledged envelope is resent at the recovery instant with a fresh
+//! backoff run. Receiver-side dedup state survives crashes on purpose, so
+//! an envelope delivered before the receiver's crash is acked-but-not-
+//! redelivered when the sender retransmits it afterwards.
+//!
+//! Composes with flooding as `Flood<Reliable<P>>`: retransmissions then
+//! travel along whatever paths currently exist.
+
+use std::collections::BTreeMap;
+
+use gqs_core::ProcessId;
+
+use crate::protocol::{Context, Effect, OpId, Protocol, TimerId};
+use crate::rng::SplitMix64;
+use crate::time::SimTime;
+
+/// Timer id reserved by [`Reliable`] for its retransmit clock. Wrapped
+/// protocols must not arm timers with this id; all other ids pass through
+/// untouched.
+pub const RETX_TIMER: TimerId = TimerId(u64::MAX);
+
+/// Default initial retransmit delay, in simulator time units.
+pub const DEFAULT_RETX_BASE: u64 = 40;
+
+/// Default backoff cap: retransmit delays double from the base up to this.
+pub const DEFAULT_RETX_CAP: u64 = 640;
+
+/// The envelope carried by the reliability layer.
+#[derive(Clone, Debug)]
+pub enum ReliableMsg<M> {
+    /// A sequenced payload; `(sender, seq)` is unique per destination.
+    Data {
+        /// Sender-local, per-destination sequence number (0, 1, 2, …).
+        seq: u64,
+        /// The wrapped protocol message.
+        payload: M,
+    },
+    /// Acknowledgement of `Data { seq, .. }`, sent back to the sender.
+    /// Duplicates are re-acked, so a lost ack is recovered by the next
+    /// retransmission.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+}
+
+#[derive(Debug)]
+struct PendingEnvelope<M> {
+    payload: M,
+    /// Retransmissions performed so far (governs the backoff exponent).
+    attempt: u32,
+    /// When the next retransmission is due.
+    next_due: SimTime,
+}
+
+/// Wraps a protocol with per-destination sequencing, acks, duplicate
+/// suppression and retransmission with seeded exponential backoff.
+///
+/// See the [module docs](self) for the delivery guarantees.
+#[derive(Debug)]
+pub struct Reliable<P: Protocol> {
+    inner: P,
+    base: u64,
+    cap: u64,
+    rng: SplitMix64,
+    /// Next sequence number per destination.
+    next_seq: BTreeMap<ProcessId, u64>,
+    /// Unacknowledged envelopes, keyed by `(destination, seq)`.
+    pending: BTreeMap<(ProcessId, u64), PendingEnvelope<P::Msg>>,
+    /// Next expected sequence number per sender (everything below it has
+    /// been delivered to the inner protocol).
+    expected: BTreeMap<ProcessId, u64>,
+    /// Out-of-order arrivals held until the gap before them fills.
+    held: BTreeMap<(ProcessId, u64), P::Msg>,
+    /// Earliest armed retransmit deadline, if any (timers are one-shot
+    /// and cannot be cancelled; stale firings re-arm harmlessly).
+    timer_at: Option<SimTime>,
+    retransmits: u64,
+}
+
+impl<P: Protocol> Reliable<P> {
+    /// Wraps `inner` with the default backoff tuning
+    /// ([`DEFAULT_RETX_BASE`], [`DEFAULT_RETX_CAP`]) and a fixed jitter
+    /// seed. Runs stay deterministic either way; give each node its own
+    /// seed via [`Reliable::with_tuning`] to de-correlate their jitter.
+    pub fn new(inner: P) -> Self {
+        Self::with_tuning(inner, DEFAULT_RETX_BASE, DEFAULT_RETX_CAP, 0x5EED_ACED)
+    }
+
+    /// Wraps `inner` with an explicit initial retransmit delay `base`, a
+    /// backoff `cap`, and a `seed` for the deterministic jitter stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base == 0` or `cap < base`.
+    pub fn with_tuning(inner: P, base: u64, cap: u64, seed: u64) -> Self {
+        assert!(base > 0, "the retransmit base delay must be positive");
+        assert!(cap >= base, "the backoff cap must be at least the base delay");
+        Reliable {
+            inner,
+            base,
+            cap,
+            rng: SplitMix64::new(seed),
+            next_seq: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            expected: BTreeMap::new(),
+            held: BTreeMap::new(),
+            timer_at: None,
+            retransmits: 0,
+        }
+    }
+
+    /// The wrapped protocol (for assertions on its state).
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped protocol.
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+
+    /// Envelopes retransmitted by this node so far.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Envelopes sent by this node and not yet acknowledged.
+    pub fn unacked(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The backoff delay after `attempt` retransmissions: the base delay
+    /// doubled per attempt up to the cap, plus jitter in `[0, delay/2]`.
+    fn backoff(&mut self, attempt: u32) -> u64 {
+        let exp = attempt.min(16);
+        let delay = self.base.saturating_shl(exp).min(self.cap).max(1);
+        delay + self.rng.range(0, delay / 2)
+    }
+
+    /// Arms the retransmit timer for the earliest pending deadline if it
+    /// is not already covered by an armed one.
+    fn arm(&mut self, ctx: &mut Context<ReliableMsg<P::Msg>, P::Resp>) {
+        let Some(min_due) = self.pending.values().map(|p| p.next_due).min() else {
+            return;
+        };
+        let covered = self.timer_at.is_some_and(|t| t <= min_due && t >= ctx.now());
+        if !covered {
+            let after = min_due.ticks().saturating_sub(ctx.now().ticks()).max(1);
+            ctx.set_timer(RETX_TIMER, after);
+            self.timer_at = Some(SimTime(ctx.now().ticks() + after));
+        }
+    }
+
+    /// Sends one logical message reliably: envelope, track, arm.
+    fn reliable_send(
+        &mut self,
+        to: ProcessId,
+        msg: P::Msg,
+        ctx: &mut Context<ReliableMsg<P::Msg>, P::Resp>,
+    ) {
+        let seq_slot = self.next_seq.entry(to).or_insert(0);
+        let seq = *seq_slot;
+        *seq_slot += 1;
+        ctx.send(to, ReliableMsg::Data { seq, payload: msg.clone() });
+        let next_due = ctx.now() + self.backoff(0);
+        self.pending.insert((to, seq), PendingEnvelope { payload: msg, attempt: 0, next_due });
+        self.arm(ctx);
+    }
+
+    /// Translates the inner protocol's effects: each logical send becomes
+    /// a tracked envelope; timers and completions pass through.
+    fn translate(
+        &mut self,
+        inner_ctx: &mut Context<P::Msg, P::Resp>,
+        ctx: &mut Context<ReliableMsg<P::Msg>, P::Resp>,
+    ) {
+        for eff in inner_ctx.take_effects() {
+            match eff {
+                Effect::Send { to, msg } => self.reliable_send(to, msg, ctx),
+                Effect::SetTimer { id, after } => {
+                    debug_assert!(id != RETX_TIMER, "TimerId(u64::MAX) is reserved by Reliable");
+                    ctx.set_timer(id, after);
+                }
+                Effect::Complete { op, resp } => ctx.complete(op, resp),
+                Effect::NoteRetransmit { count } => ctx.note_retransmit(count),
+            }
+        }
+    }
+
+    fn inner_ctx(ctx: &Context<ReliableMsg<P::Msg>, P::Resp>) -> Context<P::Msg, P::Resp> {
+        Context::new(ctx.me(), ctx.n(), ctx.now())
+    }
+
+    /// Resends every envelope due by `now` and pushes its next deadline
+    /// one backoff step out.
+    fn retransmit_due(&mut self, ctx: &mut Context<ReliableMsg<P::Msg>, P::Resp>) {
+        let now = ctx.now();
+        let due: Vec<(ProcessId, u64)> =
+            self.pending.iter().filter(|(_, p)| p.next_due <= now).map(|(k, _)| *k).collect();
+        for key in due {
+            let attempt = self.pending[&key].attempt + 1;
+            let next_due = now + self.backoff(attempt);
+            let entry = self.pending.get_mut(&key).expect("due key still pending");
+            entry.attempt = attempt;
+            entry.next_due = next_due;
+            ctx.send(key.0, ReliableMsg::Data { seq: key.1, payload: entry.payload.clone() });
+            ctx.note_retransmit(1);
+            self.retransmits += 1;
+        }
+    }
+}
+
+/// `u64::checked_shl` with saturation to `u64::MAX` — backoff exponents
+/// must not wrap.
+trait SaturatingShl {
+    fn saturating_shl(self, exp: u32) -> u64;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, exp: u32) -> u64 {
+        self.checked_shl(exp).unwrap_or(u64::MAX)
+    }
+}
+
+impl<P: Protocol> Protocol for Reliable<P> {
+    type Msg = ReliableMsg<P::Msg>;
+    type Op = P::Op;
+    type Resp = P::Resp;
+
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg, Self::Resp>) {
+        let mut inner_ctx = Self::inner_ctx(ctx);
+        self.inner.on_start(&mut inner_ctx);
+        self.translate(&mut inner_ctx, ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<Self::Msg, Self::Resp>,
+    ) {
+        match msg {
+            ReliableMsg::Data { seq, payload } => {
+                // Ack unconditionally: duplicates mean the previous ack
+                // was lost (or still in flight), and the sender keeps
+                // retransmitting until one arrives.
+                ctx.send(from, ReliableMsg::Ack { seq });
+                let expected = self.expected.entry(from).or_insert(0);
+                if seq < *expected {
+                    return; // duplicate of an already-delivered envelope
+                }
+                self.held.insert((from, seq), payload);
+                // Release the longest contiguous run to the inner
+                // protocol: exactly once, in per-sender order.
+                while let Some(payload) = self.held.remove(&(from, self.expected[&from])) {
+                    *self.expected.get_mut(&from).expect("entry created above") += 1;
+                    let mut inner_ctx = Self::inner_ctx(ctx);
+                    self.inner.on_message(from, payload, &mut inner_ctx);
+                    self.translate(&mut inner_ctx, ctx);
+                }
+            }
+            ReliableMsg::Ack { seq } => {
+                self.pending.remove(&(from, seq));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, ctx: &mut Context<Self::Msg, Self::Resp>) {
+        if id == RETX_TIMER {
+            self.timer_at = None;
+            self.retransmit_due(ctx);
+            self.arm(ctx);
+        } else {
+            let mut inner_ctx = Self::inner_ctx(ctx);
+            self.inner.on_timer(id, &mut inner_ctx);
+            self.translate(&mut inner_ctx, ctx);
+        }
+    }
+
+    fn on_invoke(&mut self, op: OpId, body: Self::Op, ctx: &mut Context<Self::Msg, Self::Resp>) {
+        let mut inner_ctx = Self::inner_ctx(ctx);
+        self.inner.on_invoke(op, body, &mut inner_ctx);
+        self.translate(&mut inner_ctx, ctx);
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<Self::Msg, Self::Resp>) {
+        let mut inner_ctx = Self::inner_ctx(ctx);
+        self.inner.on_recover(&mut inner_ctx);
+        self.translate(&mut inner_ctx, ctx);
+        // The crash cancelled the retransmit timer (its epoch advanced).
+        // Re-arm it by making every pending envelope due now: acks that
+        // were dropped while we were down are recovered by the resend.
+        self.timer_at = None;
+        let now = ctx.now();
+        for entry in self.pending.values_mut() {
+            entry.next_due = now;
+        }
+        self.retransmit_due(ctx);
+        self.arm(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{FailureSchedule, SimConfig, Simulation, StopReason};
+    use gqs_core::Channel;
+
+    /// One-shot request/response: sends each request exactly once and
+    /// never retries — all fault tolerance must come from [`Reliable`].
+    #[derive(Default, Debug)]
+    struct OneShot {
+        pending: Vec<OpId>,
+        got: Vec<u64>,
+    }
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Req(u64),
+        Rsp,
+    }
+
+    impl Protocol for OneShot {
+        type Msg = Msg;
+        type Op = (ProcessId, u64);
+        type Resp = ();
+
+        fn on_start(&mut self, _ctx: &mut Context<Msg, ()>) {}
+
+        fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<Msg, ()>) {
+            match msg {
+                Msg::Req(x) => {
+                    self.got.push(x);
+                    ctx.send(from, Msg::Rsp);
+                }
+                Msg::Rsp => {
+                    if let Some(op) = self.pending.pop() {
+                        ctx.complete(op, ());
+                    }
+                }
+            }
+        }
+
+        fn on_timer(&mut self, _id: TimerId, _ctx: &mut Context<Msg, ()>) {}
+
+        fn on_invoke(&mut self, op: OpId, (to, x): Self::Op, ctx: &mut Context<Msg, ()>) {
+            self.pending.push(op);
+            ctx.send(to, Msg::Req(x));
+        }
+    }
+
+    fn nodes(n: usize) -> Vec<Reliable<OneShot>> {
+        (0..n).map(|p| Reliable::with_tuning(OneShot::default(), 20, 320, 100 + p as u64)).collect()
+    }
+
+    #[test]
+    fn one_shot_survives_a_lossy_channel() {
+        let cfg = SimConfig { seed: 9, loss: 0.4, ..SimConfig::default() };
+        let mut sim = Simulation::new(cfg, nodes(2));
+        for i in 0..4 {
+            sim.invoke_at(SimTime(10 + i * 50), ProcessId(0), (ProcessId(1), i));
+        }
+        assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+        let s = sim.stats();
+        assert!(s.dropped_lossy > 0, "a 40% loss rate must drop something");
+        assert_eq!(sim.node(ProcessId(1)).inner().got, vec![0, 1, 2, 3], "in order, exactly once");
+    }
+
+    #[test]
+    fn retransmission_stops_after_the_ack() {
+        let cfg = SimConfig { seed: 2, ..SimConfig::default() };
+        let mut sim = Simulation::new(cfg, nodes(2));
+        sim.invoke_at(SimTime(1), ProcessId(0), (ProcessId(1), 7));
+        assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+        let before = sim.stats().retransmitted;
+        sim.run(); // drain any armed retransmit timers
+        assert_eq!(sim.stats().retransmitted, before, "no retransmits after acks");
+        assert_eq!(sim.node(ProcessId(0)).unacked(), 0);
+        assert_eq!(sim.node(ProcessId(1)).inner().got, vec![7]);
+    }
+
+    #[test]
+    fn duplicates_are_acked_but_not_redelivered() {
+        let mut r = Reliable::new(OneShot::default());
+        let mut ctx = Context::new(ProcessId(1), 2, SimTime(5));
+        let data = ReliableMsg::Data { seq: 0, payload: Msg::Req(3) };
+        r.on_message(ProcessId(0), data.clone(), &mut ctx);
+        r.on_message(ProcessId(0), data, &mut ctx);
+        assert_eq!(r.inner().got, vec![3], "delivered exactly once");
+        let acks = ctx
+            .take_effects()
+            .iter()
+            .filter(|e| matches!(e, Effect::Send { msg: ReliableMsg::Ack { seq: 0 }, .. }))
+            .count();
+        assert_eq!(acks, 2, "every copy is acked, or a lost ack would retransmit forever");
+    }
+
+    #[test]
+    fn out_of_order_arrivals_are_held_until_the_gap_fills() {
+        let mut r = Reliable::new(OneShot::default());
+        let mut ctx = Context::new(ProcessId(1), 2, SimTime(5));
+        r.on_message(ProcessId(0), ReliableMsg::Data { seq: 1, payload: Msg::Req(11) }, &mut ctx);
+        assert!(r.inner().got.is_empty(), "seq 1 must wait for seq 0");
+        r.on_message(ProcessId(0), ReliableMsg::Data { seq: 0, payload: Msg::Req(10) }, &mut ctx);
+        assert_eq!(r.inner().got, vec![10, 11], "released in sequence order");
+    }
+
+    #[test]
+    fn op_invoked_during_an_outage_completes_after_the_heal() {
+        let cfg = SimConfig { seed: 4, ..SimConfig::default() };
+        let mut sim = Simulation::new(cfg, nodes(2));
+        let mut sched = FailureSchedule::none();
+        sched.disconnect(Channel::new(ProcessId(0), ProcessId(1)), SimTime(0));
+        sched.heal(Channel::new(ProcessId(0), ProcessId(1)), SimTime(800));
+        sim.apply_failures(&sched);
+        let op = sim.invoke_at(SimTime(10), ProcessId(0), (ProcessId(1), 1));
+        assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+        let done = sim.history().ops().iter().find(|r| r.id == op).unwrap().completed_at().unwrap();
+        assert!(done >= SimTime(800), "nothing can get through before the heal");
+        assert!(done < SimTime(2500), "backoff is capped, so the heal is noticed promptly");
+        assert!(sim.stats().retransmitted > 0);
+    }
+
+    #[test]
+    fn recovery_rearms_pending_retransmissions() {
+        let cfg = SimConfig { seed: 6, ..SimConfig::default() };
+        let mut sim = Simulation::new(cfg, nodes(2));
+        let mut sched = FailureSchedule::none();
+        // The receiver is down when the request is sent, and the sender
+        // crashes before any retransmit timer it armed can fire — both
+        // sides' machinery must come back through on_recover.
+        sched.crash(ProcessId(1), SimTime(0));
+        sched.recover(ProcessId(1), SimTime(600));
+        sched.crash(ProcessId(0), SimTime(30));
+        sched.recover(ProcessId(0), SimTime(900));
+        sim.apply_failures(&sched);
+        sim.invoke_at(SimTime(10), ProcessId(0), (ProcessId(1), 5));
+        assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+        assert_eq!(sim.node(ProcessId(1)).inner().got, vec![5]);
+    }
+
+    #[test]
+    fn same_seed_same_trace_with_loss_and_retransmits() {
+        let run = || {
+            let cfg = SimConfig { seed: 11, loss: 0.25, ..SimConfig::default() };
+            let mut sim = Simulation::new(cfg, nodes(3));
+            sim.invoke_at(SimTime(1), ProcessId(0), (ProcessId(2), 1));
+            sim.invoke_at(SimTime(40), ProcessId(1), (ProcessId(2), 2));
+            sim.run_until_ops_complete();
+            (sim.stats(), sim.now())
+        };
+        assert_eq!(run(), run());
+    }
+}

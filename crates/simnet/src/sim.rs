@@ -126,6 +126,14 @@ pub struct SimConfig {
     /// drawn from `[d, d * timer_drift_max]`. Must be ≥ 1.0; no effect
     /// after GST or under the `Uniform` model (clocks are then accurate).
     pub timer_drift_max: f64,
+    /// Per-channel message-loss probability in `[0, 1]`: each non-self
+    /// send that survives the topology and down-interval checks is
+    /// independently dropped with this probability (counted as
+    /// `dropped_lossy`). Draws come from the run's seeded RNG, so losses
+    /// are deterministic per trial; at the default `0.0` no draw is made
+    /// at all, keeping loss-free traces bit-identical to earlier builds.
+    /// Self-sends are never lossy, matching the reliable self-channel.
+    pub loss: f64,
     /// Adversarial option: drop in-flight messages whose sender crashed
     /// before delivery. The model only guarantees delivery of messages
     /// sent by **correct** processes, so losing a crashed sender's
@@ -143,6 +151,7 @@ impl Default for SimConfig {
             horizon: SimTime(1_000_000),
             max_events: 50_000_000,
             timer_drift_max: 1.0,
+            loss: 0.0,
             drop_inflight_of_crashed: false,
         }
     }
@@ -324,7 +333,12 @@ pub enum StopReason {
     /// The time horizon was reached with events still queued.
     Horizon,
     /// The event cap was hit (likely a livelock — investigate).
-    EventCap,
+    EventCap {
+        /// How many invoked operations had not completed when the cap
+        /// struck — the work the truncated run silently abandoned. Also
+        /// available as [`Simulation::stalled_ops`].
+        stalled_ops: u64,
+    },
     /// The target of [`Simulation::run_until_ops_complete`] was met.
     OpsComplete,
 }
@@ -376,6 +390,11 @@ impl<P: Protocol> Simulation<P> {
         assert!(!nodes.is_empty(), "a system has at least one process");
         config.delay.validate();
         assert!(config.timer_drift_max >= 1.0, "drift factor must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&config.loss),
+            "loss probability must be in [0, 1], got {}",
+            config.loss
+        );
         let n = nodes.len();
         if let Some(t_n) = config.topology.required_len() {
             assert_eq!(t_n, n, "topology has {t_n} processes but the system has {n}");
@@ -494,7 +513,7 @@ impl<P: Protocol> Simulation<P> {
                 Some(_) => {}
             }
             if self.stats.events >= self.config.max_events {
-                return StopReason::EventCap;
+                return StopReason::EventCap { stalled_ops: self.stalled_ops() };
             }
             self.step();
         }
@@ -514,10 +533,28 @@ impl<P: Protocol> Simulation<P> {
                 Some(_) => {}
             }
             if self.stats.events >= self.config.max_events {
-                return StopReason::EventCap;
+                return StopReason::EventCap { stalled_ops: self.stalled_ops() };
             }
             self.step();
         }
+    }
+
+    /// Operations scheduled via [`Simulation::invoke_at`] that actually
+    /// ran (invocations at crashed processes never happen and are not
+    /// counted).
+    pub fn scheduled_ops(&self) -> u64 {
+        self.scheduled_ops
+    }
+
+    /// Operations that have completed so far.
+    pub fn finished_ops(&self) -> u64 {
+        self.finished_ops
+    }
+
+    /// Invoked operations still awaiting completion — the diagnosable
+    /// residue of a truncated run (see [`StopReason::EventCap`]).
+    pub fn stalled_ops(&self) -> u64 {
+        self.scheduled_ops - self.finished_ops
     }
 
     /// Processes a single event. Returns `false` if the queue was empty.
@@ -618,12 +655,21 @@ impl<P: Protocol> Simulation<P> {
                     // A channel outside the topology is a channel
                     // disconnected at time zero; a scheduled disconnection
                     // drops sends until (if ever) the channel heals.
-                    // Self-sends skip both.
+                    // Self-sends skip both, and are never lossy.
                     let dropped = to != me
                         && (!self.config.topology.connects(me, to)
                             || self.down.contains_key(&Channel::new(me, to)));
                     if dropped {
                         self.stats.dropped_disconnected += 1;
+                    } else if self.config.loss > 0.0
+                        && to != me
+                        && self.rng.chance(self.config.loss)
+                    {
+                        // The loss draw happens only on channels that are
+                        // up (losses compose with down intervals) and only
+                        // when the model is enabled, so loss = 0 consumes
+                        // no randomness and leaves traces untouched.
+                        self.stats.dropped_lossy += 1;
                     } else {
                         let delay = self.config.delay.draw(self.now, &mut self.rng);
                         self.push(self.now + delay, EventKind::Deliver { from: me, to, msg });
@@ -641,6 +687,9 @@ impl<P: Protocol> Simulation<P> {
                 Effect::Complete { op, resp } => {
                     self.history.record_completion(op, self.now, resp);
                     self.finished_ops += 1;
+                }
+                Effect::NoteRetransmit { count } => {
+                    self.stats.retransmitted += count;
                 }
             }
         }

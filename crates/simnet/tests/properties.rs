@@ -5,9 +5,10 @@
 //! Cases are driven by a seeded [`SplitMix64`] (the build has no network
 //! access, so `proptest` is unavailable); every run replays the same cases.
 
-use gqs_core::ProcessId;
+use gqs_core::{Channel, ProcessId};
 use gqs_simnet::{
-    Context, FailureSchedule, OpId, Protocol, SimConfig, SimTime, Simulation, SplitMix64, TimerId,
+    Context, FailureSchedule, OpId, Protocol, Reliable, SimConfig, SimTime, Simulation, SplitMix64,
+    StopReason, TimerId,
 };
 
 /// A gossiping protocol: every process relays each first-seen token to a
@@ -93,10 +94,37 @@ fn message_conservation() {
         let s = sim.stats();
         assert_eq!(
             s.sent,
-            s.delivered + s.dropped_disconnected + s.dropped_crashed,
+            s.delivered + s.dropped_disconnected + s.dropped_crashed + s.dropped_lossy,
             "conservation violated (case {case})"
         );
     }
+}
+
+/// Conservation holds under the loss model too, and a substantial loss
+/// rate actually exercises the `dropped_lossy` arm.
+#[test]
+fn message_conservation_with_loss() {
+    let mut lossy_cases = 0;
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(25_000 + case);
+        let seed = rng.range(0, u64::MAX - 1);
+        let n = 2 + rng.range(0, 3) as usize;
+        let cfg = SimConfig { seed, loss: 0.3, ..SimConfig::default() };
+        let mut sim = Simulation::new(cfg, (0..n).map(|_| Gossip::default()).collect());
+        sim.invoke_at(SimTime(1), ProcessId(0), 1);
+        sim.invoke_at(SimTime(4), ProcessId(1 % n), 2);
+        sim.run();
+        let s = sim.stats();
+        assert_eq!(
+            s.sent,
+            s.delivered + s.dropped_disconnected + s.dropped_crashed + s.dropped_lossy,
+            "conservation violated under loss (case {case})"
+        );
+        if s.dropped_lossy > 0 {
+            lossy_cases += 1;
+        }
+    }
+    assert!(lossy_cases > CASES / 2, "30% loss must drop messages in most cases");
 }
 
 /// Full determinism: identical seeds yield identical stats and final
@@ -130,6 +158,84 @@ fn reliable_channels_deliver_broadcasts() {
                 sim.node(ProcessId(p)).seen.contains(&42),
                 "process {p} missed the token (case {case})"
             );
+        }
+    }
+}
+
+/// A sink with no fault handling of its own: each value is sent exactly
+/// once at invocation and recorded with its sender on receipt — any
+/// redundancy or reordering the network inflicts would show up verbatim.
+#[derive(Default, Debug)]
+struct Sink {
+    got: Vec<(ProcessId, u64)>,
+}
+
+impl Protocol for Sink {
+    type Msg = u64;
+    type Op = (ProcessId, u64);
+    type Resp = ();
+
+    fn on_start(&mut self, _ctx: &mut Context<u64, ()>) {}
+
+    fn on_message(&mut self, from: ProcessId, v: u64, _ctx: &mut Context<u64, ()>) {
+        self.got.push((from, v));
+    }
+
+    fn on_timer(&mut self, _id: TimerId, _ctx: &mut Context<u64, ()>) {}
+
+    fn on_invoke(&mut self, op: OpId, (to, v): (ProcessId, u64), ctx: &mut Context<u64, ()>) {
+        ctx.send(to, v);
+        ctx.complete(op, ());
+    }
+}
+
+/// The reliability property: over flapping, lossy channels — with the
+/// receiver crashing and recovering mid-stream — [`Reliable`] delivers
+/// every payload exactly once and in per-sender order, and the
+/// retransmission machinery quiesces once everything is acked.
+#[test]
+fn reliable_delivers_exactly_once_in_order_over_flapping_lossy_channels() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(60_000 + case);
+        let seed = rng.range(0, u64::MAX - 1);
+        let loss = 0.05 + rng.f64() * 0.35;
+        let cfg = SimConfig { seed, loss, ..SimConfig::default() };
+        let nodes = (0..3)
+            .map(|_| Reliable::with_tuning(Sink::default(), 25, 400, rng.range(0, u64::MAX - 1)))
+            .collect();
+        let mut sim = Simulation::new(cfg, nodes);
+        let mut sched = FailureSchedule::none();
+        // Flap both forward channels into the receiver...
+        for s in 0..2 {
+            let ch = Channel::new(ProcessId(s), ProcessId(2));
+            let mut t = 50 + rng.range(0, 100);
+            for _ in 0..3 {
+                let down = 50 + rng.range(0, 200);
+                sched.disconnect(ch, SimTime(t));
+                sched.heal(ch, SimTime(t + down));
+                t += down + 50 + rng.range(0, 200);
+            }
+        }
+        // ...and crash/recover the receiver mid-stream.
+        let crash_at = 100 + rng.range(0, 400);
+        sched.crash(ProcessId(2), SimTime(crash_at));
+        sched.recover(ProcessId(2), SimTime(crash_at + 100 + rng.range(0, 300)));
+        sim.apply_failures(&sched);
+        let per_sender = 5 + rng.range(0, 5);
+        for s in 0..2u64 {
+            for k in 0..per_sender {
+                let at = SimTime(10 + k * 60 + s);
+                sim.invoke_at(at, ProcessId(s as usize), (ProcessId(2), 100 * s + k));
+            }
+        }
+        let reason = sim.run();
+        assert_eq!(reason, StopReason::Quiescent, "case {case}: retransmission must drain");
+        let got = &sim.node(ProcessId(2)).inner().got;
+        for s in 0..2u64 {
+            let from_s: Vec<u64> =
+                got.iter().filter(|(f, _)| *f == ProcessId(s as usize)).map(|(_, v)| *v).collect();
+            let want: Vec<u64> = (0..per_sender).map(|k| 100 * s + k).collect();
+            assert_eq!(from_s, want, "case {case}: sender {s}: exactly once, in order");
         }
     }
 }

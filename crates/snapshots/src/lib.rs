@@ -245,6 +245,7 @@ where
                         .expect("register completion for an unknown internal op");
                     self.advance(machine, resp, ctx);
                 }
+                Effect::NoteRetransmit { count } => ctx.note_retransmit(count),
             }
         }
     }

@@ -68,7 +68,7 @@ use gqs_consensus::{majority_consensus_nodes, ProposalMode};
 use gqs_core::finder::{find_gqs, qs_plus_exists};
 use gqs_core::{majority_system, FailProneSystem, FailurePattern, NetworkGraph, ProcessId};
 use gqs_faults::{scenarios, FaultScript, RegionLayout};
-use gqs_registers::{abd_register_nodes, RegOp};
+use gqs_registers::{abd_register_nodes, reliable_abd_register_nodes, RegOp};
 use gqs_simnet::{DelayModel, Flood, SimConfig, SimTime, Simulation, SplitMix64, Topology};
 
 use crate::generators::{
@@ -836,6 +836,11 @@ pub struct ScenarioCell {
     pub patterns: PatternFamily,
     /// Channel-failure probability fed to the pattern family.
     pub p_chan: f64,
+    /// Per-channel message-loss probability fed to the simulator
+    /// ([`SimConfig::loss`]; simulated modes only — solvability decides
+    /// existence, not executions, so it ignores loss like it ignores the
+    /// schedule).
+    pub loss: f64,
     /// Fault-schedule family (simulated modes only; solvability ignores
     /// it).
     pub schedule: ScheduleFamily,
@@ -952,6 +957,7 @@ pub fn latency_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
         seed: sim_seed,
         topology: Topology::from(g),
         horizon: SimTime(LATENCY_HORIZON),
+        loss: cell.loss,
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(cfg, nodes);
@@ -1036,6 +1042,7 @@ pub fn consensus_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
         },
         topology: Topology::from(g),
         horizon: SimTime(CONSENSUS_HORIZON),
+        loss: cell.loss,
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(cfg, nodes);
@@ -1063,6 +1070,110 @@ pub fn consensus_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
     let lat_over_cdelta = decide_lat / (CONSENSUS_C * CONSENSUS_DELTA) as f64;
     let msgs_per_op = sim.stats().delivered as f64 / invokers.len() as f64;
     vec![decided, views, decide_lat, lat_over_cdelta, msgs_per_op]
+}
+
+/// The metrics every availability trial reports, in row order:
+///
+/// * `completed` — fraction of the invoked operations that completed
+///   before quiescence/horizon;
+/// * `stalled` — count of invoked operations that never completed (the
+///   diagnosable residue a truncated run leaves behind);
+/// * `time_to_heal` — how long after the schedule's *last* heal/recovery
+///   the backlog took to drain: the latest completion at or after that
+///   heal, minus the heal time (0 when the schedule never heals or no
+///   operation completes afterwards);
+/// * `retransmits_per_op` — retransmitted request copies
+///   ([`gqs_simnet::NetStats::retransmitted`]) per invoked operation —
+///   the price of the reliability layer, which drops to 0 on loss-free,
+///   outage-free cells.
+pub const AVAILABILITY_METRICS: &[&str] =
+    &["completed", "stalled", "time_to_heal", "retransmits_per_op"];
+
+/// Retry period of the availability trial's recovery-aware engine: a few
+/// op spacings short of the fault windows, so a request lost to an outage
+/// is retried several times before and shortly after the heal.
+const AVAILABILITY_RETRY: u64 = 150;
+
+/// Runs one availability trial: the same topology/fail-prone draw and
+/// fault schedule as [`latency_trial`], but driving the *self-healing*
+/// register stack — [`gqs_registers::reliable_abd_register_nodes`], whose
+/// classical engine retransmits unanswered quorum requests every
+/// a fixed interval (150 ticks, with replica-side duplicate suppression)
+/// — over channels that drop each message with probability `cell.loss`.
+/// Operations are invoked open-loop on the latency-mode cadence, so an op
+/// that lands inside an outage window simply waits out the fault and
+/// completes after the heal with **no client-side retry**; the trial
+/// measures [`AVAILABILITY_METRICS`].
+pub fn availability_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
+    let g = cell.family.build(cell.n, cell.density, rng);
+    let fp = cell.patterns.build(&g, cell.p_chan, rng);
+    let sim_seed = rng.next_u64();
+    if fp.is_empty() {
+        return vec![0.0; AVAILABILITY_METRICS.len()];
+    }
+    let pattern = fp.pattern(0);
+    let invokers = cell.schedule.invokers(cell.n, pattern);
+    if invokers.is_empty() {
+        return vec![0.0; AVAILABILITY_METRICS.len()];
+    }
+    let script = cell.schedule.script(cell.family, cell.n, &g, pattern, &LATENCY_TIMING);
+    let schedule = script.to_schedule();
+    let qs = majority_system(cell.n).expect("majority system exists for n >= 1");
+    let nodes: Vec<Flood<_>> = reliable_abd_register_nodes::<u8, u64>(
+        cell.n,
+        qs.reads().clone(),
+        qs.writes().clone(),
+        0,
+        AVAILABILITY_RETRY,
+    )
+    .into_iter()
+    .map(Flood::new)
+    .collect();
+    let cfg = SimConfig {
+        seed: sim_seed,
+        topology: Topology::from(g),
+        horizon: SimTime(LATENCY_HORIZON),
+        loss: cell.loss,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(cfg, nodes);
+    sim.apply_failures(&schedule);
+    for i in 0..LATENCY_OPS {
+        let p = invokers[(i as usize) % invokers.len()];
+        let at = SimTime(10 + i * LATENCY_OP_SPACING);
+        if i % 2 == 0 {
+            sim.invoke_at(at, p, RegOp::Write { reg: 0, value: i });
+        } else {
+            sim.invoke_at(at, p, RegOp::Read { reg: 0 });
+        }
+    }
+    sim.run_until_ops_complete();
+    let invoked = sim.history().ops().len();
+    if invoked == 0 {
+        return vec![0.0; AVAILABILITY_METRICS.len()];
+    }
+    let done: Vec<SimTime> = sim.history().ops().iter().filter_map(|r| r.completed_at()).collect();
+    let completed = done.len() as f64 / invoked as f64;
+    let stalled = (invoked - done.len()) as f64;
+    // The schedule's last heal or recovery; faults that never heal
+    // contribute nothing (their damage shows up in `stalled` instead).
+    let last_heal = schedule
+        .heals()
+        .iter()
+        .map(|&(_, at)| at)
+        .chain(schedule.recovers().iter().map(|&(_, at)| at))
+        .max();
+    let time_to_heal = match last_heal {
+        Some(heal) => done
+            .iter()
+            .filter(|&&at| at >= heal)
+            .max()
+            .map(|&at| (at.ticks() - heal.ticks()) as f64)
+            .unwrap_or(0.0),
+        None => 0.0,
+    };
+    let retransmits_per_op = sim.stats().retransmitted as f64 / invoked as f64;
+    vec![completed, stalled, time_to_heal, retransmits_per_op]
 }
 
 impl ScenarioGrid {
@@ -1102,6 +1213,20 @@ impl ScenarioGrid {
             metrics: CONSENSUS_METRICS,
         };
         run(&spec, opts, |cell, _t, rng| consensus_trial(cell, rng))
+    }
+
+    /// Streams the grid through the engine in availability mode
+    /// ([`availability_trial`] per trial, [`AVAILABILITY_METRICS`] per
+    /// cell), under the same determinism contract: aggregates are
+    /// bit-identical for any thread count.
+    pub fn run_availability(&self, opts: &SweepOptions) -> SweepReport {
+        let spec = SweepSpec {
+            cells: &self.cells,
+            trials: self.trials,
+            seed: self.seed,
+            metrics: AVAILABILITY_METRICS,
+        };
+        run(&spec, opts, |cell, _t, rng| availability_trial(cell, rng))
     }
 }
 
@@ -1232,6 +1357,8 @@ pub fn report_json(grid: &ScenarioGrid, report: &SweepReport) -> String {
         push_json_f64(&mut out, cell.density);
         out.push_str(&format!(", \"patterns\": \"{}\", \"p_chan\": ", cell.patterns.name()));
         push_json_f64(&mut out, cell.p_chan);
+        out.push_str(", \"loss\": ");
+        push_json_f64(&mut out, cell.loss);
         out.push_str(&format!(", \"schedule\": \"{}\"", cell.schedule.name()));
         out.push_str(&format!(", \"trials\": {},\n     \"aggregates\": {{", aggs.trials));
         for (m, (name, agg)) in report.metrics.iter().zip(&aggs.aggs).enumerate() {
@@ -1250,17 +1377,18 @@ pub fn report_json(grid: &ScenarioGrid, report: &SweepReport) -> String {
 /// Renders a scenario-grid report as CSV: one row per cell × metric.
 pub fn report_csv(grid: &ScenarioGrid, report: &SweepReport) -> String {
     let mut out = String::from(
-        "family,n,density,patterns,p_chan,schedule,trials,metric,count,mean,min,max,p50,p90,p99\n",
+        "family,n,density,patterns,p_chan,loss,schedule,trials,metric,count,mean,min,max,p50,p90,p99\n",
     );
     for (cell, aggs) in grid.cells.iter().zip(&report.cells) {
         for (name, agg) in report.metrics.iter().zip(&aggs.aggs) {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 cell.family.name(),
                 cell.n,
                 cell.density,
                 cell.patterns.name(),
                 cell.p_chan,
+                cell.loss,
                 cell.schedule.name(),
                 aggs.trials,
                 name,
@@ -1413,6 +1541,7 @@ mod tests {
                 density: 1.0,
                 patterns: PatternFamily::Rotating,
                 p_chan: 0.0,
+                loss: 0.0,
                 schedule: ScheduleFamily::Static,
             }],
             trials: 6,
@@ -1447,6 +1576,7 @@ mod tests {
             density: 1.0,
             patterns: PatternFamily::Rotating,
             p_chan: 0.0,
+            loss: 0.0,
             schedule: ScheduleFamily::Static,
         };
         let grid = |family| ScenarioGrid { cells: vec![cell(family)], trials: 8, seed: 5 };
@@ -1477,6 +1607,7 @@ mod tests {
                 density: 0.0,
                 patterns: PatternFamily::Rotating,
                 p_chan: 0.2,
+                loss: 0.0,
                 schedule: ScheduleFamily::Static,
             }],
             trials: 8,
@@ -1537,6 +1668,7 @@ mod tests {
             density: 1.0,
             patterns: PatternFamily::Rotating,
             p_chan: 0.0,
+            loss: 0.0,
             schedule,
         };
         let run = |schedule| {
@@ -1560,6 +1692,7 @@ mod tests {
                 density: 1.0,
                 patterns: PatternFamily::Rotating,
                 p_chan: 0.0,
+                loss: 0.0,
                 schedule: ScheduleFamily::Static,
             }],
             trials: 6,
@@ -1603,6 +1736,7 @@ mod tests {
                 density: 1.0,
                 patterns: PatternFamily::Rotating,
                 p_chan: 0.0,
+                loss: 0.0,
                 schedule: ScheduleFamily::RollingRestart,
             }],
             trials: 6,
@@ -1610,5 +1744,85 @@ mod tests {
         };
         let report = grid.run_consensus(&SweepOptions::default());
         assert_eq!(report.agg(0, "decided").mean(), 1.0, "restarts heal: everyone decides");
+    }
+
+    #[test]
+    fn availability_mode_heals_the_outage_latency_mode_loses() {
+        // The same n = 8 region-outage scenario where the plain ABD stack
+        // loses every op invoked inside the window
+        // (`dynamic_schedules_change_latency_outcomes`): the retransmitting
+        // stack completes *everything* — ops invoked mid-outage wait out
+        // the fault and finish after the heal, with no client retry.
+        let cell = ScenarioCell {
+            family: TopologyFamily::Complete,
+            n: 8,
+            density: 1.0,
+            patterns: PatternFamily::Rotating,
+            p_chan: 0.0,
+            loss: 0.0,
+            schedule: ScheduleFamily::RegionOutage,
+        };
+        let grid = ScenarioGrid { cells: vec![cell], trials: 8, seed: 21 };
+        let report = grid.run_availability(&SweepOptions::default());
+        assert!(report.complete);
+        assert_eq!(report.metrics, AVAILABILITY_METRICS);
+        assert_eq!(report.agg(0, "completed").mean(), 1.0, "retries heal the outage");
+        assert_eq!(report.agg(0, "stalled").mean(), 0.0);
+        assert!(
+            report.agg(0, "time_to_heal").max() > 0.0,
+            "some op must drain after the last heal"
+        );
+        assert!(
+            report.agg(0, "retransmits_per_op").mean() > 0.0,
+            "healing through an outage costs retransmissions"
+        );
+        // Determinism contract: bit-identical for any thread count.
+        let single = grid.run_availability(&SweepOptions {
+            threads: Some(1),
+            shard: Some(2),
+            ..Default::default()
+        });
+        let many = grid.run_availability(&SweepOptions {
+            threads: Some(3),
+            shard: Some(2),
+            ..Default::default()
+        });
+        assert_eq!(single, many);
+    }
+
+    #[test]
+    fn availability_mode_absorbs_heavy_message_loss() {
+        // 30% per-channel loss on a fault-free complete graph: the plain
+        // latency stack loses quorum responses and stalls some trials; the
+        // reliability layer retransmits its way to full completion.
+        let cell = |loss| ScenarioCell {
+            family: TopologyFamily::Complete,
+            n: 4,
+            density: 1.0,
+            patterns: PatternFamily::Rotating,
+            p_chan: 0.0,
+            loss,
+            schedule: ScheduleFamily::Static,
+        };
+        let grid = |loss| ScenarioGrid { cells: vec![cell(loss)], trials: 8, seed: 33 };
+        let lossy = grid(0.3).run_availability(&SweepOptions::default());
+        assert_eq!(lossy.agg(0, "completed").mean(), 1.0, "retries absorb 30% loss");
+        assert!(lossy.agg(0, "retransmits_per_op").mean() > 0.0);
+        // At loss = 0 the reliability layer is pure overhead-free
+        // insurance: nothing is ever retransmitted.
+        let clean = grid(0.0).run_availability(&SweepOptions::default());
+        assert_eq!(clean.agg(0, "completed").mean(), 1.0);
+        assert_eq!(
+            clean.agg(0, "retransmits_per_op").mean(),
+            0.0,
+            "no loss, no outage => no retransmissions"
+        );
+        // And the plain stack genuinely suffers on the same lossy cells.
+        let plain = grid(0.3).run_latency(&SweepOptions::default());
+        assert!(
+            plain.agg(0, "completed").mean() < 1.0,
+            "plain ABD must lose ops at 30% loss, got {}",
+            plain.agg(0, "completed").mean()
+        );
     }
 }

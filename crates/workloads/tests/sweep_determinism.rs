@@ -22,7 +22,15 @@ fn run_grid(grid: &ScenarioGrid, threads: usize, shard: Option<usize>) -> SweepR
 }
 
 fn cell(family: TopologyFamily, n: usize, patterns: PatternFamily, p_chan: f64) -> ScenarioCell {
-    ScenarioCell { family, n, density: 0.7, patterns, p_chan, schedule: ScheduleFamily::Static }
+    ScenarioCell {
+        family,
+        n,
+        density: 0.7,
+        patterns,
+        p_chan,
+        loss: 0.0,
+        schedule: ScheduleFamily::Static,
+    }
 }
 
 /// Three differently shaped grids (mixed topologies, random digraphs,
@@ -128,6 +136,7 @@ fn region_outage_latency_grid_is_bit_identical_across_thread_counts() {
                 density: 1.0,
                 patterns: PatternFamily::Rotating,
                 p_chan: 0.1,
+                loss: 0.0,
                 schedule,
             })
             .collect(),
@@ -167,6 +176,7 @@ fn consensus_grid_is_bit_identical_across_thread_counts() {
                 density: 1.0,
                 patterns: PatternFamily::Rotating,
                 p_chan: 0.0,
+                loss: 0.0,
                 schedule,
             })
             .collect(),

@@ -1,0 +1,125 @@
+//! A lossy 3-region WAN loses a region and heals — and no client ever
+//! retries.
+//!
+//! Fifteen processes in three 5-process regions run the self-healing
+//! register stack: `reliable_abd_register_nodes` (quorum engines that
+//! retransmit their own phase messages on a timer) under flooding, over
+//! channels that drop 5% of all messages. A `gqs_faults` script then cuts
+//! region 1's entire inter-region boundary during `[2000, 6000)` and
+//! heals it. Every operation — including the ones invoked inside the dark
+//! region, mid-outage — is invoked exactly once; the engine's
+//! ack/retransmit machinery absorbs both the background loss and the
+//! outage:
+//!
+//! * **before** — completes despite 5% message loss (retransmits cover
+//!   the gaps);
+//! * **during** — region 1's operations stall at the cut, the rest keep
+//!   serving; nothing is abandoned;
+//! * **after the heal** — the stalled operations' retransmissions get
+//!   through and every operation in the run completes.
+//!
+//! Contrast with `region_outage.rs`, where the plain (fire-once) ABD
+//! engine permanently loses every operation invoked in the dark region.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example lossy_wan
+//! ```
+
+use gqs::core::{majority_system, ProcessId};
+use gqs::faults::{regions, scenarios};
+use gqs::registers::{reliable_abd_register_nodes, RegOp};
+use gqs::simnet::{Flood, SimConfig, SimTime, Simulation, StopReason, Topology};
+use gqs::workloads::Table;
+
+fn main() {
+    let (graph, layout) = regions::regions(3, 5);
+    let n = graph.len();
+    let loss = 0.05;
+    let outage = (SimTime(2_000), SimTime(6_000));
+    println!(
+        "== 3-region WAN (n = {n}), {:.0}% message loss, region 1 dark during [{}, {}) ==\n",
+        loss * 100.0,
+        outage.0,
+        outage.1
+    );
+
+    let qs = majority_system(n).expect("majority quorums");
+    let retry_interval = 150;
+    let nodes: Vec<_> = reliable_abd_register_nodes::<u8, u64>(
+        n,
+        qs.reads().clone(),
+        qs.writes().clone(),
+        0,
+        retry_interval,
+    )
+    .into_iter()
+    .map(Flood::new)
+    .collect();
+    let cfg = SimConfig {
+        topology: Topology::from(graph.clone()),
+        horizon: SimTime(1_000_000),
+        loss,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(cfg, nodes);
+    scenarios::region_outage(&layout, &graph, 1, outage.0, outage.1).apply(&mut sim);
+
+    // One write + one read per process per phase — each invoked once.
+    let phases = [("before", 500u64), ("during", 3_000), ("after", 7_000)];
+    let mut ops = Vec::new(); // (phase, region, op id)
+    for (phase, at) in phases {
+        for p in 0..n {
+            let region = layout.region_of(ProcessId(p));
+            let w = sim.invoke_at(
+                SimTime(at + p as u64 * 20),
+                ProcessId(p),
+                RegOp::Write { reg: 0, value: p as u64 },
+            );
+            let r = sim.invoke_at(
+                SimTime(at + p as u64 * 20 + 10),
+                ProcessId(p),
+                RegOp::Read { reg: 0 },
+            );
+            ops.push((phase, region, w));
+            ops.push((phase, region, r));
+        }
+    }
+    let reason = sim.run_until_ops_complete();
+
+    let mut t = Table::new(["phase", "region 0", "region 1 (dark)", "region 2"]);
+    for (phase, _) in phases {
+        let mut row = vec![phase.to_string()];
+        for region in 0..3 {
+            let mine: Vec<_> = ops
+                .iter()
+                .filter(|(ph, r, _)| *ph == phase && *r == region)
+                .map(|(_, _, id)| *id)
+                .collect();
+            let records: Vec<_> =
+                sim.history().ops().iter().filter(|rec| mine.contains(&rec.id)).collect();
+            let done = records.iter().filter(|r| r.is_complete()).count();
+            let lats: Vec<u64> = records.iter().filter_map(|r| r.latency()).collect();
+            let lat = if lats.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:.0} ticks", lats.iter().sum::<u64>() as f64 / lats.len() as f64)
+            };
+            row.push(format!("{:3.0}% ({lat})", 100.0 * done as f64 / mine.len() as f64));
+        }
+        t.row(row);
+    }
+    println!("{t}");
+    let s = sim.stats();
+    println!(
+        "Stop reason: {reason:?}. Every operation completed — the mid-outage \n\
+         ops from region 1 just carry ~3000 ticks of outage in their latency \n\
+         (their retransmissions got through right after the heal). The noise \n\
+         floor the stack absorbed: {} messages lost to the 5% channel loss, \n\
+         {} eaten by the dark cut, {} retransmissions to cover it all. No \n\
+         client retried anything.",
+        s.dropped_lossy, s.dropped_disconnected, s.retransmitted
+    );
+    assert_eq!(reason, StopReason::OpsComplete, "the self-healing stack finishes every op");
+}

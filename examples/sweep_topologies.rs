@@ -46,6 +46,7 @@ fn main() {
                     density: 1.0,
                     patterns,
                     p_chan: 0.1,
+                    loss: 0.0,
                     schedule: ScheduleFamily::Static,
                 })
                 .collect(),
@@ -77,6 +78,7 @@ fn main() {
                 density: 1.0,
                 patterns: PatternFamily::Rotating,
                 p_chan: 0.0,
+                loss: 0.0,
                 schedule: ScheduleFamily::Static,
             })
             .collect(),
