@@ -14,7 +14,11 @@
 //! swaps in the self-healing register stack (retransmitting quorum
 //! engines over `--loss`-lossy channels) and measures completion,
 //! stalled ops, time-to-heal and retransmits/op
-//! (`gqs_workloads::sweep::AVAILABILITY_METRICS`). Either way results are
+//! (`gqs_workloads::sweep::AVAILABILITY_METRICS`); `--mode scale` runs
+//! the scale core — flooded gossip over the family's *implicit* topology
+//! plus sampled-arc majority ABD, with no materialized graph or
+//! fail-prone system, at sizes up to `gqs_simnet::MAX_SIM_PROCESSES`
+//! (`gqs_workloads::sweep::SCALE_METRICS`). Either way results are
 //! folded incrementally (constant memory per worker, no materialized
 //! batches) and are bit-identical for any `--threads` value.
 //!
@@ -66,11 +70,19 @@ EXECUTION:
                          op latency, msgs/op), consensus (simulated
                          single-shot Figure-6 consensus: decided fraction,
                          views and time to decide, decision latency over
-                         C x delta, msgs/op) or availability (simulated
+                         C x delta, msgs/op), availability (simulated
                          self-healing ABD register with ack/retransmit/
                          backoff delivery over lossy links: completion
                          rate, stalled ops, time-to-heal, retransmits/op)
+                         or scale (flooded gossip over the implicit
+                         topology + sampled-arc majority ABD; families
+                         complete|ring|grid|regions only; collapses the
+                         pattern/schedule/loss/density axes)
                                                [default: solvability]
+
+SIZE LIMITS: the decision modes build quorum systems and fail-prone
+structures, bounded at n <= 1024 (gqs_core::MAX_PROCESSES); scale mode
+runs implicit topologies up to n <= 4194304 (gqs_simnet::MAX_SIM_PROCESSES).
     --trials <N>         trials per cell                      [default: 100]
     --seed <S>           base seed                            [default: 42]
     --threads <T>        worker threads          [default: GQS_THREADS or auto]
@@ -85,9 +97,10 @@ Aggregates per cell and metric: count, mean, min, max, p50/p90/p99
 (quantiles from a mergeable sketch, ~1.5% relative error). Metrics:
 gqs, qs_plus, gap, w_min, sccs_f0 (solvability); completed, lat_mean,
 lat_max, msgs_per_op (latency); decided, views, decide_lat,
-lat_over_cdelta, msgs_per_op (consensus); or completed, stalled,
-time_to_heal, retransmits_per_op (availability) — all deterministic, so
-output is byte-identical across runs and thread counts.
+lat_over_cdelta, msgs_per_op (consensus); completed, stalled,
+time_to_heal, retransmits_per_op (availability); or reached, spread,
+msgs_per_proc, abd_completed, abd_msgs_per_proc (scale) — all
+deterministic, so output is byte-identical across runs and thread counts.
 ";
 
 struct Args {
@@ -190,9 +203,12 @@ fn parse_args() -> Result<Args, String> {
             return Err(format!("--loss values must be in [0, 1] (got {loss})"));
         }
     }
-    if !matches!(args.mode.as_str(), "solvability" | "latency" | "consensus" | "availability") {
+    if !matches!(
+        args.mode.as_str(),
+        "solvability" | "latency" | "consensus" | "availability" | "scale"
+    ) {
         return Err(format!(
-            "unknown mode {:?} (expected solvability|latency|consensus|availability)",
+            "unknown mode {:?} (expected solvability|latency|consensus|availability|scale)",
             args.mode
         ));
     }
@@ -219,18 +235,45 @@ fn build_grid(args: &Args) -> Result<ScenarioGrid, String> {
         TopologyFamily::Regions { .. } => TopologyFamily::Regions { regions: args.regions },
         f => f,
     };
+    let scale = args.mode == "scale";
+    if scale && family.implicit(2).is_none() {
+        return Err(format!(
+            "--mode scale needs an implicit topology family (complete|ring|grid|regions), not {}",
+            family.name()
+        ));
+    }
+    // Each mode's size ceiling: the decision modes build quorum systems
+    // and fail-prone structures, whose bitsets stop at
+    // gqs_core::MAX_PROCESSES; scale mode only needs the simulator's
+    // pid-space.
+    let (n_cap, cap_origin) = if scale {
+        (gqs_simnet::MAX_SIM_PROCESSES, "gqs_simnet::MAX_SIM_PROCESSES")
+    } else {
+        (gqs_core::MAX_PROCESSES, "gqs_core::MAX_PROCESSES")
+    };
     // Non-random families ignore density; collapse that axis so the grid
     // has no duplicate cells. Solvability decides existence, not
     // executions, so the schedule and loss axes collapse there the same
-    // way.
+    // way; scale mode runs fault-free and collapses the pattern-adjacent
+    // axes entirely.
     let densities: &[f64] = if family == TopologyFamily::Random { &args.densities } else { &[1.0] };
-    let schedules: &[ScheduleFamily] =
-        if args.mode == "solvability" { &[ScheduleFamily::Static] } else { &args.schedules };
-    let losses: &[f64] = if args.mode == "solvability" { &[0.0] } else { &args.losses };
+    let schedules: &[ScheduleFamily] = if args.mode == "solvability" || scale {
+        &[ScheduleFamily::Static]
+    } else {
+        &args.schedules
+    };
+    let losses: &[f64] = if args.mode == "solvability" || scale { &[0.0] } else { &args.losses };
+    let p_chans: &[f64] = if scale { &[0.0] } else { &args.p_chans };
     let mut cells = Vec::new();
     for &n in &args.ns {
         if n < 2 {
             return Err(format!("--n values must be at least 2 (got {n})"));
+        }
+        if n > n_cap {
+            return Err(format!(
+                "--n {n} exceeds the --mode {} limit of {n_cap} ({cap_origin})",
+                args.mode
+            ));
         }
         if let TopologyFamily::Regions { regions } = family {
             if n < regions {
@@ -240,7 +283,7 @@ fn build_grid(args: &Args) -> Result<ScenarioGrid, String> {
             }
         }
         for &density in densities {
-            for &p_chan in &args.p_chans {
+            for &p_chan in p_chans {
                 for &loss in losses {
                     for &schedule in schedules {
                         cells.push(ScenarioCell {
@@ -284,6 +327,7 @@ fn main() {
         "latency" => grid.run_latency(&opts),
         "consensus" => grid.run_consensus(&opts),
         "availability" => grid.run_availability(&opts),
+        "scale" => grid.run_scale(&opts),
         _ => grid.run(&opts),
     };
     let elapsed = start.elapsed();

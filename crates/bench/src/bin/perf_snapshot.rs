@@ -25,7 +25,9 @@ use std::time::Instant;
 
 use gqs_core::finder::{find_gqs, gqs_exists};
 use gqs_core::reference::gqs_exists_naive;
-use gqs_core::{FailProneSystem, NetworkGraph};
+use gqs_core::{FailProneSystem, NetworkGraph, ProcessId};
+use gqs_registers::{sampled_abd_nodes, ScaleOp};
+use gqs_simnet::{Gossip, SimConfig, SimTime, Simulation, Topology};
 use gqs_workloads::generators::{random_scenarios, trial_rng};
 use gqs_workloads::par;
 use gqs_workloads::sweep::{
@@ -271,8 +273,99 @@ fn measure_reliable_overhead() -> (usize, f64, f64) {
     (trials, plain_ns, reliable_ns)
 }
 
+/// One completed scale-core run.
+struct ScaleRun {
+    workload: &'static str,
+    n: usize,
+    events: u64,
+    sent: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+}
+
+/// Process peak RSS (`VmHWM`) in bytes, from `/proc/self/status`
+/// (Linux-only; `None` elsewhere, rendered as JSON `null`).
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 =
+        line.trim_start_matches("VmHWM:").trim().trim_end_matches("kB").trim().parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// The scale-core rung: flooded gossip on implicit rings at 100k and 1M
+/// processes, plus sampled-arc majority ABD at 100k — wall-clock
+/// throughput (events/sec) rather than simulated quantities, which is why
+/// it lives here and not in the deterministic sweep modes.
+///
+/// Must run **first** in `main` so the process-wide `VmHWM` high-water
+/// mark reflects the million-process simulation, making
+/// `bytes_per_process` an honest upper bound on the engine's per-process
+/// footprint (flat epoch array + O(1) protocol state + in-flight events).
+fn measure_sim_scale() -> (Vec<ScaleRun>, Option<u64>, usize) {
+    let mut runs = Vec::new();
+    let mut n_max = 0usize;
+    for &n in &[100_000usize, 1_000_000] {
+        eprintln!("measuring scale gossip n={n} ...");
+        let cfg = SimConfig {
+            seed: SEED,
+            topology: Topology::Ring { n },
+            horizon: SimTime::MAX,
+            max_events: u64::MAX,
+            ..SimConfig::default()
+        };
+        let t0 = Instant::now();
+        let mut sim = Simulation::new(cfg, vec![Gossip::default(); n]);
+        sim.invoke_at(SimTime(1), ProcessId(0), ());
+        sim.run();
+        let wall_s = t0.elapsed().as_secs_f64();
+        let reached = (0..n).filter(|&p| sim.node(ProcessId(p)).heard_at().is_some()).count();
+        assert_eq!(reached, n, "gossip must flood the whole ring");
+        let events = sim.stats().events;
+        runs.push(ScaleRun {
+            workload: "gossip_ring",
+            n,
+            events,
+            sent: sim.stats().sent,
+            wall_s,
+            events_per_sec: events as f64 / wall_s.max(1e-9),
+        });
+        n_max = n_max.max(n);
+    }
+    {
+        let n = 100_000;
+        eprintln!("measuring scale sampled-ABD n={n} ...");
+        let cfg = SimConfig {
+            seed: SEED ^ 0x5CA1E,
+            horizon: SimTime::MAX,
+            max_events: u64::MAX,
+            ..SimConfig::default()
+        };
+        let t0 = Instant::now();
+        let mut sim = Simulation::new(cfg, sampled_abd_nodes(n, 0u64, SEED));
+        sim.invoke_at(SimTime(1), ProcessId(17), ScaleOp::Write(7));
+        sim.invoke_at(SimTime(400), ProcessId(23_456), ScaleOp::Read);
+        sim.run_until_ops_complete();
+        let wall_s = t0.elapsed().as_secs_f64();
+        assert!(sim.history().ops().iter().all(|r| r.is_complete()), "scale ABD ops complete");
+        let events = sim.stats().events;
+        runs.push(ScaleRun {
+            workload: "sampled_abd",
+            n,
+            events,
+            sent: sim.stats().sent,
+            wall_s,
+            events_per_sec: events as f64 / wall_s.max(1e-9),
+        });
+    }
+    (runs, peak_rss_bytes(), n_max)
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH.json".to_string());
+
+    // First, so the VmHWM high-water mark belongs to the scale runs.
+    let (scale_runs, peak_rss, scale_n_max) = measure_sim_scale();
 
     let mut rungs = Vec::new();
     for &(n, patterns) in LADDER {
@@ -304,6 +397,42 @@ fn main() {
     );
     json.push_str(&format!("  \"seed\": {SEED},\n"));
     json.push_str(&format!("  \"scenarios_per_rung\": {SCENARIOS_PER_RUNG},\n"));
+    json.push_str("  \"sim_scale\": {\n");
+    json.push_str(
+        "    \"note\": \"implicit-topology simulator core at scale: flooded gossip on ring(n) \
+         plus two sampled-arc majority-ABD ops on complete(n); wall-clock throughput, \
+         machine-specific; peak_rss_bytes is the process VmHWM sampled right after these runs \
+         (they execute first), so bytes_per_process bounds the engine footprint at the largest \
+         n\",\n",
+    );
+    json.push_str("    \"runs\": [\n");
+    for (i, r) in scale_runs.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"workload\": \"{}\", \"n\": {}, \"events\": {}, \"sent\": {}, \"wall_s\": {:.3}, \"events_per_sec\": {:.0}}}{}\n",
+            r.workload,
+            r.n,
+            r.events,
+            r.sent,
+            r.wall_s,
+            r.events_per_sec,
+            if i + 1 < scale_runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ],\n");
+    match peak_rss {
+        Some(bytes) => {
+            json.push_str(&format!("    \"peak_rss_bytes\": {bytes},\n"));
+            json.push_str(&format!(
+                "    \"bytes_per_process\": {:.1}\n",
+                bytes as f64 / scale_n_max as f64
+            ));
+        }
+        None => {
+            json.push_str("    \"peak_rss_bytes\": null,\n");
+            json.push_str("    \"bytes_per_process\": null\n");
+        }
+    }
+    json.push_str("  },\n");
     json.push_str("  \"ladder\": [\n");
     for (i, r) in rungs.iter().enumerate() {
         json.push_str(&format!(

@@ -113,6 +113,37 @@ fn availability_mode_flags_are_validated() {
 }
 
 #[test]
+fn decision_modes_reject_n_beyond_the_bitset_bound() {
+    // Every mode that builds quorum systems or fail-prone structures is
+    // capped at gqs_core::MAX_PROCESSES — a clean one-line refusal, not a
+    // bitset panic deep inside a worker thread.
+    for mode in ["solvability", "latency", "consensus", "availability"] {
+        assert_clean_error(&["--mode", mode, "--n", "1025"], "limit of 1024");
+        assert_clean_error(&["--mode", mode, "--n", "4,2000"], "limit of 1024");
+    }
+}
+
+#[test]
+fn scale_mode_rejects_n_beyond_the_simulator_cap() {
+    assert_clean_error(&["--mode", "scale", "--n", "4194305"], "limit of 4194304");
+    // But sizes past the decision bound are exactly what the mode is for.
+    let (code, _) = run(&[
+        "--mode", "scale", "--family", "ring", "--n", "2000", "--trials", "1", "--format", "csv",
+    ]);
+    assert_eq!(code, Some(0), "scale mode runs past MAX_PROCESSES");
+}
+
+#[test]
+fn scale_mode_rejects_families_without_an_implicit_form() {
+    for family in ["star", "oriented-ring", "two-cliques-bridge", "random"] {
+        assert_clean_error(
+            &["--mode", "scale", "--family", family, "--n", "100"],
+            "needs an implicit topology family",
+        );
+    }
+}
+
+#[test]
 fn well_formed_edge_ranges_still_parse() {
     // The hardening must not reject legitimate degenerate-looking input.
     let (code, _) = run(&["--n", "4..4", "--trials", "1", "--format", "csv"]);

@@ -243,3 +243,28 @@ fn abd_write_during_region_outage_needs_the_retrying_stack() {
     );
     assert!(sim.stats().retransmitted > 0, "healing happened via engine retransmission");
 }
+
+/// The simulator's implicit `Topology::Regions` must connect exactly the
+/// channels [`gqs_faults::wan_graph`] materializes — same even partition,
+/// same region-start gateways, same gateway ring — so scale-mode region
+/// runs and the decision-mode WAN graphs describe one topology.
+#[test]
+fn implicit_regions_topology_matches_wan_graph() {
+    use gqs_core::Channel;
+    use gqs_faults::{wan_graph, RegionLayout};
+
+    for n in 1..=24usize {
+        for r in 1..=n {
+            let layout = RegionLayout::even(n, r);
+            let graph = wan_graph(&layout);
+            let implicit = Topology::Regions { n, regions: r };
+            for a in 0..n {
+                for b in 0..n {
+                    let (pa, pb) = (ProcessId(a), ProcessId(b));
+                    let want = a == b || graph.has_channel(Channel::new(pa, pb));
+                    assert_eq!(implicit.connects(pa, pb), want, "n={n} r={r}: {a}->{b}");
+                }
+            }
+        }
+    }
+}

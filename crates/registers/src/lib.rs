@@ -53,6 +53,7 @@ pub mod classical;
 pub mod generalized;
 pub mod qaf;
 pub mod register;
+pub mod scale;
 pub mod update;
 
 pub use classical::{ClassicalMsg, ClassicalQaf, RETRY_TIMER};
@@ -62,4 +63,5 @@ pub use register::{
     abd_register_nodes, gqs_register_nodes, reliable_abd_register_nodes, AbdRegister, GqsRegister,
     QuorumRegister, RegOp, RegResp,
 };
+pub use scale::{sampled_abd_nodes, SampledAbd, ScaleMsg, ScaleOp};
 pub use update::{RegMap, Update, Version, VersionedWrite, VERSION_ZERO};

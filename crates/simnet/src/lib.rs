@@ -22,7 +22,14 @@
 //!   numbers, **acks**, **duplicate suppression**, and retransmission with
 //!   seeded exponential **backoff**, delivering every wrapped message
 //!   exactly once and in per-sender order despite loss, flapping channels
-//!   and crash/recover cycles.
+//!   and crash/recover cycles, and
+//! * a **scale core**: flat per-process state (crash epochs and channel
+//!   down-counts in dense arrays), a radix-heap [`TimingWheel`] scheduler,
+//!   and implicit [`Topology`] adjacency answered arithmetically through
+//!   the [`Peers`] view, so simulations run up to [`MAX_SIM_PROCESSES`]
+//!   (2²² ≈ 4.2M) processes — far past the `gqs_core::MAX_PROCESSES`
+//!   bound on *decision-structure* sizes — with O(channels) memory and no
+//!   per-event allocation in steady state (see [`Gossip`]).
 //!
 //! Protocols implement [`Protocol`] and are driven by [`Simulation`], which
 //! records an operation [`History`] suitable for the `gqs-checker` crate.
@@ -66,6 +73,7 @@
 #![forbid(unsafe_code)]
 
 pub mod flood;
+pub mod gossip;
 pub mod history;
 pub mod protocol;
 pub mod reliable;
@@ -73,12 +81,15 @@ pub mod rng;
 pub mod sim;
 pub mod time;
 pub mod topology;
+pub mod wheel;
 
 pub use flood::{Flood, FloodMsg};
+pub use gossip::Gossip;
 pub use history::{History, NetStats, OpRecord};
 pub use protocol::{Context, Effect, OpId, Protocol, TimerId};
 pub use reliable::{Reliable, ReliableMsg, RETX_TIMER};
 pub use rng::SplitMix64;
-pub use sim::{DelayModel, FailureSchedule, SimConfig, Simulation, StopReason};
+pub use sim::{DelayModel, FailureSchedule, SimConfig, Simulation, StopReason, MAX_SIM_PROCESSES};
 pub use time::SimTime;
-pub use topology::Topology;
+pub use topology::{ChannelClass, Peers, Topology};
+pub use wheel::TimingWheel;

@@ -13,6 +13,7 @@ use std::fmt;
 use gqs_core::ProcessId;
 
 use crate::time::SimTime;
+use crate::topology::Peers;
 
 /// Identifier of a client operation invocation, unique within a run.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -85,14 +86,28 @@ pub struct Context<M, R> {
     me: ProcessId,
     n: usize,
     now: SimTime,
+    peers: Peers,
     effects: Vec<Effect<M, R>>,
 }
 
 impl<M, R> Context<M, R> {
     /// Creates a fresh context for a handler invocation at `me` in a
-    /// system of `n` processes at time `now`.
+    /// system of `n` processes at time `now`, with the complete-graph
+    /// [`Peers`] view.
+    ///
+    /// Middleware building *inner* contexts (e.g. [`crate::Flood`]) wants
+    /// exactly this: flooding restores logical completeness, so the
+    /// wrapped protocol legitimately sees everyone as a peer. The
+    /// simulator itself builds topology-accurate contexts with
+    /// [`Context::with_peers`].
     pub fn new(me: ProcessId, n: usize, now: SimTime) -> Self {
-        Context { me, n, now, effects: Vec::new() }
+        Context { me, n, now, peers: Peers::all(n), effects: Vec::new() }
+    }
+
+    /// Creates a context whose [`Context::peers`] view reflects an
+    /// explicit topology (what [`crate::Simulation`] hands to handlers).
+    pub fn with_peers(me: ProcessId, n: usize, now: SimTime, peers: Peers) -> Self {
+        Context { me, n, now, peers, effects: Vec::new() }
     }
 
     /// The process executing the handler.
@@ -108,6 +123,14 @@ impl<M, R> Context<M, R> {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The process's view of the communication graph: out-neighbour
+    /// iteration in O(degree) with no `ProcessSet` (and hence no
+    /// `MAX_PROCESSES` bound). Scale-oriented protocols address peers
+    /// through this instead of `0..n` loops.
+    pub fn peers(&self) -> &Peers {
+        &self.peers
     }
 
     /// Sends `msg` to `to`.

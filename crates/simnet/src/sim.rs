@@ -25,9 +25,29 @@
 //!   within `δ`; process timers stop drifting.
 //!
 //! Runs are bit-for-bit deterministic in the seed.
+//!
+//! ## The scale core
+//!
+//! The engine is built for populations far beyond the decision
+//! procedures' `gqs_core::MAX_PROCESSES` bitset universe (the simulator's
+//! own cap is [`MAX_SIM_PROCESSES`] = 2²²):
+//!
+//! * per-process liveness is one flat epoch array (even = alive, odd =
+//!   crashed; the epoch doubles as the timer-cancellation token),
+//! * channel down-intervals live in a flat counter array indexed by a
+//!   per-channel slot assigned on first fault, with a global active
+//!   count that short-circuits the send path to zero lookups when no
+//!   channel is currently down,
+//! * the event queue is a hierarchical [`TimingWheel`] whose slot
+//!   capacities are pooled, so steady-state scheduling allocates nothing
+//!   per event, and
+//! * adjacency can be implicit ([`Topology::Ring`]/`Grid`/`Regions`),
+//!   costing O(1) memory instead of an O(n²) graph.
+//!
+//! All of it preserves the seed-era `(time, seq)` event order exactly —
+//! the golden traces are byte-identical.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use gqs_core::{Channel, FailurePattern, ProcessId};
 
@@ -35,7 +55,13 @@ use crate::history::{History, NetStats};
 use crate::protocol::{Context, Effect, OpId, Protocol, TimerId};
 use crate::rng::SplitMix64;
 use crate::time::SimTime;
-use crate::topology::Topology;
+use crate::topology::{Peers, Topology};
+use crate::wheel::TimingWheel;
+
+/// Hard cap on the simulator's process count (2²² = 4 194 304). Distinct
+/// from — and far above — `gqs_core::MAX_PROCESSES`: the sim pid-space is
+/// flat arrays, not bitsets, so it is bounded only by memory.
+pub const MAX_SIM_PROCESSES: usize = 1 << 22;
 
 /// Message delay model.
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -274,9 +300,9 @@ enum EventKind<M, O> {
         to: ProcessId,
         msg: M,
     },
-    /// `epoch` is the arming process's crash epoch at `SetTimer` time: a
-    /// crash bumps the epoch, so timers armed before a crash never fire
-    /// after a recovery.
+    /// `epoch` is the arming process's liveness epoch at `SetTimer` time
+    /// (even, since only live processes arm timers): a crash bumps the
+    /// epoch, so timers armed before a crash never fire after a recovery.
     Timer {
         process: ProcessId,
         id: TimerId,
@@ -299,30 +325,6 @@ enum EventKind<M, O> {
     Heal {
         channel: Channel,
     },
-}
-
-#[derive(Debug)]
-struct QueuedEvent<M, O> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M, O>,
-}
-
-impl<M, O> PartialEq for QueuedEvent<M, O> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M, O> Eq for QueuedEvent<M, O> {}
-impl<M, O> PartialOrd for QueuedEvent<M, O> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M, O> Ord for QueuedEvent<M, O> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// Why a run stopped.
@@ -354,22 +356,37 @@ pub struct Simulation<P: Protocol> {
     nodes: Vec<P>,
     config: SimConfig,
     rng: SplitMix64,
-    queue: BinaryHeap<Reverse<QueuedEvent<P::Msg, P::Op>>>,
+    queue: TimingWheel<EventKind<P::Msg, P::Op>>,
     seq: u64,
     now: SimTime,
-    /// Per-process liveness; toggled by `Crash`/`Recover` events, so it
-    /// always reflects the state at the current virtual instant.
-    crashed: Vec<bool>,
-    /// Bumped on every crash; cancels timers armed in earlier epochs.
-    crash_epoch: Vec<u64>,
-    /// Per-channel count of down intervals covering the current instant.
+    /// Flat per-process crash state: the epoch starts at 0 and is bumped
+    /// by every `Crash` and every `Recover`, so **even = alive, odd =
+    /// crashed**, and a timer armed at epoch `e` is valid exactly while
+    /// the epoch still equals `e` (any crash in between bumps it). One
+    /// cache-friendly array replaces the seed-era `crashed: Vec<bool>` +
+    /// `crash_epoch: Vec<u64>` pair.
+    epoch: Vec<u64>,
+    /// Slot index per channel that has ever appeared in a
+    /// `Disconnect`/`Heal` event — cold-path only (fault handling), never
+    /// touched by sends while no channel is down.
+    down_slots: HashMap<Channel, u32>,
+    /// Per-slot count of down intervals covering the current instant.
     /// The interval *set* of a run is realized incrementally: each
     /// `Disconnect` opens an interval (+1), each `Heal` closes one (−1,
     /// saturating), and because events are processed in time order a
     /// channel is down exactly while some interval covers `now` — so
     /// overlapping windows compose by union (a shared channel only comes
-    /// back up when *every* covering window has healed).
-    down: HashMap<Channel, u32>,
+    /// back up when *every* covering window has healed). A heal back to
+    /// zero keeps the slot but frees nothing further: tracking memory is
+    /// bounded by the number of *distinct* faulted channels, however long
+    /// a flapping schedule runs.
+    down_counts: Vec<u32>,
+    /// Number of slots with a positive count. Zero — the overwhelmingly
+    /// common steady state — lets the send path skip the channel lookup
+    /// entirely.
+    down_active: usize,
+    /// Topology view handed to every handler context (Arc-cheap clone).
+    peers: Peers,
     history: History<P::Op, P::Resp>,
     stats: NetStats,
     next_op: u64,
@@ -388,7 +405,13 @@ impl<P: Protocol> Simulation<P> {
     /// topology's process count differs from `nodes.len()`.
     pub fn new(config: SimConfig, nodes: Vec<P>) -> Self {
         assert!(!nodes.is_empty(), "a system has at least one process");
+        assert!(
+            nodes.len() <= MAX_SIM_PROCESSES,
+            "at most {MAX_SIM_PROCESSES} simulated processes, got {}",
+            nodes.len()
+        );
         config.delay.validate();
+        config.topology.validate();
         assert!(config.timer_drift_max >= 1.0, "drift factor must be >= 1");
         assert!(
             (0.0..=1.0).contains(&config.loss),
@@ -400,16 +423,19 @@ impl<P: Protocol> Simulation<P> {
             assert_eq!(t_n, n, "topology has {t_n} processes but the system has {n}");
         }
         let seed = config.seed;
+        let peers = Peers::from_topology(&config.topology, n);
         let mut sim = Simulation {
             nodes,
             config,
             rng: SplitMix64::new(seed),
-            queue: BinaryHeap::new(),
+            queue: TimingWheel::new(),
             seq: 0,
             now: SimTime::ZERO,
-            crashed: vec![false; n],
-            crash_epoch: vec![0; n],
-            down: HashMap::new(),
+            epoch: vec![0; n],
+            down_slots: HashMap::new(),
+            down_counts: Vec::new(),
+            down_active: 0,
+            peers,
             history: History::new(),
             stats: NetStats::default(),
             next_op: 0,
@@ -454,14 +480,23 @@ impl<P: Protocol> Simulation<P> {
 
     /// Whether `p` is crashed at the current virtual instant.
     pub fn is_crashed(&self, p: ProcessId) -> bool {
-        self.crashed[p.index()]
+        self.epoch[p.index()] & 1 == 1
     }
 
     /// Whether `ch` is inside a down interval at the current instant (a
     /// channel absent from the topology is *not* reported here — it never
     /// existed, so it has no intervals).
     pub fn is_disconnected(&self, ch: Channel) -> bool {
-        self.down.contains_key(&ch)
+        self.down_active > 0
+            && self.down_slots.get(&ch).is_some_and(|&s| self.down_counts[s as usize] > 0)
+    }
+
+    /// Number of channels with down-interval tracking state — bounded by
+    /// the number of *distinct* channels a schedule ever faulted, not by
+    /// how many times they flapped. The regression guard for flapping
+    /// schedules growing memory without bound.
+    pub fn down_tracked_channels(&self) -> usize {
+        self.down_slots.len()
     }
 
     /// Schedules all failures (and heals/recoveries) in `schedule`.
@@ -559,13 +594,14 @@ impl<P: Protocol> Simulation<P> {
 
     /// Processes a single event. Returns `false` if the queue was empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some((at, _seq, kind)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
+        let at = SimTime(at);
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
         self.stats.events += 1;
-        match ev.kind {
+        match kind {
             EventKind::Start { process } => {
                 if !self.is_crashed(process) {
                     let mut ctx = self.ctx(process);
@@ -586,9 +622,10 @@ impl<P: Protocol> Simulation<P> {
                 }
             }
             EventKind::Timer { process, id, epoch } => {
-                // A timer armed before a crash is cancelled by the epoch
-                // bump even if the process has since recovered.
-                if !self.is_crashed(process) && epoch == self.crash_epoch[process.index()] {
+                // Timers record the (even) epoch they were armed at; any
+                // crash since bumps the epoch, so a timer armed before a
+                // crash never fires — even after a recovery.
+                if epoch == self.epoch[process.index()] {
                     self.stats.timers_fired += 1;
                     let mut ctx = self.ctx(process);
                     self.nodes[process.index()].on_timer(id, &mut ctx);
@@ -609,29 +646,37 @@ impl<P: Protocol> Simulation<P> {
             }
             EventKind::Crash { process } => {
                 let i = process.index();
-                if !self.crashed[i] {
-                    self.crashed[i] = true;
-                    // Cancel every timer armed before (or at) the crash.
-                    self.crash_epoch[i] += 1;
+                if self.epoch[i] & 1 == 0 {
+                    // Odd epoch = crashed; the bump also cancels every
+                    // timer armed before (or at) the crash.
+                    self.epoch[i] += 1;
                 }
             }
             EventKind::Recover { process } => {
                 let i = process.index();
-                if self.crashed[i] {
-                    self.crashed[i] = false;
+                if self.epoch[i] & 1 == 1 {
+                    self.epoch[i] += 1;
                     let mut ctx = self.ctx(process);
                     self.nodes[i].on_recover(&mut ctx);
                     self.apply_effects(process, ctx);
                 }
             }
             EventKind::Disconnect { channel } => {
-                *self.down.entry(channel).or_insert(0) += 1;
+                let slot = self.down_slot(channel);
+                let count = &mut self.down_counts[slot];
+                if *count == 0 {
+                    self.down_active += 1;
+                }
+                *count += 1;
             }
             EventKind::Heal { channel } => {
-                if let Some(count) = self.down.get_mut(&channel) {
-                    *count -= 1;
-                    if *count == 0 {
-                        self.down.remove(&channel);
+                if let Some(&slot) = self.down_slots.get(&channel) {
+                    let count = &mut self.down_counts[slot as usize];
+                    if *count > 0 {
+                        *count -= 1;
+                        if *count == 0 {
+                            self.down_active -= 1;
+                        }
                     }
                 }
             }
@@ -639,12 +684,22 @@ impl<P: Protocol> Simulation<P> {
         true
     }
 
-    fn peek_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|Reverse(e)| e.at)
+    /// The tracking slot for `channel`, assigned on first fault.
+    fn down_slot(&mut self, channel: Channel) -> usize {
+        let next = self.down_slots.len() as u32;
+        let slot = *self.down_slots.entry(channel).or_insert(next);
+        if slot == next {
+            self.down_counts.push(0);
+        }
+        slot as usize
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.next_time().map(SimTime)
     }
 
     fn ctx(&self, p: ProcessId) -> Context<P::Msg, P::Resp> {
-        Context::new(p, self.nodes.len(), self.now)
+        Context::with_peers(p, self.nodes.len(), self.now, self.peers.clone())
     }
 
     fn apply_effects(&mut self, me: ProcessId, mut ctx: Context<P::Msg, P::Resp>) {
@@ -658,7 +713,8 @@ impl<P: Protocol> Simulation<P> {
                     // Self-sends skip both, and are never lossy.
                     let dropped = to != me
                         && (!self.config.topology.connects(me, to)
-                            || self.down.contains_key(&Channel::new(me, to)));
+                            || (self.down_active > 0
+                                && self.is_disconnected(Channel::new(me, to))));
                     if dropped {
                         self.stats.dropped_disconnected += 1;
                     } else if self.config.loss > 0.0
@@ -681,7 +737,7 @@ impl<P: Protocol> Simulation<P> {
                     // the event loop without virtual time advancing
                     // (message delays are already validated >= 1).
                     let after = self.drifted(after.max(1));
-                    let epoch = self.crash_epoch[me.index()];
+                    let epoch = self.epoch[me.index()];
                     self.push(self.now + after, EventKind::Timer { process: me, id, epoch });
                 }
                 Effect::Complete { op, resp } => {
@@ -713,7 +769,7 @@ impl<P: Protocol> Simulation<P> {
     fn push(&mut self, at: SimTime, kind: EventKind<P::Msg, P::Op>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+        self.queue.push(at.ticks(), seq, kind);
     }
 }
 
@@ -1277,5 +1333,60 @@ mod tests {
         assert_eq!(s.sent, 2);
         assert_eq!(s.delivered, 2);
         assert!(s.events >= 4); // 2 starts + invoke + 2 delivers
+    }
+
+    #[test]
+    fn long_flapping_schedule_tracks_bounded_channel_state() {
+        // Regression: a channel that flaps (disconnect/heal) thousands of
+        // times must cost one tracked slot, not an ever-churning map — the
+        // down-state memory is bounded by *distinct* faulted channels.
+        let mut sim = two_nodes();
+        let ch = Channel::new(ProcessId(0), ProcessId(1));
+        let mut sched = FailureSchedule::none();
+        for k in 0..5_000u64 {
+            sched.disconnect(ch, SimTime(10 + 2 * k));
+            sched.heal(ch, SimTime(11 + 2 * k));
+        }
+        sim.apply_failures(&sched);
+        // Sends landing inside down windows drop; sends outside go through.
+        sim.invoke_at(SimTime(5), ProcessId(0), ProcessId(1)); // before any flap
+        sim.run();
+        assert_eq!(sim.down_tracked_channels(), 1);
+        assert!(!sim.is_disconnected(ch), "final heal leaves the channel up");
+        assert!(sim.history().ops()[0].is_complete());
+        // A second distinct channel adds exactly one more slot.
+        let rev = Channel::new(ProcessId(1), ProcessId(0));
+        let mut more = FailureSchedule::none();
+        for k in 0..1_000u64 {
+            more.disconnect(rev, sim.now() + 1 + 2 * k);
+            more.heal(rev, sim.now() + 2 + 2 * k);
+        }
+        sim.apply_failures(&more);
+        sim.run_until(sim.now() + 5_000);
+        assert_eq!(sim.down_tracked_channels(), 2);
+        assert!(!sim.is_disconnected(rev));
+    }
+
+    #[test]
+    fn overlapping_down_intervals_hold_until_every_heal() {
+        // Two disconnects on one channel heal independently: the channel
+        // stays down until the count returns to zero, and a stray extra
+        // heal is a no-op (counts saturate at zero).
+        let mut sim = two_nodes();
+        let ch = Channel::new(ProcessId(0), ProcessId(1));
+        let mut sched = FailureSchedule::none();
+        sched
+            .disconnect(ch, SimTime(10))
+            .disconnect(ch, SimTime(20))
+            .heal(ch, SimTime(30))
+            .heal(ch, SimTime(40))
+            .heal(ch, SimTime(50)); // extra heal: must not underflow
+        sim.apply_failures(&sched);
+        sim.run_until(SimTime(35));
+        assert!(sim.is_disconnected(ch), "one of two disconnects still active");
+        sim.run_until(SimTime(60));
+        assert!(!sim.is_disconnected(ch));
+        sim.invoke_at(sim.now() + 1, ProcessId(0), ProcessId(1));
+        assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
     }
 }

@@ -1,0 +1,511 @@
+//! A hierarchical timing wheel: the simulator's event scheduler.
+//!
+//! [`TimingWheel`] replaces the seed-era `BinaryHeap<Reverse<QueuedEvent>>`
+//! with a 64-ary **radix heap**: six levels of 64 slots each, where an
+//! event's level is the position of the highest bit in which its due time
+//! differs from the wheel's clock (6 bits per level), plus an overflow
+//! bucket for events more than `64^6` ticks out. The structure exploits the
+//! *monotone* access pattern of a discrete-event simulation — every push is
+//! at or after the time of the last pop — which a general-purpose heap
+//! cannot assume:
+//!
+//! * **push** is O(1): two shifts, a bitmap OR and a `Vec` push into a slot
+//!   whose capacity is reused across the run, so steady-state scheduling
+//!   allocates nothing per event;
+//! * **pop** is amortized O(levels): each event cascades through at most
+//!   five redistributions, and finding the next occupied slot is a
+//!   `trailing_zeros` on a 64-bit occupancy bitmap rather than a
+//!   log-n sift;
+//! * **order** is exactly the heap's: events pop in `(time, seq)` order.
+//!   Same-time events always share a bucket and are appended in push
+//!   order, which *is* `seq` order, so no comparison or sort is ever
+//!   needed — the tiebreak the byte-identical golden traces rely on falls
+//!   out of the layout.
+//!
+//! The wheel requires `push(at, ..)` with `at` no earlier than the last
+//! *popped* time. [`Simulation`](crate::Simulation) guarantees this:
+//! message delays and timer durations are clamped to at least one tick.
+//! Peeking ([`TimingWheel::next_time`]) may settle the internal clock onto
+//! a minimum that a later — still legal — push undercuts (e.g. `run_until`
+//! peeks a far-future timer, then the caller schedules a nearer
+//! invocation); `push` handles that with a rare O(len) clock rewind.
+
+/// One scheduled entry: a due time, the global push sequence number, and
+/// the payload.
+#[derive(Debug)]
+struct Entry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS; // 64
+const LEVELS: usize = 6; // covers deltas < 64^6 = 2^36 ticks
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+
+/// One wheel level: 64 slots plus an occupancy bitmap (bit `s` set iff
+/// `slots[s]` is non-empty).
+#[derive(Debug)]
+struct Level<T> {
+    occupied: u64,
+    slots: [Vec<Entry<T>>; SLOTS],
+}
+
+impl<T> Level<T> {
+    fn new() -> Self {
+        Level { occupied: 0, slots: std::array::from_fn(|_| Vec::new()) }
+    }
+}
+
+/// A deterministic min-queue over `(time, seq)` keys (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use gqs_simnet::wheel::TimingWheel;
+///
+/// let mut w = TimingWheel::new();
+/// w.push(10, 0, "late");
+/// w.push(3, 1, "early");
+/// w.push(3, 2, "early-but-pushed-later");
+/// assert_eq!(w.next_time(), Some(3));
+/// assert_eq!(w.pop(), Some((3, 1, "early")));
+/// assert_eq!(w.pop(), Some((3, 2, "early-but-pushed-later")));
+/// assert_eq!(w.pop(), Some((10, 0, "late")));
+/// assert_eq!(w.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct TimingWheel<T> {
+    /// Lower bound on every stored due time; advanced by pops.
+    now: u64,
+    len: usize,
+    levels: Vec<Level<T>>,
+    /// Events due `>= now + 64^LEVELS` ticks out (rare; rescanned only
+    /// when the levels drain).
+    overflow: Vec<Entry<T>>,
+    /// Drain buffer: the slot currently being popped, in *reverse* seq
+    /// order so `pop` is a `Vec::pop` from the back.
+    cur: Vec<Entry<T>>,
+}
+
+impl<T> Default for TimingWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimingWheel<T> {
+    /// An empty wheel with its clock at zero.
+    pub fn new() -> Self {
+        TimingWheel {
+            now: 0,
+            len: 0,
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            overflow: Vec::new(),
+            cur: Vec::new(),
+        }
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wheel holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The level an entry due at `at` belongs to under clock `now`:
+    /// the highest 6-bit digit in which `at` and `now` differ, or
+    /// `LEVELS` for the overflow bucket.
+    #[inline]
+    fn level_of(now: u64, at: u64) -> usize {
+        let diff = at ^ now;
+        if diff == 0 {
+            return 0;
+        }
+        ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+    }
+
+    /// Schedules `item` at time `at` with tiebreak key `seq`.
+    ///
+    /// `seq` values must be distinct and assigned in push order (the
+    /// simulator uses a global counter); `at` must be no earlier than the
+    /// last popped time.
+    #[inline]
+    pub fn push(&mut self, at: u64, seq: u64, item: T) {
+        if at < self.now {
+            self.rewind(at);
+        }
+        self.len += 1;
+        let entry = Entry { at, seq, item };
+        let level = Self::level_of(self.now, at);
+        if level >= LEVELS {
+            self.overflow.push(entry);
+            return;
+        }
+        let slot = ((at >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+        let lv = &mut self.levels[level];
+        lv.occupied |= 1 << slot;
+        lv.slots[slot].push(entry);
+    }
+
+    /// The earliest queued `(time, seq)` time, or `None` if empty.
+    ///
+    /// Takes `&mut self` because exposing the minimum may cascade
+    /// higher-level slots down — a structural rotation that processes no
+    /// events and changes no pop order.
+    pub fn next_time(&mut self) -> Option<u64> {
+        if let Some(e) = self.cur.last() {
+            return Some(e.at);
+        }
+        self.settle()
+    }
+
+    /// Pops the entry with the least `(time, seq)` key.
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        if let Some(e) = self.cur.pop() {
+            self.len -= 1;
+            return Some((e.at, e.seq, e.item));
+        }
+        let t = self.settle()?;
+        self.now = t;
+        let slot = (t & SLOT_MASK) as usize;
+        let lv = &mut self.levels[0];
+        lv.occupied &= !(1 << slot);
+        // Swap the due slot into the drain buffer; the buffer's previous
+        // (empty) Vec takes its place, so slot capacities circulate and
+        // reach a steady state with no per-event allocation.
+        std::mem::swap(&mut self.cur, &mut lv.slots[slot]);
+        // Entries were appended in push order = seq order; reverse once so
+        // popping from the back yields ascending seq.
+        self.cur.reverse();
+        let e = self.cur.pop().expect("settled slot is non-empty");
+        self.len -= 1;
+        Some((e.at, e.seq, e.item))
+    }
+
+    /// Rewinds the clock to `at` (below its current value) and re-buckets
+    /// every entry. Only reachable when the clock was advanced by a
+    /// *peek*: a pop at time `t` obliges later pushes to be `>= t`, but
+    /// [`TimingWheel::next_time`] may settle the clock onto a minimum the
+    /// caller then legally schedules under. O(len), and rare — only
+    /// user-level scheduling between runs triggers it.
+    #[cold]
+    fn rewind(&mut self, at: u64) {
+        debug_assert!(self.cur.is_empty(), "a pop at the buffered tick bounds later pushes");
+        let mut scratch: Vec<Entry<T>> = Vec::with_capacity(self.len);
+        for lv in &mut self.levels {
+            lv.occupied = 0;
+            for slot in &mut lv.slots {
+                scratch.append(slot);
+            }
+        }
+        scratch.append(&mut self.overflow);
+        // Buckets must hold same-time entries in seq order; re-placing in
+        // globally sorted order restores that invariant.
+        scratch.sort_unstable_by_key(|e| (e.at, e.seq));
+        self.now = at;
+        for entry in scratch {
+            let level = Self::level_of(at, entry.at);
+            if level >= LEVELS {
+                self.overflow.push(entry);
+            } else {
+                let slot = ((entry.at >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+                let lv = &mut self.levels[level];
+                lv.occupied |= 1 << slot;
+                lv.slots[slot].push(entry);
+            }
+        }
+    }
+
+    /// Cascades until the global minimum sits in a level-0 slot and
+    /// returns its time. Empties nothing observable: every redistributed
+    /// entry keeps its `(time, seq)` key.
+    fn settle(&mut self) -> Option<u64> {
+        if self.len == self.cur.len() {
+            return None;
+        }
+        loop {
+            let Some(level) = self.levels.iter().position(|lv| lv.occupied != 0) else {
+                // Levels drained: pull the overflow bucket forward. The
+                // minimum lands in a proper level; entries still > 64^6
+                // ticks out stay in overflow for a later rescan.
+                let min = self.overflow.iter().map(|e| e.at).min()?;
+                self.now = min;
+                for entry in std::mem::take(&mut self.overflow) {
+                    let level = Self::level_of(min, entry.at);
+                    if level >= LEVELS {
+                        self.overflow.push(entry);
+                    } else {
+                        let slot = ((entry.at >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+                        let lv = &mut self.levels[level];
+                        lv.occupied |= 1 << slot;
+                        lv.slots[slot].push(entry);
+                    }
+                }
+                continue;
+            };
+            let slot = self.levels[level].occupied.trailing_zeros() as usize;
+            if level == 0 {
+                // Level-0 slots hold a single exact tick each (all
+                // entries agree with the clock above bit 6).
+                let t = (self.now & !SLOT_MASK) | slot as u64;
+                debug_assert!(t >= self.now);
+                return Some(t);
+            }
+            // Redistribute the earliest occupied slot of the lowest
+            // non-empty level. Advancing the clock to the slot's minimum
+            // is safe — every other queued entry is later — and makes all
+            // its entries land strictly below `level`, so settling
+            // terminates.
+            let lv = &mut self.levels[level];
+            lv.occupied &= !(1 << slot);
+            let entries = std::mem::take(&mut lv.slots[slot]);
+            let min = entries.iter().map(|e| e.at).min().expect("occupancy bit set on empty slot");
+            debug_assert!(min >= self.now);
+            self.now = min;
+            for entry in entries {
+                let level_new = Self::level_of(min, entry.at);
+                debug_assert!(level_new < level, "cascade must descend");
+                let slot_new = ((entry.at >> (SLOT_BITS * level_new as u32)) & SLOT_MASK) as usize;
+                let lv = &mut self.levels[level_new];
+                lv.occupied |= 1 << slot_new;
+                lv.slots[slot_new].push(entry);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn empty_wheel() {
+        let mut w: TimingWheel<u8> = TimingWheel::new();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.next_time(), None);
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn single_entry_roundtrip() {
+        let mut w = TimingWheel::new();
+        w.push(5, 0, 'a');
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.next_time(), Some(5));
+        assert_eq!(w.pop(), Some((5, 0, 'a')));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_tick_pops_in_seq_order() {
+        let mut w = TimingWheel::new();
+        for seq in 0..10u64 {
+            w.push(7, seq, seq as usize);
+        }
+        for seq in 0..10u64 {
+            assert_eq!(w.pop(), Some((7, seq, seq as usize)));
+        }
+    }
+
+    #[test]
+    fn distant_times_cross_every_level_and_overflow() {
+        // One entry per level plus one past the 64^6 range.
+        let times = [1u64, 100, 5_000, 300_000, 20_000_000, 1 << 33, (1 << 36) + 17, u64::MAX];
+        let mut w = TimingWheel::new();
+        for (seq, &t) in times.iter().enumerate() {
+            w.push(t, seq as u64, t);
+        }
+        let mut sorted = times;
+        sorted.sort();
+        for &t in &sorted {
+            assert_eq!(w.pop(), Some((t, times.iter().position(|&x| x == t).unwrap() as u64, t)));
+        }
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn push_at_the_popped_instant_pops_after_buffered_peers() {
+        // A monotone scheduler may push at exactly the time being drained
+        // (e.g. an invocation injected mid-run "now"); its larger seq must
+        // order it after the already-queued same-tick entries.
+        let mut w = TimingWheel::new();
+        w.push(4, 0, "first");
+        w.push(4, 1, "second");
+        assert_eq!(w.pop(), Some((4, 0, "first")));
+        w.push(4, 2, "injected");
+        assert_eq!(w.pop(), Some((4, 1, "second")));
+        assert_eq!(w.pop(), Some((4, 2, "injected")));
+    }
+
+    /// The conformance oracle: any interleaving of monotone pushes and
+    /// pops must match `BinaryHeap<Reverse<(time, seq)>>` exactly — the
+    /// seed implementation whose order the golden traces froze.
+    #[test]
+    fn matches_binary_heap_on_random_workloads() {
+        for case in 0..64u64 {
+            let mut rng = SplitMix64::new(0xC0FFEE ^ case);
+            let mut wheel = TimingWheel::new();
+            let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut clock = 0u64;
+            for _ in 0..2_000 {
+                if heap.is_empty() || rng.chance(0.6) {
+                    // Push 1–4 entries at skewed future offsets; small
+                    // deltas dominate like real message delays do.
+                    for _ in 0..rng.range(1, 4) {
+                        let delta = match rng.range(0, 9) {
+                            0 => 0,
+                            1..=6 => rng.range(1, 64),
+                            7 => rng.range(64, 10_000),
+                            _ => rng.range(10_000, 1 << 38),
+                        };
+                        let at = clock + delta;
+                        wheel.push(at, seq, ());
+                        heap.push(Reverse((at, seq)));
+                        seq += 1;
+                    }
+                } else {
+                    let Reverse((at, s)) = heap.pop().unwrap();
+                    assert_eq!(wheel.next_time(), Some(at), "case {case}");
+                    assert_eq!(wheel.pop(), Some((at, s, ())), "case {case}");
+                    clock = at;
+                }
+                assert_eq!(wheel.len(), heap.len());
+            }
+            while let Some(Reverse((at, s))) = heap.pop() {
+                assert_eq!(wheel.pop(), Some((at, s, ())), "case {case} drain");
+            }
+            assert_eq!(wheel.pop(), None, "case {case}");
+        }
+    }
+
+    #[test]
+    fn push_below_a_peeked_minimum_rewinds_the_clock() {
+        // `run_until` peeks (settling the clock onto the queued minimum),
+        // stops at its horizon, and the caller then schedules an earlier —
+        // still legal — event. The wheel must accept it and keep exact
+        // (time, seq) order.
+        let mut w = TimingWheel::new();
+        w.push(5_400, 0, "timer");
+        w.push((1 << 37) + 3, 1, "far");
+        assert_eq!(w.next_time(), Some(5_400)); // clock settles onto 5400
+        w.push(4_211, 2, "late-invoke");
+        w.push(4_211, 3, "later-invoke");
+        assert_eq!(w.next_time(), Some(4_211));
+        assert_eq!(w.pop(), Some((4_211, 2, "late-invoke")));
+        assert_eq!(w.pop(), Some((4_211, 3, "later-invoke")));
+        assert_eq!(w.pop(), Some((5_400, 0, "timer")));
+        assert_eq!(w.pop(), Some(((1 << 37) + 3, 1, "far")));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_peeks_and_rewinds_match_binary_heap() {
+        // Like the main oracle, but peeks fire before every push so clock
+        // rewinds exercise constantly, and pushes are bounded below by the
+        // last *popped* time rather than the peeked minimum.
+        for case in 0..32u64 {
+            let mut rng = SplitMix64::new(0xD1CE ^ case);
+            let mut wheel = TimingWheel::new();
+            let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut popped = 0u64;
+            for _ in 0..1_500 {
+                if heap.is_empty() || rng.chance(0.55) {
+                    assert_eq!(wheel.next_time(), heap.peek().map(|&Reverse((t, _))| t));
+                    let delta = match rng.range(0, 8) {
+                        0 => 0,
+                        1..=5 => rng.range(1, 64),
+                        6 => rng.range(64, 10_000),
+                        _ => rng.range(10_000, 1 << 38),
+                    };
+                    let at = popped + delta;
+                    wheel.push(at, seq, ());
+                    heap.push(Reverse((at, seq)));
+                    seq += 1;
+                } else {
+                    let Reverse((at, s)) = heap.pop().unwrap();
+                    assert_eq!(wheel.pop(), Some((at, s, ())), "case {case}");
+                    popped = at;
+                }
+            }
+            while let Some(Reverse((at, s))) = heap.pop() {
+                assert_eq!(wheel.pop(), Some((at, s, ())), "case {case} drain");
+            }
+        }
+    }
+
+    #[test]
+    fn next_time_is_pure_with_respect_to_pop_order() {
+        // Peeking cascades internally; interleaving peeks at every step
+        // must not change what pops.
+        let mut rng = SplitMix64::new(99);
+        let mut a = TimingWheel::new();
+        let mut b = TimingWheel::new();
+        let mut pushes = Vec::new();
+        let mut at = 0u64;
+        for seq in 0..500u64 {
+            at += rng.range(0, 2_000);
+            pushes.push((at, seq));
+        }
+        // Shuffle: push order differs from time order.
+        for i in (1..pushes.len()).rev() {
+            let j = rng.range(0, i as u64) as usize;
+            pushes.swap(i, j);
+        }
+        // Re-assign seqs in push order (monotone requirement is on time
+        // vs pops, which holds: nothing pops until all pushes are done).
+        for (seq, &(t, _)) in pushes.iter().enumerate() {
+            a.push(t, seq as u64, ());
+            b.push(t, seq as u64, ());
+        }
+        let mut out_a = Vec::new();
+        while let Some(e) = a.pop() {
+            out_a.push(e);
+        }
+        let mut out_b = Vec::new();
+        loop {
+            let peek = b.next_time();
+            match b.pop() {
+                Some(e) => {
+                    assert_eq!(peek, Some(e.0));
+                    out_b.push(e);
+                }
+                None => break,
+            }
+        }
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn slot_capacity_is_reused_across_ticks() {
+        // After warmup, a steady push/pop rhythm must not grow memory:
+        // the drain buffer and slot Vecs trade capacities.
+        let mut w = TimingWheel::new();
+        let mut seq = 0u64;
+        let mut clock = 0u64;
+        for round in 0..10_000u64 {
+            for k in 0..8 {
+                w.push(clock + 1 + (k % 3), seq, round);
+                seq += 1;
+            }
+            while let Some((at, _, _)) = w.pop() {
+                clock = at;
+                if w.len() <= 8 {
+                    break;
+                }
+            }
+        }
+        while w.pop().is_some() {}
+        assert!(w.is_empty());
+    }
+}

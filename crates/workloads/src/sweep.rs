@@ -68,8 +68,10 @@ use gqs_consensus::{majority_consensus_nodes, ProposalMode};
 use gqs_core::finder::{find_gqs, qs_plus_exists};
 use gqs_core::{majority_system, FailProneSystem, FailurePattern, NetworkGraph, ProcessId};
 use gqs_faults::{scenarios, FaultScript, RegionLayout};
-use gqs_registers::{abd_register_nodes, reliable_abd_register_nodes, RegOp};
-use gqs_simnet::{DelayModel, Flood, SimConfig, SimTime, Simulation, SplitMix64, Topology};
+use gqs_registers::{
+    abd_register_nodes, reliable_abd_register_nodes, sampled_abd_nodes, RegOp, ScaleOp,
+};
+use gqs_simnet::{DelayModel, Flood, Gossip, SimConfig, SimTime, Simulation, SplitMix64, Topology};
 
 use crate::generators::{
     adversarial_fail_prone, grid_graph_n, oriented_ring, random_digraph, random_fail_prone, ring,
@@ -595,6 +597,31 @@ impl TopologyFamily {
             _ => 2,
         };
         RegionLayout::even(n, r.clamp(1, n))
+    }
+
+    /// The family's **implicit** [`Topology`] — adjacency answered
+    /// arithmetically, never materializing the O(n²)
+    /// [`NetworkGraph`] — or `None` for families that only exist
+    /// materialized (star, bridges, random draws).
+    ///
+    /// For the supported families the implicit topology connects exactly
+    /// the channels [`TopologyFamily::build`] would create (grid columns
+    /// are the same `⌈√n⌉`; regions use the same even
+    /// [`RegionLayout`] partition), which is what lets the scale mode
+    /// reuse this enum while running at sizes where `build` is
+    /// unaffordable.
+    pub fn implicit(self, n: usize) -> Option<Topology> {
+        match self {
+            TopologyFamily::Complete => Some(Topology::Complete),
+            TopologyFamily::Ring => Some(Topology::Ring { n }),
+            TopologyFamily::Grid => {
+                Some(Topology::Grid { n, cols: ((n as f64).sqrt().ceil() as usize).max(1) })
+            }
+            TopologyFamily::Regions { regions } => {
+                Some(Topology::Regions { n, regions: regions.clamp(1, n.max(1)) })
+            }
+            _ => None,
+        }
     }
 }
 
@@ -1176,6 +1203,95 @@ pub fn availability_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64>
     vec![completed, stalled, time_to_heal, retransmits_per_op]
 }
 
+/// The metrics every scale trial reports, in row order:
+///
+/// * `reached` — fraction of processes the gossip rumor reached (1.0 on a
+///   connected topology);
+/// * `spread` — virtual time at which the last process heard it (the
+///   source's weighted eccentricity under the drawn delays);
+/// * `msgs_per_proc` — gossip messages sent per process (≈ the mean
+///   out-degree: 2 on a ring, ≤ 4 on a grid);
+/// * `abd_completed` — fraction of the sampled-arc majority-ABD
+///   operations that completed;
+/// * `abd_msgs_per_proc` — ABD messages sent per process (≈ 2 × ops,
+///   since one op costs `4q ≈ 2n` sends).
+///
+/// Every metric is a deterministic simulation quantity — counts and
+/// virtual times, never wall-clock — so scale reports diff byte for byte
+/// across machines and thread counts like every other mode. (Throughput
+/// and memory figures live in the bench crate's `perf_snapshot`, which
+/// measures rather than simulates.)
+pub const SCALE_METRICS: &[&str] =
+    &["reached", "spread", "msgs_per_proc", "abd_completed", "abd_msgs_per_proc"];
+
+/// Operations per scale trial's ABD half.
+const SCALE_ABD_OPS: u64 = 2;
+
+/// Runs one scale trial: flooded [`Gossip`] over the cell's **implicit**
+/// topology, then [`sampled_abd_nodes`] majority ABD over the complete
+/// graph, measuring [`SCALE_METRICS`].
+///
+/// This is the only mode whose `n` may exceed
+/// `gqs_core::MAX_PROCESSES`: nothing here builds a [`NetworkGraph`],
+/// a `FailProneSystem` or any other bitset-backed decision structure —
+/// adjacency is answered arithmetically and quorums are counted arcs.
+/// The cell's pattern, schedule and density axes are ignored (the scale
+/// workloads run fault-free; fault-laden runs belong to the decision
+/// modes, which need patterns and hence the 1024-process bound).
+///
+/// # Panics
+///
+/// Panics if the cell's family has no implicit form (see
+/// [`TopologyFamily::implicit`]); the CLI rejects such grids up front.
+pub fn scale_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
+    let n = cell.n;
+    let topology = cell.family.implicit(n).unwrap_or_else(|| {
+        panic!("scale mode needs an implicit topology, not {}", cell.family.name())
+    });
+    let gossip_seed = rng.next_u64();
+    let source = rng.range(0, n as u64 - 1) as usize;
+    let abd_seed = rng.next_u64();
+
+    let cfg = SimConfig {
+        seed: gossip_seed,
+        topology,
+        horizon: SimTime::MAX,
+        max_events: u64::MAX,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(cfg, vec![Gossip::default(); n]);
+    sim.invoke_at(SimTime(1), ProcessId(source), ());
+    sim.run();
+    let heard: Vec<SimTime> = (0..n).filter_map(|p| sim.node(ProcessId(p)).heard_at()).collect();
+    let reached = heard.len() as f64 / n as f64;
+    let spread = heard.iter().max().map(|t| t.ticks() as f64).unwrap_or(0.0);
+    let msgs_per_proc = sim.stats().sent as f64 / n as f64;
+
+    let cfg = SimConfig {
+        seed: abd_seed,
+        horizon: SimTime::MAX,
+        max_events: u64::MAX,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(cfg, sampled_abd_nodes(n, 0u64, abd_seed));
+    for i in 0..SCALE_ABD_OPS {
+        let p = ProcessId(((source as u64 + i * 7) % n as u64) as usize);
+        let at = SimTime(1 + i * 200);
+        if i % 2 == 0 {
+            sim.invoke_at(at, p, ScaleOp::Write(i));
+        } else {
+            sim.invoke_at(at, p, ScaleOp::Read);
+        }
+    }
+    sim.run_until_ops_complete();
+    let invoked = sim.history().ops().len().max(1);
+    let abd_completed =
+        sim.history().ops().iter().filter(|r| r.is_complete()).count() as f64 / invoked as f64;
+    let abd_msgs_per_proc = sim.stats().sent as f64 / n as f64;
+
+    vec![reached, spread, msgs_per_proc, abd_completed, abd_msgs_per_proc]
+}
+
 impl ScenarioGrid {
     /// Streams the grid through the engine.
     pub fn run(&self, opts: &SweepOptions) -> SweepReport {
@@ -1227,6 +1343,20 @@ impl ScenarioGrid {
             metrics: AVAILABILITY_METRICS,
         };
         run(&spec, opts, |cell, _t, rng| availability_trial(cell, rng))
+    }
+
+    /// Streams the grid through the engine in scale mode ([`scale_trial`]
+    /// per trial, [`SCALE_METRICS`] per cell), under the same determinism
+    /// contract. The only mode that runs past `gqs_core::MAX_PROCESSES`
+    /// — up to [`gqs_simnet::MAX_SIM_PROCESSES`] processes per cell.
+    pub fn run_scale(&self, opts: &SweepOptions) -> SweepReport {
+        let spec = SweepSpec {
+            cells: &self.cells,
+            trials: self.trials,
+            seed: self.seed,
+            metrics: SCALE_METRICS,
+        };
+        run(&spec, opts, |cell, _t, rng| scale_trial(cell, rng))
     }
 }
 
@@ -1562,6 +1692,81 @@ mod tests {
         });
         assert_eq!(single, many);
         assert_eq!(single, report);
+    }
+
+    #[test]
+    fn scale_grid_measures_and_stays_deterministic() {
+        // 2000 processes — nearly double gqs_core::MAX_PROCESSES — per
+        // implicit family; every metric must be populated and the report
+        // bit-identical across thread counts.
+        let cell = |family| ScenarioCell {
+            family,
+            n: 2_000,
+            density: 1.0,
+            patterns: PatternFamily::Rotating,
+            p_chan: 0.0,
+            loss: 0.0,
+            schedule: ScheduleFamily::Static,
+        };
+        let grid = ScenarioGrid {
+            cells: vec![
+                cell(TopologyFamily::Ring),
+                cell(TopologyFamily::Grid),
+                cell(TopologyFamily::Regions { regions: 4 }),
+            ],
+            trials: 2,
+            seed: 29,
+        };
+        let report = grid.run_scale(&SweepOptions::default());
+        assert!(report.complete);
+        assert_eq!(report.metrics, SCALE_METRICS);
+        for c in 0..grid.cells.len() {
+            assert_eq!(report.agg(c, "reached").mean(), 1.0, "cell {c}: connected topology");
+            assert!(report.agg(c, "spread").mean() > 0.0);
+            assert!(report.agg(c, "msgs_per_proc").mean() > 0.0);
+            assert_eq!(report.agg(c, "abd_completed").mean(), 1.0, "cell {c}");
+            assert!(report.agg(c, "abd_msgs_per_proc").mean() > 0.0);
+        }
+        // Rumors cross a ring's diameter (n/2 hops) far slower than a
+        // grid's (≈ √n hops).
+        assert!(report.agg(0, "spread").mean() > report.agg(1, "spread").mean());
+        let single = grid.run_scale(&SweepOptions { threads: Some(1), ..Default::default() });
+        let many = grid.run_scale(&SweepOptions {
+            threads: Some(3),
+            shard: Some(1),
+            ..Default::default()
+        });
+        assert_eq!(single, many);
+        assert_eq!(single, report);
+    }
+
+    #[test]
+    fn implicit_topologies_agree_with_materialized_generators() {
+        // Satellite of the scale core: for every family with an implicit
+        // form, `Topology::connects` must answer exactly like the
+        // materialized generator graph, channel for channel. (Regions are
+        // cross-checked against `gqs_faults::wan_graph` in that crate's
+        // tests; here the generator-backed families.)
+        let mut rng = SplitMix64::new(0);
+        for family in [TopologyFamily::Complete, TopologyFamily::Ring, TopologyFamily::Grid] {
+            for n in [1usize, 2, 3, 4, 5, 7, 9, 12, 16, 17, 25, 33] {
+                let implicit = family.implicit(n).unwrap();
+                let graph = family.build(n, 1.0, &mut rng);
+                for a in 0..n {
+                    for b in 0..n {
+                        let want = a == b
+                            || graph
+                                .has_channel(gqs_core::Channel::new(ProcessId(a), ProcessId(b)));
+                        assert_eq!(
+                            implicit.connects(ProcessId(a), ProcessId(b)),
+                            want,
+                            "{} n={n}: {a}->{b}",
+                            family.name()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -73,7 +73,8 @@
 //!                          rolling-restart                      [default: static]
 //!
 //! EXECUTION:
-//!     --mode <M>           solvability | latency | consensus [default: solvability]
+//!     --mode <M>           solvability | latency | consensus | availability |
+//!                          scale                  [default: solvability]
 //!     --trials <N>         trials per cell                      [default: 100]
 //!     --seed <S>           base seed                            [default: 42]
 //!     --threads <T>        worker threads          [default: GQS_THREADS or auto]
