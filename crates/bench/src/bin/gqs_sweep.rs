@@ -33,8 +33,8 @@
 use std::time::Instant;
 
 use gqs_workloads::sweep::{
-    parse_f64_list, parse_usize_list, report_csv, report_json, PatternFamily, ScenarioCell,
-    ScenarioGrid, ScheduleFamily, SweepOptions, TopologyFamily,
+    parse_f64_list, parse_usize_list, report_csv, report_json, NetworkFamily, PatternFamily,
+    ScenarioCell, ScenarioGrid, ScheduleFamily, SweepOptions, TopologyFamily,
 };
 
 const USAGE: &str = "\
@@ -63,6 +63,11 @@ range `4..8` / `4..16:4` / `0.1..0.5:0.2` — float ranges need a step):
                          modes: static|region-outage|flapping-link|
                          hub-crash|rolling-restart (solvability collapses
                          the axis)                           [default: static]
+    --net <LIST>         comma list of network models for the simulated
+                         modes: uniform|constant|jitter|lognormal|
+                         lognormal-asym — per-channel-class delay
+                         distributions, intra-region vs gateway WAN
+                         (solvability collapses the axis)   [default: uniform]
 
 EXECUTION:
     --mode <M>           solvability (decision procedures), latency
@@ -109,6 +114,7 @@ struct Args {
     densities: Vec<f64>,
     regions: usize,
     schedules: Vec<ScheduleFamily>,
+    nets: Vec<NetworkFamily>,
     pattern_kind: String,
     pattern_count: usize,
     max_crashes: usize,
@@ -130,6 +136,7 @@ fn parse_args() -> Result<Args, String> {
         densities: vec![0.6],
         regions: 3,
         schedules: vec![ScheduleFamily::Static],
+        nets: vec![NetworkFamily::Uniform],
         pattern_kind: "rotating".to_string(),
         pattern_count: 3,
         max_crashes: 1,
@@ -161,6 +168,12 @@ fn parse_args() -> Result<Args, String> {
                 args.schedules = value()?
                     .split(',')
                     .map(|p| p.trim().parse::<ScheduleFamily>())
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+            "--net" => {
+                args.nets = value()?
+                    .split(',')
+                    .map(|p| p.trim().parse::<NetworkFamily>())
                     .collect::<Result<Vec<_>, _>>()?
             }
             "--patterns" => args.pattern_kind = value()?,
@@ -263,6 +276,8 @@ fn build_grid(args: &Args) -> Result<ScenarioGrid, String> {
         &args.schedules
     };
     let losses: &[f64] = if args.mode == "solvability" || scale { &[0.0] } else { &args.losses };
+    let nets: &[NetworkFamily] =
+        if args.mode == "solvability" || scale { &[NetworkFamily::Uniform] } else { &args.nets };
     let p_chans: &[f64] = if scale { &[0.0] } else { &args.p_chans };
     let mut cells = Vec::new();
     for &n in &args.ns {
@@ -286,15 +301,18 @@ fn build_grid(args: &Args) -> Result<ScenarioGrid, String> {
             for &p_chan in p_chans {
                 for &loss in losses {
                     for &schedule in schedules {
-                        cells.push(ScenarioCell {
-                            family,
-                            n,
-                            density,
-                            patterns,
-                            p_chan,
-                            loss,
-                            schedule,
-                        });
+                        for &net in nets {
+                            cells.push(ScenarioCell {
+                                family,
+                                n,
+                                density,
+                                patterns,
+                                p_chan,
+                                loss,
+                                schedule,
+                                net,
+                            });
+                        }
                     }
                 }
             }

@@ -31,8 +31,8 @@ use gqs_simnet::{Gossip, SimConfig, SimTime, Simulation, Topology};
 use gqs_workloads::generators::{random_scenarios, trial_rng};
 use gqs_workloads::par;
 use gqs_workloads::sweep::{
-    self, MetricAgg, PatternFamily, ScenarioCell, ScenarioGrid, ScheduleFamily, SweepOptions,
-    TopologyFamily,
+    self, MetricAgg, NetworkFamily, PatternFamily, ScenarioCell, ScenarioGrid, ScheduleFamily,
+    SweepOptions, TopologyFamily,
 };
 
 /// The fixed ladder: (processes, patterns). Edge probability and failure
@@ -162,6 +162,7 @@ fn measure_sweep_engines() -> (usize, f64, f64) {
                 p_chan: 0.1 * i as f64,
                 loss: 0.0,
                 schedule: ScheduleFamily::Static,
+                net: NetworkFamily::Uniform,
             })
             .collect(),
         trials: 2_000,
@@ -215,6 +216,7 @@ fn measure_fault_schedule() -> (usize, f64, f64) {
         p_chan: 0.1,
         loss: 0.0,
         schedule,
+        net: NetworkFamily::Uniform,
     };
     let trials = 256;
     let time = |schedule| {
@@ -251,6 +253,7 @@ fn measure_reliable_overhead() -> (usize, f64, f64) {
         p_chan: 0.0,
         loss: 0.0,
         schedule: ScheduleFamily::Static,
+        net: NetworkFamily::Uniform,
     };
     let trials = 256;
     let grid = ScenarioGrid { cells: vec![cell], trials, seed: SEED ^ 0x5EAF };
@@ -271,6 +274,61 @@ fn measure_reliable_overhead() -> (usize, f64, f64) {
         std::hint::black_box(grid.run_availability(&opts));
     });
     (trials, plain_ns, reliable_ns)
+}
+
+/// One network-model consensus run: simulated decision quantities plus
+/// the wall-clock sampling cost.
+struct NetModelRun {
+    net: NetworkFamily,
+    decided: f64,
+    decide_lat: f64,
+    lat_over_cdelta: f64,
+    ns_per_trial: f64,
+}
+
+/// C·δ bounds vs heavy-tailed reality: the same single-shot consensus
+/// grid simulated under the degenerate uniform network model and under
+/// the jitter and lognormal WAN classes (`gqs_simnet::NetModel`). Unlike
+/// the other rungs, `decide_lat` and `lat_over_cdelta` are *simulated*
+/// quantities — deterministic per seed — showing how far the certificate
+/// bound's C·δ yardstick drifts from measured decision latency as delay
+/// tails fatten; `ns_per_trial` is the per-trial sampling cost
+/// (single-threaded), i.e. what the polar-method lognormal draws add
+/// over the one-draw uniform path.
+fn measure_net_models() -> (usize, Vec<NetModelRun>) {
+    let cell = |net| ScenarioCell {
+        family: TopologyFamily::Regions { regions: 3 },
+        n: 6,
+        density: 1.0,
+        patterns: PatternFamily::Rotating,
+        p_chan: 0.0,
+        loss: 0.05,
+        schedule: ScheduleFamily::Static,
+        net,
+    };
+    let trials = 64;
+    let opts = SweepOptions { threads: Some(1), ..SweepOptions::default() };
+    let mut runs = Vec::new();
+    for net in [NetworkFamily::Uniform, NetworkFamily::Jitter, NetworkFamily::Lognormal] {
+        let grid = ScenarioGrid { cells: vec![cell(net)], trials, seed: SEED ^ 0x7E37 };
+        let mut best = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let r = grid.run_consensus(&opts);
+            best = best.min(t0.elapsed().as_nanos() as f64 / trials as f64);
+            report = Some(r);
+        }
+        let r = report.expect("three timed runs happened");
+        runs.push(NetModelRun {
+            net,
+            decided: r.agg(0, "decided").mean(),
+            decide_lat: r.agg(0, "decide_lat").mean(),
+            lat_over_cdelta: r.agg(0, "lat_over_cdelta").mean(),
+            ns_per_trial: best,
+        });
+    }
+    (trials, runs)
 }
 
 /// One completed scale-core run.
@@ -496,6 +554,32 @@ fn main() {
         json_escape_free(reliable_ns)
     ));
     json.push_str(&format!("    \"reliable_over_plain\": {:.2}\n", reliable_ns / plain_ns));
+    json.push_str("  },\n");
+    eprintln!("measuring network models: uniform vs heavy-tailed ...");
+    let (nm_trials, nm_runs) = measure_net_models();
+    json.push_str("  \"net_model\": {\n");
+    json.push_str(
+        "    \"note\": \"single-shot consensus on regions(3) n=6, static schedule, loss=0.05: \
+         the degenerate uniform network model vs the jitter and heavy-tailed lognormal WAN \
+         classes (gqs_simnet::NetModel). decided/decide_lat/lat_over_cdelta are simulated \
+         quantities (deterministic per seed) — they show the C*delta certificate yardstick \
+         drifting from measured decision latency as delay tails fatten; ns_per_trial is the \
+         wall-clock sampling cost, single-threaded\",\n",
+    );
+    json.push_str(&format!("    \"trials\": {nm_trials},\n"));
+    json.push_str("    \"runs\": [\n");
+    for (i, r) in nm_runs.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"net\": \"{}\", \"decided\": {:.3}, \"decide_lat\": {:.1}, \"lat_over_cdelta\": {:.3}, \"ns_per_trial\": {}}}{}\n",
+            r.net.name(),
+            r.decided,
+            r.decide_lat,
+            r.lat_over_cdelta,
+            json_escape_free(r.ns_per_trial),
+            if i + 1 < nm_runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n");
     json.push_str("  },\n");
     json.push_str("  \"small_n_fast_path\": {\n");
     json.push_str(

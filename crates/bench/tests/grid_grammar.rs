@@ -80,6 +80,8 @@ fn degenerate_grid_axes_are_errors() {
         "every region needs a process",
     );
     assert_clean_error(&["--schedule", "meteor-strike"], "unknown schedule family");
+    assert_clean_error(&["--net", "carrier-pigeon"], "unknown network family");
+    assert_clean_error(&["--net", "lognormal,,jitter"], "unknown network family");
 }
 
 #[test]
@@ -150,4 +152,22 @@ fn well_formed_edge_ranges_still_parse() {
     assert_eq!(code, Some(0), "a single-point range is valid");
     let (code, _) = run(&["--p-chan", "0.3..0.3:0.1", "--trials", "1", "--format", "csv"]);
     assert_eq!(code, Some(0), "an on-boundary float range is valid");
+}
+
+#[test]
+fn float_range_endpoints_survive_to_the_grid() {
+    // Regression for the repeated-addition drift: `0..0.5:0.05` must
+    // yield all 11 on-grid points — including an exact 0.5 row, not a
+    // 0.49999999999999994 one — so the cell count and the printed axis
+    // values are what the user asked for.
+    let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+        .args(["--p-chan", "0..0.5:0.05", "--trials", "1", "--format", "csv"])
+        .output()
+        .expect("gqs_sweep runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    // 11 p-chan points x 5 solvability metrics + header.
+    assert_eq!(text.lines().count(), 1 + 11 * 5, "grid lost an endpoint cell:\n{text}");
+    assert!(text.contains(",0.5,"), "the 0.5 endpoint must print exactly:\n{text}");
+    assert!(!text.contains("0.49999"), "no drifted endpoint values:\n{text}");
 }

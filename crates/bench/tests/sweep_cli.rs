@@ -223,6 +223,113 @@ fn tiny_availability_grid_matches_golden_aggregate() {
     assert_eq!(single, golden, "--threads 1 availability output differs from golden");
 }
 
+/// The exact invocation `golden/tiny_lognormal.json` was produced with:
+/// a 3-region WAN under heavy-tailed lognormal delays with 5% message
+/// loss, in latency mode. The polar-method normal sampler consumes a
+/// variable number of RNG draws per delay, so this golden pins both the
+/// sampler's cross-run determinism and its thread-invariance.
+fn lognormal_golden_args() -> Vec<&'static str> {
+    vec![
+        "--mode",
+        "latency",
+        "--family",
+        "regions",
+        "--regions",
+        "3",
+        "--n",
+        "6",
+        "--patterns",
+        "rotating",
+        "--p-chan",
+        "0",
+        "--loss",
+        "0.05",
+        "--net",
+        "lognormal",
+        "--trials",
+        "6",
+        "--seed",
+        "19",
+        "--format",
+        "json",
+    ]
+}
+
+#[test]
+fn tiny_lognormal_grid_matches_golden_aggregate() {
+    let golden = include_str!("../golden/tiny_lognormal.json");
+    let run = |extra: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+            .args(lognormal_golden_args())
+            .args(extra)
+            .output()
+            .expect("gqs_sweep runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).expect("output is UTF-8")
+    };
+    let got = run(&[]);
+    assert_eq!(
+        got, golden,
+        "lognormal-net output drifted from golden/tiny_lognormal.json; if the \
+         change is intentional (e.g. a sampler or network-model change \
+         shifting delays), regenerate the golden file"
+    );
+    assert!(got.contains("\"net\": \"lognormal\""));
+    // Thread-invariance despite the variable-draw-count sampler.
+    let single = run(&["--threads", "1"]);
+    assert_eq!(single, golden, "--threads 1 lognormal output differs from golden");
+    let eight = run(&["--threads", "8"]);
+    assert_eq!(eight, golden, "--threads 8 lognormal output differs from golden");
+}
+
+/// `--net uniform` is the degenerate case: it routes delays through the
+/// NetModel path but must reproduce the plain-DelayModel golden byte for
+/// byte (same draws, same omitted JSON field).
+#[test]
+fn explicit_uniform_net_reproduces_the_latency_golden() {
+    let golden = include_str!("../golden/tiny_latency.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+        .args(latency_golden_args())
+        .args(["--net", "uniform"])
+        .output()
+        .expect("gqs_sweep runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let got = String::from_utf8(out.stdout).expect("output is UTF-8");
+    assert_eq!(got, golden, "--net uniform must be byte-identical to the default path");
+}
+
+#[test]
+fn net_axis_multiplies_latency_cells() {
+    let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+        .args([
+            "--mode",
+            "latency",
+            "--family",
+            "ring",
+            "--n",
+            "4",
+            "--p-chan",
+            "0",
+            "--net",
+            "uniform,constant,jitter",
+            "--trials",
+            "2",
+            "--seed",
+            "3",
+            "--format",
+            "csv",
+        ])
+        .output()
+        .expect("gqs_sweep runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    // 3 network families x 4 latency metrics + header.
+    assert_eq!(text.lines().count(), 1 + 3 * 4);
+    assert!(text.contains(",uniform,"));
+    assert!(text.contains(",constant,"));
+    assert!(text.contains(",jitter,"));
+}
+
 #[test]
 fn unknown_mode_fails_cleanly() {
     let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
@@ -282,7 +389,7 @@ fn csv_output_has_one_row_per_cell_metric() {
     let text = String::from_utf8(out.stdout).unwrap();
     // 2 n-values x 2 p-chan values x 5 metrics + header.
     assert_eq!(text.lines().count(), 1 + 2 * 2 * 5);
-    assert!(text.starts_with("family,n,density,patterns,p_chan,loss,schedule,trials,metric,"));
+    assert!(text.starts_with("family,n,density,patterns,p_chan,loss,schedule,net,trials,metric,"));
 }
 
 #[test]

@@ -11,6 +11,11 @@
 //!   a send over an absent channel behaves like a send over a channel
 //!   disconnected at time zero),
 //! * an optional **partial synchrony** mode (GST + δ) for consensus,
+//! * pluggable **network models** ([`NetModel`]): per-channel-class delay
+//!   distributions (constant, uniform jitter, heavy-tailed lognormal)
+//!   keyed on intra-region vs gateway WAN links, with optional per-class
+//!   asymmetry and the same GST overlay — sampled without `libm` so
+//!   traces are bit-identical across platforms,
 //! * a **flooding middleware** ([`Flood`]) realizing the paper's
 //!   "forward every received message" transitivity assumption — over a
 //!   sparse [`Topology`], flooding restores logical connectivity along
@@ -75,6 +80,7 @@
 pub mod flood;
 pub mod gossip;
 pub mod history;
+pub mod netmodel;
 pub mod protocol;
 pub mod reliable;
 pub mod rng;
@@ -86,6 +92,7 @@ pub mod wheel;
 pub use flood::{Flood, FloodMsg};
 pub use gossip::Gossip;
 pub use history::{History, NetStats, OpRecord};
+pub use netmodel::{LatencyDist, LinkProfile, NetModel, RegionSpec, Synchrony};
 pub use protocol::{Context, Effect, OpId, Protocol, TimerId};
 pub use reliable::{Reliable, ReliableMsg, RETX_TIMER};
 pub use rng::SplitMix64;

@@ -52,6 +52,7 @@ use std::collections::HashMap;
 use gqs_core::{Channel, FailurePattern, ProcessId};
 
 use crate::history::{History, NetStats};
+use crate::netmodel::NetModel;
 use crate::protocol::{Context, Effect, OpId, Protocol, TimerId};
 use crate::rng::SplitMix64;
 use crate::time::SimTime;
@@ -95,14 +96,15 @@ impl DelayModel {
                 assert!(min >= 1, "zero message delays can livelock the event loop");
                 assert!(min <= max, "min delay exceeds max delay");
             }
-            DelayModel::PartialSynchrony { pre_min, pre_max, delta, .. } => {
+            DelayModel::PartialSynchrony { pre_min, pre_max, gst, delta } => {
                 assert!(pre_min >= 1 && delta >= 1, "delays must be >= 1");
                 assert!(pre_min <= pre_max, "min delay exceeds max delay");
+                assert!(gst.checked_add(delta).is_some(), "gst + delta overflows the tick clock");
             }
         }
     }
 
-    fn draw(&self, now: SimTime, rng: &mut SplitMix64) -> u64 {
+    pub(crate) fn draw(&self, now: SimTime, rng: &mut SplitMix64) -> u64 {
         match *self {
             DelayModel::Uniform { min, max } => rng.range(min, max),
             DelayModel::PartialSynchrony { pre_min, pre_max, gst, delta } => {
@@ -112,8 +114,12 @@ impl DelayModel {
                     // delivered by GST + δ, so the drawn delay is clamped
                     // to land no later than that. (`now < gst` and
                     // `delta >= 1` make the clamp at least 2 ticks, so the
-                    // delay stays >= 1.)
-                    rng.range(pre_min, pre_max).min(gst + delta - now.ticks())
+                    // delay stays >= 1.) Saturating arithmetic: `validate`
+                    // rejects an overflowing `gst + delta`, but a wrap
+                    // here must never be able to fabricate a garbage
+                    // clamp in release builds.
+                    rng.range(pre_min, pre_max)
+                        .min(gst.saturating_add(delta).saturating_sub(now.ticks()))
                 } else {
                     rng.range(1, delta)
                 }
@@ -138,6 +144,13 @@ pub struct SimConfig {
     pub seed: u64,
     /// Message delay model.
     pub delay: DelayModel,
+    /// Optional per-channel-class network model. When set, every message
+    /// delay is drawn from the [`NetModel`] — keyed on the channel's
+    /// [`ChannelClass`](crate::ChannelClass) (intra-region vs gateway) —
+    /// and `delay` is ignored. `Some(delay.into())` reproduces the plain
+    /// model's traces byte-identically (see [`crate::netmodel`]).
+    /// Default `None`.
+    pub net: Option<NetModel>,
     /// The communication graph. Defaults to [`Topology::Complete`] (the
     /// paper's standard model); with [`Topology::Graph`], a send over a
     /// channel absent from the graph behaves like a send over a channel
@@ -173,6 +186,7 @@ impl Default for SimConfig {
         SimConfig {
             seed: 1,
             delay: DelayModel::Uniform { min: 1, max: 10 },
+            net: None,
             topology: Topology::Complete,
             horizon: SimTime(1_000_000),
             max_events: 50_000_000,
@@ -411,6 +425,9 @@ impl<P: Protocol> Simulation<P> {
             nodes.len()
         );
         config.delay.validate();
+        if let Some(net) = &config.net {
+            net.validate();
+        }
         config.topology.validate();
         assert!(config.timer_drift_max >= 1.0, "drift factor must be >= 1");
         assert!(
@@ -727,7 +744,13 @@ impl<P: Protocol> Simulation<P> {
                         // no randomness and leaves traces untouched.
                         self.stats.dropped_lossy += 1;
                     } else {
-                        let delay = self.config.delay.draw(self.now, &mut self.rng);
+                        let delay = match &self.config.net {
+                            Some(net) => {
+                                let class = self.config.topology.channel_class(me, to);
+                                net.delay(me, to, class, self.now, &mut self.rng)
+                            }
+                            None => self.config.delay.draw(self.now, &mut self.rng),
+                        };
                         self.push(self.now + delay, EventKind::Deliver { from: me, to, msg });
                     }
                 }
@@ -752,7 +775,11 @@ impl<P: Protocol> Simulation<P> {
     }
 
     fn drifted(&mut self, after: u64) -> u64 {
-        let drifting = match self.config.delay.gst() {
+        let gst = match &self.config.net {
+            Some(net) => net.gst(),
+            None => self.config.delay.gst(),
+        };
+        let drifting = match gst {
             Some(gst) => self.now < gst,
             None => false,
         };
@@ -1198,6 +1225,70 @@ mod tests {
         sim.run_until_ops_complete();
         let lat = sim.history().ops()[0].latency().unwrap();
         assert!(lat <= 80, "far-from-GST delays must come from [pre_min, pre_max], got {lat}");
+    }
+
+    #[test]
+    fn extreme_gst_cannot_wrap_the_pre_gst_clamp() {
+        // Regression: `gst + delta - now` was unchecked arithmetic; a gst
+        // near u64::MAX wrapped in release builds and produced a garbage
+        // clamp. With saturating ops the (astronomical) clamp never bites.
+        let model =
+            DelayModel::PartialSynchrony { pre_min: 5, pre_max: 9, gst: u64::MAX - 5, delta: 4 };
+        model.validate();
+        let mut rng = SplitMix64::new(11);
+        for now in [0u64, 1, 1 << 32, u64::MAX - 6] {
+            let d = model.draw(SimTime(now), &mut rng);
+            assert!((5..=9).contains(&d), "astronomical clamp must not bite, got {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gst + delta overflows")]
+    fn overflowing_gst_plus_delta_is_rejected() {
+        let cfg = SimConfig {
+            delay: DelayModel::PartialSynchrony {
+                pre_min: 1,
+                pre_max: 10,
+                gst: u64::MAX,
+                delta: 1,
+            },
+            ..SimConfig::default()
+        };
+        Simulation::new(cfg, vec![PingPong::default()]);
+    }
+
+    #[test]
+    fn net_model_degenerate_cases_reproduce_plain_traces() {
+        // `NetModel::from(DelayModel)` must be draw-for-draw identical to
+        // the plain path end to end: same completion times, same stats,
+        // same final clock — even with loss draws interleaved.
+        let delays = [
+            DelayModel::Uniform { min: 1, max: 10 },
+            DelayModel::PartialSynchrony { pre_min: 1, pre_max: 100, gst: 60, delta: 5 },
+        ];
+        for delay in delays {
+            for seed in 0..10u64 {
+                let run = |net: Option<NetModel>| {
+                    let cfg = SimConfig { seed, delay, net, loss: 0.2, ..SimConfig::default() };
+                    let nodes = vec![PingPong::default(), PingPong::default(), PingPong::default()];
+                    let mut sim = Simulation::new(cfg, nodes);
+                    for i in 0..3u64 {
+                        let p = ProcessId(i as usize % 3);
+                        let q = ProcessId((i as usize + 1) % 3);
+                        sim.invoke_at(SimTime(1 + i * 7), p, q);
+                    }
+                    sim.run();
+                    let times: Vec<_> =
+                        sim.history().ops().iter().map(|r| r.completed_at()).collect();
+                    (times, sim.stats(), sim.now())
+                };
+                assert_eq!(
+                    run(None),
+                    run(Some(NetModel::from(delay))),
+                    "degenerate trace diverged for {delay:?} seed {seed}"
+                );
+            }
+        }
     }
 
     /// A protocol that re-arms a zero-duration timer forever.

@@ -36,8 +36,8 @@ use crate::generators::{
 };
 use crate::par;
 use crate::sweep::{
-    self, PatternFamily, ScenarioCell, ScenarioGrid, ScheduleFamily, SweepOptions, SweepSpec,
-    TopologyFamily,
+    self, NetworkFamily, PatternFamily, ScenarioCell, ScenarioGrid, ScheduleFamily, SweepOptions,
+    SweepSpec, TopologyFamily,
 };
 use crate::table::stats::mean;
 use crate::table::Table;
@@ -984,6 +984,7 @@ pub fn e11_gqs_vs_qs_plus() -> ExperimentReport {
             p_chan: 0.6,
             loss: 0.0,
             schedule: ScheduleFamily::Static,
+            net: NetworkFamily::Uniform,
         }],
         trials: 300,
         seed: 106,
@@ -1003,6 +1004,7 @@ pub fn e11_gqs_vs_qs_plus() -> ExperimentReport {
                 p_chan,
                 loss: 0.0,
                 schedule: ScheduleFamily::Static,
+                net: NetworkFamily::Uniform,
             })
             .collect(),
         trials: 2_000,

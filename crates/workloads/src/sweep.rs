@@ -71,7 +71,10 @@ use gqs_faults::{scenarios, FaultScript, RegionLayout};
 use gqs_registers::{
     abd_register_nodes, reliable_abd_register_nodes, sampled_abd_nodes, RegOp, ScaleOp,
 };
-use gqs_simnet::{DelayModel, Flood, Gossip, SimConfig, SimTime, Simulation, SplitMix64, Topology};
+use gqs_simnet::{
+    DelayModel, Flood, Gossip, LatencyDist, LinkProfile, NetModel, RegionSpec, SimConfig, SimTime,
+    Simulation, SplitMix64, Synchrony, Topology,
+};
 
 use crate::generators::{
     adversarial_fail_prone, grid_graph_n, oriented_ring, random_digraph, random_fail_prone, ring,
@@ -592,11 +595,17 @@ impl TopologyFamily {
     /// every other family (so region schedules remain meaningful — they
     /// cut the channels crossing the split).
     pub fn region_layout(self, n: usize) -> RegionLayout {
+        RegionLayout::even(n, self.region_count(n))
+    }
+
+    /// Number of regions in [`TopologyFamily::region_layout`]'s
+    /// partition.
+    pub fn region_count(self, n: usize) -> usize {
         let r = match self {
             TopologyFamily::Regions { regions } => regions,
             _ => 2,
         };
-        RegionLayout::even(n, r.clamp(1, n))
+        r.clamp(1, n.max(1))
     }
 
     /// The family's **implicit** [`Topology`] — adjacency answered
@@ -850,6 +859,115 @@ impl FromStr for ScheduleFamily {
     }
 }
 
+/// A network-model family for scenario grids: which [`NetModel`] the
+/// simulated modes draw message delays from (`--net` on the CLI).
+///
+/// Every family keeps the mode's partial-synchrony overlay (GST + δ)
+/// when the mode has one — consensus cells stay partially synchronous
+/// under heavy-tailed jitter; only the *pre-GST* delay distribution
+/// changes. Channel classes (intra-region vs gateway) come from the same
+/// region partition the cell's fault schedules act on
+/// ([`TopologyFamily::region_layout`]): the family's own regions for
+/// `regions`, the two cliques for `two-cliques-bridge`, an even two-way
+/// split for every other family.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub enum NetworkFamily {
+    /// The mode's plain [`DelayModel`] routed through the degenerate
+    /// [`NetModel`] — draw-for-draw identical to the historical path, so
+    /// reports are byte-identical to pre-`NetModel` builds.
+    #[default]
+    Uniform,
+    /// Constant delays: 5 ticks intra-region, 25 across gateways.
+    Constant,
+    /// Uniform jitter: `[1, 10]` intra-region, `[10, 60]` across
+    /// gateways.
+    Jitter,
+    /// Heavy-tailed lognormal: median 5 (σ = 0.6, clamp `[1, 400]`)
+    /// intra-region, median 30 (σ = 0.9, clamp `[5, 2000]`) across
+    /// gateways.
+    Lognormal,
+    /// [`NetworkFamily::Lognormal`] plus a fixed 15-tick gateway skew
+    /// against the index direction — asymmetric WAN routes.
+    LognormalAsym,
+}
+
+impl NetworkFamily {
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkFamily::Uniform => "uniform",
+            NetworkFamily::Constant => "constant",
+            NetworkFamily::Jitter => "jitter",
+            NetworkFamily::Lognormal => "lognormal",
+            NetworkFamily::LognormalAsym => "lognormal-asym",
+        }
+    }
+
+    /// The [`NetModel`] this family imposes on `base` (the mode's plain
+    /// delay model), classifying channels by `spec`. The family replaces
+    /// `base`'s delay draw; any partial-synchrony overlay of `base`
+    /// carries over unchanged.
+    pub fn net_model(self, base: DelayModel, spec: RegionSpec) -> NetModel {
+        let synchrony = match base {
+            DelayModel::Uniform { .. } => None,
+            DelayModel::PartialSynchrony { gst, delta, .. } => Some(Synchrony { gst, delta }),
+        };
+        let regions = Some(spec);
+        let lognormal = NetModel {
+            intra: LinkProfile::symmetric(LatencyDist::Lognormal {
+                median: 5,
+                sigma: 0.6,
+                min: 1,
+                max: 400,
+            }),
+            gateway: LinkProfile::symmetric(LatencyDist::Lognormal {
+                median: 30,
+                sigma: 0.9,
+                min: 5,
+                max: 2000,
+            }),
+            regions,
+            synchrony,
+        };
+        match self {
+            NetworkFamily::Uniform => NetModel::from(base),
+            NetworkFamily::Constant => NetModel {
+                intra: LinkProfile::symmetric(LatencyDist::Constant { ticks: 5 }),
+                gateway: LinkProfile::symmetric(LatencyDist::Constant { ticks: 25 }),
+                regions,
+                synchrony,
+            },
+            NetworkFamily::Jitter => NetModel {
+                intra: LinkProfile::symmetric(LatencyDist::UniformJitter { min: 1, max: 10 }),
+                gateway: LinkProfile::symmetric(LatencyDist::UniformJitter { min: 10, max: 60 }),
+                regions,
+                synchrony,
+            },
+            NetworkFamily::Lognormal => lognormal,
+            NetworkFamily::LognormalAsym => {
+                NetModel { gateway: LinkProfile { skew: 15, ..lognormal.gateway }, ..lognormal }
+            }
+        }
+    }
+}
+
+impl FromStr for NetworkFamily {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "uniform" => Ok(NetworkFamily::Uniform),
+            "constant" => Ok(NetworkFamily::Constant),
+            "jitter" => Ok(NetworkFamily::Jitter),
+            "lognormal" => Ok(NetworkFamily::Lognormal),
+            "lognormal-asym" | "lognormal_asym" => Ok(NetworkFamily::LognormalAsym),
+            other => Err(format!(
+                "unknown network family {other:?} (expected uniform|constant|jitter|lognormal|lognormal-asym)"
+            )),
+        }
+    }
+}
+
 /// One cell of a scenario grid.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct ScenarioCell {
@@ -871,6 +989,18 @@ pub struct ScenarioCell {
     /// Fault-schedule family (simulated modes only; solvability ignores
     /// it).
     pub schedule: ScheduleFamily,
+    /// Network-model family the simulated modes draw message delays from
+    /// (solvability and scale ignore it like they ignore the schedule).
+    pub net: NetworkFamily,
+}
+
+impl ScenarioCell {
+    /// The region partition channel classes are derived from — the same
+    /// partition the cell's fault schedules act on
+    /// ([`TopologyFamily::region_layout`]).
+    pub fn region_spec(&self) -> RegionSpec {
+        RegionSpec { n: self.n, regions: self.family.region_count(self.n) }
+    }
 }
 
 /// A full scenario grid: cells × trials, with a base seed.
@@ -982,6 +1112,7 @@ pub fn latency_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
             .collect();
     let cfg = SimConfig {
         seed: sim_seed,
+        net: Some(cell.net.net_model(SimConfig::default().delay, cell.region_spec())),
         topology: Topology::from(g),
         horizon: SimTime(LATENCY_HORIZON),
         loss: cell.loss,
@@ -1059,14 +1190,16 @@ pub fn consensus_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
     }
     let script = cell.schedule.script(cell.family, cell.n, &g, pattern, &CONSENSUS_TIMING);
     let nodes = majority_consensus_nodes::<u64>(cell.n, CONSENSUS_C, ProposalMode::Push);
+    let delay = DelayModel::PartialSynchrony {
+        pre_min: 1,
+        pre_max: 100,
+        gst: CONSENSUS_GST,
+        delta: CONSENSUS_DELTA,
+    };
     let cfg = SimConfig {
         seed: sim_seed,
-        delay: DelayModel::PartialSynchrony {
-            pre_min: 1,
-            pre_max: 100,
-            gst: CONSENSUS_GST,
-            delta: CONSENSUS_DELTA,
-        },
+        delay,
+        net: Some(cell.net.net_model(delay, cell.region_spec())),
         topology: Topology::from(g),
         horizon: SimTime(CONSENSUS_HORIZON),
         loss: cell.loss,
@@ -1158,6 +1291,7 @@ pub fn availability_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64>
     .collect();
     let cfg = SimConfig {
         seed: sim_seed,
+        net: Some(cell.net.net_model(SimConfig::default().delay, cell.region_spec())),
         topology: Topology::from(g),
         horizon: SimTime(LATENCY_HORIZON),
         loss: cell.loss,
@@ -1401,16 +1535,15 @@ pub fn parse_f64_list(s: &str) -> Result<Vec<f64>, String> {
         if (hi - lo) / step > 1e6 {
             return Err(format!("range {s:?} yields over a million points; raise the step"));
         }
-        let mut out = Vec::new();
-        let mut v = lo;
-        // The slack only absorbs accumulated float drift (so an on-grid
-        // upper bound like 0.5 in 0.1..0.5:0.2 is hit); it is far smaller
-        // than a step, so no off-grid point past `hi` is ever admitted.
-        while v <= hi + step * 1e-9 {
-            out.push(v.min(hi));
-            v += step;
-        }
-        return Ok(out);
+        // Points are computed as `lo + i·step`, never by repeated
+        // addition: accumulating `v += step` drifts by an ulp per
+        // iteration, which lands endpoints off-grid (`0..0.5:0.05`
+        // ended at 0.49999999999999994) and on long grids pushes the
+        // final point past the slack entirely (`0..1:0.00002` dropped
+        // 1.0). The slack only absorbs the rounding of a single
+        // multiply, so no off-grid point past `hi` is ever admitted.
+        let last = ((hi - lo) / step + 1e-9).floor() as usize;
+        return Ok((0..=last).map(|i| (lo + i as f64 * step).min(hi)).collect());
     }
     s.split(',')
         .map(|p| p.trim().parse::<f64>().map_err(|e| format!("bad number {p:?}: {e}")))
@@ -1490,6 +1623,11 @@ pub fn report_json(grid: &ScenarioGrid, report: &SweepReport) -> String {
         out.push_str(", \"loss\": ");
         push_json_f64(&mut out, cell.loss);
         out.push_str(&format!(", \"schedule\": \"{}\"", cell.schedule.name()));
+        // The default network family is omitted so pre-NetModel reports
+        // (and their goldens) stay byte-identical.
+        if cell.net != NetworkFamily::Uniform {
+            out.push_str(&format!(", \"net\": \"{}\"", cell.net.name()));
+        }
         out.push_str(&format!(", \"trials\": {},\n     \"aggregates\": {{", aggs.trials));
         for (m, (name, agg)) in report.metrics.iter().zip(&aggs.aggs).enumerate() {
             if m > 0 {
@@ -1507,12 +1645,12 @@ pub fn report_json(grid: &ScenarioGrid, report: &SweepReport) -> String {
 /// Renders a scenario-grid report as CSV: one row per cell × metric.
 pub fn report_csv(grid: &ScenarioGrid, report: &SweepReport) -> String {
     let mut out = String::from(
-        "family,n,density,patterns,p_chan,loss,schedule,trials,metric,count,mean,min,max,p50,p90,p99\n",
+        "family,n,density,patterns,p_chan,loss,schedule,net,trials,metric,count,mean,min,max,p50,p90,p99\n",
     );
     for (cell, aggs) in grid.cells.iter().zip(&report.cells) {
         for (name, agg) in report.metrics.iter().zip(&aggs.aggs) {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 cell.family.name(),
                 cell.n,
                 cell.density,
@@ -1520,6 +1658,7 @@ pub fn report_csv(grid: &ScenarioGrid, report: &SweepReport) -> String {
                 cell.p_chan,
                 cell.loss,
                 cell.schedule.name(),
+                cell.net.name(),
                 aggs.trials,
                 name,
                 agg.count(),
@@ -1660,6 +1799,85 @@ mod tests {
         }
     }
 
+    /// Regression pins for the repeated-addition drift in float ranges:
+    /// every on-grid endpoint must be hit *exactly*, not within an ulp,
+    /// and long grids must not lose their final point.
+    #[test]
+    fn float_ranges_hit_drift_prone_endpoints_exactly() {
+        // The accumulation loop ended this range at 0.49999999999999994.
+        let r = parse_f64_list("0..0.5:0.05").unwrap();
+        assert_eq!(r.len(), 11);
+        assert_eq!(*r.last().unwrap(), 0.5, "endpoint must be exact, not off by an ulp");
+        // ...and this one at 1.9999999999998905 after 2000 additions.
+        let r = parse_f64_list("0..2:0.001").unwrap();
+        assert_eq!(r.len(), 2001);
+        assert_eq!(*r.last().unwrap(), 2.0);
+        // ...and dropped this range's on-grid endpoint outright: upward
+        // drift pushed the final accumulated value past the slack.
+        let r = parse_f64_list("0..1:0.00002").unwrap();
+        assert_eq!(r.len(), 50_001, "on-grid endpoint must not be dropped");
+        assert_eq!(*r.last().unwrap(), 1.0);
+        // Interior points stay on the `lo + i·step` grid too.
+        let r = parse_f64_list("0.05..0.35:0.1").unwrap();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[2], 0.05 + 2.0 * 0.1);
+        assert_eq!(r[3], 0.35);
+        // A degenerate range is a single point.
+        assert_eq!(parse_f64_list("0.3..0.3:0.1").unwrap(), vec![0.3]);
+    }
+
+    #[test]
+    fn network_family_names_roundtrip() {
+        for f in [
+            NetworkFamily::Uniform,
+            NetworkFamily::Constant,
+            NetworkFamily::Jitter,
+            NetworkFamily::Lognormal,
+            NetworkFamily::LognormalAsym,
+        ] {
+            assert_eq!(f.name().parse::<NetworkFamily>().unwrap(), f);
+        }
+        assert_eq!(
+            "lognormal_asym".parse::<NetworkFamily>().unwrap(),
+            NetworkFamily::LognormalAsym
+        );
+        assert!("wan".parse::<NetworkFamily>().is_err());
+    }
+
+    /// The network axis changes measured behaviour, not just labels: a
+    /// constant WAN model with 25-tick gateways slows cross-region
+    /// quorum traffic relative to the uniform [1,10] default.
+    #[test]
+    fn heavier_network_families_slow_cross_region_latency() {
+        let cell = |net| ScenarioCell {
+            family: TopologyFamily::Regions { regions: 3 },
+            n: 6,
+            density: 1.0,
+            patterns: PatternFamily::Rotating,
+            p_chan: 0.0,
+            loss: 0.0,
+            schedule: ScheduleFamily::Static,
+            net,
+        };
+        let run = |net| {
+            ScenarioGrid { cells: vec![cell(net)], trials: 6, seed: 40 }
+                .run_latency(&SweepOptions::default())
+        };
+        let uniform = run(NetworkFamily::Uniform);
+        let constant = run(NetworkFamily::Constant);
+        let lognormal = run(NetworkFamily::Lognormal);
+        for (name, r) in [("uniform", &uniform), ("constant", &constant), ("lognormal", &lognormal)]
+        {
+            assert!(r.agg(0, "completed").mean() > 0.0, "{name}: no op completed");
+        }
+        assert!(
+            constant.agg(0, "lat_mean").mean() > uniform.agg(0, "lat_mean").mean(),
+            "constant WAN gateways must slow cross-region quorums: {} vs {}",
+            constant.agg(0, "lat_mean").mean(),
+            uniform.agg(0, "lat_mean").mean()
+        );
+    }
+
     #[test]
     fn latency_grid_measures_and_stays_deterministic() {
         // Complete graph, rotating crashes, no channel failures: exactly
@@ -1673,6 +1891,7 @@ mod tests {
                 p_chan: 0.0,
                 loss: 0.0,
                 schedule: ScheduleFamily::Static,
+                net: NetworkFamily::Uniform,
             }],
             trials: 6,
             seed: 11,
@@ -1707,6 +1926,7 @@ mod tests {
             p_chan: 0.0,
             loss: 0.0,
             schedule: ScheduleFamily::Static,
+            net: NetworkFamily::Uniform,
         };
         let grid = ScenarioGrid {
             cells: vec![
@@ -1783,6 +2003,7 @@ mod tests {
             p_chan: 0.0,
             loss: 0.0,
             schedule: ScheduleFamily::Static,
+            net: NetworkFamily::Uniform,
         };
         let grid = |family| ScenarioGrid { cells: vec![cell(family)], trials: 8, seed: 5 };
         let complete = grid(TopologyFamily::Complete).run_latency(&SweepOptions::default());
@@ -1814,6 +2035,7 @@ mod tests {
                 p_chan: 0.2,
                 loss: 0.0,
                 schedule: ScheduleFamily::Static,
+                net: NetworkFamily::Uniform,
             }],
             trials: 8,
             seed: 1,
@@ -1875,6 +2097,7 @@ mod tests {
             p_chan: 0.0,
             loss: 0.0,
             schedule,
+            net: NetworkFamily::Uniform,
         };
         let run = |schedule| {
             ScenarioGrid { cells: vec![cell(schedule)], trials: 8, seed: 21 }
@@ -1899,6 +2122,7 @@ mod tests {
                 p_chan: 0.0,
                 loss: 0.0,
                 schedule: ScheduleFamily::Static,
+                net: NetworkFamily::Uniform,
             }],
             trials: 6,
             seed: 19,
@@ -1943,6 +2167,7 @@ mod tests {
                 p_chan: 0.0,
                 loss: 0.0,
                 schedule: ScheduleFamily::RollingRestart,
+                net: NetworkFamily::Uniform,
             }],
             trials: 6,
             seed: 19,
@@ -1966,6 +2191,7 @@ mod tests {
             p_chan: 0.0,
             loss: 0.0,
             schedule: ScheduleFamily::RegionOutage,
+            net: NetworkFamily::Uniform,
         };
         let grid = ScenarioGrid { cells: vec![cell], trials: 8, seed: 21 };
         let report = grid.run_availability(&SweepOptions::default());
@@ -2008,6 +2234,7 @@ mod tests {
             p_chan: 0.0,
             loss,
             schedule: ScheduleFamily::Static,
+            net: NetworkFamily::Uniform,
         };
         let grid = |loss| ScenarioGrid { cells: vec![cell(loss)], trials: 8, seed: 33 };
         let lossy = grid(0.3).run_availability(&SweepOptions::default());

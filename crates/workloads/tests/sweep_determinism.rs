@@ -9,8 +9,8 @@
 //! `SweepOptions::threads`, so each job compares the same two schedules.
 
 use gqs_workloads::sweep::{
-    self, PatternFamily, ScenarioCell, ScenarioGrid, ScheduleFamily, SweepOptions, SweepReport,
-    TopologyFamily,
+    self, NetworkFamily, PatternFamily, ScenarioCell, ScenarioGrid, ScheduleFamily, SweepOptions,
+    SweepReport, TopologyFamily,
 };
 
 fn with_threads(threads: usize, shard: Option<usize>) -> SweepOptions {
@@ -30,6 +30,7 @@ fn cell(family: TopologyFamily, n: usize, patterns: PatternFamily, p_chan: f64) 
         p_chan,
         loss: 0.0,
         schedule: ScheduleFamily::Static,
+        net: NetworkFamily::Uniform,
     }
 }
 
@@ -138,6 +139,7 @@ fn region_outage_latency_grid_is_bit_identical_across_thread_counts() {
                 p_chan: 0.1,
                 loss: 0.0,
                 schedule,
+                net: NetworkFamily::Uniform,
             })
             .collect(),
         trials: 40,
@@ -178,6 +180,7 @@ fn consensus_grid_is_bit_identical_across_thread_counts() {
                 p_chan: 0.0,
                 loss: 0.0,
                 schedule,
+                net: NetworkFamily::Uniform,
             })
             .collect(),
         trials: 12,
@@ -194,6 +197,42 @@ fn consensus_grid_is_bit_identical_across_thread_counts() {
     // decision; the static pattern permanently isolates some.
     assert_eq!(single.agg(1, "decided").mean(), 1.0, "region outages heal");
     assert_eq!(single.agg(2, "decided").mean(), 1.0, "crashed hubs recover");
+}
+
+/// A heavy-tailed lognormal latency grid over the WAN family is
+/// bit-identical between 1 and 8 workers: the polar-method sampler
+/// consumes a variable number of RNG draws per delay, but every draw
+/// comes from the per-trial seeded stream, so thread scheduling cannot
+/// perturb it.
+#[test]
+fn lognormal_latency_grid_is_bit_identical_across_thread_counts() {
+    let grid = ScenarioGrid {
+        cells: [NetworkFamily::Lognormal, NetworkFamily::LognormalAsym, NetworkFamily::Jitter]
+            .into_iter()
+            .map(|net| ScenarioCell {
+                family: TopologyFamily::Regions { regions: 3 },
+                n: 9,
+                density: 1.0,
+                patterns: PatternFamily::Rotating,
+                p_chan: 0.0,
+                loss: 0.1,
+                schedule: ScheduleFamily::RegionOutage,
+                net,
+            })
+            .collect(),
+        trials: 30,
+        seed: 0x10c4,
+    };
+    let single = grid.run_latency(&with_threads(1, None));
+    let eight = grid.run_latency(&with_threads(8, None));
+    assert!(single.complete && eight.complete);
+    assert_eq!(single, eight, "lognormal latency grid diverged between 1 and 8 workers");
+    let odd_one = grid.run_latency(&with_threads(1, Some(7)));
+    let odd_eight = grid.run_latency(&with_threads(8, Some(7)));
+    assert_eq!(odd_one, odd_eight, "lognormal latency grid diverged under shard=7");
+    for c in 0..grid.cells.len() {
+        assert_eq!(single.agg(c, "completed").count(), 30);
+    }
 }
 
 /// The generic engine (arbitrary trial closures, not just scenario

@@ -18,7 +18,8 @@
 //! counts, so numbers are comparable machine to machine.
 
 use gqs::workloads::sweep::{
-    PatternFamily, ScenarioCell, ScenarioGrid, ScheduleFamily, SweepOptions, TopologyFamily,
+    NetworkFamily, PatternFamily, ScenarioCell, ScenarioGrid, ScheduleFamily, SweepOptions,
+    TopologyFamily,
 };
 use gqs::workloads::Table;
 
@@ -48,6 +49,7 @@ fn main() {
                     p_chan: 0.1,
                     loss: 0.0,
                     schedule: ScheduleFamily::Static,
+                    net: NetworkFamily::Uniform,
                 })
                 .collect(),
             trials: TRIALS,
@@ -80,6 +82,7 @@ fn main() {
                 p_chan: 0.0,
                 loss: 0.0,
                 schedule: ScheduleFamily::Static,
+                net: NetworkFamily::Uniform,
             })
             .collect(),
         trials: 32,
