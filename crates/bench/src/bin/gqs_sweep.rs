@@ -22,6 +22,13 @@
 //! folded incrementally (constant memory per worker, no materialized
 //! batches) and are bit-identical for any `--threads` value.
 //!
+//! The consensus and availability modes also take `--branch-at <T>
+//! --branches <N>`: each trial runs one warmup to simulated time `T`,
+//! checkpoints the entire simulation, and fans `N` seeded continuations
+//! off the snapshot — amortizing the warmup across branches. Fork and
+//! straight-line (`--branch-mode straight`) execution emit byte-identical
+//! reports.
+//!
 //! ```text
 //! gqs_sweep --family ring --n 4..8 --patterns rotating \
 //!           --p-chan 0.1,0.3,0.5 --trials 500 --seed 42 --format json
@@ -33,8 +40,9 @@
 use std::time::Instant;
 
 use gqs_workloads::sweep::{
-    parse_f64_list, parse_usize_list, report_csv, report_json, NetworkFamily, PatternFamily,
-    ScenarioCell, ScenarioGrid, ScheduleFamily, SweepOptions, TopologyFamily,
+    parse_f64_list, parse_usize_list, report_csv, report_json_branched, BranchMode, BranchSpec,
+    NetworkFamily, PatternFamily, ScenarioCell, ScenarioGrid, ScheduleFamily, SweepOptions,
+    TopologyFamily, CONSENSUS_HORIZON, LATENCY_HORIZON,
 };
 
 const USAGE: &str = "\
@@ -93,6 +101,19 @@ runs implicit topologies up to n <= 4194304 (gqs_simnet::MAX_SIM_PROCESSES).
     --threads <T>        worker threads          [default: GQS_THREADS or auto]
     --shard <K>          trials per shard                     [default: 64]
 
+BRANCHING (consensus and availability modes only; both flags required
+together — every trial runs one warmup to the branch point, snapshots
+the whole simulation, and fans out seeded continuations, so the warmup
+cost is paid once per trial instead of once per branch):
+    --branch-at <T>      fork each trial at simulated time T (must be
+                         positive and below the mode's horizon: 200000
+                         for consensus, 100000 for availability)
+    --branches <N>       seeded continuations per trial (at least 1);
+                         each contributes one row to the aggregates
+    --branch-mode <M>    fork (checkpoint/restore) or straight (re-run
+                         the warmup per branch; same output byte for
+                         byte — a determinism cross-check) [default: fork]
+
 OUTPUT:
     --format <json|csv>  output format                        [default: json]
     --out <PATH>         write to PATH instead of stdout
@@ -125,6 +146,9 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     shard: Option<usize>,
+    branch_at: Option<u64>,
+    branches: Option<usize>,
+    branch_mode: BranchMode,
     format: String,
     out: Option<String>,
 }
@@ -147,6 +171,9 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         threads: None,
         shard: None,
+        branch_at: None,
+        branches: None,
+        branch_mode: BranchMode::Fork,
         format: "json".to_string(),
         out: None,
     };
@@ -194,6 +221,23 @@ fn parse_args() -> Result<Args, String> {
             "--shard" => {
                 args.shard = Some(value()?.parse().map_err(|e| format!("bad shard: {e}"))?)
             }
+            "--branch-at" => {
+                args.branch_at = Some(value()?.parse().map_err(|e| format!("bad branch-at: {e}"))?)
+            }
+            "--branches" => {
+                args.branches = Some(value()?.parse().map_err(|e| format!("bad branches: {e}"))?)
+            }
+            "--branch-mode" => {
+                args.branch_mode = match value()?.as_str() {
+                    "fork" => BranchMode::Fork,
+                    "straight" => BranchMode::Straight,
+                    other => {
+                        return Err(format!(
+                            "unknown branch mode {other:?} (expected fork|straight)"
+                        ))
+                    }
+                }
+            }
             "--format" => args.format = value()?,
             "--out" => args.out = Some(value()?),
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -227,6 +271,35 @@ fn parse_args() -> Result<Args, String> {
     }
     if !matches!(args.format.as_str(), "json" | "csv") {
         return Err(format!("unknown format {:?} (expected json|csv)", args.format));
+    }
+    match (args.branch_at, args.branches) {
+        (None, None) => {}
+        (Some(_), None) => return Err("--branch-at needs --branches".to_string()),
+        (None, Some(_)) => return Err("--branches needs --branch-at".to_string()),
+        (Some(at), Some(branches)) => {
+            let horizon = match args.mode.as_str() {
+                "consensus" => CONSENSUS_HORIZON,
+                "availability" => LATENCY_HORIZON,
+                other => {
+                    return Err(format!(
+                    "--branch-at/--branches need --mode consensus or availability, not {other:?}"
+                ))
+                }
+            };
+            if at == 0 {
+                return Err("--branch-at must be positive (the warmup must run before the fork)"
+                    .to_string());
+            }
+            if at >= horizon {
+                return Err(format!(
+                    "--branch-at {at} is at or past the --mode {} horizon of {horizon}",
+                    args.mode
+                ));
+            }
+            if branches == 0 {
+                return Err("--branches must be at least 1".to_string());
+            }
+        }
     }
     Ok(args)
 }
@@ -340,12 +413,18 @@ fn main() {
         }
     };
     let opts = SweepOptions { threads: args.threads, shard: args.shard, cancel: None };
+    let branch = match (args.branch_at, args.branches) {
+        (Some(at), Some(branches)) => Some(BranchSpec { at, branches, mode: args.branch_mode }),
+        _ => None,
+    };
     let start = Instant::now();
-    let report = match args.mode.as_str() {
-        "latency" => grid.run_latency(&opts),
-        "consensus" => grid.run_consensus(&opts),
-        "availability" => grid.run_availability(&opts),
-        "scale" => grid.run_scale(&opts),
+    let report = match (args.mode.as_str(), &branch) {
+        ("consensus", Some(b)) => grid.run_consensus_branched(&opts, b),
+        ("availability", Some(b)) => grid.run_availability_branched(&opts, b),
+        ("latency", _) => grid.run_latency(&opts),
+        ("consensus", _) => grid.run_consensus(&opts),
+        ("availability", _) => grid.run_availability(&opts),
+        ("scale", _) => grid.run_scale(&opts),
         _ => grid.run(&opts),
     };
     let elapsed = start.elapsed();
@@ -358,7 +437,7 @@ fn main() {
         total_trials as f64 / elapsed.as_secs_f64().max(1e-9),
     );
     let rendered = match args.format.as_str() {
-        "json" => report_json(&grid, &report),
+        "json" => report_json_branched(&grid, &report, branch.as_ref()),
         _ => report_csv(&grid, &report),
     };
     match &args.out {

@@ -31,8 +31,8 @@ use gqs_simnet::{Gossip, SimConfig, SimTime, Simulation, Topology};
 use gqs_workloads::generators::{random_scenarios, trial_rng};
 use gqs_workloads::par;
 use gqs_workloads::sweep::{
-    self, MetricAgg, NetworkFamily, PatternFamily, ScenarioCell, ScenarioGrid, ScheduleFamily,
-    SweepOptions, TopologyFamily,
+    self, BranchMode, BranchSpec, MetricAgg, NetworkFamily, PatternFamily, ScenarioCell,
+    ScenarioGrid, ScheduleFamily, SweepOptions, TopologyFamily,
 };
 
 /// The fixed ladder: (processes, patterns). Edge probability and failure
@@ -274,6 +274,45 @@ fn measure_reliable_overhead() -> (usize, f64, f64) {
         std::hint::black_box(grid.run_availability(&opts));
     });
     (trials, plain_ns, reliable_ns)
+}
+
+/// Fork-replay amortization on the region-outage consensus row: the same
+/// branched sweep (each trial warmed to the branch point, then `branches`
+/// seeded continuations) executed in fork mode — checkpoint once, restore
+/// per branch — and in straight-line mode, which re-runs the warmup from
+/// scratch for every branch. The two emit bit-identical reports (tested
+/// in `gqs_workloads::sweep`), so the entire difference is execution
+/// cost. Returns `(trials, branches, branch_at, fork_ns_per_branch,
+/// straight_ns_per_branch)`.
+fn measure_fork_replay() -> (usize, usize, u64, f64, f64) {
+    let cell = ScenarioCell {
+        family: TopologyFamily::Regions { regions: 3 },
+        n: 9,
+        density: 1.0,
+        patterns: PatternFamily::Rotating,
+        p_chan: 0.1,
+        loss: 0.0,
+        schedule: ScheduleFamily::RegionOutage,
+        net: NetworkFamily::Uniform,
+    };
+    let trials = 64;
+    let branches = 8;
+    // Past GST (1000) and into the outage churn, so the warmup carries
+    // real event traffic and protocol state into the checkpoint.
+    let branch_at = 2_000;
+    let opts = SweepOptions { threads: Some(1), ..SweepOptions::default() };
+    let time = |mode| {
+        let grid = ScenarioGrid { cells: vec![cell], trials, seed: SEED ^ 0xF08C };
+        let spec = BranchSpec { at: branch_at, branches, mode };
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            std::hint::black_box(grid.run_consensus_branched(&opts, &spec));
+            best = best.min(t0.elapsed().as_nanos() as f64 / (trials * branches) as f64);
+        }
+        best
+    };
+    (trials, branches, branch_at, time(BranchMode::Fork), time(BranchMode::Straight))
 }
 
 /// One network-model consensus run: simulated decision quantities plus
@@ -580,6 +619,23 @@ fn main() {
         ));
     }
     json.push_str("    ]\n");
+    json.push_str("  },\n");
+    eprintln!("measuring fork replay vs straight-line branching ...");
+    let (fr_trials, fr_branches, fr_at, fork_ns, straight_ns) = measure_fork_replay();
+    json.push_str("  \"fork_replay\": {\n");
+    json.push_str(
+        "    \"note\": \"branched single-shot consensus on regions(3) n=9, region-outage \
+         schedule, branch point past GST inside the outage churn: fork mode (one warmup per \
+         trial, checkpoint, reseeded continuations off the snapshot) vs straight-line mode \
+         (warmup re-run per branch). Reports are bit-identical, so the ratio is pure \
+         execution cost; ns per branch, single-threaded\",\n",
+    );
+    json.push_str(&format!("    \"trials\": {fr_trials},\n"));
+    json.push_str(&format!("    \"branches\": {fr_branches},\n"));
+    json.push_str(&format!("    \"branch_at\": {fr_at},\n"));
+    json.push_str(&format!("    \"fork_ns_per_branch\": {},\n", json_escape_free(fork_ns)));
+    json.push_str(&format!("    \"straight_ns_per_branch\": {},\n", json_escape_free(straight_ns)));
+    json.push_str(&format!("    \"straight_over_fork\": {:.2}\n", straight_ns / fork_ns));
     json.push_str("  },\n");
     json.push_str("  \"small_n_fast_path\": {\n");
     json.push_str(

@@ -146,6 +146,71 @@ fn scale_mode_rejects_families_without_an_implicit_form() {
 }
 
 #[test]
+fn branch_flags_are_validated() {
+    // Garbage values never reach the engine.
+    assert_clean_error(
+        &["--mode", "consensus", "--branch-at", "zebra", "--branches", "2"],
+        "bad branch-at",
+    );
+    assert_clean_error(
+        &["--mode", "consensus", "--branch-at", "600", "--branches", "x"],
+        "bad branches",
+    );
+    assert_clean_error(
+        &["--mode", "consensus", "--branch-at", "-5", "--branches", "2"],
+        "bad branch-at",
+    );
+    // Zero is meaningless on either flag.
+    assert_clean_error(
+        &["--mode", "consensus", "--branch-at", "0", "--branches", "2"],
+        "--branch-at must be positive",
+    );
+    assert_clean_error(
+        &["--mode", "consensus", "--branch-at", "600", "--branches", "0"],
+        "--branches must be at least 1",
+    );
+    // A branch point at or past the mode's horizon leaves no run to fork.
+    assert_clean_error(
+        &["--mode", "consensus", "--branch-at", "200000", "--branches", "2"],
+        "past the --mode consensus horizon of 200000",
+    );
+    assert_clean_error(
+        &["--mode", "availability", "--branch-at", "100000", "--branches", "2"],
+        "past the --mode availability horizon of 100000",
+    );
+    // Branching only exists for the modes whose trials can fork.
+    for mode in ["solvability", "latency", "scale"] {
+        assert_clean_error(
+            &["--mode", mode, "--branch-at", "600", "--branches", "2"],
+            "need --mode consensus or availability",
+        );
+    }
+    // The flags come as a pair.
+    assert_clean_error(&["--mode", "consensus", "--branch-at", "600"], "needs --branches");
+    assert_clean_error(&["--mode", "consensus", "--branches", "2"], "needs --branch-at");
+    assert_clean_error(
+        &["--mode", "consensus", "--branch-at", "600", "--branches", "2", "--branch-mode", "zig"],
+        "unknown branch mode",
+    );
+    // A well-formed branched consensus sweep runs.
+    let (code, _) = run(&[
+        "--mode",
+        "consensus",
+        "--n",
+        "4",
+        "--trials",
+        "1",
+        "--branch-at",
+        "600",
+        "--branches",
+        "2",
+        "--format",
+        "csv",
+    ]);
+    assert_eq!(code, Some(0), "a well-formed branched sweep runs");
+}
+
+#[test]
 fn well_formed_edge_ranges_still_parse() {
     // The hardening must not reject legitimate degenerate-looking input.
     let (code, _) = run(&["--n", "4..4", "--trials", "1", "--format", "csv"]);

@@ -95,7 +95,7 @@ pub enum Phase {
 }
 
 /// The consensus protocol at one process.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ConsensusNode<V> {
     me: ProcessId,
     n: usize,

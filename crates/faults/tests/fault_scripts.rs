@@ -18,7 +18,7 @@ use gqs_simnet::{
 
 /// Fire-and-forget request/response: sends each request exactly once and
 /// never retries — surviving faults is entirely [`Reliable`]'s job.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 struct OneShot {
     pending: Vec<OpId>,
 }

@@ -64,7 +64,7 @@ pub type LatticeMsg<L> = GeneralizedMsg<SnapState<L>, SnapUpdate<L>>;
 type Ctx<L> = Context<LatticeMsg<L>, Learned<L>>;
 type InnerCtx<L> = Context<LatticeMsg<L>, SnapResp<Option<L>>>;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Step<L> {
     /// Waiting for `update_i(v)` to finish.
     Updating { op: OpId, v: L },
@@ -75,7 +75,7 @@ enum Step<L> {
 /// Lattice agreement at one process: the fix-point loop over an embedded
 /// snapshot object. Segments hold `Option<L>` (`None` = nothing proposed
 /// yet).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct LatticeNode<L>
 where
     L: JoinSemilattice,

@@ -64,14 +64,14 @@ pub enum ClassicalMsg<S, U> {
     },
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct PendingGet<S> {
     seq: u64,
     token: u64,
     responses: BTreeMap<ProcessId, S>,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct PendingSet<U> {
     seq: u64,
     token: u64,
@@ -81,7 +81,7 @@ struct PendingSet<U> {
 }
 
 /// The Figure 2 engine at one process.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ClassicalQaf<S, U> {
     state: S,
     seq: u64,

@@ -88,7 +88,7 @@ pub enum GeneralizedMsg<S, U> {
     },
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum GetStage {
     /// Line 6: awaiting `CLOCK_RESP`s from a write quorum.
     AwaitCutoff { clocks: BTreeMap<ProcessId, u64> },
@@ -96,7 +96,7 @@ enum GetStage {
     AwaitStates { cutoff: u64 },
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum SetStage {
     /// Line 18: awaiting `SET_RESP`s from a write quorum.
     AwaitAcks { clocks: BTreeMap<ProcessId, u64> },
@@ -104,14 +104,14 @@ enum SetStage {
     AwaitReadClocks { c_set: u64 },
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct PendingGet {
     seq: u64,
     token: u64,
     stage: GetStage,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct PendingSet<U> {
     seq: u64,
     token: u64,
@@ -121,7 +121,7 @@ struct PendingSet<U> {
 }
 
 /// The Figure 3 engine at one process.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct GeneralizedQaf<S, U> {
     state: S,
     seq: u64,

@@ -70,7 +70,7 @@ impl<V> RegResp<V> {
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Phase<K, V> {
     WriteGet { op: OpId, reg: K, value: V },
     WriteSet { op: OpId, version: Version },
@@ -80,7 +80,7 @@ enum Phase<K, V> {
 
 /// The Figure 4 register protocol at one process, generic over the quorum
 /// access engine `E`.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct QuorumRegister<K, V, E>
 where
     K: Ord,
@@ -183,7 +183,7 @@ impl<K, V, E> Protocol for QuorumRegister<K, V, E>
 where
     K: Ord + Clone + Debug,
     V: Clone + Debug,
-    E: QuorumAccess<RegMap<K, V>, VersionedWrite<K, V>>,
+    E: QuorumAccess<RegMap<K, V>, VersionedWrite<K, V>> + Clone,
 {
     type Msg = E::Msg;
     type Op = RegOp<K, V>;

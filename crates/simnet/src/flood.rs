@@ -10,7 +10,7 @@
 //! at an `O(n²)` message cost per logical message, which the experiment
 //! tables report explicitly.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use gqs_core::ProcessId;
 
@@ -38,7 +38,7 @@ pub struct FloodMsg<M> {
 /// use gqs_simnet::{Flood, SimConfig, Simulation};
 /// # use gqs_simnet::{Context, OpId, Protocol, TimerId};
 /// # use gqs_core::ProcessId;
-/// # #[derive(Default, Debug)] struct P;
+/// # #[derive(Clone, Default, Debug)] struct P;
 /// # impl Protocol for P {
 /// #     type Msg = u8; type Op = (); type Resp = ();
 /// #     fn on_start(&mut self, _: &mut Context<u8, ()>) {}
@@ -49,18 +49,22 @@ pub struct FloodMsg<M> {
 /// let nodes: Vec<Flood<P>> = (0..3).map(|_| Flood::new(P)).collect();
 /// let sim = Simulation::new(SimConfig::default(), nodes);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Flood<P: Protocol> {
     inner: P,
     next_seq: u64,
-    seen: HashSet<(ProcessId, u64)>,
+    /// Envelopes already relayed. A `BTreeSet` rather than a hash set so
+    /// the state has one canonical representation: checkpoint oracles
+    /// compare node state byte-for-byte via `Debug`, and per-instance
+    /// hasher seeds would make identical sets format differently.
+    seen: BTreeSet<(ProcessId, u64)>,
     relayed: u64,
 }
 
 impl<P: Protocol> Flood<P> {
     /// Wraps `inner` in a flooding layer.
     pub fn new(inner: P) -> Self {
-        Flood { inner, next_seq: 0, seen: HashSet::new(), relayed: 0 }
+        Flood { inner, next_seq: 0, seen: BTreeSet::new(), relayed: 0 }
     }
 
     /// The wrapped protocol (for assertions on its state).
@@ -174,7 +178,7 @@ mod tests {
 
     /// Sends one message to a target; the target completes an op when it
     /// arrives.
-    #[derive(Default, Debug)]
+    #[derive(Clone, Default, Debug)]
     struct OneShot {
         pending: Option<OpId>,
         received_from: Vec<ProcessId>,
@@ -343,7 +347,7 @@ mod tests {
 
     /// Like [`OneShot`] but re-sends its Hello every 30 ticks until acked
     /// — the minimal protocol whose liveness survives a flapping link.
-    #[derive(Default, Debug)]
+    #[derive(Clone, Default, Debug)]
     struct Retry {
         pending: Option<(OpId, ProcessId)>,
     }

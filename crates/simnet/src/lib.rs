@@ -34,7 +34,15 @@
 //!   the [`Peers`] view, so simulations run up to [`MAX_SIM_PROCESSES`]
 //!   (2²² ≈ 4.2M) processes — far past the `gqs_core::MAX_PROCESSES`
 //!   bound on *decision-structure* sizes — with O(channels) memory and no
-//!   per-event allocation in steady state (see [`Gossip`]).
+//!   per-event allocation in steady state (see [`Gossip`]), and
+//! * **checkpoint / fork replay**: [`Simulation::checkpoint`] captures
+//!   every mutable piece of a run — clock, event wheel, RNG position,
+//!   liveness epochs, down intervals, statistics, op history, protocol
+//!   state (via the [`Protocol`] `Clone` snapshot contract) — as a
+//!   [`Checkpoint`], and [`Simulation::restore`] rewinds to it
+//!   bit-exactly; [`Simulation::reseed`] then branches seeded
+//!   continuations from the same instant (rare-event hunting,
+//!   warmup-amortized sweeps).
 //!
 //! Protocols implement [`Protocol`] and are driven by [`Simulation`], which
 //! records an operation [`History`] suitable for the `gqs-checker` crate.
@@ -47,7 +55,7 @@
 //! use gqs_simnet::{Context, OpId, Protocol, SimConfig, SimTime, Simulation, StopReason, TimerId};
 //!
 //! /// Echo: completes each operation when its round trip returns.
-//! #[derive(Default, Debug)]
+//! #[derive(Clone, Default, Debug)]
 //! struct Echo { pending: Vec<OpId> }
 //!
 //! impl Protocol for Echo {
@@ -96,7 +104,9 @@ pub use netmodel::{LatencyDist, LinkProfile, NetModel, RegionSpec, Synchrony};
 pub use protocol::{Context, Effect, OpId, Protocol, TimerId};
 pub use reliable::{Reliable, ReliableMsg, RETX_TIMER};
 pub use rng::SplitMix64;
-pub use sim::{DelayModel, FailureSchedule, SimConfig, Simulation, StopReason, MAX_SIM_PROCESSES};
+pub use sim::{
+    Checkpoint, DelayModel, FailureSchedule, SimConfig, Simulation, StopReason, MAX_SIM_PROCESSES,
+};
 pub use time::SimTime;
 pub use topology::{ChannelClass, Peers, Topology};
 pub use wheel::TimingWheel;

@@ -185,7 +185,20 @@ impl<M, R> Context<M, R> {
 /// All handlers must be deterministic; randomness, if needed, belongs in
 /// protocol state seeded at construction. This is what makes simulator
 /// runs reproducible.
-pub trait Protocol {
+///
+/// # The snapshot contract
+///
+/// `Protocol: Clone` is the simulator's snapshot hook: **a clone must be a
+/// complete, independent copy of everything the handlers read or write** —
+/// pending operations, retransmission queues, dedup sets, logical clocks,
+/// seeded RNG state, view synchronizers, all of it. Given that,
+/// [`Simulation::checkpoint`](crate::Simulation::checkpoint) /
+/// [`restore`](crate::Simulation::restore) can capture a whole run
+/// mid-flight and resume it bit-identically (fork replay). `#[derive(Clone)]`
+/// on an owned-data struct satisfies the contract automatically; what
+/// violates it is shared mutable state (`Rc<RefCell<_>>`, interior
+/// mutability) leaking between a clone and its original — don't.
+pub trait Protocol: Clone {
     /// Messages exchanged between processes.
     type Msg: Clone + fmt::Debug;
     /// Client operations (e.g. `Read`, `Write(v)`, `Propose(x)`).

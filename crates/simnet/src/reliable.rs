@@ -64,7 +64,7 @@ pub enum ReliableMsg<M> {
     },
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct PendingEnvelope<M> {
     payload: M,
     /// Retransmissions performed so far (governs the backoff exponent).
@@ -77,7 +77,7 @@ struct PendingEnvelope<M> {
 /// suppression and retransmission with seeded exponential backoff.
 ///
 /// See the [module docs](self) for the delivery guarantees.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Reliable<P: Protocol> {
     inner: P,
     base: u64,
@@ -335,7 +335,7 @@ mod tests {
 
     /// One-shot request/response: sends each request exactly once and
     /// never retries — all fault tolerance must come from [`Reliable`].
-    #[derive(Default, Debug)]
+    #[derive(Clone, Default, Debug)]
     struct OneShot {
         pending: Vec<OpId>,
         got: Vec<u64>,

@@ -302,9 +302,56 @@ impl FailureSchedule {
             && self.heals.is_empty()
             && self.recovers.is_empty()
     }
+
+    /// Splits the timeline at `at`: the first schedule holds every event
+    /// strictly before `at`, the second everything from `at` on — the
+    /// schedule's **cursor** for fork replay. A warmup applies the prefix,
+    /// checkpoints at `at`, and each branch then replays (or permutes) the
+    /// remaining timeline only:
+    ///
+    /// ```
+    /// use gqs_core::ProcessId;
+    /// use gqs_simnet::{FailureSchedule, SimTime};
+    ///
+    /// let mut s = FailureSchedule::none();
+    /// s.crash(ProcessId(0), SimTime(100)).recover(ProcessId(0), SimTime(900));
+    /// let (before, after) = s.split_at(SimTime(500));
+    /// assert_eq!(before.crashes().len(), 1);
+    /// assert!(before.recovers().is_empty());
+    /// assert_eq!(after.recovers(), &[(ProcessId(0), SimTime(900))]);
+    /// ```
+    ///
+    /// Within each half, events keep their original relative order (the
+    /// order [`Simulation::apply_failures`] assigns sequence numbers in),
+    /// so `apply(before); apply(after)` reproduces `apply(whole)`'s event
+    /// interleaving exactly for any `at` no later than the first event at
+    /// a shared instant.
+    pub fn split_at(&self, at: SimTime) -> (FailureSchedule, FailureSchedule) {
+        let mut before = FailureSchedule::default();
+        let mut after = FailureSchedule::default();
+        fn part<T: Copy>(
+            src: &[(T, SimTime)],
+            at: SimTime,
+            lo: &mut Vec<(T, SimTime)>,
+            hi: &mut Vec<(T, SimTime)>,
+        ) {
+            for &(x, t) in src {
+                if t < at {
+                    lo.push((x, t));
+                } else {
+                    hi.push((x, t));
+                }
+            }
+        }
+        part(&self.crashes, at, &mut before.crashes, &mut after.crashes);
+        part(&self.disconnects, at, &mut before.disconnects, &mut after.disconnects);
+        part(&self.heals, at, &mut before.heals, &mut after.heals);
+        part(&self.recovers, at, &mut before.recovers, &mut after.recovers);
+        (before, after)
+    }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum EventKind<M, O> {
     Start {
         process: ProcessId,
@@ -357,6 +404,65 @@ pub enum StopReason {
     },
     /// The target of [`Simulation::run_until_ops_complete`] was met.
     OpsComplete,
+}
+
+/// A bit-exact snapshot of everything mutable in a [`Simulation`]:
+/// protocol nodes, the RNG stream position, the event queue (bucket order,
+/// occupancy bitmaps and the push sequence counter, so pop order is
+/// identical), the clock, liveness epochs, channel down-interval state,
+/// the operation history, [`NetStats`] and pending-op bookkeeping.
+///
+/// Created by [`Simulation::checkpoint`]; a later
+/// [`Simulation::restore`] rewinds the run to this instant, after which
+/// re-running reproduces the original continuation byte for byte — or,
+/// after [`Simulation::reseed`], branches a fresh seeded continuation
+/// from the same state (fork replay). The immutable parts of a run —
+/// [`SimConfig`] and the topology — are *not* captured; a checkpoint is
+/// only valid for the simulation (or an identically-configured clone of
+/// it) that produced it.
+pub struct Checkpoint<P: Protocol> {
+    nodes: Vec<P>,
+    rng: SplitMix64,
+    queue: TimingWheel<EventKind<P::Msg, P::Op>>,
+    seq: u64,
+    now: SimTime,
+    epoch: Vec<u64>,
+    down_slots: HashMap<Channel, u32>,
+    down_counts: Vec<u32>,
+    down_active: usize,
+    history: History<P::Op, P::Resp>,
+    stats: NetStats,
+    next_op: u64,
+    scheduled_ops: u64,
+    finished_ops: u64,
+}
+
+impl<P: Protocol> Checkpoint<P> {
+    /// The virtual time the snapshot was taken at.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+impl<P: Protocol> Clone for Checkpoint<P> {
+    fn clone(&self) -> Self {
+        Checkpoint {
+            nodes: self.nodes.clone(),
+            rng: self.rng.clone(),
+            queue: self.queue.clone(),
+            seq: self.seq,
+            now: self.now,
+            epoch: self.epoch.clone(),
+            down_slots: self.down_slots.clone(),
+            down_counts: self.down_counts.clone(),
+            down_active: self.down_active,
+            history: self.history.clone(),
+            stats: self.stats,
+            next_op: self.next_op,
+            scheduled_ops: self.scheduled_ops,
+            finished_ops: self.finished_ops,
+        }
+    }
 }
 
 /// A deterministic discrete-event simulation of one protocol over one
@@ -514,6 +620,77 @@ impl<P: Protocol> Simulation<P> {
     /// schedules growing memory without bound.
     pub fn down_tracked_channels(&self) -> usize {
         self.down_slots.len()
+    }
+
+    /// The run's RNG at its current stream position (for determinism
+    /// assertions: two runs that agree here and on
+    /// [`Simulation::history`]/[`Simulation::stats`] consumed randomness
+    /// identically).
+    pub fn rng(&self) -> &SplitMix64 {
+        &self.rng
+    }
+
+    /// Captures everything mutable in the run as a [`Checkpoint`]: the
+    /// protocol nodes (via the [`Protocol`] snapshot contract), the event
+    /// queue with its pop order intact, the RNG stream position, liveness
+    /// epochs, down-interval state, history, statistics and pending-op
+    /// bookkeeping. O(live state); the simulation is untouched.
+    pub fn checkpoint(&self) -> Checkpoint<P> {
+        Checkpoint {
+            nodes: self.nodes.clone(),
+            rng: self.rng.clone(),
+            queue: self.queue.clone(),
+            seq: self.seq,
+            now: self.now,
+            epoch: self.epoch.clone(),
+            down_slots: self.down_slots.clone(),
+            down_counts: self.down_counts.clone(),
+            down_active: self.down_active,
+            history: self.history.clone(),
+            stats: self.stats,
+            next_op: self.next_op,
+            scheduled_ops: self.scheduled_ops,
+            finished_ops: self.finished_ops,
+        }
+    }
+
+    /// Rewinds the run to `cp`'s instant. After a restore, re-running
+    /// reproduces the checkpointed run's continuation **byte for byte** —
+    /// same events in the same order, same history, same statistics, same
+    /// RNG draws (the determinism oracle tests hold this across every
+    /// shipped protocol stack). Restore as often as needed: fork replay is
+    /// `checkpoint()` once, then per branch `restore()` +
+    /// [`Simulation::reseed`] + run.
+    ///
+    /// The checkpoint must come from this simulation (or one constructed
+    /// with an identical config and node set); configs are not captured,
+    /// so restoring across differently-configured runs is undefined
+    /// behaviour of the *model* (not memory-unsafe, just meaningless).
+    pub fn restore(&mut self, cp: &Checkpoint<P>) {
+        self.nodes.clone_from(&cp.nodes);
+        self.rng = cp.rng.clone();
+        self.queue = cp.queue.clone();
+        self.seq = cp.seq;
+        self.now = cp.now;
+        self.epoch.clone_from(&cp.epoch);
+        self.down_slots.clone_from(&cp.down_slots);
+        self.down_counts.clone_from(&cp.down_counts);
+        self.down_active = cp.down_active;
+        self.history.clone_from(&cp.history);
+        self.stats = cp.stats;
+        self.next_op = cp.next_op;
+        self.scheduled_ops = cp.scheduled_ops;
+        self.finished_ops = cp.finished_ops;
+    }
+
+    /// Replaces the run's RNG with a fresh stream seeded by `seed` — the
+    /// branch-divergence knob of fork replay. Branch `b` of a sweep
+    /// restores the shared checkpoint, reseeds with a seed derived from
+    /// `(trial seed, b)`, and continues: every branch starts from
+    /// bit-identical state but draws its own delays/losses from there.
+    /// Reseeding with the same value twice yields identical continuations.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = SplitMix64::new(seed);
     }
 
     /// Schedules all failures (and heals/recoveries) in `schedule`.
@@ -806,7 +983,7 @@ mod tests {
     use crate::protocol::{Context, OpId, Protocol, TimerId};
 
     /// A protocol that answers PING with PONG and completes an op per PONG.
-    #[derive(Default, Debug)]
+    #[derive(Clone, Default, Debug)]
     struct PingPong {
         pending: Vec<OpId>,
         pongs: u64,
@@ -1032,7 +1209,7 @@ mod tests {
 
     /// Arms one timer at start; counts recoveries and fires separately
     /// for timers armed before the crash vs in `on_recover`.
-    #[derive(Default, Debug)]
+    #[derive(Clone, Default, Debug)]
     struct RecoverProbe {
         pre_fired: u64,
         post_fired: u64,
@@ -1292,7 +1469,7 @@ mod tests {
     }
 
     /// A protocol that re-arms a zero-duration timer forever.
-    #[derive(Default, Debug)]
+    #[derive(Clone, Default, Debug)]
     struct Spinner {
         fired: u64,
     }
@@ -1456,6 +1633,141 @@ mod tests {
         sim.run_until(sim.now() + 5_000);
         assert_eq!(sim.down_tracked_channels(), 2);
         assert!(!sim.is_disconnected(rev));
+    }
+
+    /// Byte-level fingerprint of everything observable about a run:
+    /// clock, statistics, RNG stream position, and the full op history.
+    fn fingerprint<P>(sim: &Simulation<P>) -> String
+    where
+        P: Protocol + std::fmt::Debug,
+    {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}",
+            sim.now(),
+            sim.stats(),
+            sim.rng(),
+            sim.history().ops(),
+            sim.nodes
+        )
+    }
+
+    /// Builds a busy lossy ping-pong run with mid-run faults — enough
+    /// machinery (messages, timers via drift, down intervals, loss draws,
+    /// crash/recovery) to make checkpoint gaps observable.
+    fn busy_sim(seed: u64) -> Simulation<PingPong> {
+        let cfg = SimConfig { seed, loss: 0.15, ..SimConfig::default() };
+        let nodes = (0..4).map(|_| PingPong::default()).collect();
+        let mut sim = Simulation::new(cfg, nodes);
+        let mut sched = FailureSchedule::none();
+        let ch = Channel::new(ProcessId(0), ProcessId(1));
+        sched.disconnect(ch, SimTime(40)).heal(ch, SimTime(120));
+        sched.crash(ProcessId(2), SimTime(60)).recover(ProcessId(2), SimTime(200));
+        sim.apply_failures(&sched);
+        for i in 0..12u64 {
+            let p = ProcessId((i % 4) as usize);
+            let q = ProcessId(((i + 1) % 4) as usize);
+            sim.invoke_at(SimTime(1 + i * 30), p, q);
+        }
+        sim
+    }
+
+    /// The core determinism oracle: `checkpoint(); run; restore(); run`
+    /// must land byte-identically on the uninterrupted run — same events,
+    /// same NetStats, same history, same RNG position — at a randomized
+    /// snapshot instant.
+    #[test]
+    fn checkpoint_restore_rerun_is_byte_identical() {
+        for seed in 0..20u64 {
+            let mut straight = busy_sim(seed);
+            straight.run();
+            let expected = fingerprint(&straight);
+
+            let mut forked = busy_sim(seed);
+            // Snapshot at a seed-dependent mid-run instant.
+            let cut = 20 + (seed * 17) % 300;
+            forked.run_until(SimTime(cut));
+            let cp = forked.checkpoint();
+            assert_eq!(cp.now(), forked.now(), "seed {seed}");
+            // Run to completion once, rewind, run again: both continuations
+            // and the straight-line run must agree exactly.
+            forked.run();
+            assert_eq!(fingerprint(&forked), expected, "seed {seed}: first continuation");
+            forked.restore(&cp);
+            forked.run();
+            assert_eq!(fingerprint(&forked), expected, "seed {seed}: replayed continuation");
+        }
+    }
+
+    /// A checkpoint is immutable state: taking one and immediately
+    /// restoring it is a no-op, and restoring twice yields the same
+    /// continuation both times even with further mutation in between.
+    #[test]
+    fn restore_is_idempotent_and_reusable() {
+        let mut sim = busy_sim(7);
+        sim.run_until(SimTime(100));
+        let cp = sim.checkpoint();
+        let at_cut = fingerprint(&sim);
+        sim.restore(&cp);
+        assert_eq!(fingerprint(&sim), at_cut, "restore immediately after checkpoint is a no-op");
+        sim.run();
+        let first = fingerprint(&sim);
+        sim.restore(&cp);
+        sim.run();
+        assert_eq!(fingerprint(&sim), first, "second replay from the same checkpoint");
+    }
+
+    /// Reseeding at the branch point diverges continuations — and equal
+    /// reseeds branch identically (what fork-vs-straight sweeps rely on).
+    #[test]
+    fn reseed_branches_diverge_and_equal_seeds_agree() {
+        let mut sim = busy_sim(3);
+        sim.run_until(SimTime(80));
+        let cp = sim.checkpoint();
+        let mut finger = |seed: u64| {
+            sim.restore(&cp);
+            sim.reseed(seed);
+            sim.run();
+            fingerprint(&sim)
+        };
+        let a1 = finger(111);
+        let b = finger(222);
+        let a2 = finger(111);
+        assert_eq!(a1, a2, "equal branch seeds must produce identical continuations");
+        assert_ne!(a1, b, "distinct branch seeds must diverge (holds for these seeds)");
+    }
+
+    /// `split_at` partitions a schedule so that prefix-then-suffix
+    /// application reproduces whole-schedule application exactly.
+    #[test]
+    fn schedule_split_prefix_plus_suffix_matches_whole() {
+        let pattern_free = |apply_split: bool| {
+            let cfg = SimConfig { seed: 5, ..SimConfig::default() };
+            let nodes = (0..3).map(|_| PingPong::default()).collect();
+            let mut sim: Simulation<PingPong> = Simulation::new(cfg, nodes);
+            let mut sched = FailureSchedule::none();
+            let ch = Channel::new(ProcessId(0), ProcessId(1));
+            sched.disconnect(ch, SimTime(30)).heal(ch, SimTime(90));
+            sched.crash(ProcessId(2), SimTime(50)).recover(ProcessId(2), SimTime(130));
+            if apply_split {
+                let (before, after) = sched.split_at(SimTime(50));
+                assert_eq!(before.disconnects().len(), 1);
+                assert_eq!(after.crashes().len(), 1, "the t=50 crash lands in the suffix");
+                sim.apply_failures(&before);
+                sim.apply_failures(&after);
+            } else {
+                sim.apply_failures(&sched);
+            }
+            for i in 0..6u64 {
+                sim.invoke_at(
+                    SimTime(10 + i * 25),
+                    ProcessId((i % 3) as usize),
+                    ProcessId(((i + 1) % 3) as usize),
+                );
+            }
+            sim.run();
+            fingerprint(&sim)
+        };
+        assert_eq!(pattern_free(false), pattern_free(true));
     }
 
     #[test]

@@ -32,7 +32,7 @@
 
 /// One scheduled entry: a due time, the global push sequence number, and
 /// the payload.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Entry<T> {
     at: u64,
     seq: u64,
@@ -46,7 +46,7 @@ const SLOT_MASK: u64 = (SLOTS as u64) - 1;
 
 /// One wheel level: 64 slots plus an occupancy bitmap (bit `s` set iff
 /// `slots[s]` is non-empty).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Level<T> {
     occupied: u64,
     slots: [Vec<Entry<T>>; SLOTS],
@@ -75,7 +75,14 @@ impl<T> Level<T> {
 /// assert_eq!(w.pop(), Some((10, 0, "late")));
 /// assert_eq!(w.pop(), None);
 /// ```
-#[derive(Debug)]
+///
+/// Cloning a wheel is its snapshot path (the basis of
+/// [`Simulation::checkpoint`](crate::Simulation::checkpoint)): the derive
+/// copies the clock, the per-level slot Vecs in bucket order, the occupancy
+/// bitmaps, the overflow bucket and the (reversed) drain buffer verbatim,
+/// so a clone pops the exact same `(time, seq, item)` sequence as the
+/// original — a property the snapshot-vs-oracle test pins.
+#[derive(Clone, Debug)]
 pub struct TimingWheel<T> {
     /// Lower bound on every stored due time; advanced by pops.
     now: u64,
@@ -441,6 +448,65 @@ mod tests {
             while let Some(Reverse((at, s))) = heap.pop() {
                 assert_eq!(wheel.pop(), Some((at, s, ())), "case {case} drain");
             }
+        }
+    }
+
+    /// The snapshot oracle: at a random instant mid-workload, `clone()`
+    /// the wheel and check that the clone drains the exact remaining
+    /// `(time, seq)` sequence the BinaryHeap oracle predicts — including
+    /// entries sitting in the reversed drain buffer and the overflow
+    /// bucket. This is the property `Simulation::checkpoint` leans on.
+    #[test]
+    fn clone_snapshot_drains_identically_to_binary_heap() {
+        for case in 0..64u64 {
+            let mut rng = SplitMix64::new(0x5AB1E ^ case);
+            let mut wheel = TimingWheel::new();
+            let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut clock = 0u64;
+            // Random mid-sized workload prefix, same shape as the main
+            // conformance oracle (peeks included, so the drain buffer and
+            // settled cascades are populated at snapshot time).
+            let prefix = rng.range(50, 1_500);
+            for _ in 0..prefix {
+                if heap.is_empty() || rng.chance(0.6) {
+                    for _ in 0..rng.range(1, 4) {
+                        let delta = match rng.range(0, 9) {
+                            0 => 0,
+                            1..=6 => rng.range(1, 64),
+                            7 => rng.range(64, 10_000),
+                            _ => rng.range(10_000, 1 << 38),
+                        };
+                        let at = clock + delta;
+                        wheel.push(at, seq, ());
+                        heap.push(Reverse((at, seq)));
+                        seq += 1;
+                    }
+                } else {
+                    let Reverse((at, s)) = heap.pop().unwrap();
+                    if rng.chance(0.5) {
+                        assert_eq!(wheel.next_time(), Some(at));
+                    }
+                    assert_eq!(wheel.pop(), Some((at, s, ())), "case {case}");
+                    clock = at;
+                }
+            }
+            // Snapshot, then drain snapshot and original independently:
+            // both must match the oracle's remaining sequence exactly.
+            let mut snap = wheel.clone();
+            assert_eq!(snap.len(), wheel.len());
+            let mut remaining: Vec<(u64, u64)> = Vec::with_capacity(heap.len());
+            while let Some(Reverse(k)) = heap.pop() {
+                remaining.push(k);
+            }
+            for &(at, s) in &remaining {
+                assert_eq!(snap.pop(), Some((at, s, ())), "case {case} snapshot drain");
+            }
+            assert_eq!(snap.pop(), None, "case {case} snapshot residue");
+            for &(at, s) in &remaining {
+                assert_eq!(wheel.pop(), Some((at, s, ())), "case {case} original drain");
+            }
+            assert_eq!(wheel.pop(), None, "case {case} original residue");
         }
     }
 

@@ -13,7 +13,7 @@ use gqs_simnet::{
 
 /// A gossiping protocol: every process relays each first-seen token to a
 /// pseudo-random subset of peers and records handler times.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 struct Gossip {
     seen: Vec<u64>,
     times: Vec<u64>,
@@ -165,7 +165,7 @@ fn reliable_channels_deliver_broadcasts() {
 /// A sink with no fault handling of its own: each value is sent exactly
 /// once at invocation and recorded with its sender on receipt — any
 /// redundancy or reordering the network inflicts would show up verbatim.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 struct Sink {
     got: Vec<(ProcessId, u64)>,
 }

@@ -78,7 +78,7 @@ pub struct ScanStats {
     pub collects: u64,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct ScanMachine<V> {
     /// The collect the scan started with (move-detection baseline).
     first: Option<Vec<Segment<V>>>,
@@ -125,7 +125,7 @@ impl<V: Clone + Debug + PartialEq> ScanMachine<V> {
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Machine<V> {
     /// An update first performs its embedded scan ...
     UpdateScan { op: OpId, value: V, scan: ScanMachine<V> },
@@ -140,7 +140,7 @@ enum Machine<V> {
 ///
 /// Generic over the register's quorum access engine `E`; use
 /// [`GqsSnapshot`] for the paper's generalized setting.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SnapshotNode<V, E>
 where
     E: QuorumAccess<RegMap<usize, Segment<V>>, VersionedWrite<usize, Segment<V>>>,
@@ -160,7 +160,7 @@ where
 
 impl<V, E> SnapshotNode<V, E>
 where
-    E: QuorumAccess<RegMap<usize, Segment<V>>, VersionedWrite<usize, Segment<V>>>,
+    E: QuorumAccess<RegMap<usize, Segment<V>>, VersionedWrite<usize, Segment<V>>> + Clone,
     V: Clone + Debug + PartialEq,
 {
     /// Creates the snapshot node for process `me` of `n`, over a register
@@ -299,7 +299,7 @@ where
 
 impl<V, E> Protocol for SnapshotNode<V, E>
 where
-    E: QuorumAccess<RegMap<usize, Segment<V>>, VersionedWrite<usize, Segment<V>>>,
+    E: QuorumAccess<RegMap<usize, Segment<V>>, VersionedWrite<usize, Segment<V>>> + Clone,
     V: Clone + Debug + PartialEq,
 {
     type Msg = E::Msg;

@@ -64,16 +64,16 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 
-use gqs_consensus::{majority_consensus_nodes, ProposalMode};
+use gqs_consensus::{majority_consensus_nodes, ConsensusNode, ProposalMode};
 use gqs_core::finder::{find_gqs, qs_plus_exists};
 use gqs_core::{majority_system, FailProneSystem, FailurePattern, NetworkGraph, ProcessId};
 use gqs_faults::{scenarios, FaultScript, RegionLayout};
 use gqs_registers::{
-    abd_register_nodes, reliable_abd_register_nodes, sampled_abd_nodes, RegOp, ScaleOp,
+    abd_register_nodes, reliable_abd_register_nodes, sampled_abd_nodes, AbdRegister, RegOp, ScaleOp,
 };
 use gqs_simnet::{
-    DelayModel, Flood, Gossip, LatencyDist, LinkProfile, NetModel, RegionSpec, SimConfig, SimTime,
-    Simulation, SplitMix64, Synchrony, Topology,
+    DelayModel, FailureSchedule, Flood, Gossip, LatencyDist, LinkProfile, NetModel, Protocol,
+    RegionSpec, SimConfig, SimTime, Simulation, SplitMix64, Synchrony, Topology,
 };
 
 use crate::generators::{
@@ -366,6 +366,44 @@ pub struct SweepOptions {
     pub cancel: Option<CancelToken>,
 }
 
+/// How a branched sweep executes its continuations. The two modes are
+/// different *execution strategies for the same computation*: their
+/// reports are byte-identical (held by tests and a CI `cmp`), which is
+/// precisely the checkpoint determinism contract.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum BranchMode {
+    /// Run the warmup once per trial, checkpoint at the branch point,
+    /// and restore+reseed per branch — amortizing the warmup.
+    #[default]
+    Fork,
+    /// Re-run the warmup from scratch for every branch — the slow
+    /// reference the fork path must reproduce bit for bit.
+    Straight,
+}
+
+/// A fork-replay sweep: every trial runs its warmup to `at`, then fans
+/// out `branches` seeded continuations, each contributing one metric
+/// row to the cell's aggregates.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BranchSpec {
+    /// The branch point (virtual time the warmup runs to).
+    pub at: u64,
+    /// Continuations per trial.
+    pub branches: usize,
+    /// Execution strategy (not part of the result — see [`BranchMode`]).
+    pub mode: BranchMode,
+}
+
+impl BranchSpec {
+    /// The RNG seed of branch `b` of a trial whose simulation seed is
+    /// `sim_seed`. A pure function of `(sim_seed, b)` — deliberately
+    /// *not* of any checkpoint state — so fork and straight-line
+    /// execution trivially agree on where each branch diverges.
+    pub fn branch_seed(sim_seed: u64, b: usize) -> u64 {
+        sim_seed ^ (b as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
 /// Aggregates for one grid cell.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CellAggregates {
@@ -426,6 +464,25 @@ where
     C: Sync,
     F: Fn(&C, usize, &mut SplitMix64) -> Vec<f64> + Sync,
 {
+    run_rows(spec, opts, |cell, t, rng| vec![trial(cell, t, rng)])
+}
+
+/// The row-streaming generalization of [`run`]: each trial may observe
+/// **several** metric rows (e.g. one per branched continuation in a
+/// fork-replay sweep). Rows are folded in `(trial, row)` order inside
+/// each shard and shards merge in shard order, so the aggregates keep
+/// the bit-identical-for-any-thread-count contract of [`run`].
+/// `CellAggregates::trials` still counts *trials* (not rows); each
+/// metric's `count` reflects the observed rows.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from `spec.metrics.len()`.
+pub fn run_rows<C, F>(spec: &SweepSpec<'_, C>, opts: &SweepOptions, trial: F) -> SweepReport
+where
+    C: Sync,
+    F: Fn(&C, usize, &mut SplitMix64) -> Vec<Vec<f64>> + Sync,
+{
     let n_metrics = spec.metrics.len();
     let n_cells = spec.cells.len();
     let shard = opts.shard.unwrap_or(64).max(1);
@@ -480,10 +537,11 @@ where
                             break;
                         }
                         let mut rng = trial_rng(spec.seed, c * spec.trials + t);
-                        let row = trial(&spec.cells[c], t, &mut rng);
-                        assert_eq!(row.len(), n_metrics, "trial row width mismatch");
-                        for (agg, v) in partial.iter_mut().zip(row) {
-                            agg.observe(v);
+                        for row in trial(&spec.cells[c], t, &mut rng) {
+                            assert_eq!(row.len(), n_metrics, "trial row width mismatch");
+                            for (agg, v) in partial.iter_mut().zip(row) {
+                                agg.observe(v);
+                            }
                         }
                     }
                     if abandoned {
@@ -1072,7 +1130,8 @@ const LATENCY_OPS: u64 = 6;
 /// mostly run uncontended under the default `[1, 10]` delay model.
 const LATENCY_OP_SPACING: u64 = 400;
 /// Hard stop per trial; stalled runs go quiescent long before this.
-const LATENCY_HORIZON: u64 = 100_000;
+/// Public so the CLI can reject a `--branch-at` past the horizon.
+pub const LATENCY_HORIZON: u64 = 100_000;
 
 /// Runs one protocol-latency trial: builds the cell's topology and
 /// fail-prone system exactly like [`scenario_trial`], then drives an
@@ -1162,8 +1221,9 @@ const CONSENSUS_DELTA: u64 = 5;
 /// Global stabilization time: late enough that early views churn, early
 /// enough that decisions land well before the horizon.
 const CONSENSUS_GST: u64 = 1_000;
-/// Hard stop per consensus trial.
-const CONSENSUS_HORIZON: u64 = 200_000;
+/// Hard stop per consensus trial. Public so the CLI can reject a
+/// `--branch-at` past the horizon.
+pub const CONSENSUS_HORIZON: u64 = 200_000;
 
 /// Runs one single-shot consensus trial: builds the cell's topology and
 /// fail-prone system exactly like [`scenario_trial`], then drives the
@@ -1177,16 +1237,39 @@ const CONSENSUS_HORIZON: u64 = 200_000;
 /// that has caught real bugs in weaker harnesses) and reports liveness
 /// figures. Deterministic in the per-trial seed like every other trial.
 pub fn consensus_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
+    let Some((mut sim, invokers, _)) = consensus_setup(cell, rng) else {
+        return vec![0.0; CONSENSUS_METRICS.len()];
+    };
+    sim.run_until_ops_complete();
+    consensus_measure(&sim, cell, &invokers)
+}
+
+/// What a `*_setup` function hands to [`branch_rows`]: the warmed-up
+/// simulation, mode-specific measurement context `X`, and the drawn
+/// simulator seed that branch seeds derive from. `None` when the cell
+/// draws an empty scenario (the trial reports zeros).
+type PreparedSim<P, X> = Option<(Simulation<P>, X, u64)>;
+
+/// The consensus simulation ready to run: scenario drawn, nodes built,
+/// schedule applied, proposals invoked. `None` when the cell draws an
+/// empty fail-prone system or no invokers (the trial reports zeros).
+/// Also returns the drawn simulator seed, which branch seeds derive
+/// from. Split out of [`consensus_trial`] so branched execution can
+/// stop the same run at the branch point.
+fn consensus_setup(
+    cell: &ScenarioCell,
+    rng: &mut SplitMix64,
+) -> PreparedSim<Flood<ConsensusNode<u64>>, Vec<ProcessId>> {
     let g = cell.family.build(cell.n, cell.density, rng);
     let fp = cell.patterns.build(&g, cell.p_chan, rng);
     let sim_seed = rng.next_u64();
     if fp.is_empty() {
-        return vec![0.0; CONSENSUS_METRICS.len()];
+        return None;
     }
     let pattern = fp.pattern(0);
     let invokers = cell.schedule.invokers(cell.n, pattern);
     if invokers.is_empty() {
-        return vec![0.0; CONSENSUS_METRICS.len()];
+        return None;
     }
     let script = cell.schedule.script(cell.family, cell.n, &g, pattern, &CONSENSUS_TIMING);
     let nodes = majority_consensus_nodes::<u64>(cell.n, CONSENSUS_C, ProposalMode::Push);
@@ -1210,7 +1293,16 @@ pub fn consensus_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
     for (i, &p) in invokers.iter().enumerate() {
         sim.invoke_at(SimTime(10 + i as u64), p, p.index() as u64 + 1);
     }
-    sim.run_until_ops_complete();
+    Some((sim, invokers, sim_seed))
+}
+
+/// Reads [`CONSENSUS_METRICS`] off a finished consensus run (and trips
+/// the Agreement assertion).
+fn consensus_measure(
+    sim: &Simulation<Flood<ConsensusNode<u64>>>,
+    cell: &ScenarioCell,
+    invokers: &[ProcessId],
+) -> Vec<f64> {
     // One pass collects everything a decision yields: the value for the
     // Agreement tripwire, the (view, time) pair for the metrics.
     let decisions: Vec<(u64, u64, SimTime)> = (0..cell.n)
@@ -1265,16 +1357,33 @@ const AVAILABILITY_RETRY: u64 = 150;
 /// completes after the heal with **no client-side retry**; the trial
 /// measures [`AVAILABILITY_METRICS`].
 pub fn availability_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
+    let Some((mut sim, schedule, _)) = availability_setup(cell, rng) else {
+        return vec![0.0; AVAILABILITY_METRICS.len()];
+    };
+    sim.run_until_ops_complete();
+    availability_measure(&sim, &schedule)
+}
+
+/// The self-healing register stack ready to run, plus the fault schedule
+/// (the `time_to_heal` metric needs its last heal time) and the drawn
+/// simulator seed (branch seeds derive from it). `None` when the cell
+/// draws an empty fail-prone system or no invokers. Split out of
+/// [`availability_trial`] so branched execution can stop the same run at
+/// the branch point.
+fn availability_setup(
+    cell: &ScenarioCell,
+    rng: &mut SplitMix64,
+) -> PreparedSim<Flood<AbdRegister<u8, u64>>, FailureSchedule> {
     let g = cell.family.build(cell.n, cell.density, rng);
     let fp = cell.patterns.build(&g, cell.p_chan, rng);
     let sim_seed = rng.next_u64();
     if fp.is_empty() {
-        return vec![0.0; AVAILABILITY_METRICS.len()];
+        return None;
     }
     let pattern = fp.pattern(0);
     let invokers = cell.schedule.invokers(cell.n, pattern);
     if invokers.is_empty() {
-        return vec![0.0; AVAILABILITY_METRICS.len()];
+        return None;
     }
     let script = cell.schedule.script(cell.family, cell.n, &g, pattern, &LATENCY_TIMING);
     let schedule = script.to_schedule();
@@ -1308,7 +1417,14 @@ pub fn availability_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64>
             sim.invoke_at(at, p, RegOp::Read { reg: 0 });
         }
     }
-    sim.run_until_ops_complete();
+    Some((sim, schedule, sim_seed))
+}
+
+/// Reads [`AVAILABILITY_METRICS`] off a finished availability run.
+fn availability_measure(
+    sim: &Simulation<Flood<AbdRegister<u8, u64>>>,
+    schedule: &FailureSchedule,
+) -> Vec<f64> {
     let invoked = sim.history().ops().len();
     if invoked == 0 {
         return vec![0.0; AVAILABILITY_METRICS.len()];
@@ -1335,6 +1451,112 @@ pub fn availability_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64>
     };
     let retransmits_per_op = sim.stats().retransmitted as f64 / invoked as f64;
     vec![completed, stalled, time_to_heal, retransmits_per_op]
+}
+
+// ---------------------------------------------------------------------------
+// Fork-and-branch execution
+
+/// Runs one branched trial generically: `setup` builds the simulation
+/// (advancing the trial RNG by exactly one draw sequence), `measure`
+/// reads a metric row off a finished run.
+///
+/// * [`BranchMode::Fork`] runs the warmup once to `spec.at`, snapshots
+///   it with [`Simulation::checkpoint`], and fans `spec.branches`
+///   reseeded continuations off the same checkpoint — the warmup cost is
+///   paid once.
+/// * [`BranchMode::Straight`] re-runs the identical warmup from scratch
+///   for every branch: the reference execution fork mode must match byte
+///   for byte.
+///
+/// Both modes advance the caller's RNG identically and seed branch `b`
+/// with [`BranchSpec::branch_seed`] (a pure function of the drawn
+/// simulator seed and `b`, never of checkpoint state), so they produce
+/// identical rows *and* leave downstream trials undisturbed — branching
+/// is purely an execution strategy, invisible in the aggregates. Empty
+/// scenario draws yield `spec.branches` all-zero rows so per-cell row
+/// counts agree across modes.
+fn branch_rows<P, X>(
+    spec: &BranchSpec,
+    rng: &mut SplitMix64,
+    n_metrics: usize,
+    setup: impl Fn(&mut SplitMix64) -> Option<(Simulation<P>, X, u64)>,
+    measure: impl Fn(&Simulation<P>, &X) -> Vec<f64>,
+) -> Vec<Vec<f64>>
+where
+    P: Protocol,
+{
+    match spec.mode {
+        BranchMode::Fork => {
+            let Some((mut sim, extra, sim_seed)) = setup(rng) else {
+                return vec![vec![0.0; n_metrics]; spec.branches];
+            };
+            sim.run_until(SimTime(spec.at));
+            let cp = sim.checkpoint();
+            (0..spec.branches)
+                .map(|b| {
+                    sim.restore(&cp);
+                    sim.reseed(BranchSpec::branch_seed(sim_seed, b));
+                    sim.run_until_ops_complete();
+                    measure(&sim, &extra)
+                })
+                .collect()
+        }
+        BranchMode::Straight => {
+            // Branch 0 uses the caller's RNG (advancing it exactly as
+            // fork mode does); later branches replay the same draws from
+            // a pre-setup clone.
+            let pre = rng.clone();
+            let mut rows = Vec::with_capacity(spec.branches);
+            for b in 0..spec.branches {
+                let mut replay = pre.clone();
+                let r = if b == 0 { &mut *rng } else { &mut replay };
+                let Some((mut sim, extra, sim_seed)) = setup(r) else {
+                    return vec![vec![0.0; n_metrics]; spec.branches];
+                };
+                sim.run_until(SimTime(spec.at));
+                sim.reseed(BranchSpec::branch_seed(sim_seed, b));
+                sim.run_until_ops_complete();
+                rows.push(measure(&sim, &extra));
+            }
+            rows
+        }
+    }
+}
+
+/// One branched consensus trial: [`consensus_trial`]'s exact scenario
+/// draw and warmup to `spec.at`, then `spec.branches` reseeded
+/// continuations, each reporting a [`CONSENSUS_METRICS`] row. See
+/// [`BranchSpec`] for the fork/straight contract.
+pub fn consensus_branch_trial(
+    cell: &ScenarioCell,
+    rng: &mut SplitMix64,
+    spec: &BranchSpec,
+) -> Vec<Vec<f64>> {
+    branch_rows(
+        spec,
+        rng,
+        CONSENSUS_METRICS.len(),
+        |r| consensus_setup(cell, r),
+        |sim, invokers| consensus_measure(sim, cell, invokers),
+    )
+}
+
+/// One branched availability trial: the self-healing register stack
+/// warmed to `spec.at`, then `spec.branches` reseeded continuations,
+/// each reporting an [`AVAILABILITY_METRICS`] row. See [`BranchSpec`]
+/// for the fork/straight contract.
+pub fn availability_branch_trial(
+    cell: &ScenarioCell,
+    rng: &mut SplitMix64,
+    spec: &BranchSpec,
+) -> Vec<Vec<f64>> {
+    branch_rows(
+        spec,
+        rng,
+        AVAILABILITY_METRICS.len(),
+        |r| availability_setup(cell, r),
+        availability_measure,
+    )
 }
 
 /// The metrics every scale trial reports, in row order:
@@ -1479,6 +1701,40 @@ impl ScenarioGrid {
         run(&spec, opts, |cell, _t, rng| availability_trial(cell, rng))
     }
 
+    /// Consensus mode with fork-and-branch execution: every trial warms
+    /// one simulation to `branch.at`, then fans `branch.branches`
+    /// reseeded continuations off the checkpoint (or replays the warmup
+    /// per branch in [`BranchMode::Straight`]). Each continuation
+    /// contributes one [`CONSENSUS_METRICS`] row, so a cell aggregates
+    /// `trials × branches` rows; aggregation stays bit-identical for any
+    /// `GQS_THREADS` and for either branch mode.
+    pub fn run_consensus_branched(&self, opts: &SweepOptions, branch: &BranchSpec) -> SweepReport {
+        let spec = SweepSpec {
+            cells: &self.cells,
+            trials: self.trials,
+            seed: self.seed,
+            metrics: CONSENSUS_METRICS,
+        };
+        run_rows(&spec, opts, |cell, _t, rng| consensus_branch_trial(cell, rng, branch))
+    }
+
+    /// Availability mode with fork-and-branch execution; the branched
+    /// counterpart of [`ScenarioGrid::run_availability`], with the same
+    /// row accounting as [`ScenarioGrid::run_consensus_branched`].
+    pub fn run_availability_branched(
+        &self,
+        opts: &SweepOptions,
+        branch: &BranchSpec,
+    ) -> SweepReport {
+        let spec = SweepSpec {
+            cells: &self.cells,
+            trials: self.trials,
+            seed: self.seed,
+            metrics: AVAILABILITY_METRICS,
+        };
+        run_rows(&spec, opts, |cell, _t, rng| availability_branch_trial(cell, rng, branch))
+    }
+
     /// Streams the grid through the engine in scale mode ([`scale_trial`]
     /// per trial, [`SCALE_METRICS`] per cell), under the same determinism
     /// contract. The only mode that runs past `gqs_core::MAX_PROCESSES`
@@ -1595,10 +1851,27 @@ fn push_agg_json(out: &mut String, agg: &MetricAgg) {
 /// Renders a scenario-grid report as deterministic JSON (no timing, no
 /// environment — byte-identical across runs and thread counts).
 pub fn report_json(grid: &ScenarioGrid, report: &SweepReport) -> String {
+    report_json_branched(grid, report, None)
+}
+
+/// [`report_json`] for branched runs: when `branch` is set, the header
+/// gains `branch_at`/`branches` lines. The branch *mode* is deliberately
+/// never emitted — fork and straight-line execution compute the same
+/// report, so their JSON must be byte-identical (`cmp`-able in CI).
+/// Unbranched output is byte-identical to pre-branching reports.
+pub fn report_json_branched(
+    grid: &ScenarioGrid,
+    report: &SweepReport,
+    branch: Option<&BranchSpec>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"gqs_sweep/v1\",\n");
     out.push_str(&format!("  \"trials_per_cell\": {},\n", grid.trials));
     out.push_str(&format!("  \"seed\": {},\n", grid.seed));
+    if let Some(b) = branch {
+        out.push_str(&format!("  \"branch_at\": {},\n", b.at));
+        out.push_str(&format!("  \"branches\": {},\n", b.branches));
+    }
     out.push_str(&format!("  \"complete\": {},\n", report.complete));
     out.push_str("  \"metrics\": [");
     for (i, m) in report.metrics.iter().enumerate() {
@@ -2219,6 +2492,86 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(single, many);
+    }
+
+    /// The fork-replay contract end to end through the sweep engine: a
+    /// forked run (one warmup, `branches` continuations fanned off the
+    /// checkpoint) must produce the same report, bit for bit, as the
+    /// straight-line reference that re-runs every warmup from scratch —
+    /// in both branched modes, for any thread count at fixed sharding.
+    #[test]
+    fn forked_branches_match_straight_line_bit_for_bit() {
+        let cell = ScenarioCell {
+            family: TopologyFamily::Complete,
+            n: 4,
+            density: 1.0,
+            patterns: PatternFamily::Rotating,
+            p_chan: 0.0,
+            loss: 0.1,
+            schedule: ScheduleFamily::RegionOutage,
+            net: NetworkFamily::Uniform,
+        };
+        let grid = ScenarioGrid { cells: vec![cell], trials: 4, seed: 7 };
+        let fork = BranchSpec { at: 600, branches: 3, mode: BranchMode::Fork };
+        let straight = BranchSpec { mode: BranchMode::Straight, ..fork };
+
+        let f = grid.run_consensus_branched(&SweepOptions::default(), &fork);
+        let s = grid.run_consensus_branched(&SweepOptions::default(), &straight);
+        assert_eq!(f, s, "consensus: fork must equal the straight-line reference");
+        // Row accounting: `trials` still counts trials; every branch
+        // contributes one observation per metric.
+        assert_eq!(f.cells[0].trials, 4);
+        assert_eq!(f.agg(0, "decided").count(), 4 * 3);
+        assert!(f.agg(0, "decided").mean() > 0.0, "branched trials must still decide");
+
+        let fa = grid.run_availability_branched(&SweepOptions::default(), &fork);
+        let sa = grid.run_availability_branched(&SweepOptions::default(), &straight);
+        assert_eq!(fa, sa, "availability: fork must equal the straight-line reference");
+        assert_eq!(fa.agg(0, "completed").count(), 4 * 3);
+
+        // Thread-invariance survives branching (rows fold in (trial, row)
+        // order inside fixed shards).
+        let single = grid.run_consensus_branched(
+            &SweepOptions { threads: Some(1), shard: Some(2), ..Default::default() },
+            &fork,
+        );
+        let many = grid.run_consensus_branched(
+            &SweepOptions { threads: Some(3), shard: Some(2), ..Default::default() },
+            &fork,
+        );
+        assert_eq!(single, many);
+    }
+
+    /// Branch header fields appear only when branching is active, and the
+    /// branch *mode* never leaks into the JSON (fork and straight must
+    /// stay `cmp`-identical).
+    #[test]
+    fn branched_json_header_adds_branch_fields_only_when_branching() {
+        let grid = ScenarioGrid {
+            cells: vec![ScenarioCell {
+                family: TopologyFamily::Complete,
+                n: 4,
+                density: 1.0,
+                patterns: PatternFamily::Rotating,
+                p_chan: 0.0,
+                loss: 0.0,
+                schedule: ScheduleFamily::Static,
+                net: NetworkFamily::Uniform,
+            }],
+            trials: 2,
+            seed: 3,
+        };
+        let spec = BranchSpec { at: 500, branches: 2, mode: BranchMode::Fork };
+        let report = grid.run_consensus_branched(&SweepOptions::default(), &spec);
+        assert_eq!(
+            report_json(&grid, &report),
+            report_json_branched(&grid, &report, None),
+            "report_json is the unbranched special case"
+        );
+        let json = report_json_branched(&grid, &report, Some(&spec));
+        assert!(json.contains("\"branch_at\": 500,\n"));
+        assert!(json.contains("\"branches\": 2,\n"));
+        assert!(!json.to_lowercase().contains("mode"), "branch mode must not leak into JSON");
     }
 
     #[test]
