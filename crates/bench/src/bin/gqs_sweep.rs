@@ -40,9 +40,11 @@
 use std::time::Instant;
 
 use gqs_workloads::sweep::{
-    parse_f64_list, parse_usize_list, report_csv, report_json_branched, BranchMode, BranchSpec,
-    NetworkFamily, PatternFamily, ScenarioCell, ScenarioGrid, ScheduleFamily, SweepOptions,
-    TopologyFamily, CONSENSUS_HORIZON, LATENCY_HORIZON,
+    parse_f64_list, parse_usize_list, replay_trial_flight, replay_trial_trace, report_csv,
+    report_json_branched, report_json_timeline, timeline_buckets, BranchMode, BranchSpec,
+    NetworkFamily, PatternFamily, ScenarioCell, ScenarioGrid, ScheduleFamily, SimMode, StallLog,
+    SweepOptions, TopologyFamily, TraceFormat, AVAILABILITY_METRICS, CONSENSUS_HORIZON,
+    CONSENSUS_METRICS, LATENCY_HORIZON, LATENCY_METRICS,
 };
 
 const USAGE: &str = "\
@@ -114,6 +116,35 @@ cost is paid once per trial instead of once per branch):
                          the warmup per branch; same output byte for
                          byte — a determinism cross-check) [default: fork]
 
+OBSERVABILITY (simulated modes latency|consensus|availability only):
+    --timeline <B>       sample windowed metrics every B simulated ticks:
+                         events/window, completed ops/window and cumulative
+                         availability per window, appended to the JSON
+                         report as a per-cell \"timeline\" object. At most
+                         256 windows per run (raise B on long horizons);
+                         incompatible with --branch-at. Windowing is pure
+                         observation — base aggregates are byte-identical
+                         to the unwindowed run.
+    --trace-out <PATH>   after the sweep, re-run one trial serially with
+                         the trace plane attached and write the trace to
+                         PATH. The replay processes the exact event
+                         sequence the sweep aggregated (same per-trial
+                         seeding; tracing never perturbs a run), so the
+                         dump is byte-identical for any --threads. If the
+                         traced trial hits its event cap, the flight
+                         recorder's dump (stalled ops, armed timers, last
+                         events) goes to stderr.
+    --trace-cell <I>     grid-cell index of the trial to trace [default: 0]
+    --trace-trial <T>    trial index within the cell           [default: 0]
+    --trace-format <F>   jsonl (one event object per line) or chrome
+                         (chrome://tracing / Perfetto array with causal
+                         op and QAF phase spans)           [default: jsonl]
+
+When a simulated trial hits its event cap (GQS_MAX_EVENTS overrides the
+default of 50000000), the sweep still completes — the stalled trial
+reports what it measured — and a one-line stderr hint names the first
+stalled cell/trial so it can be replayed with the flags above.
+
 OUTPUT:
     --format <json|csv>  output format                        [default: json]
     --out <PATH>         write to PATH instead of stdout
@@ -149,6 +180,11 @@ struct Args {
     branch_at: Option<u64>,
     branches: Option<usize>,
     branch_mode: BranchMode,
+    timeline: Option<u64>,
+    trace_out: Option<String>,
+    trace_cell: Option<usize>,
+    trace_trial: Option<usize>,
+    trace_format: TraceFormat,
     format: String,
     out: Option<String>,
 }
@@ -174,6 +210,11 @@ fn parse_args() -> Result<Args, String> {
         branch_at: None,
         branches: None,
         branch_mode: BranchMode::Fork,
+        timeline: None,
+        trace_out: None,
+        trace_cell: None,
+        trace_trial: None,
+        trace_format: TraceFormat::Jsonl,
         format: "json".to_string(),
         out: None,
     };
@@ -234,6 +275,29 @@ fn parse_args() -> Result<Args, String> {
                     other => {
                         return Err(format!(
                             "unknown branch mode {other:?} (expected fork|straight)"
+                        ))
+                    }
+                }
+            }
+            "--timeline" => {
+                args.timeline = Some(value()?.parse().map_err(|e| format!("bad timeline: {e}"))?)
+            }
+            "--trace-out" => args.trace_out = Some(value()?),
+            "--trace-cell" => {
+                args.trace_cell =
+                    Some(value()?.parse().map_err(|e| format!("bad trace-cell: {e}"))?)
+            }
+            "--trace-trial" => {
+                args.trace_trial =
+                    Some(value()?.parse().map_err(|e| format!("bad trace-trial: {e}"))?)
+            }
+            "--trace-format" => {
+                args.trace_format = match value()?.as_str() {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "chrome" => TraceFormat::Chrome,
+                    other => {
+                        return Err(format!(
+                            "unknown trace format {other:?} (expected jsonl|chrome)"
                         ))
                     }
                 }
@@ -301,7 +365,59 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
+    let simulated = matches!(args.mode.as_str(), "latency" | "consensus" | "availability");
+    if let Some(bucket) = args.timeline {
+        if !simulated {
+            return Err(format!(
+                "--timeline needs --mode latency, consensus or availability, not {:?}",
+                args.mode
+            ));
+        }
+        if args.branch_at.is_some() {
+            return Err("--timeline is incompatible with --branch-at (a branched trial has \
+                        no single timeline)"
+                .to_string());
+        }
+        if bucket == 0 {
+            return Err("--timeline bucket must be positive".to_string());
+        }
+        let horizon = if args.mode == "consensus" { CONSENSUS_HORIZON } else { LATENCY_HORIZON };
+        let buckets = timeline_buckets(bucket, horizon);
+        if buckets > 256 {
+            return Err(format!(
+                "--timeline {bucket} yields {buckets} windows over the --mode {} horizon of \
+                 {horizon}; raise the bucket so at most 256 windows remain",
+                args.mode
+            ));
+        }
+    }
+    if args.trace_out.is_some() {
+        if !simulated {
+            return Err(format!(
+                "--trace-out needs --mode latency, consensus or availability, not {:?} \
+                 (the solvability and scale modes run no traceable protocol stack)",
+                args.mode
+            ));
+        }
+        if args.branch_at.is_some() {
+            return Err("--trace-out is incompatible with --branch-at (trace replay re-runs \
+                        the straight trial)"
+                .to_string());
+        }
+    } else if args.trace_cell.is_some() || args.trace_trial.is_some() {
+        return Err("--trace-cell/--trace-trial need --trace-out".to_string());
+    }
     Ok(args)
+}
+
+/// The replay mode of a simulated `--mode` string; callers have already
+/// validated membership.
+fn sim_mode(mode: &str) -> SimMode {
+    match mode {
+        "latency" => SimMode::Latency,
+        "consensus" => SimMode::Consensus,
+        _ => SimMode::Availability,
+    }
 }
 
 fn build_grid(args: &Args) -> Result<ScenarioGrid, String> {
@@ -412,19 +528,28 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let opts = SweepOptions { threads: args.threads, shard: args.shard, cancel: None };
+    let stall_log: StallLog = StallLog::default();
+    let opts = SweepOptions {
+        threads: args.threads,
+        shard: args.shard,
+        cancel: None,
+        stall_log: Some(stall_log.clone()),
+    };
     let branch = match (args.branch_at, args.branches) {
         (Some(at), Some(branches)) => Some(BranchSpec { at, branches, mode: args.branch_mode }),
         _ => None,
     };
     let start = Instant::now();
-    let report = match (args.mode.as_str(), &branch) {
-        ("consensus", Some(b)) => grid.run_consensus_branched(&opts, b),
-        ("availability", Some(b)) => grid.run_availability_branched(&opts, b),
-        ("latency", _) => grid.run_latency(&opts),
-        ("consensus", _) => grid.run_consensus(&opts),
-        ("availability", _) => grid.run_availability(&opts),
-        ("scale", _) => grid.run_scale(&opts),
+    let report = match (args.mode.as_str(), &branch, args.timeline) {
+        ("consensus", Some(b), _) => grid.run_consensus_branched(&opts, b),
+        ("availability", Some(b), _) => grid.run_availability_branched(&opts, b),
+        ("latency", _, Some(bucket)) => grid.run_latency_timeline(&opts, bucket),
+        ("consensus", _, Some(bucket)) => grid.run_consensus_timeline(&opts, bucket),
+        ("availability", _, Some(bucket)) => grid.run_availability_timeline(&opts, bucket),
+        ("latency", _, _) => grid.run_latency(&opts),
+        ("consensus", _, _) => grid.run_consensus(&opts),
+        ("availability", _, _) => grid.run_availability(&opts),
+        ("scale", _, _) => grid.run_scale(&opts),
         _ => grid.run(&opts),
     };
     let elapsed = start.elapsed();
@@ -436,8 +561,56 @@ fn main() {
         elapsed,
         total_trials as f64 / elapsed.as_secs_f64().max(1e-9),
     );
-    let rendered = match args.format.as_str() {
-        "json" => report_json_branched(&grid, &report, branch.as_ref()),
+    // Stall diagnostics: the parallel engine pushes in worker order, so
+    // sort before naming "the first" stalled trial.
+    let mut stalls = stall_log.lock().expect("stall log poisoned").clone();
+    stalls.sort();
+    if let Some(first) = stalls.first() {
+        eprintln!(
+            "gqs_sweep: {} trial(s) hit the event cap; first: cell {} trial {} with {} stalled \
+             op(s) — replay it with --trace-out stall.jsonl --trace-cell {} --trace-trial {}",
+            stalls.len(),
+            first.cell,
+            first.trial,
+            first.stalled_ops,
+            first.cell,
+            first.trial,
+        );
+    }
+    if let Some(path) = &args.trace_out {
+        let mode = sim_mode(&args.mode);
+        let cell = args.trace_cell.unwrap_or(0);
+        let trial = args.trace_trial.unwrap_or(0);
+        let trace = match replay_trial_trace(&grid, mode, cell, trial, args.trace_format) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("gqs_sweep: cannot trace cell {cell} trial {trial}: {e}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("gqs_sweep: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("gqs_sweep: wrote trace of cell {cell} trial {trial} to {path}");
+        // The flight recorder dumps exactly when the traced trial hit its
+        // event cap: stalled ops, armed timers, the last events.
+        match replay_trial_flight(&grid, mode, cell, trial) {
+            Ok(Some(dump)) => eprintln!("{dump}"),
+            Ok(None) => {}
+            Err(e) => eprintln!("gqs_sweep: flight replay failed: {e}"),
+        }
+    }
+    let rendered = match (args.format.as_str(), args.timeline) {
+        ("json", Some(bucket)) => {
+            let n_base = match args.mode.as_str() {
+                "latency" => LATENCY_METRICS.len(),
+                "consensus" => CONSENSUS_METRICS.len(),
+                _ => AVAILABILITY_METRICS.len(),
+            };
+            report_json_timeline(&grid, &report, n_base, bucket)
+        }
+        ("json", None) => report_json_branched(&grid, &report, branch.as_ref()),
         _ => report_csv(&grid, &report),
     };
     match &args.out {

@@ -27,7 +27,7 @@ use gqs_core::finder::{find_gqs, gqs_exists};
 use gqs_core::reference::gqs_exists_naive;
 use gqs_core::{FailProneSystem, NetworkGraph, ProcessId};
 use gqs_registers::{sampled_abd_nodes, ScaleOp};
-use gqs_simnet::{Gossip, SimConfig, SimTime, Simulation, Topology};
+use gqs_simnet::{CountingSink, Gossip, SharedSink, SimConfig, SimTime, Simulation, Topology};
 use gqs_workloads::generators::{random_scenarios, trial_rng};
 use gqs_workloads::par;
 use gqs_workloads::sweep::{
@@ -458,11 +458,55 @@ fn measure_sim_scale() -> (Vec<ScaleRun>, Option<u64>, usize) {
     (runs, peak_rss_bytes(), n_max)
 }
 
+/// The trace-plane premium at scale: the same million-process flooded
+/// gossip ring run with no sink attached and with a live
+/// [`CountingSink`] recording every event. The no-sink path must stay
+/// within noise of the pre-trace-plane `sim_scale` numbers (the
+/// `trace_ev!` gate is one branch on an `Option` discriminant); the
+/// counting run prices the cheapest always-on sink. Returns
+/// `(n, events, no_sink_wall_s, counting_wall_s)`.
+fn measure_trace_overhead() -> (usize, u64, f64, f64) {
+    let n = 1_000_000usize;
+    let run = |counting: bool| -> (u64, f64) {
+        let cfg = SimConfig {
+            seed: SEED,
+            topology: Topology::Ring { n },
+            horizon: SimTime::MAX,
+            max_events: u64::MAX,
+            ..SimConfig::default()
+        };
+        let t0 = Instant::now();
+        let mut sim = Simulation::new(cfg, vec![Gossip::default(); n]);
+        let sink = counting.then(|| SharedSink::new(CountingSink::new(n)));
+        if let Some(sink) = &sink {
+            sim.set_trace(Box::new(sink.clone()));
+        }
+        sim.invoke_at(SimTime(1), ProcessId(0), ());
+        sim.run();
+        let wall_s = t0.elapsed().as_secs_f64();
+        if let Some(sink) = &sink {
+            // The sink observed the exact same run: its totals must agree
+            // with the engine's own NetStats.
+            let (sent, delivered) = sink.with(|s| (s.total().sent, s.total().delivered));
+            assert_eq!(sent, sim.stats().sent, "counting sink saw every send");
+            assert_eq!(delivered, sim.stats().delivered, "counting sink saw every delivery");
+        }
+        (sim.stats().events, wall_s)
+    };
+    let (events, no_sink_s) = run(false);
+    let (events_counting, counting_s) = run(true);
+    assert_eq!(events, events_counting, "tracing must not perturb the event stream");
+    (n, events, no_sink_s, counting_s)
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH.json".to_string());
 
     // First, so the VmHWM high-water mark belongs to the scale runs.
     let (scale_runs, peak_rss, scale_n_max) = measure_sim_scale();
+
+    eprintln!("measuring trace-plane overhead at n=1M ...");
+    let (to_n, to_events, to_none_s, to_counting_s) = measure_trace_overhead();
 
     let mut rungs = Vec::new();
     for &(n, patterns) in LADDER {
@@ -529,6 +573,19 @@ fn main() {
             json.push_str("    \"bytes_per_process\": null\n");
         }
     }
+    json.push_str("  },\n");
+    json.push_str("  \"trace_overhead\": {\n");
+    json.push_str(
+        "    \"note\": \"the trace plane's premium on the million-process gossip ring: no sink \
+         attached (the zero-cost-when-off gate) vs a live CountingSink recording every event; \
+         wall-clock, machine-specific. no_sink_wall_s should track sim_scale's gossip n=1M rung \
+         across snapshots\",\n",
+    );
+    json.push_str(&format!("    \"n\": {to_n},\n"));
+    json.push_str(&format!("    \"events\": {to_events},\n"));
+    json.push_str(&format!("    \"no_sink_wall_s\": {to_none_s:.3},\n"));
+    json.push_str(&format!("    \"counting_sink_wall_s\": {to_counting_s:.3},\n"));
+    json.push_str(&format!("    \"counting_over_no_sink\": {:.2}\n", to_counting_s / to_none_s));
     json.push_str("  },\n");
     json.push_str("  \"ladder\": [\n");
     for (i, r) in rungs.iter().enumerate() {

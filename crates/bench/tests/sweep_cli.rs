@@ -423,6 +423,211 @@ fn schedule_axis_multiplies_latency_cells() {
     assert!(text.contains(",rolling-restart,"));
 }
 
+/// The exact invocation `golden/tiny_trace.jsonl` was produced with: the
+/// self-healing register over a lossy complete graph in availability
+/// mode, tracing trial 1 of the single cell — a run whose trace exercises
+/// the whole vocabulary (sends, delivers, lossy drops, retransmissions,
+/// timers, op and QAF phase spans).
+fn trace_golden_args() -> Vec<&'static str> {
+    vec![
+        "--mode",
+        "availability",
+        "--family",
+        "complete",
+        "--n",
+        "4",
+        "--patterns",
+        "rotating",
+        "--p-chan",
+        "0.2",
+        "--loss",
+        "0.2",
+        "--trials",
+        "2",
+        "--seed",
+        "11",
+        "--trace-trial",
+        "1",
+    ]
+}
+
+#[test]
+fn trace_dump_matches_golden_and_is_thread_invariant() {
+    let golden = include_str!("../golden/tiny_trace.jsonl");
+    let dump = |threads: &str| {
+        let path = std::env::temp_dir().join(format!("gqs_tiny_trace_t{threads}.jsonl"));
+        let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+            .args(trace_golden_args())
+            .args(["--trace-out", path.to_str().unwrap(), "--threads", threads])
+            .output()
+            .expect("gqs_sweep runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let trace = std::fs::read_to_string(&path).expect("trace written");
+        let _ = std::fs::remove_file(&path);
+        trace
+    };
+    let got = dump("4");
+    assert_eq!(
+        got, golden,
+        "trace dump drifted from golden/tiny_trace.jsonl; if the change is \
+         intentional (e.g. a simulator or trace-vocabulary change), \
+         regenerate the golden file"
+    );
+    // The replay is serial and seeded exactly like the parallel engine
+    // seeds the trial, so the dump is byte-identical for any --threads —
+    // the trace-plane face of the determinism contract (CI re-checks
+    // this with cmp at the shell level).
+    assert_eq!(dump("1"), golden, "--threads 1 trace differs");
+    assert_eq!(dump("8"), golden, "--threads 8 trace differs");
+    // The dump covers the whole event loop and the protocol spans.
+    for needle in [
+        "\"ev\":\"send\"",
+        "\"ev\":\"deliver\"",
+        "\"ev\":\"drop_lossy\"",
+        "\"ev\":\"op_start\"",
+        "\"ev\":\"op_end\"",
+        "\"ev\":\"span_start\",\"p\":",
+        "\"label\":\"qaf_get\"",
+        "\"label\":\"qaf_set\"",
+    ] {
+        assert!(golden.contains(needle), "golden trace lacks {needle}");
+    }
+}
+
+#[test]
+fn chrome_trace_is_one_json_array_of_the_same_run() {
+    let path = std::env::temp_dir().join("gqs_tiny_trace.chrome.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+        .args(trace_golden_args())
+        .args(["--trace-out", path.to_str().unwrap(), "--trace-format", "chrome"])
+        .output()
+        .expect("gqs_sweep runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let trace = std::fs::read_to_string(&path).expect("trace written");
+    let _ = std::fs::remove_file(&path);
+    assert!(trace.starts_with('[') && trace.ends_with("]\n"), "not a JSON array");
+    // Async span pairs: every begin has an end with the same id scheme.
+    assert_eq!(trace.matches("\"ph\":\"b\"").count(), trace.matches("\"ph\":\"e\"").count());
+    assert!(trace.contains("\"cat\":\"proto\""));
+    assert!(trace.contains("\"cat\":\"op\""));
+}
+
+#[test]
+fn event_capped_sweeps_hint_at_the_trace_plane_and_dump_the_flight_recorder() {
+    let path = std::env::temp_dir().join("gqs_stalled_trace.jsonl");
+    // A region outage with heavy loss, truncated by a tiny event cap:
+    // every trial stalls.
+    let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+        .env("GQS_MAX_EVENTS", "200")
+        .args([
+            "--mode",
+            "availability",
+            "--family",
+            "regions",
+            "--regions",
+            "2",
+            "--n",
+            "4",
+            "--p-chan",
+            "0",
+            "--loss",
+            "0.3",
+            "--schedule",
+            "region-outage",
+            "--trials",
+            "2",
+            "--seed",
+            "7",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("gqs_sweep runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_file(&path);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // Satellite: the stall hint names the first stalled (cell, trial) and
+    // points at the replay flags.
+    assert!(stderr.contains("hit the event cap"), "no stall hint:\n{stderr}");
+    assert!(stderr.contains("--trace-cell 0 --trace-trial 0"), "hint lacks coordinates:\n{stderr}");
+    // Tentpole: the flight recorder fires on the traced stalled trial,
+    // naming pending ops and armed timers.
+    assert!(stderr.contains("flight recorder: event cap hit"), "no flight dump:\n{stderr}");
+    assert!(stderr.contains("pending ops"), "flight dump lacks pending ops:\n{stderr}");
+    assert!(stderr.contains("armed timers"), "flight dump lacks armed timers:\n{stderr}");
+}
+
+#[test]
+fn timeline_json_renders_windowed_series() {
+    let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+        .args([
+            "--mode",
+            "latency",
+            "--family",
+            "ring",
+            "--n",
+            "5",
+            "--p-chan",
+            "0",
+            "--trials",
+            "2",
+            "--seed",
+            "3",
+            "--timeline",
+            "25000",
+        ])
+        .output()
+        .expect("gqs_sweep runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("\"timeline_bucket\": 25000"));
+    assert!(text.contains("\"timeline\": {\"bucket\": 25000, \"events\": ["));
+    assert!(text.contains("\"ops\": ["));
+    assert!(text.contains("\"avail\": ["));
+    // Base metrics render as usual; the window columns stay internal.
+    assert!(
+        text.contains("\"metrics\": [\"completed\", \"lat_mean\", \"lat_max\", \"msgs_per_op\"]")
+    );
+    assert!(!text.contains("tl_"));
+}
+
+#[test]
+fn observability_flag_validation_fails_cleanly() {
+    let cases: &[&[&str]] = &[
+        // Trace replay needs a simulated mode.
+        &["--trace-out", "/tmp/x.jsonl"],
+        // Coordinates without a dump target are meaningless.
+        &["--mode", "latency", "--trace-cell", "0"],
+        // Branched trials have no single straight replay or timeline.
+        &[
+            "--mode",
+            "consensus",
+            "--branch-at",
+            "100",
+            "--branches",
+            "2",
+            "--trace-out",
+            "/tmp/x.jsonl",
+        ],
+        &["--mode", "consensus", "--branch-at", "100", "--branches", "2", "--timeline", "1000"],
+        // Timeline needs a simulated mode, a positive bucket, and at most
+        // 256 windows.
+        &["--timeline", "1000"],
+        &["--mode", "latency", "--timeline", "0"],
+        &["--mode", "latency", "--timeline", "10"],
+        // Unknown trace format.
+        &["--mode", "latency", "--trace-out", "/tmp/x.jsonl", "--trace-format", "xml"],
+    ];
+    for args in cases {
+        let out = Command::new(env!("CARGO_BIN_EXE_gqs_sweep"))
+            .args(*args)
+            .output()
+            .expect("gqs_sweep runs");
+        assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
+        assert!(!out.stderr.is_empty());
+    }
+}
+
 #[test]
 fn bad_flags_fail_cleanly() {
     for args in [&["--family", "moebius"][..], &["--n", "potato"], &["--format", "yaml"]] {

@@ -174,6 +174,7 @@ impl<V: Clone + Debug + PartialEq> ConsensusNode<V> {
             ctx.broadcast(ConsensusMsg::Decided { val: val.clone(), view: *dview });
             return;
         }
+        ctx.trace_instant("view_enter", view);
         self.phase = Phase::Enter;
         // Prune buffers of strictly older views.
         self.onebs = self.onebs.split_off(&view);
@@ -264,6 +265,7 @@ impl<V: Clone + Debug + PartialEq> ConsensusNode<V> {
             self.aview = view;
             self.phase = Phase::Decide;
             self.decided = Some((x.clone(), view, ctx.now()));
+            ctx.trace_instant("decide", view);
             for op in self.waiting.drain(..) {
                 ctx.complete(op, x.clone());
             }
@@ -331,6 +333,7 @@ impl<V: Clone + Debug + PartialEq> Protocol for ConsensusNode<V> {
                     self.aview = view;
                     self.phase = Phase::Decide;
                     self.decided = Some((val.clone(), view, ctx.now()));
+                    ctx.trace_instant("decide", view);
                     for op in self.waiting.drain(..) {
                         ctx.complete(op, val.clone());
                     }

@@ -113,7 +113,9 @@ impl<L: JoinSemilattice> LatticeNode<L> {
     }
 
     fn inner_ctx(ctx: &Ctx<L>) -> InnerCtx<L> {
-        Context::new(ctx.me(), ctx.n(), ctx.now())
+        let mut inner = Context::new(ctx.me(), ctx.n(), ctx.now());
+        inner.set_tracing(ctx.tracing());
+        inner
     }
 
     fn issue(&mut self, machine: u64, op: SnapOp<Option<L>>, ctx: &mut Ctx<L>) {
@@ -135,6 +137,7 @@ impl<L: JoinSemilattice> LatticeNode<L> {
                     self.advance(machine, resp, ctx);
                 }
                 Effect::NoteRetransmit { count } => ctx.note_retransmit(count),
+                Effect::Trace { kind, label, id } => ctx.emit_trace(kind, label, id),
             }
         }
     }

@@ -137,6 +137,8 @@ where
         ctx: &mut Context<E::Msg, RegResp<V>>,
     ) {
         let Some(phase) = self.pending.remove(&token) else { return };
+        ctx.span_end("qaf_get", token);
+        ctx.span_start("qaf_set", token);
         match phase {
             Phase::WriteGet { op, reg, value } => {
                 // Lines 3-7: version t = (k+1, i) above everything seen.
@@ -169,6 +171,7 @@ where
 
     fn finish_set(&mut self, token: u64, ctx: &mut Context<E::Msg, RegResp<V>>) {
         let Some(phase) = self.pending.remove(&token) else { return };
+        ctx.span_end("qaf_set", token);
         match phase {
             Phase::WriteSet { op, version } => ctx.complete(op, RegResp::Ack { version }),
             Phase::ReadSet { op, value, version } => {
@@ -218,6 +221,7 @@ where
             RegOp::Read { reg } => Phase::ReadGet { op, reg },
         };
         self.pending.insert(token, phase);
+        ctx.span_start("qaf_get", token);
         self.engine.start_get(token, ctx);
     }
 }

@@ -102,12 +102,15 @@ impl<P: Protocol> Flood<P> {
                 Effect::SetTimer { id, after } => ctx.set_timer(id, after),
                 Effect::Complete { op, resp } => ctx.complete(op, resp),
                 Effect::NoteRetransmit { count } => ctx.note_retransmit(count),
+                Effect::Trace { kind, label, id } => ctx.emit_trace(kind, label, id),
             }
         }
     }
 
     fn inner_ctx(ctx: &Context<FloodMsg<P::Msg>, P::Resp>) -> Context<P::Msg, P::Resp> {
-        Context::new(ctx.me(), ctx.n(), ctx.now())
+        let mut inner = Context::new(ctx.me(), ctx.n(), ctx.now());
+        inner.set_tracing(ctx.tracing());
+        inner
     }
 }
 

@@ -147,6 +147,14 @@ pub struct NetStats {
     pub dropped_disconnected: u64,
     /// Messages dropped because the destination had crashed.
     pub dropped_crashed: u64,
+    /// In-flight messages discarded because their *sender* crashed before
+    /// delivery (the destination was alive) — the adversarial
+    /// [`crate::SimConfig::drop_inflight_of_crashed`] option. Always zero
+    /// with the option off. Together with `dropped_crashed` this makes
+    /// every crash-related drop land in exactly one counter:
+    /// `sent = delivered + dropped_disconnected + dropped_lossy +
+    /// dropped_crashed + dropped_sender_crashed` once a run quiesces.
+    pub dropped_sender_crashed: u64,
     /// Messages dropped by the seeded per-channel loss model
     /// ([`crate::SimConfig::loss`]).
     pub dropped_lossy: u64,

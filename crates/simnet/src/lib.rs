@@ -42,7 +42,16 @@
 //!   [`Checkpoint`], and [`Simulation::restore`] rewinds to it
 //!   bit-exactly; [`Simulation::reseed`] then branches seeded
 //!   continuations from the same instant (rare-event hunting,
-//!   warmup-amortized sweeps).
+//!   warmup-amortized sweeps), and
+//! * a **deterministic trace plane** ([`trace`]): attach a [`TraceSink`]
+//!   via [`Simulation::set_trace`] and every send/deliver/drop (with its
+//!   cause), timer arm/fire/cancel, crash/recover, channel cut/heal,
+//!   op start/end, and protocol span streams out as a typed
+//!   [`TraceEvent`] — zero cost when off, bit-deterministic when on.
+//!   Shipped sinks: per-process/per-class counters ([`CountingSink`]),
+//!   JSONL and `chrome://tracing` exporters ([`JsonlSink`],
+//!   [`ChromeSink`]), and a bounded [`FlightRecorder`] that renders a
+//!   stall post-mortem on [`StopReason::EventCap`].
 //!
 //! Protocols implement [`Protocol`] and are driven by [`Simulation`], which
 //! records an operation [`History`] suitable for the `gqs-checker` crate.
@@ -95,6 +104,7 @@ pub mod rng;
 pub mod sim;
 pub mod time;
 pub mod topology;
+pub mod trace;
 pub mod wheel;
 
 pub use flood::{Flood, FloodMsg};
@@ -109,4 +119,8 @@ pub use sim::{
 };
 pub use time::SimTime;
 pub use topology::{ChannelClass, Peers, Topology};
+pub use trace::{
+    ChromeSink, CountingSink, FlightRecorder, JsonlSink, SharedSink, SpanKind, TraceEvent,
+    TraceSink,
+};
 pub use wheel::TimingWheel;

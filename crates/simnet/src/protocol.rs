@@ -14,6 +14,7 @@ use gqs_core::ProcessId;
 
 use crate::time::SimTime;
 use crate::topology::Peers;
+use crate::trace::SpanKind;
 
 /// Identifier of a client operation invocation, unique within a run.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -75,6 +76,19 @@ pub enum Effect<M, R> {
         /// Number of retransmissions to account.
         count: u64,
     },
+    /// A protocol-emitted trace marker (span start/end or instant) for an
+    /// attached [`TraceSink`](crate::trace::TraceSink). Emitted only while
+    /// tracing is on (see [`Context::span_start`]); pure observability —
+    /// it changes no simulation state, consumes no randomness, and
+    /// middleware must pass it through via [`Context::emit_trace`].
+    Trace {
+        /// Span start / end / instant.
+        kind: SpanKind,
+        /// Static label (keep to `[A-Za-z0-9_]`; exported verbatim).
+        label: &'static str,
+        /// Protocol-chosen correlation id (op token, view number, …).
+        id: u64,
+    },
 }
 
 /// Handler context: identifies the process and collects effects.
@@ -88,6 +102,9 @@ pub struct Context<M, R> {
     now: SimTime,
     peers: Peers,
     effects: Vec<Effect<M, R>>,
+    /// Whether a trace sink is attached to the driving simulation. Gates
+    /// the span API so untraced runs push (and allocate) nothing.
+    tracing: bool,
 }
 
 impl<M, R> Context<M, R> {
@@ -101,13 +118,13 @@ impl<M, R> Context<M, R> {
     /// simulator itself builds topology-accurate contexts with
     /// [`Context::with_peers`].
     pub fn new(me: ProcessId, n: usize, now: SimTime) -> Self {
-        Context { me, n, now, peers: Peers::all(n), effects: Vec::new() }
+        Context { me, n, now, peers: Peers::all(n), effects: Vec::new(), tracing: false }
     }
 
     /// Creates a context whose [`Context::peers`] view reflects an
     /// explicit topology (what [`crate::Simulation`] hands to handlers).
     pub fn with_peers(me: ProcessId, n: usize, now: SimTime, peers: Peers) -> Self {
-        Context { me, n, now, peers, effects: Vec::new() }
+        Context { me, n, now, peers, effects: Vec::new(), tracing: false }
     }
 
     /// The process executing the handler.
@@ -167,6 +184,51 @@ impl<M, R> Context<M, R> {
         if count > 0 {
             self.effects.push(Effect::NoteRetransmit { count });
         }
+    }
+
+    /// Whether a trace sink is listening (set by the simulator, inherited
+    /// by middleware inner contexts). The span API is a no-op while this
+    /// is `false`, so protocols may call it unconditionally.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Turns trace-marker collection on or off (simulator / middleware
+    /// internal; protocols only read the flag through
+    /// [`Context::tracing`]).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Opens a protocol span `(label, id)` — e.g. a quorum-access phase —
+    /// if tracing is on; free otherwise. Close it with a
+    /// [`Context::span_end`] of the same `(label, id)`.
+    pub fn span_start(&mut self, label: &'static str, id: u64) {
+        if self.tracing {
+            self.effects.push(Effect::Trace { kind: SpanKind::Start, label, id });
+        }
+    }
+
+    /// Closes the protocol span `(label, id)` if tracing is on.
+    pub fn span_end(&mut self, label: &'static str, id: u64) {
+        if self.tracing {
+            self.effects.push(Effect::Trace { kind: SpanKind::End, label, id });
+        }
+    }
+
+    /// Emits a point-in-time protocol marker (e.g. `decide`) if tracing
+    /// is on; free otherwise.
+    pub fn trace_instant(&mut self, label: &'static str, id: u64) {
+        if self.tracing {
+            self.effects.push(Effect::Trace { kind: SpanKind::Instant, label, id });
+        }
+    }
+
+    /// Re-emits a trace marker verbatim — the middleware pass-through for
+    /// [`Effect::Trace`]. Unconditional: the gating already happened when
+    /// the inner protocol emitted the marker.
+    pub fn emit_trace(&mut self, kind: SpanKind, label: &'static str, id: u64) {
+        self.effects.push(Effect::Trace { kind, label, id });
     }
 
     /// Drains the collected effects (middleware entry point).
@@ -266,6 +328,28 @@ mod tests {
             })
             .collect();
         assert_eq!(targets, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn span_api_is_gated_on_the_tracing_flag() {
+        let mut ctx: Context<u8, ()> = Context::new(ProcessId(0), 2, SimTime::ZERO);
+        ctx.span_start("qaf_get", 1);
+        ctx.span_end("qaf_get", 1);
+        ctx.trace_instant("decide", 2);
+        assert_eq!(ctx.effect_count(), 0, "tracing off: the span API pushes nothing");
+        ctx.set_tracing(true);
+        assert!(ctx.tracing());
+        ctx.span_start("qaf_get", 1);
+        ctx.trace_instant("decide", 2);
+        let effects = ctx.take_effects();
+        assert!(matches!(
+            effects[0],
+            Effect::Trace { kind: SpanKind::Start, label: "qaf_get", id: 1 }
+        ));
+        assert!(matches!(
+            effects[1],
+            Effect::Trace { kind: SpanKind::Instant, label: "decide", id: 2 }
+        ));
     }
 
     #[test]

@@ -210,12 +210,15 @@ impl<P: Protocol> Reliable<P> {
                 }
                 Effect::Complete { op, resp } => ctx.complete(op, resp),
                 Effect::NoteRetransmit { count } => ctx.note_retransmit(count),
+                Effect::Trace { kind, label, id } => ctx.emit_trace(kind, label, id),
             }
         }
     }
 
     fn inner_ctx(ctx: &Context<ReliableMsg<P::Msg>, P::Resp>) -> Context<P::Msg, P::Resp> {
-        Context::new(ctx.me(), ctx.n(), ctx.now())
+        let mut inner = Context::new(ctx.me(), ctx.n(), ctx.now());
+        inner.set_tracing(ctx.tracing());
+        inner
     }
 
     /// Resends every envelope due by `now` and pushes its next deadline
@@ -232,6 +235,10 @@ impl<P: Protocol> Reliable<P> {
             entry.next_due = next_due;
             ctx.send(key.0, ReliableMsg::Data { seq: key.1, payload: entry.payload.clone() });
             ctx.note_retransmit(1);
+            // Trace the backoff ladder: one marker per resend, id = seq,
+            // so a viewer shows the widening gaps of one envelope's
+            // retransmission run.
+            ctx.trace_instant("retx", key.1);
             self.retransmits += 1;
         }
     }
@@ -287,7 +294,9 @@ impl<P: Protocol> Protocol for Reliable<P> {
                 }
             }
             ReliableMsg::Ack { seq } => {
-                self.pending.remove(&(from, seq));
+                if self.pending.remove(&(from, seq)).is_some() {
+                    ctx.trace_instant("ack", seq);
+                }
             }
         }
     }

@@ -57,7 +57,20 @@ use crate::protocol::{Context, Effect, OpId, Protocol, TimerId};
 use crate::rng::SplitMix64;
 use crate::time::SimTime;
 use crate::topology::{Peers, Topology};
+use crate::trace::{TraceEvent, TraceSink};
 use crate::wheel::TimingWheel;
+
+/// Records a trace event iff a sink is attached. The event expression is
+/// only evaluated when tracing is on, so the untraced hot loop pays one
+/// `Option` discriminant check and constructs nothing.
+macro_rules! trace_ev {
+    ($sim:expr, $ev:expr) => {
+        if let Some(sink) = $sim.trace.as_deref_mut() {
+            let ev = $ev;
+            sink.record(&ev);
+        }
+    };
+}
 
 /// Hard cap on the simulator's process count (2²² = 4 194 304). Distinct
 /// from — and far above — `gqs_core::MAX_PROCESSES`: the sim pid-space is
@@ -512,6 +525,11 @@ pub struct Simulation<P: Protocol> {
     next_op: u64,
     scheduled_ops: u64,
     finished_ops: u64,
+    /// Attached trace sink, if any. Observability only — deliberately
+    /// **not** part of [`Checkpoint`]/[`Simulation::restore`]: a sink
+    /// records what happened, it is not simulation state, and fork-replay
+    /// branches share whichever sink is attached when they run.
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -564,6 +582,7 @@ impl<P: Protocol> Simulation<P> {
             next_op: 0,
             scheduled_ops: 0,
             finished_ops: 0,
+            trace: None,
         };
         for p in 0..n {
             sim.push(SimTime::ZERO, EventKind::Start { process: ProcessId(p) });
@@ -628,6 +647,29 @@ impl<P: Protocol> Simulation<P> {
     /// identically).
     pub fn rng(&self) -> &SplitMix64 {
         &self.rng
+    }
+
+    /// Attaches a trace sink: from now on every processed event streams
+    /// into it as a [`TraceEvent`], and protocol span markers (see
+    /// [`Context::span_start`]) are collected. Tracing never changes the
+    /// simulation itself — event order, RNG draws, history and statistics
+    /// are bit-identical with and without a sink.
+    ///
+    /// To read results back after the run, either attach a
+    /// [`SharedSink`](crate::trace::SharedSink) clone or reclaim the sink
+    /// with [`Simulation::take_trace`].
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Detaches and returns the trace sink, if one was attached.
+    pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Whether a trace sink is currently attached.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
     }
 
     /// Captures everything mutable in the run as a [`Checkpoint`]: the
@@ -737,12 +779,13 @@ impl<P: Protocol> Simulation<P> {
         let until = until.min(self.config.horizon);
         loop {
             match self.peek_time() {
-                None => return StopReason::Quiescent,
-                Some(t) if t > until => return StopReason::Horizon,
+                None => return self.stopped(StopReason::Quiescent),
+                Some(t) if t > until => return self.stopped(StopReason::Horizon),
                 Some(_) => {}
             }
             if self.stats.events >= self.config.max_events {
-                return StopReason::EventCap { stalled_ops: self.stalled_ops() };
+                let reason = StopReason::EventCap { stalled_ops: self.stalled_ops() };
+                return self.stopped(reason);
             }
             self.step();
         }
@@ -752,20 +795,40 @@ impl<P: Protocol> Simulation<P> {
     /// passes, or the event cap is hit. The natural driver for
     /// wait-freedom experiments.
     pub fn run_until_ops_complete(&mut self) -> StopReason {
+        self.run_until_ops_complete_or(self.config.horizon)
+    }
+
+    /// Like [`Simulation::run_until_ops_complete`], but additionally
+    /// stops (with [`StopReason::Horizon`]) once the next event lies
+    /// beyond `until` — the building block of windowed (`--timeline`)
+    /// measurement: running a sim bucket by bucket processes exactly the
+    /// events a single straight run would, in the same order, so the
+    /// final state is bit-identical.
+    pub fn run_until_ops_complete_or(&mut self, until: SimTime) -> StopReason {
+        let until = until.min(self.config.horizon);
         loop {
             if self.finished_ops == self.scheduled_ops {
-                return StopReason::OpsComplete;
+                return self.stopped(StopReason::OpsComplete);
             }
             match self.peek_time() {
-                None => return StopReason::Quiescent,
-                Some(t) if t > self.config.horizon => return StopReason::Horizon,
+                None => return self.stopped(StopReason::Quiescent),
+                Some(t) if t > until => return self.stopped(StopReason::Horizon),
                 Some(_) => {}
             }
             if self.stats.events >= self.config.max_events {
-                return StopReason::EventCap { stalled_ops: self.stalled_ops() };
+                let reason = StopReason::EventCap { stalled_ops: self.stalled_ops() };
+                return self.stopped(reason);
             }
             self.step();
         }
+    }
+
+    /// Notifies the trace sink that a `run*` call returned with `reason`.
+    fn stopped(&mut self, reason: StopReason) -> StopReason {
+        if let Some(sink) = self.trace.as_deref_mut() {
+            sink.on_stop(reason, self.now);
+        }
+        reason
     }
 
     /// Operations scheduled via [`Simulation::invoke_at`] that actually
@@ -786,6 +849,14 @@ impl<P: Protocol> Simulation<P> {
         self.scheduled_ops - self.finished_ops
     }
 
+    /// The first `cap` stalled operations as `(op, process, invoked_at)`,
+    /// in invocation order — the named culprits behind a
+    /// [`StopReason::EventCap`] (or any other truncated stop). `cap`
+    /// bounds the work on histories with millions of pending ops.
+    pub fn stalled_op_details(&self, cap: usize) -> Vec<(OpId, ProcessId, SimTime)> {
+        self.history.pending().take(cap).map(|r| (r.id, r.process, r.invoked_at)).collect()
+    }
+
     /// Processes a single event. Returns `false` if the queue was empty.
     pub fn step(&mut self) -> bool {
         let Some((at, _seq, kind)) = self.queue.pop() else {
@@ -804,12 +875,21 @@ impl<P: Protocol> Simulation<P> {
                 }
             }
             EventKind::Deliver { from, to, msg } => {
-                let sender_gone =
-                    self.config.drop_inflight_of_crashed && from != to && self.is_crashed(from);
-                if self.is_crashed(to) || sender_gone {
+                if self.is_crashed(to) {
                     self.stats.dropped_crashed += 1;
+                    trace_ev!(self, TraceEvent::DropCrashed { at, from, to });
+                } else if self.config.drop_inflight_of_crashed
+                    && from != to
+                    && self.is_crashed(from)
+                {
+                    // Destination alive, sender crashed mid-flight: the
+                    // adversarial option discards the message — its own
+                    // counter, so no crash-related drop hides in another.
+                    self.stats.dropped_sender_crashed += 1;
+                    trace_ev!(self, TraceEvent::DropSenderCrashed { at, from, to });
                 } else {
                     self.stats.delivered += 1;
+                    trace_ev!(self, TraceEvent::Deliver { at, from, to });
                     let mut ctx = self.ctx(to);
                     self.nodes[to.index()].on_message(from, msg, &mut ctx);
                     self.apply_effects(to, ctx);
@@ -821,9 +901,12 @@ impl<P: Protocol> Simulation<P> {
                 // crash never fires — even after a recovery.
                 if epoch == self.epoch[process.index()] {
                     self.stats.timers_fired += 1;
+                    trace_ev!(self, TraceEvent::TimerFire { at, process, id });
                     let mut ctx = self.ctx(process);
                     self.nodes[process.index()].on_timer(id, &mut ctx);
                     self.apply_effects(process, ctx);
+                } else {
+                    trace_ev!(self, TraceEvent::TimerCancelled { at, process, id });
                 }
             }
             EventKind::Invoke { process, op, body } => {
@@ -833,6 +916,7 @@ impl<P: Protocol> Simulation<P> {
                     self.scheduled_ops -= 1;
                 } else {
                     self.history.record_invocation(op, process, body.clone(), self.now);
+                    trace_ev!(self, TraceEvent::OpStart { at, process, op });
                     let mut ctx = self.ctx(process);
                     self.nodes[process.index()].on_invoke(op, body, &mut ctx);
                     self.apply_effects(process, ctx);
@@ -844,18 +928,21 @@ impl<P: Protocol> Simulation<P> {
                     // Odd epoch = crashed; the bump also cancels every
                     // timer armed before (or at) the crash.
                     self.epoch[i] += 1;
+                    trace_ev!(self, TraceEvent::Crash { at, process });
                 }
             }
             EventKind::Recover { process } => {
                 let i = process.index();
                 if self.epoch[i] & 1 == 1 {
                     self.epoch[i] += 1;
+                    trace_ev!(self, TraceEvent::Recover { at, process });
                     let mut ctx = self.ctx(process);
                     self.nodes[i].on_recover(&mut ctx);
                     self.apply_effects(process, ctx);
                 }
             }
             EventKind::Disconnect { channel } => {
+                trace_ev!(self, TraceEvent::CutDown { at, channel });
                 let slot = self.down_slot(channel);
                 let count = &mut self.down_counts[slot];
                 if *count == 0 {
@@ -864,6 +951,7 @@ impl<P: Protocol> Simulation<P> {
                 *count += 1;
             }
             EventKind::Heal { channel } => {
+                trace_ev!(self, TraceEvent::CutHeal { at, channel });
                 if let Some(&slot) = self.down_slots.get(&channel) {
                     let count = &mut self.down_counts[slot as usize];
                     if *count > 0 {
@@ -893,7 +981,9 @@ impl<P: Protocol> Simulation<P> {
     }
 
     fn ctx(&self, p: ProcessId) -> Context<P::Msg, P::Resp> {
-        Context::with_peers(p, self.nodes.len(), self.now, self.peers.clone())
+        let mut ctx = Context::with_peers(p, self.nodes.len(), self.now, self.peers.clone());
+        ctx.set_tracing(self.trace.is_some());
+        ctx
     }
 
     fn apply_effects(&mut self, me: ProcessId, mut ctx: Context<P::Msg, P::Resp>) {
@@ -901,6 +991,7 @@ impl<P: Protocol> Simulation<P> {
             match eff {
                 Effect::Send { to, msg } => {
                     self.stats.sent += 1;
+                    trace_ev!(self, TraceEvent::Send { at: self.now, from: me, to });
                     // A channel outside the topology is a channel
                     // disconnected at time zero; a scheduled disconnection
                     // drops sends until (if ever) the channel heals.
@@ -911,6 +1002,10 @@ impl<P: Protocol> Simulation<P> {
                                 && self.is_disconnected(Channel::new(me, to))));
                     if dropped {
                         self.stats.dropped_disconnected += 1;
+                        trace_ev!(
+                            self,
+                            TraceEvent::DropDisconnected { at: self.now, from: me, to }
+                        );
                     } else if self.config.loss > 0.0
                         && to != me
                         && self.rng.chance(self.config.loss)
@@ -920,6 +1015,7 @@ impl<P: Protocol> Simulation<P> {
                         // when the model is enabled, so loss = 0 consumes
                         // no randomness and leaves traces untouched.
                         self.stats.dropped_lossy += 1;
+                        trace_ev!(self, TraceEvent::DropLossy { at: self.now, from: me, to });
                     } else {
                         let delay = match &self.config.net {
                             Some(net) => {
@@ -938,14 +1034,31 @@ impl<P: Protocol> Simulation<P> {
                     // (message delays are already validated >= 1).
                     let after = self.drifted(after.max(1));
                     let epoch = self.epoch[me.index()];
+                    trace_ev!(
+                        self,
+                        TraceEvent::TimerSet {
+                            at: self.now,
+                            process: me,
+                            id,
+                            fire_at: self.now + after,
+                        }
+                    );
                     self.push(self.now + after, EventKind::Timer { process: me, id, epoch });
                 }
                 Effect::Complete { op, resp } => {
                     self.history.record_completion(op, self.now, resp);
                     self.finished_ops += 1;
+                    trace_ev!(self, TraceEvent::OpEnd { at: self.now, process: me, op });
                 }
                 Effect::NoteRetransmit { count } => {
                     self.stats.retransmitted += count;
+                    trace_ev!(self, TraceEvent::Retransmit { at: self.now, process: me, count });
+                }
+                Effect::Trace { kind, label, id } => {
+                    trace_ev!(
+                        self,
+                        TraceEvent::Proto { at: self.now, process: me, kind, label, id }
+                    );
                 }
             }
         }
@@ -1348,7 +1461,12 @@ mod tests {
         sim.invoke_at(SimTime(1), ProcessId(0), ProcessId(1));
         sim.run();
         assert_eq!(sim.stats().delivered, 0, "in-flight PING dropped with the flag");
-        assert_eq!(sim.stats().dropped_crashed, 1);
+        assert_eq!(
+            sim.stats().dropped_sender_crashed,
+            1,
+            "sender-crash drops have their own counter"
+        );
+        assert_eq!(sim.stats().dropped_crashed, 0, "the destination was alive");
     }
 
     #[test]
@@ -1791,5 +1909,210 @@ mod tests {
         assert!(!sim.is_disconnected(ch));
         sim.invoke_at(sim.now() + 1, ProcessId(0), ProcessId(1));
         assert_eq!(sim.run_until_ops_complete(), StopReason::OpsComplete);
+    }
+
+    use crate::trace::{FlightRecorder, JsonlSink, SharedSink};
+
+    /// Runs `busy_sim(seed)` with a JSONL sink attached and returns the
+    /// trace text plus the run fingerprint.
+    fn traced_busy_run(seed: u64) -> (String, String) {
+        let mut sim = busy_sim(seed);
+        let sink = SharedSink::new(JsonlSink::new());
+        sim.set_trace(Box::new(sink.clone()));
+        sim.run();
+        (sink.with(|s| s.as_str().to_string()), fingerprint(&sim))
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_run() {
+        for seed in [1u64, 9, 42] {
+            let mut plain = busy_sim(seed);
+            plain.run();
+            let (trace, traced_fp) = traced_busy_run(seed);
+            assert_eq!(fingerprint(&plain), traced_fp, "seed {seed}: tracing changed the run");
+            assert!(!trace.is_empty());
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let (a, _) = traced_busy_run(5);
+        let (b, _) = traced_busy_run(5);
+        assert_eq!(a, b, "same seed must produce byte-identical traces");
+        let (c, _) = traced_busy_run(6);
+        assert_ne!(a, c, "different seeds diverge (holds for these seeds)");
+    }
+
+    #[test]
+    fn trace_covers_the_whole_event_loop() {
+        let (trace, _) = traced_busy_run(1);
+        for ev in [
+            "\"send\"",
+            "\"deliver\"",
+            "\"drop_lossy\"",
+            "\"crash\"",
+            "\"recover\"",
+            "\"cut_down\"",
+            "\"cut_heal\"",
+            "\"op_start\"",
+            "\"op_end\"",
+        ] {
+            assert!(trace.contains(ev), "busy trace is missing {ev}:\n{trace}");
+        }
+    }
+
+    /// One send per counter: every path a message can die on lands in
+    /// exactly one `NetStats` drop counter, and sends conserve —
+    /// `sent = delivered + Σ drops` once the queue drains.
+    #[test]
+    fn drop_counters_partition_sends_at_quiescence() {
+        let cfg = SimConfig {
+            seed: 13,
+            loss: 0.3,
+            drop_inflight_of_crashed: true,
+            delay: DelayModel::Uniform { min: 10, max: 10 },
+            ..SimConfig::default()
+        };
+        let nodes = (0..4).map(|_| PingPong::default()).collect();
+        let mut sim: Simulation<PingPong> = Simulation::new(cfg, nodes);
+        let mut sched = FailureSchedule::none();
+        let ch = Channel::new(ProcessId(0), ProcessId(1));
+        sched.disconnect(ch, SimTime(0)); // never heals: drops 0->1 sends
+        sched.crash(ProcessId(2), SimTime(15)); // kills 2 mid-run
+        sim.apply_failures(&sched);
+        for i in 0..8u64 {
+            let p = ProcessId((i % 4) as usize);
+            let q = ProcessId(((i + 1) % 4) as usize);
+            sim.invoke_at(SimTime(1 + i * 5), p, q);
+        }
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        let s = sim.stats();
+        assert!(s.dropped_disconnected > 0, "the cut channel must eat something");
+        assert!(s.dropped_lossy > 0, "30% loss must fire");
+        assert_eq!(
+            s.sent,
+            s.delivered
+                + s.dropped_disconnected
+                + s.dropped_lossy
+                + s.dropped_crashed
+                + s.dropped_sender_crashed,
+            "each sent message lands in exactly one bucket: {s:?}"
+        );
+    }
+
+    /// A protocol that arms one long timer at start and never completes
+    /// its op — raw material for cancelled-timer and stall diagnostics.
+    #[derive(Clone, Default, Debug)]
+    struct Sleeper;
+
+    impl Protocol for Sleeper {
+        type Msg = ();
+        type Op = ();
+        type Resp = ();
+
+        fn on_start(&mut self, ctx: &mut Context<(), ()>) {
+            ctx.set_timer(TimerId(1), 100);
+        }
+
+        fn on_message(&mut self, _from: ProcessId, _msg: (), _ctx: &mut Context<(), ()>) {}
+
+        fn on_timer(&mut self, _id: TimerId, _ctx: &mut Context<(), ()>) {}
+
+        fn on_invoke(&mut self, _op: OpId, _body: (), _ctx: &mut Context<(), ()>) {}
+    }
+
+    #[test]
+    fn stale_timers_trace_as_cancelled() {
+        let mut sim = Simulation::new(SimConfig::default(), vec![Sleeper, Sleeper]);
+        let sink = SharedSink::new(JsonlSink::new());
+        sim.set_trace(Box::new(sink.clone()));
+        let mut sched = FailureSchedule::none();
+        sched.crash(ProcessId(0), SimTime(50)); // cancels the t=100 timer
+        sim.apply_failures(&sched);
+        sim.run();
+        let trace = sink.with(|s| s.as_str().to_string());
+        assert!(trace.contains("{\"t\":100,\"ev\":\"timer_cancelled\",\"p\":0,\"timer\":1}"));
+        assert!(trace.contains("{\"t\":100,\"ev\":\"timer_fire\",\"p\":1,\"timer\":1}"));
+        assert!(trace.contains("\"ev\":\"timer_set\""));
+    }
+
+    #[test]
+    fn event_cap_names_stalled_ops_and_fires_the_flight_recorder() {
+        let cfg = SimConfig { max_events: 40, horizon: SimTime(10_000), ..SimConfig::default() };
+        let mut sim = Simulation::new(cfg, vec![Spinner::default()]);
+        let recorder = SharedSink::new(FlightRecorder::with_capacity(16));
+        sim.set_trace(Box::new(recorder.clone()));
+        let op = sim.invoke_at(SimTime(1), ProcessId(0), ());
+        let reason = sim.run_until_ops_complete();
+        assert_eq!(reason, StopReason::EventCap { stalled_ops: 1 });
+        assert_eq!(sim.stalled_op_details(8), vec![(op, ProcessId(0), SimTime(1))]);
+        let report = recorder.with(|r| r.report().map(str::to_string));
+        let report = report.expect("EventCap must produce a flight-recorder report");
+        assert!(report.contains("1 stalled op(s)"), "{report}");
+        assert!(report.contains("op0 @ p0 invoked t=1"), "{report}");
+        assert!(report.contains("last 16 event(s):"), "{report}");
+    }
+
+    #[test]
+    fn checkpoints_exclude_the_trace_sink() {
+        let mut sim = busy_sim(2);
+        sim.set_trace(Box::new(JsonlSink::new()));
+        let cp = sim.checkpoint();
+        sim.run();
+        sim.restore(&cp);
+        assert!(sim.tracing(), "restore must not detach the sink");
+        let mut fresh = busy_sim(2);
+        fresh.restore(&cp);
+        assert!(!fresh.tracing(), "a checkpoint carries no sink into another sim");
+        assert!(sim.take_trace().is_some());
+        assert!(!sim.tracing());
+    }
+
+    #[test]
+    fn forked_and_straight_continuations_trace_identically() {
+        // After the branch point, a restored-and-reseeded continuation
+        // must emit byte-for-byte the trace of a straight run that was
+        // reseeded at the same instant — fork replay is invisible to the
+        // trace plane, so traced branched sweeps stay cmp-able against
+        // their straight references.
+        let branch_at = SimTime(50);
+        let branch_seed = 0xB12A_5EED;
+        let tail = |sim: &mut Simulation<PingPong>| -> String {
+            let sink = SharedSink::new(JsonlSink::new());
+            sim.set_trace(Box::new(sink.clone()));
+            sim.reseed(branch_seed);
+            sim.run_until_ops_complete();
+            sim.take_trace();
+            sink.with(|s| s.as_str().to_string())
+        };
+
+        let mut straight = busy_sim(5);
+        straight.run_until(branch_at);
+        let reference = tail(&mut straight);
+        assert!(!reference.is_empty());
+
+        let mut forked = busy_sim(5);
+        forked.run_until(branch_at);
+        let cp = forked.checkpoint();
+        forked.restore(&cp);
+        assert_eq!(tail(&mut forked), reference, "first fork diverged");
+        // Branches later in the fan-out replay the same tail too.
+        forked.restore(&cp);
+        assert_eq!(tail(&mut forked), reference, "second fork diverged");
+    }
+
+    #[test]
+    fn bucketed_runs_replay_the_straight_run_exactly() {
+        // Slicing a run into windows with run_until_ops_complete_or must
+        // process the same events in the same order as one straight
+        // run_until_ops_complete — the invariant --timeline rests on.
+        let mut straight = busy_sim(11);
+        straight.run_until_ops_complete();
+        let mut sliced = busy_sim(11);
+        let mut bound = 25;
+        while let StopReason::Horizon = sliced.run_until_ops_complete_or(SimTime(bound)) {
+            bound += 25;
+        }
+        assert_eq!(fingerprint(&straight), fingerprint(&sliced));
     }
 }

@@ -190,7 +190,9 @@ where
     }
 
     fn inner_ctx(ctx: &Context<E::Msg, SnapResp<V>>) -> Context<E::Msg, RegResp<Segment<V>>> {
-        Context::new(ctx.me(), ctx.n(), ctx.now())
+        let mut inner = Context::new(ctx.me(), ctx.n(), ctx.now());
+        inner.set_tracing(ctx.tracing());
+        inner
     }
 
     fn issue_read(&mut self, machine: u64, segment: usize, ctx: &mut Context<E::Msg, SnapResp<V>>) {
@@ -246,6 +248,7 @@ where
                     self.advance(machine, resp, ctx);
                 }
                 Effect::NoteRetransmit { count } => ctx.note_retransmit(count),
+                Effect::Trace { kind, label, id } => ctx.emit_trace(kind, label, id),
             }
         }
     }

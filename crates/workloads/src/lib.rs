@@ -11,7 +11,12 @@
 //!   sweeps (E3, E11, E12) across cores;
 //! * [`sweep`] — the streaming sweep engine: sharded scenario grids,
 //!   constant-memory incremental aggregation, scenario families;
-//! * [`table`] — the plain-text tables EXPERIMENTS.md records.
+//! * [`table`] — the plain-text tables EXPERIMENTS.md records;
+//! * [`tracemetrics`] — the trace-plane load model: [`LoadSink`]
+//!   combines per-process/per-channel-class message counters with a
+//!   latency histogram, fed entirely by simulator trace events.
+//!
+//! [`LoadSink`]: tracemetrics::LoadSink
 //!
 //! The `gqs-bench` crate's `tables` binary simply runs
 //! [`experiments::all_reports`] and prints them.
@@ -61,6 +66,7 @@ pub mod generators;
 pub mod par;
 pub mod sweep;
 pub mod table;
+pub mod tracemetrics;
 
 pub use experiments::{all_reports, ExperimentReport};
 pub use table::Table;

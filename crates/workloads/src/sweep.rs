@@ -61,7 +61,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread;
 
 use gqs_consensus::{majority_consensus_nodes, ConsensusNode, ProposalMode};
@@ -72,8 +72,9 @@ use gqs_registers::{
     abd_register_nodes, reliable_abd_register_nodes, sampled_abd_nodes, AbdRegister, RegOp, ScaleOp,
 };
 use gqs_simnet::{
-    DelayModel, FailureSchedule, Flood, Gossip, LatencyDist, LinkProfile, NetModel, Protocol,
-    RegionSpec, SimConfig, SimTime, Simulation, SplitMix64, Synchrony, Topology,
+    ChromeSink, DelayModel, FailureSchedule, FlightRecorder, Flood, Gossip, JsonlSink, LatencyDist,
+    LinkProfile, NetModel, Protocol, RegionSpec, SharedSink, SimConfig, SimTime, Simulation,
+    SplitMix64, StopReason, Synchrony, Topology, TraceSink,
 };
 
 use crate::generators::{
@@ -364,6 +365,37 @@ pub struct SweepOptions {
     pub shard: Option<usize>,
     /// Cooperative cancellation flag, checked before every trial.
     pub cancel: Option<CancelToken>,
+    /// When set, simulated-mode runners append a [`Stall`] for every
+    /// trial that hits its event cap ([`StopReason::EventCap`]), so the
+    /// CLI can name the first stalled `(cell, trial)` and point at the
+    /// trace replay flags. Push order is worker-schedule-dependent —
+    /// sort before rendering. The log never feeds back into the
+    /// aggregates, so the determinism contract is untouched.
+    pub stall_log: Option<StallLog>,
+}
+
+/// One trial that hit its event cap during a sweep: the diagnosable
+/// address (`--trace-cell CELL --trace-trial TRIAL`) of a stuck run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Stall {
+    /// Grid-cell index of the stalled trial.
+    pub cell: usize,
+    /// Trial index within the cell.
+    pub trial: usize,
+    /// Operations still pending when the cap hit.
+    pub stalled_ops: u64,
+}
+
+/// Shared collector for [`Stall`] records (see
+/// [`SweepOptions::stall_log`]).
+pub type StallLog = Arc<Mutex<Vec<Stall>>>;
+
+/// Appends a [`Stall`] when `reason` is an event-cap stop and a log is
+/// attached.
+fn note_stall(log: &Option<StallLog>, cell: usize, trial: usize, reason: StopReason) {
+    if let (Some(log), StopReason::EventCap { stalled_ops }) = (log, reason) {
+        log.lock().expect("stall log poisoned").push(Stall { cell, trial, stalled_ops });
+    }
 }
 
 /// How a branched sweep executes its continuations. The two modes are
@@ -1151,16 +1183,32 @@ pub const LATENCY_HORIZON: u64 = 100_000;
 /// availability/latency trade-off of the classical quorum-system
 /// literature, now measured per cell *and per fault timeline*.
 pub fn latency_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
+    let Some((mut sim, (), _)) = latency_setup(cell, rng) else {
+        return vec![0.0; LATENCY_METRICS.len()];
+    };
+    sim.run_until_ops_complete();
+    latency_measure(&sim)
+}
+
+/// The flooded ABD register stack ready to run: scenario drawn, schedule
+/// applied, operations invoked. `None` when the cell draws an empty
+/// fail-prone system or no invokers (the trial reports zeros). Split out
+/// of [`latency_trial`] so trace replay and timeline runs can drive the
+/// exact same simulation differently.
+fn latency_setup(
+    cell: &ScenarioCell,
+    rng: &mut SplitMix64,
+) -> PreparedSim<Flood<AbdRegister<u8, u64>>, ()> {
     let g = cell.family.build(cell.n, cell.density, rng);
     let fp = cell.patterns.build(&g, cell.p_chan, rng);
     let sim_seed = rng.next_u64();
     if fp.is_empty() {
-        return vec![0.0; LATENCY_METRICS.len()];
+        return None;
     }
     let pattern = fp.pattern(0);
     let invokers = cell.schedule.invokers(cell.n, pattern);
     if invokers.is_empty() {
-        return vec![0.0; LATENCY_METRICS.len()];
+        return None;
     }
     let script = cell.schedule.script(cell.family, cell.n, &g, pattern, &LATENCY_TIMING);
     let qs = majority_system(cell.n).expect("majority system exists for n >= 1");
@@ -1175,6 +1223,7 @@ pub fn latency_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
         topology: Topology::from(g),
         horizon: SimTime(LATENCY_HORIZON),
         loss: cell.loss,
+        max_events: sweep_max_events(),
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(cfg, nodes);
@@ -1188,7 +1237,11 @@ pub fn latency_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
             sim.invoke_at(at, p, RegOp::Read { reg: 0 });
         }
     }
-    sim.run_until_ops_complete();
+    Some((sim, (), sim_seed))
+}
+
+/// Reads [`LATENCY_METRICS`] off a finished latency run.
+fn latency_measure(sim: &Simulation<Flood<AbdRegister<u8, u64>>>) -> Vec<f64> {
     let lats: Vec<u64> = sim.history().ops().iter().filter_map(|r| r.latency()).collect();
     let completed = lats.len() as f64 / LATENCY_OPS as f64;
     let lat_mean =
@@ -1196,6 +1249,21 @@ pub fn latency_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
     let lat_max = lats.iter().max().copied().unwrap_or(0) as f64;
     let msgs_per_op = sim.stats().delivered as f64 / LATENCY_OPS as f64;
     vec![completed, lat_mean, lat_max, msgs_per_op]
+}
+
+/// The event cap simulated sweep trials run under: [`SimConfig`]'s
+/// default, overridable via the `GQS_MAX_EVENTS` environment variable
+/// (read once per process). CI uses a tiny cap to exercise the
+/// event-cap → stall-hint → flight-recorder path cheaply; it is also the
+/// escape hatch when a pathological grid needs a higher ceiling.
+fn sweep_max_events() -> u64 {
+    static CAP: OnceLock<u64> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("GQS_MAX_EVENTS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(SimConfig::default().max_events)
+    })
 }
 
 /// The metrics every consensus trial reports, in row order:
@@ -1286,6 +1354,7 @@ fn consensus_setup(
         topology: Topology::from(g),
         horizon: SimTime(CONSENSUS_HORIZON),
         loss: cell.loss,
+        max_events: sweep_max_events(),
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(cfg, nodes);
@@ -1404,6 +1473,7 @@ fn availability_setup(
         topology: Topology::from(g),
         horizon: SimTime(LATENCY_HORIZON),
         loss: cell.loss,
+        max_events: sweep_max_events(),
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(cfg, nodes);
@@ -1648,6 +1718,198 @@ pub fn scale_trial(cell: &ScenarioCell, rng: &mut SplitMix64) -> Vec<f64> {
     vec![reached, spread, msgs_per_proc, abd_completed, abd_msgs_per_proc]
 }
 
+// ---------------------------------------------------------------------------
+// Timeline runs (windowed metrics over virtual time)
+// ---------------------------------------------------------------------------
+
+/// The three per-bucket series every timeline trial samples, in column
+/// order within each bucket:
+///
+/// * `events` — simulator events processed inside the window;
+/// * `ops` — operations completed inside the window;
+/// * `avail` — cumulative completed/scheduled operation fraction at the
+///   window's end (0 before anything is scheduled).
+pub const TIMELINE_SERIES: &[&str] = &["events", "ops", "avail"];
+
+/// Bucket count of a timeline run over `horizon` ticks: one window per
+/// `bucket` ticks, the last window possibly short.
+///
+/// # Panics
+///
+/// Panics if `bucket` is zero.
+pub fn timeline_buckets(bucket: u64, horizon: u64) -> usize {
+    assert!(bucket > 0, "timeline bucket must be positive");
+    horizon.div_ceil(bucket) as usize
+}
+
+/// Drives a prepared simulation in `bucket`-tick windows up to `horizon`,
+/// sampling [`TIMELINE_SERIES`] at every window boundary. Windowing is
+/// pure observation: the bucketed run processes exactly the event
+/// sequence of a straight [`Simulation::run_until_ops_complete`] (held by
+/// a simnet test), so timeline sweeps keep the engine's
+/// bit-identical-for-any-thread-count contract. Returns the per-window
+/// samples plus the final stop reason (for stall logging).
+fn run_bucketed<P: Protocol>(
+    sim: &mut Simulation<P>,
+    bucket: u64,
+    horizon: u64,
+) -> (Vec<[f64; 3]>, StopReason) {
+    let nb = timeline_buckets(bucket, horizon);
+    let mut out = Vec::with_capacity(nb);
+    let mut prev_events = sim.stats().events;
+    let mut prev_done = sim.finished_ops();
+    let mut reason = StopReason::Quiescent;
+    for k in 0..nb {
+        let until = SimTime(((k as u64 + 1) * bucket).min(horizon));
+        reason = sim.run_until_ops_complete_or(until);
+        let events = sim.stats().events;
+        let done = sim.finished_ops();
+        let scheduled = sim.scheduled_ops();
+        let avail = if scheduled == 0 { 0.0 } else { done as f64 / scheduled as f64 };
+        out.push([(events - prev_events) as f64, (done - prev_done) as f64, avail]);
+        prev_events = events;
+        prev_done = done;
+    }
+    (out, reason)
+}
+
+/// Metric-name vector of a timeline sweep: the mode's base metrics
+/// followed by `tl_<series><k>` columns for every bucket `k` — timeline
+/// samples ride the ordinary aggregation pipeline (and so inherit its
+/// determinism) instead of a side channel.
+fn timeline_metric_names(base: &[&str], buckets: usize) -> Vec<String> {
+    let mut names: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+    for k in 0..buckets {
+        for series in TIMELINE_SERIES {
+            names.push(format!("tl_{series}{k}"));
+        }
+    }
+    names
+}
+
+/// Appends one bucket-major sample row to a base metric row.
+fn extend_with_timeline(mut row: Vec<f64>, samples: &[[f64; 3]]) -> Vec<f64> {
+    for s in samples {
+        row.extend_from_slice(s);
+    }
+    row
+}
+
+// ---------------------------------------------------------------------------
+// Trace replay (serial re-execution of one sweep trial)
+// ---------------------------------------------------------------------------
+
+/// The simulated sweep modes a single trial can be replayed under (the
+/// solvability and scale modes run no traceable protocol stack).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SimMode {
+    /// The flooded ABD register of [`latency_trial`].
+    Latency,
+    /// The Figure 6 consensus stack of [`consensus_trial`].
+    Consensus,
+    /// The self-healing register stack of [`availability_trial`].
+    Availability,
+}
+
+/// Output encodings of [`replay_trial_trace`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line ([`gqs_simnet::JsonlSink`]).
+    Jsonl,
+    /// A Chrome `chrome://tracing` / Perfetto event array
+    /// ([`gqs_simnet::ChromeSink`]).
+    Chrome,
+}
+
+/// Re-runs trial `trial` of cell `cell` serially with `sink` attached.
+/// The replay draws from [`trial_rng`]`(seed, cell * trials + trial)` —
+/// the exact seeding of the parallel engine — and tracing never perturbs
+/// a run (held by simnet tests), so the replayed execution is the very
+/// execution the sweep aggregated, independent of `GQS_THREADS`.
+fn replay_trial(
+    grid: &ScenarioGrid,
+    mode: SimMode,
+    cell: usize,
+    trial: usize,
+    sink: Box<dyn TraceSink>,
+) -> Result<(), String> {
+    let c = grid
+        .cells
+        .get(cell)
+        .ok_or_else(|| format!("cell {cell} out of range (grid has {} cells)", grid.cells.len()))?;
+    if trial >= grid.trials {
+        return Err(format!("trial {trial} out of range (grid has {} trials/cell)", grid.trials));
+    }
+    let mut rng = trial_rng(grid.seed, cell * grid.trials + trial);
+    let empty = || "trial draws an empty scenario (nothing to trace)".to_string();
+    match mode {
+        SimMode::Latency => {
+            let (mut sim, _, _) = latency_setup(c, &mut rng).ok_or_else(empty)?;
+            sim.set_trace(sink);
+            sim.run_until_ops_complete();
+        }
+        SimMode::Consensus => {
+            let (mut sim, _, _) = consensus_setup(c, &mut rng).ok_or_else(empty)?;
+            sim.set_trace(sink);
+            sim.run_until_ops_complete();
+        }
+        SimMode::Availability => {
+            let (mut sim, _, _) = availability_setup(c, &mut rng).ok_or_else(empty)?;
+            sim.set_trace(sink);
+            sim.run_until_ops_complete();
+        }
+    }
+    Ok(())
+}
+
+/// Serially re-executes one sweep trial with an export sink attached and
+/// returns the rendered trace. Deterministic in `(grid, mode, cell,
+/// trial)`: byte-identical for any thread count, because the replay is
+/// single-threaded and seeded exactly like the parallel engine seeds
+/// that trial.
+pub fn replay_trial_trace(
+    grid: &ScenarioGrid,
+    mode: SimMode,
+    cell: usize,
+    trial: usize,
+    format: TraceFormat,
+) -> Result<String, String> {
+    match format {
+        TraceFormat::Jsonl => {
+            let sink = SharedSink::new(JsonlSink::new());
+            replay_trial(grid, mode, cell, trial, Box::new(sink.clone()))?;
+            Ok(sink.with(|s| s.as_str().to_string()))
+        }
+        TraceFormat::Chrome => {
+            let sink = SharedSink::new(ChromeSink::new());
+            replay_trial(grid, mode, cell, trial, Box::new(sink.clone()))?;
+            Ok(sink.with(std::mem::take).into_string())
+        }
+    }
+}
+
+/// Serially re-executes one sweep trial with a [`FlightRecorder`]
+/// attached and returns its dump — `Some` exactly when the trial hits
+/// its event cap (tune with `GQS_MAX_EVENTS`), naming the stalled ops,
+/// armed timers and last events of the stuck run.
+pub fn replay_trial_flight(
+    grid: &ScenarioGrid,
+    mode: SimMode,
+    cell: usize,
+    trial: usize,
+) -> Result<Option<String>, String> {
+    let sink = SharedSink::new(FlightRecorder::new());
+    replay_trial(grid, mode, cell, trial, Box::new(sink.clone()))?;
+    Ok(sink.with(|fr| fr.report().map(|r| r.to_string())))
+}
+
+/// Pairs every cell with its grid index so trial closures can address
+/// stall records (the engine's closure signature only carries the trial
+/// index).
+fn index_cells(cells: &[ScenarioCell]) -> Vec<(usize, ScenarioCell)> {
+    cells.iter().cloned().enumerate().collect()
+}
+
 impl ScenarioGrid {
     /// Streams the grid through the engine.
     pub fn run(&self, opts: &SweepOptions) -> SweepReport {
@@ -1665,26 +1927,68 @@ impl ScenarioGrid {
     /// determinism contract is identical: aggregates are bit-identical
     /// for any thread count.
     pub fn run_latency(&self, opts: &SweepOptions) -> SweepReport {
+        let cells = index_cells(&self.cells);
         let spec = SweepSpec {
-            cells: &self.cells,
+            cells: &cells,
             trials: self.trials,
             seed: self.seed,
             metrics: LATENCY_METRICS,
         };
-        run(&spec, opts, |cell, _t, rng| latency_trial(cell, rng))
+        let log = opts.stall_log.clone();
+        run(&spec, opts, move |(c, cell), t, rng| match latency_setup(cell, rng) {
+            Some((mut sim, (), _)) => {
+                note_stall(&log, *c, t, sim.run_until_ops_complete());
+                latency_measure(&sim)
+            }
+            None => vec![0.0; LATENCY_METRICS.len()],
+        })
+    }
+
+    /// Protocol-latency mode with windowed metrics: every trial runs in
+    /// `bucket`-tick windows and appends [`TIMELINE_SERIES`] samples per
+    /// window to its [`LATENCY_METRICS`] row. Render with
+    /// [`report_json_timeline`]. Same determinism contract as
+    /// [`ScenarioGrid::run_latency`] — windowing is pure observation.
+    pub fn run_latency_timeline(&self, opts: &SweepOptions, bucket: u64) -> SweepReport {
+        self.run_timeline(opts, bucket, LATENCY_METRICS, LATENCY_HORIZON, |cell, rng, b| {
+            latency_setup(cell, rng).map(|(mut sim, (), _)| {
+                let (samples, reason) = run_bucketed(&mut sim, b, LATENCY_HORIZON);
+                (extend_with_timeline(latency_measure(&sim), &samples), reason)
+            })
+        })
     }
 
     /// Streams the grid through the engine in consensus mode
     /// ([`consensus_trial`] per trial, [`CONSENSUS_METRICS`] per cell),
     /// under the same determinism contract.
     pub fn run_consensus(&self, opts: &SweepOptions) -> SweepReport {
+        let cells = index_cells(&self.cells);
         let spec = SweepSpec {
-            cells: &self.cells,
+            cells: &cells,
             trials: self.trials,
             seed: self.seed,
             metrics: CONSENSUS_METRICS,
         };
-        run(&spec, opts, |cell, _t, rng| consensus_trial(cell, rng))
+        let log = opts.stall_log.clone();
+        run(&spec, opts, move |(c, cell), t, rng| match consensus_setup(cell, rng) {
+            Some((mut sim, invokers, _)) => {
+                note_stall(&log, *c, t, sim.run_until_ops_complete());
+                consensus_measure(&sim, cell, &invokers)
+            }
+            None => vec![0.0; CONSENSUS_METRICS.len()],
+        })
+    }
+
+    /// Consensus mode with windowed metrics; the timeline counterpart of
+    /// [`ScenarioGrid::run_consensus`] (see
+    /// [`ScenarioGrid::run_latency_timeline`]).
+    pub fn run_consensus_timeline(&self, opts: &SweepOptions, bucket: u64) -> SweepReport {
+        self.run_timeline(opts, bucket, CONSENSUS_METRICS, CONSENSUS_HORIZON, |cell, rng, b| {
+            consensus_setup(cell, rng).map(|(mut sim, invokers, _)| {
+                let (samples, reason) = run_bucketed(&mut sim, b, CONSENSUS_HORIZON);
+                (extend_with_timeline(consensus_measure(&sim, cell, &invokers), &samples), reason)
+            })
+        })
     }
 
     /// Streams the grid through the engine in availability mode
@@ -1692,13 +1996,65 @@ impl ScenarioGrid {
     /// cell), under the same determinism contract: aggregates are
     /// bit-identical for any thread count.
     pub fn run_availability(&self, opts: &SweepOptions) -> SweepReport {
+        let cells = index_cells(&self.cells);
         let spec = SweepSpec {
-            cells: &self.cells,
+            cells: &cells,
             trials: self.trials,
             seed: self.seed,
             metrics: AVAILABILITY_METRICS,
         };
-        run(&spec, opts, |cell, _t, rng| availability_trial(cell, rng))
+        let log = opts.stall_log.clone();
+        run(&spec, opts, move |(c, cell), t, rng| match availability_setup(cell, rng) {
+            Some((mut sim, schedule, _)) => {
+                note_stall(&log, *c, t, sim.run_until_ops_complete());
+                availability_measure(&sim, &schedule)
+            }
+            None => vec![0.0; AVAILABILITY_METRICS.len()],
+        })
+    }
+
+    /// Availability mode with windowed metrics; the timeline counterpart
+    /// of [`ScenarioGrid::run_availability`] (see
+    /// [`ScenarioGrid::run_latency_timeline`]). On an outage grid the
+    /// `tl_ops` series shows the parked backlog draining in a burst right
+    /// after the heal.
+    pub fn run_availability_timeline(&self, opts: &SweepOptions, bucket: u64) -> SweepReport {
+        self.run_timeline(opts, bucket, AVAILABILITY_METRICS, LATENCY_HORIZON, |cell, rng, b| {
+            availability_setup(cell, rng).map(|(mut sim, schedule, _)| {
+                let (samples, reason) = run_bucketed(&mut sim, b, LATENCY_HORIZON);
+                (extend_with_timeline(availability_measure(&sim, &schedule), &samples), reason)
+            })
+        })
+    }
+
+    /// The shared engine behind the `run_*_timeline` modes: widens the
+    /// metric row with per-bucket columns, observes stalls, and zero-fills
+    /// empty scenario draws.
+    fn run_timeline<F>(
+        &self,
+        opts: &SweepOptions,
+        bucket: u64,
+        base: &[&str],
+        horizon: u64,
+        trial: F,
+    ) -> SweepReport
+    where
+        F: Fn(&ScenarioCell, &mut SplitMix64, u64) -> Option<(Vec<f64>, StopReason)> + Sync,
+    {
+        let nb = timeline_buckets(bucket, horizon);
+        let names = timeline_metric_names(base, nb);
+        let metrics: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let cells = index_cells(&self.cells);
+        let spec =
+            SweepSpec { cells: &cells, trials: self.trials, seed: self.seed, metrics: &metrics };
+        let log = opts.stall_log.clone();
+        run(&spec, opts, move |(c, cell), t, rng| match trial(cell, rng, bucket) {
+            Some((row, reason)) => {
+                note_stall(&log, *c, t, reason);
+                row
+            }
+            None => vec![0.0; base.len() + TIMELINE_SERIES.len() * nb],
+        })
     }
 
     /// Consensus mode with fork-and-branch execution: every trial warms
@@ -1908,6 +2264,87 @@ pub fn report_json_branched(
             }
             out.push_str(&format!("\"{name}\": "));
             push_agg_json(&mut out, agg);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Renders a timeline sweep (`run_*_timeline`) as deterministic JSON:
+/// the ordinary report for the first `n_base` metrics, plus a
+/// `timeline_bucket` header line and, per cell, a `"timeline"` object
+/// holding the across-trials mean of every [`TIMELINE_SERIES`] bucket
+/// column (bucket-index order). Like [`report_json`], the output embeds
+/// no timing or environment, so it diffs byte for byte across runs and
+/// thread counts.
+///
+/// # Panics
+///
+/// Panics if the report's metric count is not `n_base` plus a whole
+/// number of [`TIMELINE_SERIES`] groups.
+pub fn report_json_timeline(
+    grid: &ScenarioGrid,
+    report: &SweepReport,
+    n_base: usize,
+    bucket: u64,
+) -> String {
+    let width = TIMELINE_SERIES.len();
+    assert!(
+        report.metrics.len() >= n_base && (report.metrics.len() - n_base).is_multiple_of(width),
+        "report is not a timeline over {n_base} base metrics"
+    );
+    let nb = (report.metrics.len() - n_base) / width;
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"gqs_sweep/v1\",\n");
+    out.push_str(&format!("  \"trials_per_cell\": {},\n", grid.trials));
+    out.push_str(&format!("  \"seed\": {},\n", grid.seed));
+    out.push_str(&format!("  \"timeline_bucket\": {bucket},\n"));
+    out.push_str(&format!("  \"complete\": {},\n", report.complete));
+    out.push_str("  \"metrics\": [");
+    for (i, m) in report.metrics.iter().take(n_base).enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{m}\""));
+    }
+    out.push_str("],\n  \"cells\": [\n");
+    for (c, (cell, aggs)) in grid.cells.iter().zip(&report.cells).enumerate() {
+        if c > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"n\": {}, \"density\": ",
+            cell.family.name(),
+            cell.n
+        ));
+        push_json_f64(&mut out, cell.density);
+        out.push_str(&format!(", \"patterns\": \"{}\", \"p_chan\": ", cell.patterns.name()));
+        push_json_f64(&mut out, cell.p_chan);
+        out.push_str(", \"loss\": ");
+        push_json_f64(&mut out, cell.loss);
+        out.push_str(&format!(", \"schedule\": \"{}\"", cell.schedule.name()));
+        if cell.net != NetworkFamily::Uniform {
+            out.push_str(&format!(", \"net\": \"{}\"", cell.net.name()));
+        }
+        out.push_str(&format!(", \"trials\": {},\n     \"aggregates\": {{", aggs.trials));
+        for (m, (name, agg)) in report.metrics.iter().zip(&aggs.aggs).take(n_base).enumerate() {
+            if m > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": "));
+            push_agg_json(&mut out, agg);
+        }
+        out.push_str(&format!("}},\n     \"timeline\": {{\"bucket\": {bucket}"));
+        for (s, series) in TIMELINE_SERIES.iter().enumerate() {
+            out.push_str(&format!(", \"{series}\": ["));
+            for k in 0..nb {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                push_json_f64(&mut out, aggs.aggs[n_base + k * width + s].mean());
+            }
+            out.push(']');
         }
         out.push_str("}}");
     }
@@ -2184,6 +2621,133 @@ mod tests {
         });
         assert_eq!(single, many);
         assert_eq!(single, report);
+    }
+
+    /// One well-behaved latency cell: complete graph, rotating crashes,
+    /// nothing lossy. Every op completes; the workhorse of the trace and
+    /// timeline tests.
+    fn tame_latency_grid(trials: usize, seed: u64) -> ScenarioGrid {
+        ScenarioGrid {
+            cells: vec![ScenarioCell {
+                family: TopologyFamily::Complete,
+                n: 4,
+                density: 1.0,
+                patterns: PatternFamily::Rotating,
+                p_chan: 0.0,
+                loss: 0.0,
+                schedule: ScheduleFamily::Static,
+                net: NetworkFamily::Uniform,
+            }],
+            trials,
+            seed,
+        }
+    }
+
+    #[test]
+    fn timeline_windows_sum_to_the_straight_run() {
+        let grid = tame_latency_grid(4, 11);
+        let bucket = LATENCY_HORIZON / 8;
+        let report = grid.run_latency_timeline(&SweepOptions::default(), bucket);
+        assert!(report.complete);
+        let nb = timeline_buckets(bucket, LATENCY_HORIZON);
+        assert_eq!(report.metrics.len(), LATENCY_METRICS.len() + TIMELINE_SERIES.len() * nb);
+        // The windowed completions add up to the straight run's
+        // completion count, and the base metrics are untouched by the
+        // windowing: bucketing is pure observation.
+        let straight = grid.run_latency(&SweepOptions::default());
+        let ops_per_trial: f64 = (0..nb).map(|k| report.agg(0, &format!("tl_ops{k}")).mean()).sum();
+        let expect = straight.agg(0, "completed").mean() * LATENCY_OPS as f64;
+        assert!((ops_per_trial - expect).abs() < 1e-9, "{ops_per_trial} vs {expect}");
+        for m in LATENCY_METRICS {
+            assert_eq!(report.agg(0, m), straight.agg(0, m), "base metric {m} perturbed");
+        }
+        // Availability ends at 1 when everything completed.
+        let last_avail = report.agg(0, &format!("tl_avail{}", nb - 1)).mean();
+        assert_eq!(last_avail, 1.0);
+        // Thread-invariance carries over to timeline rows.
+        let single = grid
+            .run_latency_timeline(&SweepOptions { threads: Some(1), ..Default::default() }, bucket);
+        let many = grid.run_latency_timeline(
+            &SweepOptions { threads: Some(3), shard: Some(1), ..Default::default() },
+            bucket,
+        );
+        assert_eq!(single, many);
+        assert_eq!(single, report);
+    }
+
+    #[test]
+    fn timeline_report_renders_base_metrics_plus_series() {
+        let grid = tame_latency_grid(2, 3);
+        let bucket = LATENCY_HORIZON / 4;
+        let report = grid.run_latency_timeline(&SweepOptions::default(), bucket);
+        let json = report_json_timeline(&grid, &report, LATENCY_METRICS.len(), bucket);
+        assert!(json.contains("\"timeline_bucket\": 25000"));
+        assert!(json.contains("\"timeline\": {\"bucket\": 25000, \"events\": ["));
+        assert!(json.contains("\"ops\": ["));
+        assert!(json.contains("\"avail\": ["));
+        // The bucket columns stay internal: the rendered metric list is
+        // the base list.
+        assert!(json
+            .contains("\"metrics\": [\"completed\", \"lat_mean\", \"lat_max\", \"msgs_per_op\"]"));
+        assert!(!json.contains("tl_"));
+    }
+
+    #[test]
+    fn replayed_traces_are_deterministic_and_cover_protocol_spans() {
+        let grid = tame_latency_grid(3, 11);
+        let a = replay_trial_trace(&grid, SimMode::Latency, 0, 1, TraceFormat::Jsonl).unwrap();
+        let b = replay_trial_trace(&grid, SimMode::Latency, 0, 1, TraceFormat::Jsonl).unwrap();
+        assert_eq!(a, b, "replay must be deterministic");
+        for needle in
+            ["\"ev\":\"op_start\"", "\"ev\":\"op_end\"", "qaf_get", "qaf_set", "\"ev\":\"deliver\""]
+        {
+            assert!(a.contains(needle), "trace lacks {needle}");
+        }
+        // Distinct trials replay distinct executions.
+        let other = replay_trial_trace(&grid, SimMode::Latency, 0, 2, TraceFormat::Jsonl).unwrap();
+        assert_ne!(a, other);
+        // The Chrome export is one JSON array of the same run.
+        let chrome =
+            replay_trial_trace(&grid, SimMode::Latency, 0, 1, TraceFormat::Chrome).unwrap();
+        assert!(chrome.starts_with('[') && chrome.ends_with("]\n"));
+        assert!(chrome.contains("qaf_get"));
+        // Out-of-range coordinates are errors, not panics.
+        assert!(replay_trial_trace(&grid, SimMode::Latency, 1, 0, TraceFormat::Jsonl).is_err());
+        assert!(replay_trial_trace(&grid, SimMode::Latency, 0, 3, TraceFormat::Jsonl).is_err());
+        // A healthy trial leaves no flight-recorder dump.
+        assert_eq!(replay_trial_flight(&grid, SimMode::Latency, 0, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn consensus_replay_traces_views_and_decisions() {
+        let grid = ScenarioGrid {
+            cells: vec![ScenarioCell {
+                family: TopologyFamily::Complete,
+                n: 4,
+                density: 1.0,
+                patterns: PatternFamily::Rotating,
+                p_chan: 0.0,
+                loss: 0.0,
+                schedule: ScheduleFamily::Static,
+                net: NetworkFamily::Uniform,
+            }],
+            trials: 2,
+            seed: 7,
+        };
+        let trace =
+            replay_trial_trace(&grid, SimMode::Consensus, 0, 0, TraceFormat::Jsonl).unwrap();
+        assert!(trace.contains("view_enter"), "consensus trace lacks view_enter markers");
+        assert!(trace.contains("\"label\":\"decide\""), "consensus trace lacks decide markers");
+    }
+
+    #[test]
+    fn stall_notes_record_event_caps_only() {
+        let log: StallLog = Default::default();
+        note_stall(&Some(log.clone()), 3, 1, StopReason::OpsComplete);
+        note_stall(&Some(log.clone()), 2, 5, StopReason::EventCap { stalled_ops: 4 });
+        note_stall(&None, 0, 0, StopReason::EventCap { stalled_ops: 9 });
+        let stalls = log.lock().unwrap();
+        assert_eq!(*stalls, vec![Stall { cell: 2, trial: 5, stalled_ops: 4 }]);
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! # Load-model metrics from the trace plane
+//!
+//! [`LoadSink`] is the workload layer's [`TraceSink`]: it stacks a
+//! [`CountingSink`] (per-process and per-channel-class message counters)
+//! with a [`QuantileSketch`] of end-to-end operation latency, matched
+//! from `op_start`/`op_end` events as the run emits them. Attach one to
+//! any simulation with [`gqs_simnet::Simulation::set_trace`] and read
+//! the load model off it afterwards — no protocol cooperation needed,
+//! because the simulator core emits the operation events itself.
+//!
+//! Like every sink, `LoadSink` observes without perturbing: the traced
+//! run is bit-identical to the untraced one, so load figures are
+//! deterministic in the seed and diff cleanly across machines.
+
+use std::collections::BTreeMap;
+
+use gqs_core::ProcessId;
+use gqs_simnet::{CountingSink, SimTime, Topology, TraceEvent, TraceSink};
+
+use crate::sweep::QuantileSketch;
+
+/// A [`TraceSink`] measuring the load model of a run: message counters
+/// per process and channel class (via an embedded [`CountingSink`]) plus
+/// a latency histogram over completed operations.
+#[derive(Debug)]
+pub struct LoadSink {
+    counts: CountingSink,
+    starts: BTreeMap<u64, SimTime>,
+    latency: QuantileSketch,
+}
+
+impl LoadSink {
+    /// A load sink for an `n`-process simulation.
+    pub fn new(n: usize) -> Self {
+        LoadSink {
+            counts: CountingSink::new(n),
+            starts: BTreeMap::new(),
+            latency: QuantileSketch::new(),
+        }
+    }
+
+    /// Like [`LoadSink::new`], but classifying channels against
+    /// `topology` so [`CountingSink::class_sent`] separates intra-region
+    /// from gateway traffic.
+    pub fn with_topology(n: usize, topology: Topology) -> Self {
+        LoadSink {
+            counts: CountingSink::with_topology(n, topology),
+            starts: BTreeMap::new(),
+            latency: QuantileSketch::new(),
+        }
+    }
+
+    /// The embedded message counters.
+    pub fn counts(&self) -> &CountingSink {
+        &self.counts
+    }
+
+    /// The latency sketch over completed operations (simulated ticks).
+    pub fn latency(&self) -> &QuantileSketch {
+        &self.latency
+    }
+
+    /// Operations started but not yet completed, in op-id order.
+    pub fn in_flight(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The process carrying the most send+deliver traffic.
+    pub fn busiest(&self) -> (ProcessId, u64) {
+        self.counts.busiest()
+    }
+}
+
+impl TraceSink for LoadSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.counts.record(ev);
+        match *ev {
+            TraceEvent::OpStart { at, op, .. } => {
+                self.starts.insert(op.0, at);
+            }
+            TraceEvent::OpEnd { at, op, .. } => {
+                if let Some(t0) = self.starts.remove(&op.0) {
+                    self.latency.observe((at.ticks() - t0.ticks()) as f64);
+                }
+            }
+            _ => {}
+        }
+    }
+}

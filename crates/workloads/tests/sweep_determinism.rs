@@ -14,7 +14,7 @@ use gqs_workloads::sweep::{
 };
 
 fn with_threads(threads: usize, shard: Option<usize>) -> SweepOptions {
-    SweepOptions { threads: Some(threads), shard, cancel: None }
+    SweepOptions { threads: Some(threads), shard, ..Default::default() }
 }
 
 fn run_grid(grid: &ScenarioGrid, threads: usize, shard: Option<usize>) -> SweepReport {
